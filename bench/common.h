@@ -1,0 +1,71 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) the simulated-machine configuration (standing in
+// for the paper's Table 1 Catalyst description), (b) the measured rows of
+// the figure it reproduces, and (c) the paper's reported shape for
+// comparison. Scale knobs:
+//   CDC_FULL=1      run at the paper's process counts (3,072 for MCB,
+//                   6,000+ for Jacobi) — minutes instead of seconds.
+//   CDC_RANKS=N     override the rank count directly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/mcb.h"
+#include "minimpi/simulator.h"
+
+namespace cdc::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("CDC_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoi(env) : fallback;
+}
+
+/// Splits `ranks` into the most square grid_x x grid_y factorisation.
+inline std::pair<int, int> grid_for(int ranks) {
+  int best = 1;
+  for (int x = 1; x * x <= ranks; ++x)
+    if (ranks % x == 0) best = x;
+  return {ranks / best, best};
+}
+
+inline void print_machine_banner(const char* figure, int ranks) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("substrate : MiniMPI discrete-event simulator (this repo)\n");
+  std::printf("            base latency 1 us + Exp(2 us) jitter per message\n");
+  std::printf("            (stands in for Catalyst: 2.4 GHz Xeon E5-2695v2,\n");
+  std::printf("             InfiniBand QDR, node-local SSD — paper Table 1)\n");
+  std::printf("processes : %d\n", ranks);
+  std::printf("--------------------------------------------------------------\n");
+}
+
+/// The common MCB workload used across the evaluation benches.
+inline apps::McbConfig mcb_config(int ranks, double intensity = 1.0) {
+  const auto [gx, gy] = grid_for(ranks);
+  apps::McbConfig config;
+  config.grid_x = gx;
+  config.grid_y = gy;
+  config.particles_per_rank =
+      static_cast<int>(env_int("CDC_PARTICLES", 150) * intensity);
+  config.segments_per_particle = 12;
+  return config;
+}
+
+inline minimpi::Simulator::Config sim_config(int ranks,
+                                             std::uint64_t seed = 1) {
+  minimpi::Simulator::Config config;
+  config.num_ranks = ranks;
+  config.noise_seed = seed;
+  return config;
+}
+
+}  // namespace cdc::bench

@@ -1,0 +1,146 @@
+// Figure 16: recording overhead on MCB under weak scaling.
+//
+// Paper: 48 → 3,072 processes, 4,000 particles per process; performance in
+// tracks/sec for MCB without recording, with gzip recording, and with CDC
+// recording. CDC costs 13.1–25.5% vs no recording and 4.6–13.9% more than
+// gzip (the extra compute of the edit-distance encoder), and the overhead
+// is roughly constant across scale because recording needs no
+// communication.
+//
+// Overhead model in this reproduction: recording is asynchronous (§4.2),
+// so encode and I/O stay off the critical path. What the application
+// thread pays is (a) PMPI/PnMPI interception on every matching-function
+// call — MCB polls Testsome millions of times, so this dominates exactly
+// as the paper's flat-overhead discussion implies; (b) clock piggybacking
+// on every send (the paper measures 1.18%% end to end); and (c) per-event
+// enqueue work plus a core-share of the CDC thread's encode compute (24
+// ranks + tool threads on 24 cores). (c) is calibrated by timing this
+// repo's real encoder on an MCB-like stream and charging 1/24th of it.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "record/event.h"
+#include "runtime/storage.h"
+#include "support/rng.h"
+#include "tool/recorder.h"
+#include "tool/stream_recorder.h"
+
+namespace {
+
+using namespace cdc;
+
+/// Wall-clock seconds per event of the real encode pipeline for `codec`.
+double calibrate_encode_cost(tool::RecordCodec codec) {
+  // Synthetic MCB-like stream: 4 senders, ~30% out of reference order,
+  // a sprinkle of unmatched tests.
+  support::Xoshiro256 rng(7);
+  std::vector<record::ReceiveEvent> events;
+  std::vector<std::uint64_t> clocks(4, 1);
+  constexpr int kEvents = 200000;
+  events.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    if (rng.uniform() < 0.3) events.push_back({false, false, -1, 0});
+    const auto s = static_cast<std::int32_t>(rng.bounded(4));
+    clocks[static_cast<std::size_t>(s)] += 1 + rng.bounded(4);
+    events.push_back({true, false, s, clocks[static_cast<std::size_t>(s)]});
+  }
+  for (int i = 0; i + 1 < kEvents; i += 16)  // local reorder ~ Figure 14
+    if (rng.uniform() < 0.5) std::swap(events[i], events[i + 1]);
+
+  runtime::CountingStore store;
+  tool::ToolOptions options;
+  options.codec = codec;
+  tool::StreamRecorder recorder({0, 0}, options);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& e : events) {
+    if (e.flag) {
+      recorder.on_delivered(e);
+    } else {
+      recorder.on_unmatched_test();
+    }
+    recorder.flush_if_due(store);
+  }
+  recorder.finalize(store);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return elapsed / static_cast<double>(events.size());
+}
+
+struct Cell {
+  double tracks_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const int max_ranks =
+      bench::env_int("CDC_RANKS", bench::full_scale() ? 3072 : 768);
+  bench::print_machine_banner(
+      "Figure 16 — recording overhead on MCB (weak scaling, tracks/sec)",
+      max_ranks);
+
+  const double gzip_encode =
+      calibrate_encode_cost(tool::RecordCodec::kBaselineGzip);
+  const double cdc_encode =
+      calibrate_encode_cost(tool::RecordCodec::kCdcFull);
+  constexpr double kPiggybackCost = 25e-9;   // 8-byte datatype piggyback
+  constexpr double kInterceptCost = 40e-9;   // thin interposition per MF call
+  constexpr double kEnqueueCost = 50e-9;     // SPSC enqueue per event
+  constexpr int kCoresPerNode = 24;          // Catalyst: 24 ranks/node
+  const double gzip_cost = kEnqueueCost + gzip_encode / kCoresPerNode;
+  const double cdc_cost = kEnqueueCost + cdc_encode / kCoresPerNode;
+  std::printf("calibrated encode: gzip %.0f ns/event, CDC %.0f ns/event;\n"
+              "charged to the app: %.0f / %.0f ns/event (1/%d core share)\n"
+              "plus %.0f ns per MF call interception, %.0f ns piggyback/send"
+              "\n\n",
+              gzip_encode * 1e9, cdc_encode * 1e9, gzip_cost * 1e9,
+              cdc_cost * 1e9, kCoresPerNode, kInterceptCost * 1e9,
+              kPiggybackCost * 1e9);
+
+  std::vector<int> scales;
+  for (int r = 48; r <= max_ranks; r *= 2) scales.push_back(r);
+
+  std::printf("%8s %18s %18s %18s %10s %10s\n", "procs", "no recording",
+              "gzip", "CDC", "CDC ovh", "CDCvsGzip");
+  bool shape_ok = true;
+  for (const int ranks : scales) {
+    Cell none, gzip, cdc;
+    for (int mode = 0; mode < 3; ++mode) {
+      minimpi::Simulator::Config config = bench::sim_config(ranks);
+      runtime::CountingStore store;
+      std::unique_ptr<tool::Recorder> recorder;
+      if (mode > 0) {
+        tool::ToolOptions options;
+        options.codec = mode == 1 ? tool::RecordCodec::kBaselineGzip
+                                  : tool::RecordCodec::kCdcFull;
+        recorder =
+            std::make_unique<tool::Recorder>(ranks, &store, options);
+        config.tool_event_cost = mode == 1 ? gzip_cost : cdc_cost;
+        config.tool_call_cost = kInterceptCost;
+        config.piggyback_send_cost = kPiggybackCost;
+      }
+      minimpi::Simulator sim(config, recorder.get());
+      const auto result = apps::run_mcb(sim, bench::mcb_config(ranks));
+      if (recorder) recorder->finalize();
+      (mode == 0 ? none : mode == 1 ? gzip : cdc).tracks_per_sec =
+          result.tracks_per_sec;
+    }
+    const double ovh =
+        100.0 * (1.0 - cdc.tracks_per_sec / none.tracks_per_sec);
+    const double vs_gzip =
+        100.0 * (1.0 - cdc.tracks_per_sec / gzip.tracks_per_sec);
+    std::printf("%8d %18.3e %18.3e %18.3e %9.1f%% %9.1f%%\n", ranks,
+                none.tracks_per_sec, gzip.tracks_per_sec,
+                cdc.tracks_per_sec, ovh, vs_gzip);
+    shape_ok = shape_ok && cdc.tracks_per_sec <= none.tracks_per_sec;
+  }
+
+  std::printf(
+      "\npaper shape: throughput keeps scaling under recording; CDC's\n"
+      "overhead is 13.1-25.5%% vs no recording, 4.6-13.9%% vs gzip, and\n"
+      "roughly flat across scale (recording needs no communication).\n");
+  return shape_ok ? 0 : 1;
+}

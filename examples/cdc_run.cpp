@@ -1,0 +1,187 @@
+// cdc_run — command-line record/replay driver (the "release binary").
+//
+// Runs one of the bundled applications on the simulator, optionally under
+// the CDC recorder or replayer, with a file-backed record directory — the
+// workflow a user of the real tool would follow:
+//
+//   # 1. the bug manifests under some network condition: record it
+//   $ ./cdc_run --app mcb --ranks 16 --seed 3 --mode record --dir /tmp/rec
+//
+//   # 2. debug: replay as many times as needed, any network condition
+//   $ ./cdc_run --app mcb --ranks 16 --seed 77 --mode replay --dir /tmp/rec
+//
+// Modes: plain (default) | record | replay.  Apps: mcb | jacobi | taskfarm.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "apps/jacobi.h"
+#include "apps/mcb.h"
+#include "apps/taskfarm.h"
+#include "minimpi/simulator.h"
+#include "runtime/storage.h"
+#include "support/stats.h"
+#include "tool/recorder.h"
+#include "tool/replayer.h"
+
+namespace {
+
+using namespace cdc;
+
+struct Options {
+  std::string app = "mcb";
+  std::string mode = "plain";
+  std::string dir = "/tmp/cdc_run_record";
+  int ranks = 16;
+  std::uint64_t seed = 1;
+  std::size_t chunk_target = 4096;
+  int scale = 100;  // particles / iterations / tasks knob
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--app mcb|jacobi|taskfarm] [--mode "
+               "plain|record|replay]\n"
+               "          [--ranks N] [--seed S] [--dir PATH] [--scale N] "
+               "[--chunk N]\n",
+               argv0);
+}
+
+bool parse(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--app") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.app = v;
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.mode = v;
+    } else if (arg == "--dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.dir = v;
+    } else if (arg == "--ranks") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.ranks = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.scale = std::atoi(v);
+    } else if (arg == "--chunk") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.chunk_target = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return options.ranks >= 1 &&
+         (options.mode == "plain" || options.mode == "record" ||
+          options.mode == "replay") &&
+         (options.app == "mcb" || options.app == "jacobi" ||
+          options.app == "taskfarm");
+}
+
+std::pair<int, int> grid_for(int ranks) {
+  int best = 1;
+  for (int x = 1; x * x <= ranks; ++x)
+    if (ranks % x == 0) best = x;
+  return {ranks / best, best};
+}
+
+/// Runs the selected app; returns an order-sensitive scalar result.
+double run_app(const Options& options, minimpi::Simulator& sim) {
+  const auto [gx, gy] = grid_for(options.ranks);
+  if (options.app == "mcb") {
+    apps::McbConfig config;
+    config.grid_x = gx;
+    config.grid_y = gy;
+    config.particles_per_rank = options.scale;
+    return apps::run_mcb(sim, config).global_tally;
+  }
+  if (options.app == "jacobi") {
+    apps::JacobiConfig config;
+    config.grid_x = gx;
+    config.grid_y = gy;
+    config.iterations = options.scale;
+    return apps::run_jacobi(sim, config).residual;
+  }
+  apps::TaskFarmConfig config;
+  config.tasks = options.scale * 10;
+  return apps::run_taskfarm(sim, config).accumulated;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, options)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  minimpi::Simulator::Config sim_config;
+  sim_config.num_ranks = options.ranks;
+  sim_config.noise_seed = options.seed;
+
+  std::unique_ptr<runtime::FileStore> store;
+  std::unique_ptr<tool::Recorder> recorder;
+  std::unique_ptr<tool::Replayer> replayer;
+  tool::ToolOptions tool_options;
+  tool_options.chunk_target = options.chunk_target;
+
+  minimpi::ToolHooks* hooks = nullptr;
+  if (options.mode == "record") {
+    store = std::make_unique<runtime::FileStore>(options.dir);
+    recorder = std::make_unique<tool::Recorder>(options.ranks, store.get(),
+                                                tool_options);
+    hooks = recorder.get();
+  } else if (options.mode == "replay") {
+    store = std::make_unique<runtime::FileStore>(options.dir);
+    replayer = std::make_unique<tool::Replayer>(options.ranks, store.get(),
+                                                tool_options);
+    hooks = replayer.get();
+  }
+
+  minimpi::Simulator sim(sim_config, hooks);
+  const double result = run_app(options, sim);
+
+  std::printf("app=%s ranks=%d seed=%llu mode=%s\n", options.app.c_str(),
+              options.ranks, static_cast<unsigned long long>(options.seed),
+              options.mode.c_str());
+  std::printf("result   : %.17g\n", result);
+  if (recorder) {
+    recorder->finalize();
+    const auto totals = recorder->totals();
+    std::printf("recorded : %llu events, %llu chunks, %s -> %s\n",
+                static_cast<unsigned long long>(totals.matched_events),
+                static_cast<unsigned long long>(totals.chunks),
+                support::format_bytes(
+                    static_cast<double>(store->total_bytes())).c_str(),
+                options.dir.c_str());
+    std::printf("digest   : %016llx\n",
+                static_cast<unsigned long long>(recorder->order_digest()));
+  }
+  if (replayer) {
+    std::printf("replayed : %llu events (%s)\n",
+                static_cast<unsigned long long>(
+                    replayer->totals().replayed_events),
+                replayer->fully_replayed() ? "complete" : "INCOMPLETE");
+    std::printf("digest   : %016llx\n",
+                static_cast<unsigned long long>(replayer->order_digest()));
+  }
+  return 0;
+}

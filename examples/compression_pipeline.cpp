@@ -1,0 +1,102 @@
+// Walks the CDC encoding pipeline on the paper's worked example (Figures
+// 4–8): redundancy elimination, permutation encoding, LP encoding, and the
+// epoch line, printing the value counts at each stage (55 → 23 → 19) and
+// the final serialized/compressed sizes.
+//
+//   $ ./compression_pipeline
+#include <cstdio>
+
+#include "compress/deflate.h"
+#include "record/baseline.h"
+#include "record/chunk.h"
+#include "record/lp.h"
+#include "record/tables.h"
+
+namespace {
+
+using namespace cdc;
+
+std::vector<record::ReceiveEvent> figure4_events() {
+  const auto matched = [](std::int32_t rank, std::uint64_t clk,
+                          bool with_next = false) {
+    return record::ReceiveEvent{true, with_next, rank, clk};
+  };
+  const record::ReceiveEvent unmatched{false, false, -1, 0};
+  return {
+      matched(0, 2),        unmatched, unmatched,
+      matched(0, 13, true), matched(2, 8),
+      matched(1, 8),        matched(0, 15),
+      matched(1, 19),       unmatched, unmatched, unmatched,
+      matched(0, 17),       unmatched,
+      matched(0, 18),
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== CDC encoding pipeline on the paper's Figure 4 example ==\n\n");
+
+  const auto events = figure4_events();
+  const auto rows = record::to_rows(events);
+  std::printf("original record (Figure 4): %zu rows x 5 values = %zu values\n",
+              rows.size(), rows.size() * 5);
+  std::printf("  packed traditional format: %zu bytes (162 bits/row)\n\n",
+              record::baseline_size_bytes(rows.size()));
+
+  const auto tables = record::build_tables(events);
+  std::printf("redundancy elimination (Figure 6): %zu values\n",
+              tables.value_count());
+  std::printf("  matched-test: %zu x (rank, clock)\n", tables.matched.size());
+  std::printf("  with_next   : %zu indices\n", tables.with_next.size());
+  std::printf("  unmatched   : %zu x (index, count)\n\n",
+              tables.unmatched.size());
+
+  const auto chunk = record::encode_chunk(tables);
+  std::printf("permutation + LP + epoch (Figure 8): %zu values\n",
+              chunk.value_count());
+  std::printf("  permutation difference:");
+  for (const auto& op : chunk.moves)
+    std::printf(" (%lld,%+lld)", static_cast<long long>(op.index),
+                static_cast<long long>(op.delay));
+  std::printf("\n  with_next indices     :");
+  for (const auto i : chunk.with_next)
+    std::printf(" %llu", static_cast<unsigned long long>(i));
+  std::printf("\n  unmatched-test        :");
+  for (const auto& run : chunk.unmatched)
+    std::printf(" (%llu,%llu)", static_cast<unsigned long long>(run.index),
+                static_cast<unsigned long long>(run.count));
+  std::printf("\n  epoch line            :");
+  for (const auto& e : chunk.epoch)
+    std::printf(" (rank %d, clock %llu)", e.sender,
+                static_cast<unsigned long long>(e.clock));
+  std::printf("\n\n");
+
+  // LP encoding demonstration on the section 3.4 example.
+  const std::vector<std::int64_t> xs = {1, 2, 4, 6, 8, 12, 17};
+  const auto es = record::lp_encode(xs);
+  std::printf("LP encoding (section 3.4): {");
+  for (const auto x : xs) std::printf("%lld,", static_cast<long long>(x));
+  std::printf("\b} -> {");
+  for (const auto e : es) std::printf("%lld,", static_cast<long long>(e));
+  std::printf("\b}\n\n");
+
+  // Serialized sizes before and after the final entropy stage.
+  support::ByteWriter chunk_bytes;
+  record::write_chunk(chunk_bytes, chunk);
+  const auto baseline = record::baseline_serialize(rows);
+  const auto gz_baseline = compress::gzip_compress(baseline);
+  const auto gz_chunk = compress::gzip_compress(
+      std::vector<std::uint8_t>(chunk_bytes.view().begin(),
+                                chunk_bytes.view().end()));
+  std::printf("serialized sizes for this (tiny) example:\n");
+  std::printf("  traditional, raw     : %5zu bytes\n", baseline.size());
+  std::printf("  traditional, gzip    : %5zu bytes\n", gz_baseline.size());
+  std::printf("  CDC chunk, raw       : %5zu bytes\n", chunk_bytes.size());
+  std::printf("  CDC chunk, gzip      : %5zu bytes\n", gz_chunk.size());
+  std::printf(
+      "\n(gzip overhead dominates 14-event examples; the Figure 13 bench\n"
+      "measures millions of events, where CDC wins by orders of "
+      "magnitude.)\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "apps/taskfarm.h"
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace cdc::apps {
+
+namespace {
+
+using minimpi::Comm;
+using minimpi::Rank;
+using minimpi::Request;
+using minimpi::Task;
+
+constexpr int kTaskTag = 20;
+constexpr int kResultTag = 21;
+
+struct WorkItem {
+  std::int64_t id = 0;
+  std::int32_t stop = 0;
+  std::int32_t padding = 0;
+};
+static_assert(std::is_trivially_copyable_v<WorkItem>);
+
+struct WorkResult {
+  double value = 0.0;
+  std::int64_t id = 0;
+};
+static_assert(std::is_trivially_copyable_v<WorkResult>);
+
+std::uint64_t hash_id(std::uint64_t seed, std::int64_t id) noexcept {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(id) * 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct SharedResult {
+  double accumulated = 0.0;
+  std::uint64_t completed = 0;
+};
+
+Task master_rank(Comm& comm, TaskFarmConfig cfg, SharedResult* shared) {
+  const int workers = comm.size() - 1;
+  std::int64_t next_task = 0;
+  std::int64_t outstanding = 0;
+
+  const auto send_next = [&](Rank worker) {
+    WorkItem item;
+    if (next_task < cfg.tasks) {
+      item.id = next_task++;
+      ++outstanding;
+    } else {
+      item.stop = 1;
+    }
+    comm.isend(worker, kTaskTag, minimpi::to_payload(item));
+    return item.stop == 0;
+  };
+
+  // One result receive per worker, re-posted after each delivery; workers
+  // holding a stop marker drop out of the wait set.
+  std::vector<Request> result_recvs(static_cast<std::size_t>(workers));
+  std::vector<bool> active(static_cast<std::size_t>(workers), false);
+  for (int w = 0; w < workers; ++w) {
+    const Rank worker = static_cast<Rank>(w + 1);
+    if (send_next(worker)) {
+      result_recvs[static_cast<std::size_t>(w)] =
+          comm.irecv(worker, kResultTag);
+      active[static_cast<std::size_t>(w)] = true;
+    }
+  }
+
+  while (outstanding > 0) {
+    // Wait on the receives of currently active workers only.
+    std::vector<Request> wait_set;
+    std::vector<int> wait_worker;
+    for (int w = 0; w < workers; ++w) {
+      if (active[static_cast<std::size_t>(w)]) {
+        wait_set.push_back(result_recvs[static_cast<std::size_t>(w)]);
+        wait_worker.push_back(w);
+      }
+    }
+    auto res = co_await comm.waitany(wait_set, kFarmResultCallsite);
+    const auto& completion = res.completions[0];
+    const int w = wait_worker[completion.span_index];
+    const auto result = minimpi::from_payload<WorkResult>(completion.payload);
+
+    // Order-sensitive fold: FP multiply-accumulate is not associative.
+    shared->accumulated = shared->accumulated * 1.0000000001 + result.value;
+    ++shared->completed;
+    --outstanding;
+
+    const Rank worker = static_cast<Rank>(w + 1);
+    if (send_next(worker)) {
+      result_recvs[static_cast<std::size_t>(w)] =
+          comm.irecv(worker, kResultTag);
+    } else {
+      active[static_cast<std::size_t>(w)] = false;
+    }
+  }
+}
+
+Task worker_rank(Comm& comm, TaskFarmConfig cfg) {
+  for (;;) {
+    Request req = comm.irecv(0, kTaskTag);
+    auto res = co_await comm.wait(req, kFarmTaskCallsite);
+    const auto item =
+        minimpi::from_payload<WorkItem>(res.completions[0].payload);
+    if (item.stop != 0) break;
+
+    // Deterministic per-item cost and value: only completion ORDER varies
+    // between runs.
+    const std::uint64_t h = hash_id(cfg.work_seed, item.id);
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+    co_await comm.compute(cfg.task_cost_mean * (0.25 + 1.5 * unit));
+    WorkResult result;
+    result.id = item.id;
+    result.value = 1.0 + unit;
+    comm.isend(0, kResultTag, minimpi::to_payload(result));
+  }
+}
+
+}  // namespace
+
+TaskFarmResult run_taskfarm(minimpi::Simulator& sim,
+                            const TaskFarmConfig& config) {
+  CDC_CHECK_MSG(sim.size() >= 2, "task farm needs a master and >=1 worker");
+  auto shared = std::make_shared<SharedResult>();
+  sim.set_program(0, [config, shared](Comm& comm) {
+    return master_rank(comm, config, shared.get());
+  });
+  for (Rank r = 1; r < sim.size(); ++r) {
+    sim.set_program(r, [config](Comm& comm) {
+      return worker_rank(comm, config);
+    });
+  }
+  const minimpi::Simulator::Stats stats = sim.run();
+
+  TaskFarmResult result;
+  result.accumulated = shared->accumulated;
+  result.completed = shared->completed;
+  result.elapsed = stats.end_time;
+  result.messages = stats.messages_sent;
+  return result;
+}
+
+}  // namespace cdc::apps

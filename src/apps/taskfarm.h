@@ -1,0 +1,39 @@
+// Master/worker task farm — a third non-deterministic workload.
+//
+// A master rank hands work items to workers on demand and folds results
+// into an order-sensitive accumulator as they arrive (MPI_Waitany over
+// per-worker result receives, first come first served). Completion order
+// depends on network noise, so the accumulated result varies in its last
+// bits between runs — the same reproducibility problem as MCB (§2.1) in a
+// different communication idiom: Waitany instead of Testsome, a single
+// hot wildcard-ish callsite at the master, and strictly deterministic
+// workers. Exercises the MF kinds the other apps do not.
+#pragma once
+
+#include <cstdint>
+
+#include "minimpi/simulator.h"
+
+namespace cdc::apps {
+
+struct TaskFarmConfig {
+  int tasks = 500;              ///< total work items
+  double task_cost_mean = 4e-6; ///< virtual seconds per item (varies by item)
+  std::uint64_t work_seed = 99; ///< deterministic per-item cost/value
+};
+
+inline constexpr minimpi::CallsiteId kFarmResultCallsite = 1;
+inline constexpr minimpi::CallsiteId kFarmTaskCallsite = 2;
+
+struct TaskFarmResult {
+  double accumulated = 0.0;    ///< order-sensitive FP fold
+  std::uint64_t completed = 0;
+  double elapsed = 0.0;
+  std::uint64_t messages = 0;
+};
+
+/// Rank 0 is the master; ranks 1..size-1 are workers.
+TaskFarmResult run_taskfarm(minimpi::Simulator& sim,
+                            const TaskFarmConfig& config);
+
+}  // namespace cdc::apps

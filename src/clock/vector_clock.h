@@ -1,0 +1,79 @@
+// Vector clocks — the alternative §4.3 considers and rejects.
+//
+// "Another approach would be to use a Vector clock. Unfortunately, Vector
+// clocks are not scalable [26]." A vector clock orders events *exactly*
+// (e ≺ f iff VC(e) < VC(f) componentwise), which would make the reference
+// order track causality perfectly — but each piggybacked message must
+// carry one counter per process: 8 bytes × 3,072 ranks = 24 KiB on every
+// message, versus CDC's single 8-byte Lamport clock. This implementation
+// exists to make that trade-off measurable (see the piggyback-size test
+// and microbench) and for experimentation with hybrid clock definitions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.h"
+
+namespace cdc::clock {
+
+class VectorClock {
+ public:
+  VectorClock(std::int32_t rank, std::size_t num_ranks)
+      : rank_(rank), components_(num_ranks, 0) {
+    CDC_CHECK(rank >= 0 && static_cast<std::size_t>(rank) < num_ranks);
+  }
+
+  /// Advances the local component, then returns the vector to piggyback —
+  /// the conventional Fidge/Mattern rule (the event's own tick is part of
+  /// its timestamp, unlike the paper's Lamport Definition 4 which attaches
+  /// before incrementing).
+  std::vector<std::uint64_t> on_send() {
+    ++components_[static_cast<std::size_t>(rank_)];
+    return components_;
+  }
+
+  /// Folds a received vector in: componentwise max, then local increment.
+  void on_receive(std::span<const std::uint64_t> received) {
+    CDC_CHECK(received.size() == components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i)
+      components_[i] = std::max(components_[i], received[i]);
+    ++components_[static_cast<std::size_t>(rank_)];
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> value() const noexcept {
+    return components_;
+  }
+
+  /// Piggyback payload size per message — the scalability problem.
+  [[nodiscard]] std::size_t piggyback_bytes() const noexcept {
+    return components_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Happens-before: a ≺ b iff a ≤ b componentwise and a ≠ b.
+  static bool happens_before(std::span<const std::uint64_t> a,
+                             std::span<const std::uint64_t> b) {
+    CDC_CHECK(a.size() == b.size());
+    bool strictly_less = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] > b[i]) return false;
+      if (a[i] < b[i]) strictly_less = true;
+    }
+    return strictly_less;
+  }
+
+  /// Concurrent: neither happens-before the other.
+  static bool concurrent(std::span<const std::uint64_t> a,
+                         std::span<const std::uint64_t> b) {
+    return !happens_before(a, b) && !happens_before(b, a) &&
+           !std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::int32_t rank_;
+  std::vector<std::uint64_t> components_;
+};
+
+}  // namespace cdc::clock

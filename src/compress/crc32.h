@@ -1,0 +1,41 @@
+// CRC-32 (ISO 3309 / ITU-T V.42, polynomial 0xEDB88320) as required by the
+// gzip container (RFC 1952 §8).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cdc::compress {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace detail
+
+/// Incrementally updatable CRC-32. `crc` starts at 0 for a fresh stream.
+inline std::uint32_t crc32_update(std::uint32_t crc,
+                                  std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (const std::uint8_t byte : data)
+    c = detail::kCrcTable[(c ^ byte) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  return crc32_update(0, data);
+}
+
+}  // namespace cdc::compress

@@ -1,0 +1,565 @@
+#include "compress/deflate.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "compress/crc32.h"
+#include "compress/huffman.h"
+#include "support/bitstream.h"
+#include "support/check.h"
+
+namespace cdc::compress {
+
+namespace {
+
+using support::BitReader;
+using support::BitWriter;
+
+// --- RFC 1951 alphabets -------------------------------------------------
+
+constexpr int kNumLitLen = 288;   // literal/length alphabet size
+constexpr int kNumDist = 30;      // distance alphabet size
+constexpr int kNumCodeLen = 19;   // code-length alphabet size
+constexpr int kEndOfBlock = 256;
+
+struct LengthCode {
+  std::uint16_t base;
+  std::uint8_t extra;
+};
+
+// Length codes 257..285 (§3.2.5).
+constexpr std::array<LengthCode, 29> kLengthCodes = {{
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},
+    {9, 0},   {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1},
+    {19, 2},  {23, 2},  {27, 2},  {31, 2},  {35, 3},  {43, 3},
+    {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+}};
+
+// Distance codes 0..29 (§3.2.5).
+constexpr std::array<LengthCode, 30> kDistCodes = {{
+    {1, 0},      {2, 0},      {3, 0},     {4, 0},     {5, 1},
+    {7, 1},      {9, 2},      {13, 2},    {17, 3},    {25, 3},
+    {33, 4},     {49, 4},     {65, 5},    {97, 5},    {129, 6},
+    {193, 6},    {257, 7},    {385, 7},   {513, 8},   {769, 8},
+    {1025, 9},   {1537, 9},   {2049, 10}, {3073, 10}, {4097, 11},
+    {6145, 11},  {8193, 12},  {12289, 12},{16385, 13},{24577, 13},
+}};
+
+// Order in which code-length code lengths appear in the header (§3.2.7).
+constexpr std::array<std::uint8_t, kNumCodeLen> kCodeLenOrder = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+int length_to_code(int length) noexcept {
+  // Codes are monotone in base length; linear scan over 29 entries.
+  for (int c = 28; c >= 0; --c)
+    if (length >= kLengthCodes[static_cast<std::size_t>(c)].base) return c;
+  return 0;
+}
+
+int dist_to_code(int distance) noexcept {
+  for (int c = 29; c >= 0; --c)
+    if (distance >= kDistCodes[static_cast<std::size_t>(c)].base) return c;
+  return 0;
+}
+
+// Fixed Huffman code lengths (§3.2.6).
+std::vector<std::uint8_t> fixed_litlen_lengths() {
+  std::vector<std::uint8_t> lens(kNumLitLen);
+  for (int s = 0; s <= 143; ++s) lens[static_cast<std::size_t>(s)] = 8;
+  for (int s = 144; s <= 255; ++s) lens[static_cast<std::size_t>(s)] = 9;
+  for (int s = 256; s <= 279; ++s) lens[static_cast<std::size_t>(s)] = 7;
+  for (int s = 280; s <= 287; ++s) lens[static_cast<std::size_t>(s)] = 8;
+  return lens;
+}
+
+std::vector<std::uint8_t> fixed_dist_lengths() {
+  return std::vector<std::uint8_t>(32, 5);
+}
+
+Lz77Params params_for(DeflateLevel level) {
+  switch (level) {
+    case DeflateLevel::kFast:
+      return {.max_chain = 16, .nice_length = 32, .lazy = false};
+    case DeflateLevel::kBest:
+      return {.max_chain = 1024, .nice_length = 258, .lazy = true};
+    case DeflateLevel::kStored:
+    case DeflateLevel::kDefault:
+      break;
+  }
+  return {};
+}
+
+// --- Encoder ------------------------------------------------------------
+
+/// Run-length encodes a concatenated code-length sequence into the
+/// code-length alphabet (symbols 0..18 with extra-bit payloads).
+struct ClToken {
+  std::uint8_t symbol;
+  std::uint8_t extra;      // payload for 16/17/18
+};
+
+std::vector<ClToken> rle_code_lengths(std::span<const std::uint8_t> lens) {
+  std::vector<ClToken> out;
+  std::size_t i = 0;
+  while (i < lens.size()) {
+    const std::uint8_t len = lens[i];
+    std::size_t run = 1;
+    while (i + run < lens.size() && lens[i + run] == len) ++run;
+    if (len == 0) {
+      std::size_t left = run;
+      while (left >= 11) {
+        const std::size_t take = std::min<std::size_t>(left, 138);
+        out.push_back({18, static_cast<std::uint8_t>(take - 11)});
+        left -= take;
+      }
+      if (left >= 3) {
+        out.push_back({17, static_cast<std::uint8_t>(left - 3)});
+        left = 0;
+      }
+      while (left-- > 0) out.push_back({0, 0});
+    } else {
+      out.push_back({len, 0});
+      std::size_t left = run - 1;
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 6);
+        out.push_back({16, static_cast<std::uint8_t>(take - 3)});
+        left -= take;
+      }
+      while (left-- > 0) out.push_back({len, 0});
+    }
+    i += run;
+  }
+  return out;
+}
+
+struct BlockPlan {
+  std::vector<std::uint8_t> litlen_lengths;
+  std::vector<std::uint8_t> dist_lengths;
+  std::vector<ClToken> cl_tokens;
+  std::vector<std::uint8_t> cl_lengths;   // code-length code (limit 7)
+  std::size_t header_bits = 0;
+  std::size_t body_bits_dynamic = 0;
+  std::size_t body_bits_fixed = 0;
+};
+
+/// Computes the dynamic-block plan and the dynamic/fixed bit costs for one
+/// token block.
+BlockPlan plan_block(std::span<const Lz77Token> tokens) {
+  std::vector<std::uint64_t> lit_freq(kNumLitLen, 0);
+  std::vector<std::uint64_t> dist_freq(kNumDist, 0);
+  std::size_t extra_bits = 0;
+  for (const Lz77Token& t : tokens) {
+    if (t.is_literal()) {
+      ++lit_freq[t.literal];
+    } else {
+      const int lc = length_to_code(t.length);
+      const int dc = dist_to_code(t.distance);
+      ++lit_freq[static_cast<std::size_t>(257 + lc)];
+      ++dist_freq[static_cast<std::size_t>(dc)];
+      extra_bits += kLengthCodes[static_cast<std::size_t>(lc)].extra;
+      extra_bits += kDistCodes[static_cast<std::size_t>(dc)].extra;
+    }
+  }
+  ++lit_freq[kEndOfBlock];
+  // A distance alphabet must describe at least one code.
+  if (std::all_of(dist_freq.begin(), dist_freq.end(),
+                  [](std::uint64_t f) { return f == 0; }))
+    dist_freq[0] = 1;
+
+  BlockPlan plan;
+  plan.litlen_lengths = package_merge_lengths(lit_freq, 15);
+  plan.dist_lengths = package_merge_lengths(dist_freq, 15);
+
+  // Trim trailing zero lengths but keep the §3.2.7 minima.
+  std::size_t nlit = kNumLitLen;
+  while (nlit > 257 && plan.litlen_lengths[nlit - 1] == 0) --nlit;
+  std::size_t ndist = kNumDist;
+  while (ndist > 1 && plan.dist_lengths[ndist - 1] == 0) --ndist;
+  plan.litlen_lengths.resize(nlit);
+  plan.dist_lengths.resize(ndist);
+
+  std::vector<std::uint8_t> all_lengths = plan.litlen_lengths;
+  all_lengths.insert(all_lengths.end(), plan.dist_lengths.begin(),
+                     plan.dist_lengths.end());
+  plan.cl_tokens = rle_code_lengths(all_lengths);
+
+  std::vector<std::uint64_t> cl_freq(kNumCodeLen, 0);
+  for (const ClToken& t : plan.cl_tokens) ++cl_freq[t.symbol];
+  plan.cl_lengths = package_merge_lengths(cl_freq, 7);
+
+  std::size_t ncl = kNumCodeLen;
+  while (ncl > 4 && plan.cl_lengths[kCodeLenOrder[ncl - 1]] == 0) --ncl;
+
+  plan.header_bits = 5 + 5 + 4 + 3 * ncl;
+  for (const ClToken& t : plan.cl_tokens) {
+    plan.header_bits += plan.cl_lengths[t.symbol];
+    if (t.symbol == 16) plan.header_bits += 2;
+    if (t.symbol == 17) plan.header_bits += 3;
+    if (t.symbol == 18) plan.header_bits += 7;
+  }
+
+  const auto fixed_lit = fixed_litlen_lengths();
+  const auto fixed_dist = fixed_dist_lengths();
+  for (std::size_t s = 0; s < lit_freq.size(); ++s) {
+    plan.body_bits_dynamic +=
+        lit_freq[s] * (s < plan.litlen_lengths.size()
+                           ? plan.litlen_lengths[s]
+                           : 0);
+    plan.body_bits_fixed += lit_freq[s] * fixed_lit[s];
+  }
+  for (std::size_t s = 0; s < dist_freq.size(); ++s) {
+    plan.body_bits_dynamic +=
+        dist_freq[s] *
+        (s < plan.dist_lengths.size() ? plan.dist_lengths[s] : 0);
+    plan.body_bits_fixed += dist_freq[s] * fixed_dist[s];
+  }
+  plan.body_bits_dynamic += extra_bits;
+  plan.body_bits_fixed += extra_bits;
+  return plan;
+}
+
+void emit_tokens(BitWriter& bw, std::span<const Lz77Token> tokens,
+                 std::span<const std::uint8_t> lit_lengths,
+                 std::span<const std::uint32_t> lit_codes,
+                 std::span<const std::uint8_t> dist_lengths,
+                 std::span<const std::uint32_t> dist_codes) {
+  for (const Lz77Token& t : tokens) {
+    if (t.is_literal()) {
+      bw.write_huffman(lit_codes[t.literal], lit_lengths[t.literal]);
+    } else {
+      const int lc = length_to_code(t.length);
+      const auto lsym = static_cast<std::size_t>(257 + lc);
+      bw.write_huffman(lit_codes[lsym], lit_lengths[lsym]);
+      const LengthCode& le = kLengthCodes[static_cast<std::size_t>(lc)];
+      if (le.extra > 0)
+        bw.write(static_cast<std::uint32_t>(t.length - le.base), le.extra);
+      const int dc = dist_to_code(t.distance);
+      bw.write_huffman(dist_codes[static_cast<std::size_t>(dc)],
+                       dist_lengths[static_cast<std::size_t>(dc)]);
+      const LengthCode& de = kDistCodes[static_cast<std::size_t>(dc)];
+      if (de.extra > 0)
+        bw.write(static_cast<std::uint32_t>(t.distance - de.base), de.extra);
+    }
+  }
+  bw.write_huffman(lit_codes[kEndOfBlock], lit_lengths[kEndOfBlock]);
+}
+
+void emit_stored_block(BitWriter& bw, std::span<const std::uint8_t> raw,
+                       bool final_block) {
+  std::size_t off = 0;
+  do {
+    const std::size_t take = std::min<std::size_t>(raw.size() - off, 65535);
+    const bool last_piece = off + take == raw.size();
+    bw.write(final_block && last_piece ? 1u : 0u, 1);
+    bw.write(0u, 2);  // BTYPE = 00
+    bw.align_to_byte();
+    const auto len = static_cast<std::uint16_t>(take);
+    bw.append_byte(static_cast<std::uint8_t>(len));
+    bw.append_byte(static_cast<std::uint8_t>(len >> 8));
+    const std::uint16_t nlen = ~len;
+    bw.append_byte(static_cast<std::uint8_t>(nlen));
+    bw.append_byte(static_cast<std::uint8_t>(nlen >> 8));
+    for (std::size_t i = 0; i < take; ++i) bw.append_byte(raw[off + i]);
+    off += take;
+  } while (off < raw.size());
+}
+
+void emit_dynamic_header(BitWriter& bw, const BlockPlan& plan) {
+  std::size_t ncl = kNumCodeLen;
+  while (ncl > 4 && plan.cl_lengths[kCodeLenOrder[ncl - 1]] == 0) --ncl;
+
+  bw.write(static_cast<std::uint32_t>(plan.litlen_lengths.size() - 257), 5);
+  bw.write(static_cast<std::uint32_t>(plan.dist_lengths.size() - 1), 5);
+  bw.write(static_cast<std::uint32_t>(ncl - 4), 4);
+  for (std::size_t i = 0; i < ncl; ++i)
+    bw.write(plan.cl_lengths[kCodeLenOrder[i]], 3);
+
+  const auto cl_codes = canonical_codes(plan.cl_lengths);
+  for (const ClToken& t : plan.cl_tokens) {
+    bw.write_huffman(cl_codes[t.symbol], plan.cl_lengths[t.symbol]);
+    if (t.symbol == 16) bw.write(t.extra, 2);
+    if (t.symbol == 17) bw.write(t.extra, 3);
+    if (t.symbol == 18) bw.write(t.extra, 7);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> deflate_compress(
+    std::span<const std::uint8_t> input, DeflateLevel level) {
+  BitWriter bw;
+  if (input.empty()) {
+    // A single empty stored block.
+    emit_stored_block(bw, input, /*final_block=*/true);
+    return std::move(bw).finish();
+  }
+  if (level == DeflateLevel::kStored) {
+    emit_stored_block(bw, input, /*final_block=*/true);
+    return std::move(bw).finish();
+  }
+
+  const std::vector<Lz77Token> tokens =
+      lz77_tokenize(input, params_for(level));
+
+  // Chunk the token stream into blocks so that each block gets Huffman
+  // tables fit to its local statistics.
+  constexpr std::size_t kTokensPerBlock = 1 << 16;
+  std::size_t tok_begin = 0;
+  std::size_t byte_begin = 0;
+  while (tok_begin < tokens.size() || byte_begin == 0) {
+    const std::size_t tok_end =
+        std::min(tokens.size(), tok_begin + kTokensPerBlock);
+    std::size_t byte_end = byte_begin;
+    for (std::size_t i = tok_begin; i < tok_end; ++i)
+      byte_end += tokens[i].is_literal() ? 1 : tokens[i].length;
+    const bool final_block = tok_end == tokens.size();
+    const std::span<const Lz77Token> block{tokens.data() + tok_begin,
+                                           tok_end - tok_begin};
+
+    const BlockPlan plan = plan_block(block);
+    const std::size_t dynamic_bits =
+        3 + plan.header_bits + plan.body_bits_dynamic;
+    const std::size_t fixed_bits = 3 + plan.body_bits_fixed;
+    const std::size_t stored_bits =
+        3 + 7 + 32 + 8 * (byte_end - byte_begin);
+
+    if (stored_bits < dynamic_bits && stored_bits < fixed_bits) {
+      emit_stored_block(bw, input.subspan(byte_begin, byte_end - byte_begin),
+                        final_block);
+    } else if (fixed_bits <= dynamic_bits) {
+      bw.write(final_block ? 1u : 0u, 1);
+      bw.write(1u, 2);  // BTYPE = 01 fixed
+      const auto lit_lengths = fixed_litlen_lengths();
+      const auto dist_lengths = fixed_dist_lengths();
+      emit_tokens(bw, block, lit_lengths, canonical_codes(lit_lengths),
+                  dist_lengths, canonical_codes(dist_lengths));
+    } else {
+      bw.write(final_block ? 1u : 0u, 1);
+      bw.write(2u, 2);  // BTYPE = 10 dynamic
+      emit_dynamic_header(bw, plan);
+      emit_tokens(bw, block, plan.litlen_lengths,
+                  canonical_codes(plan.litlen_lengths), plan.dist_lengths,
+                  canonical_codes(plan.dist_lengths));
+    }
+
+    tok_begin = tok_end;
+    byte_begin = byte_end;
+    if (final_block) break;
+  }
+  return std::move(bw).finish();
+}
+
+namespace {
+
+/// Decodes one Huffman symbol bit-serially. Returns -1 on malformed input.
+int decode_symbol(BitReader& br, HuffmanDecoder& dec) {
+  dec.reset();
+  for (;;) {
+    std::uint32_t bit = 0;
+    if (!br.try_read_bit(bit)) return -1;
+    const int sym = dec.feed(bit);
+    if (sym >= 0) return sym;
+    if (sym == -2) return -1;
+  }
+}
+
+bool inflate_block_body(BitReader& br, HuffmanDecoder& lit_dec,
+                        HuffmanDecoder& dist_dec,
+                        std::vector<std::uint8_t>& out) {
+  for (;;) {
+    const int sym = decode_symbol(br, lit_dec);
+    if (sym < 0) return false;
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    if (sym == kEndOfBlock) return true;
+    const int lc = sym - 257;
+    if (lc >= static_cast<int>(kLengthCodes.size())) return false;
+    const LengthCode& le = kLengthCodes[static_cast<std::size_t>(lc)];
+    std::uint32_t extra = 0;
+    if (le.extra > 0 && !br.try_read(le.extra, extra)) return false;
+    const std::size_t length = le.base + extra;
+
+    const int dsym = decode_symbol(br, dist_dec);
+    if (dsym < 0 || dsym >= static_cast<int>(kDistCodes.size())) return false;
+    const LengthCode& de = kDistCodes[static_cast<std::size_t>(dsym)];
+    std::uint32_t dextra = 0;
+    if (de.extra > 0 && !br.try_read(de.extra, dextra)) return false;
+    const std::size_t distance = de.base + dextra;
+    if (distance == 0 || distance > out.size()) return false;
+
+    const std::size_t start = out.size() - distance;
+    for (std::size_t i = 0; i < length; ++i)
+      out.push_back(out[start + i]);
+  }
+}
+
+bool read_dynamic_tables(BitReader& br, HuffmanDecoder& lit_dec,
+                         HuffmanDecoder& dist_dec) {
+  std::uint32_t hlit = 0;
+  std::uint32_t hdist = 0;
+  std::uint32_t hclen = 0;
+  if (!br.try_read(5, hlit) || !br.try_read(5, hdist) ||
+      !br.try_read(4, hclen))
+    return false;
+  const std::size_t nlit = hlit + 257;
+  const std::size_t ndist = hdist + 1;
+  const std::size_t ncl = hclen + 4;
+  if (nlit > kNumLitLen || ndist > 32) return false;
+
+  std::vector<std::uint8_t> cl_lengths(kNumCodeLen, 0);
+  for (std::size_t i = 0; i < ncl; ++i) {
+    std::uint32_t v = 0;
+    if (!br.try_read(3, v)) return false;
+    cl_lengths[kCodeLenOrder[i]] = static_cast<std::uint8_t>(v);
+  }
+  HuffmanDecoder cl_dec;
+  if (!cl_dec.init(cl_lengths)) return false;
+
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(nlit + ndist);
+  while (lengths.size() < nlit + ndist) {
+    const int sym = decode_symbol(br, cl_dec);
+    if (sym < 0) return false;
+    if (sym < 16) {
+      lengths.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == 16) {
+      std::uint32_t rep = 0;
+      if (!br.try_read(2, rep) || lengths.empty()) return false;
+      const std::uint8_t prev = lengths.back();
+      for (std::uint32_t i = 0; i < rep + 3; ++i) lengths.push_back(prev);
+    } else if (sym == 17) {
+      std::uint32_t rep = 0;
+      if (!br.try_read(3, rep)) return false;
+      for (std::uint32_t i = 0; i < rep + 3; ++i) lengths.push_back(0);
+    } else {
+      std::uint32_t rep = 0;
+      if (!br.try_read(7, rep)) return false;
+      for (std::uint32_t i = 0; i < rep + 11; ++i) lengths.push_back(0);
+    }
+  }
+  if (lengths.size() != nlit + ndist) return false;
+
+  const std::span<const std::uint8_t> all{lengths};
+  if (!lit_dec.init(all.subspan(0, nlit))) return false;
+  // An all-zero distance alphabet is legal when the block has no matches;
+  // init() rejects it, so tolerate that case with an unusable decoder.
+  const auto dist_lengths = all.subspan(nlit, ndist);
+  if (!dist_dec.init(dist_lengths)) {
+    const bool all_zero =
+        std::all_of(dist_lengths.begin(), dist_lengths.end(),
+                    [](std::uint8_t l) { return l == 0; });
+    if (!all_zero) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> deflate_decompress(
+    std::span<const std::uint8_t> compressed) {
+  BitReader br(compressed);
+  std::vector<std::uint8_t> out;
+  for (;;) {
+    std::uint32_t bfinal = 0;
+    std::uint32_t btype = 0;
+    if (!br.try_read_bit(bfinal) || !br.try_read(2, btype))
+      return std::nullopt;
+    if (btype == 0) {
+      std::span<const std::uint8_t> header;
+      if (!br.try_read_aligned_bytes(4, header)) return std::nullopt;
+      const std::uint16_t len =
+          static_cast<std::uint16_t>(header[0] | (header[1] << 8));
+      const std::uint16_t nlen =
+          static_cast<std::uint16_t>(header[2] | (header[3] << 8));
+      if (static_cast<std::uint16_t>(~len) != nlen) return std::nullopt;
+      std::span<const std::uint8_t> raw;
+      if (!br.try_read_aligned_bytes(len, raw)) return std::nullopt;
+      out.insert(out.end(), raw.begin(), raw.end());
+    } else if (btype == 1) {
+      HuffmanDecoder lit_dec(fixed_litlen_lengths());
+      HuffmanDecoder dist_dec(fixed_dist_lengths());
+      if (!inflate_block_body(br, lit_dec, dist_dec, out))
+        return std::nullopt;
+    } else if (btype == 2) {
+      HuffmanDecoder lit_dec;
+      HuffmanDecoder dist_dec;
+      if (!read_dynamic_tables(br, lit_dec, dist_dec)) return std::nullopt;
+      if (!inflate_block_body(br, lit_dec, dist_dec, out))
+        return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+    if (bfinal) return out;
+  }
+}
+
+// --- gzip container (RFC 1952) -------------------------------------------
+
+std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
+                                        DeflateLevel level) {
+  std::vector<std::uint8_t> out = {
+      0x1f, 0x8b,  // magic
+      0x08,        // CM = deflate
+      0x00,        // FLG
+      0, 0, 0, 0,  // MTIME
+      0x00,        // XFL
+      0xff,        // OS = unknown
+  };
+  const std::vector<std::uint8_t> body = deflate_compress(input, level);
+  out.insert(out.end(), body.begin(), body.end());
+  const std::uint32_t crc = crc32(input);
+  const auto isize = static_cast<std::uint32_t>(input.size());
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(isize >> (8 * i)));
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> gzip_decompress(
+    std::span<const std::uint8_t> compressed) {
+  if (compressed.size() < 18) return std::nullopt;
+  if (compressed[0] != 0x1f || compressed[1] != 0x8b || compressed[2] != 0x08)
+    return std::nullopt;
+  const std::uint8_t flg = compressed[3];
+  std::size_t pos = 10;
+  // Optional fields: FEXTRA, FNAME, FCOMMENT, FHCRC.
+  if (flg & 0x04) {  // FEXTRA
+    if (compressed.size() < pos + 2) return std::nullopt;
+    const std::size_t xlen = compressed[pos] | (compressed[pos + 1] << 8);
+    pos += 2 + xlen;
+  }
+  for (const std::uint8_t bit : {std::uint8_t{0x08}, std::uint8_t{0x10}}) {
+    if (flg & bit) {  // FNAME / FCOMMENT: zero-terminated
+      while (pos < compressed.size() && compressed[pos] != 0) ++pos;
+      ++pos;
+    }
+  }
+  if (flg & 0x02) pos += 2;  // FHCRC
+  if (compressed.size() < pos + 8) return std::nullopt;
+
+  const auto body = compressed.subspan(pos, compressed.size() - pos - 8);
+  auto decoded = deflate_decompress(body);
+  if (!decoded) return std::nullopt;
+
+  const auto trailer = compressed.subspan(compressed.size() - 8);
+  std::uint32_t crc = 0;
+  std::uint32_t isize = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(trailer[static_cast<std::size_t>(i)])
+           << (8 * i);
+    isize |=
+        static_cast<std::uint32_t>(trailer[static_cast<std::size_t>(4 + i)])
+        << (8 * i);
+  }
+  if (crc32(*decoded) != crc) return std::nullopt;
+  if (static_cast<std::uint32_t>(decoded->size()) != isize)
+    return std::nullopt;
+  return decoded;
+}
+
+}  // namespace cdc::compress

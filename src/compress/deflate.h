@@ -1,0 +1,42 @@
+// DEFLATE (RFC 1951) encoder and decoder, and the gzip container
+// (RFC 1952). Self-contained: this is the entropy-coding stage behind the
+// paper's "gzip" baseline and the final stage of CDC (§3.5: "Finally, CDC
+// applies gzip to the CDC encoding format").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "compress/lz77.h"
+
+namespace cdc::compress {
+
+enum class DeflateLevel {
+  kStored,   ///< no compression, stored blocks only
+  kFast,     ///< short hash chains, greedy matching
+  kDefault,  ///< moderate chains, lazy matching
+  kBest,     ///< deep chains, lazy matching
+};
+
+/// Compresses `input` into a raw DEFLATE stream.
+std::vector<std::uint8_t> deflate_compress(
+    std::span<const std::uint8_t> input,
+    DeflateLevel level = DeflateLevel::kDefault);
+
+/// Decompresses a raw DEFLATE stream. Returns std::nullopt on malformed
+/// input (never aborts: record files may be truncated or corrupt).
+std::optional<std::vector<std::uint8_t>> deflate_decompress(
+    std::span<const std::uint8_t> compressed);
+
+/// Compresses into a gzip member (header + DEFLATE + CRC32 + ISIZE).
+std::vector<std::uint8_t> gzip_compress(
+    std::span<const std::uint8_t> input,
+    DeflateLevel level = DeflateLevel::kDefault);
+
+/// Decompresses a single gzip member, verifying CRC32 and ISIZE.
+std::optional<std::vector<std::uint8_t>> gzip_decompress(
+    std::span<const std::uint8_t> compressed);
+
+}  // namespace cdc::compress

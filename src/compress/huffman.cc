@@ -1,0 +1,156 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "support/check.h"
+
+namespace cdc::compress {
+
+namespace {
+
+// A package in package-merge: accumulated weight plus the multiset of leaf
+// symbols it contains (symbol indices into the active-symbol array).
+struct Package {
+  std::uint64_t weight = 0;
+  std::vector<std::uint16_t> symbols;
+};
+
+bool weight_less(const Package& a, const Package& b) noexcept {
+  return a.weight < b.weight;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> package_merge_lengths(
+    std::span<const std::uint64_t> freqs, int limit) {
+  CDC_CHECK(limit >= 1 && limit <= 32);
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+
+  std::vector<std::uint16_t> active;
+  for (std::size_t s = 0; s < freqs.size(); ++s)
+    if (freqs[s] > 0) active.push_back(static_cast<std::uint16_t>(s));
+
+  if (active.empty()) return lengths;
+  if (active.size() == 1) {
+    lengths[active[0]] = 1;
+    return lengths;
+  }
+  CDC_CHECK_MSG(active.size() <= (std::size_t{1} << limit),
+                "alphabet too large for length limit");
+
+  std::vector<Package> leaves;
+  leaves.reserve(active.size());
+  for (const std::uint16_t s : active)
+    leaves.push_back(Package{freqs[s], {s}});
+  std::sort(leaves.begin(), leaves.end(), weight_less);
+
+  // Level `limit` starts with the bare leaves; moving toward level 1 we
+  // package pairs and merge fresh leaves back in.
+  std::vector<Package> prev = leaves;
+  for (int level = limit - 1; level >= 1; --level) {
+    std::vector<Package> packaged;
+    packaged.reserve(prev.size() / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      Package merged;
+      merged.weight = prev[i].weight + prev[i + 1].weight;
+      merged.symbols = prev[i].symbols;
+      merged.symbols.insert(merged.symbols.end(), prev[i + 1].symbols.begin(),
+                            prev[i + 1].symbols.end());
+      packaged.push_back(std::move(merged));
+    }
+    std::vector<Package> next;
+    next.reserve(leaves.size() + packaged.size());
+    std::merge(leaves.begin(), leaves.end(),
+               std::make_move_iterator(packaged.begin()),
+               std::make_move_iterator(packaged.end()),
+               std::back_inserter(next), weight_less);
+    prev = std::move(next);
+  }
+
+  // The first 2(n-1) packages of the level-1 list; every occurrence of a
+  // symbol adds one to its code length.
+  const std::size_t take = 2 * (active.size() - 1);
+  CDC_CHECK(prev.size() >= take);
+  for (std::size_t i = 0; i < take; ++i)
+    for (const std::uint16_t s : prev[i].symbols) ++lengths[s];
+
+  for (const std::uint16_t s : active)
+    CDC_CHECK(lengths[s] >= 1 &&
+              lengths[s] <= static_cast<std::uint8_t>(limit));
+  return lengths;
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  constexpr int kMaxBits = 32;
+  std::uint32_t bl_count[kMaxBits + 1] = {};
+  int max_len = 0;
+  for (const std::uint8_t len : lengths) {
+    CDC_CHECK(len <= kMaxBits);
+    if (len > 0) {
+      ++bl_count[len];
+      max_len = std::max<int>(max_len, len);
+    }
+  }
+  std::uint32_t next_code[kMaxBits + 1] = {};
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= max_len; ++bits) {
+    code = (code + bl_count[bits - 1]) << 1;
+    next_code[bits] = code;
+  }
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s] > 0) codes[s] = next_code[lengths[s]]++;
+  return codes;
+}
+
+bool HuffmanDecoder::init(std::span<const std::uint8_t> lengths) {
+  ok_ = false;
+  reset();
+  std::fill(std::begin(first_code_), std::end(first_code_), 0u);
+  std::fill(std::begin(count_), std::end(count_), 0u);
+  std::fill(std::begin(offset_), std::end(offset_), 0u);
+  symbols_.clear();
+
+  std::size_t coded = 0;
+  for (const std::uint8_t len : lengths) {
+    if (len == 0) continue;
+    if (len > kMaxBits) return false;
+    ++count_[len];
+    ++coded;
+  }
+  if (coded == 0) return false;
+
+  // Kraft sum check: reject oversubscribed sets; allow the degenerate
+  // single-code case (DEFLATE permits a one-symbol distance alphabet).
+  std::uint64_t kraft = 0;
+  for (int len = 1; len <= kMaxBits; ++len)
+    kraft += static_cast<std::uint64_t>(count_[len])
+             << (kMaxBits - len);
+  const std::uint64_t full = std::uint64_t{1} << kMaxBits;
+  if (kraft > full) return false;
+  if (kraft < full && coded > 1) return false;
+
+  std::uint32_t code = 0;
+  std::uint32_t offset = 0;
+  for (int len = 1; len <= kMaxBits; ++len) {
+    code = (code + count_[len - 1]) << 1;
+    first_code_[len] = code;
+    offset_[len] = offset;
+    offset += count_[len];
+  }
+
+  symbols_.resize(coded);
+  std::uint32_t fill[kMaxBits + 1] = {};
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const std::uint8_t len = lengths[s];
+    if (len == 0) continue;
+    symbols_[offset_[len] + fill[len]] = static_cast<std::uint16_t>(s);
+    ++fill[len];
+  }
+  ok_ = true;
+  return true;
+}
+
+}  // namespace cdc::compress

@@ -1,0 +1,77 @@
+// Canonical Huffman codes with an explicit length limit, as DEFLATE needs
+// (15 bits for literal/length and distance alphabets, 7 for the code-length
+// alphabet). Lengths are produced by the package-merge algorithm, which is
+// optimal under a length bound; codes are assigned canonically per
+// RFC 1951 §3.2.2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cdc::compress {
+
+/// Optimal length-limited code lengths for the given symbol frequencies.
+/// Symbols with zero frequency get length 0 (no code). If only one symbol
+/// has nonzero frequency it is assigned length 1. Returns one length per
+/// symbol, all <= `limit`.
+std::vector<std::uint8_t> package_merge_lengths(
+    std::span<const std::uint64_t> freqs, int limit);
+
+/// Canonical code values for given code lengths (RFC 1951 §3.2.2).
+/// codes[s] is meaningful only where lengths[s] > 0.
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths);
+
+/// Bit-serial canonical Huffman decoder: feed one bit at a time; returns
+/// the decoded symbol or -1 while the code is still incomplete.
+/// Construction fails (ok() == false) on oversubscribed or (for multi-
+/// symbol alphabets) incomplete length sets, which is how the DEFLATE
+/// decoder rejects corrupt dynamic headers.
+class HuffmanDecoder {
+ public:
+  static constexpr int kMaxBits = 15;
+
+  HuffmanDecoder() = default;
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+    init(lengths);
+  }
+
+  /// (Re)builds the decode tables. Returns ok().
+  bool init(std::span<const std::uint8_t> lengths);
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  /// Starts decoding a fresh symbol.
+  void reset() noexcept {
+    code_ = 0;
+    length_ = 0;
+  }
+
+  /// Consumes one bit; returns the symbol when complete, -1 when more bits
+  /// are needed, -2 on an invalid code.
+  int feed(std::uint32_t bit) noexcept {
+    code_ = (code_ << 1) | (bit & 1u);
+    ++length_;
+    if (length_ > kMaxBits) return -2;
+    const std::uint32_t first = first_code_[length_];
+    const std::uint32_t count = count_[length_];
+    if (code_ >= first && code_ - first < count) {
+      const int sym = symbols_[offset_[length_] + (code_ - first)];
+      reset();
+      return sym;
+    }
+    return -1;
+  }
+
+ private:
+  bool ok_ = false;
+  std::uint32_t code_ = 0;
+  int length_ = 0;
+  std::uint32_t first_code_[kMaxBits + 1] = {};
+  std::uint32_t count_[kMaxBits + 1] = {};
+  std::uint32_t offset_[kMaxBits + 1] = {};
+  std::vector<std::uint16_t> symbols_;
+};
+
+}  // namespace cdc::compress

@@ -1,0 +1,144 @@
+#include "compress/lz77.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cdc::compress {
+
+namespace {
+
+constexpr std::uint32_t kHashBits = 15;
+constexpr std::uint32_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash3(const std::uint8_t* p) noexcept {
+  // Multiplicative hash of a 3-byte prefix.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 0x9e3779b1u) >> (32 - kHashBits);
+}
+
+struct Matcher {
+  explicit Matcher(std::span<const std::uint8_t> input)
+      : data(input.data()),
+        size(input.size()),
+        head(kHashSize, -1),
+        prev(input.size(), -1) {}
+
+  void insert(std::size_t pos) noexcept {
+    if (pos + kMinMatch > size) return;
+    const std::uint32_t h = hash3(data + pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<std::ptrdiff_t>(pos);
+  }
+
+  /// Longest match for the string at `pos`, probing at most
+  /// `params.max_chain` chain entries within the window.
+  Lz77Token best_match(std::size_t pos, const Lz77Params& params) const
+      noexcept {
+    Lz77Token best;
+    best.literal = data[pos];
+    if (pos + kMinMatch > size) return best;
+
+    const std::size_t limit =
+        pos >= kWindowSize ? pos - kWindowSize : 0;
+    const std::size_t max_len =
+        std::min<std::size_t>(kMaxMatch, size - pos);
+    std::ptrdiff_t cand = head[hash3(data + pos)];
+    int chain = params.max_chain;
+
+    while (cand >= 0 && static_cast<std::size_t>(cand) >= limit &&
+           chain-- > 0) {
+      const std::size_t c = static_cast<std::size_t>(cand);
+      if (c < pos) {
+        // Quick reject on the byte one past the current best.
+        const std::size_t probe = best.length;
+        if (probe == 0 || (probe < max_len &&
+                           data[c + probe] == data[pos + probe])) {
+          std::size_t len = 0;
+          while (len < max_len && data[c + len] == data[pos + len]) ++len;
+          if (len >= kMinMatch && len > best.length) {
+            best.length = static_cast<std::uint16_t>(len);
+            best.distance = static_cast<std::uint16_t>(pos - c);
+            if (len >= static_cast<std::size_t>(params.nice_length)) break;
+          }
+        }
+      }
+      cand = prev[c];
+    }
+    return best;
+  }
+
+  const std::uint8_t* data;
+  std::size_t size;
+  std::vector<std::ptrdiff_t> head;
+  std::vector<std::ptrdiff_t> prev;
+};
+
+}  // namespace
+
+std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
+                                     const Lz77Params& params) {
+  std::vector<Lz77Token> tokens;
+  if (input.empty()) return tokens;
+  tokens.reserve(input.size() / 4);
+
+  Matcher matcher(input);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    Lz77Token cur = matcher.best_match(pos, params);
+    if (params.lazy && cur.length >= kMinMatch &&
+        cur.length < static_cast<std::uint16_t>(params.nice_length) &&
+        pos + 1 < input.size()) {
+      // One-step lazy evaluation: if the next position has a strictly
+      // longer match, emit a literal here instead.
+      matcher.insert(pos);
+      const Lz77Token next = matcher.best_match(pos + 1, params);
+      if (next.length > cur.length) {
+        Lz77Token lit;
+        lit.literal = input[pos];
+        tokens.push_back(lit);
+        ++pos;
+        continue;  // `pos` already inserted; next loop re-evaluates there
+      }
+      // Keep the current match; finish inserting its covered positions.
+      for (std::size_t i = 1; i < cur.length; ++i)
+        matcher.insert(pos + i);
+      tokens.push_back(cur);
+      pos += cur.length;
+      continue;
+    }
+
+    if (cur.length >= kMinMatch) {
+      for (std::size_t i = 0; i < cur.length; ++i) matcher.insert(pos + i);
+      tokens.push_back(cur);
+      pos += cur.length;
+    } else {
+      Lz77Token lit;
+      lit.literal = input[pos];
+      matcher.insert(pos);
+      tokens.push_back(lit);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::uint8_t> lz77_expand(std::span<const Lz77Token> tokens) {
+  std::vector<std::uint8_t> out;
+  for (const Lz77Token& t : tokens) {
+    if (t.is_literal()) {
+      out.push_back(t.literal);
+    } else {
+      CDC_CHECK(t.distance >= 1 && t.distance <= out.size());
+      CDC_CHECK(t.length >= kMinMatch && t.length <= kMaxMatch);
+      const std::size_t start = out.size() - t.distance;
+      for (std::size_t i = 0; i < t.length; ++i)
+        out.push_back(out[start + i]);  // overlapping copies are defined
+    }
+  }
+  return out;
+}
+
+}  // namespace cdc::compress

@@ -1,0 +1,41 @@
+// LZ77 tokenization over a 32 KiB sliding window with hash-chain match
+// search and one-step lazy matching — the front half of DEFLATE.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cdc::compress {
+
+/// One LZ77 token: either a literal byte or a back-reference.
+struct Lz77Token {
+  // length == 0 means literal; otherwise a match of `length` in [3, 258]
+  // at `distance` in [1, 32768].
+  std::uint16_t length = 0;
+  std::uint16_t distance = 0;
+  std::uint8_t literal = 0;
+
+  [[nodiscard]] bool is_literal() const noexcept { return length == 0; }
+};
+
+struct Lz77Params {
+  int max_chain = 128;     ///< hash-chain positions probed per match search
+  int nice_length = 128;   ///< stop searching once a match this long is found
+  bool lazy = true;        ///< one-step lazy matching
+};
+
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindowSize = 32768;
+
+/// Greedy/lazy tokenization of `input`. The token stream, when expanded in
+/// order, reproduces `input` exactly (property-tested).
+std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
+                                     const Lz77Params& params = {});
+
+/// Expands a token stream back into bytes (the reference inverse used by
+/// tests; the DEFLATE decoder has its own incremental copy loop).
+std::vector<std::uint8_t> lz77_expand(std::span<const Lz77Token> tokens);
+
+}  // namespace cdc::compress

@@ -1,0 +1,83 @@
+// Tool interposition interface — MiniMPI's analogue of PMPI/PnMPI.
+//
+// The paper's tool interposes on MPI in three places: it piggybacks a
+// Lamport clock on every send, it observes every application-level
+// message-receive event (record mode), and it controls which message a
+// matching function returns (replay mode). ToolHooks exposes exactly those
+// three points. The default implementation reproduces untooled MPI
+// semantics (first-matched, first-delivered).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "minimpi/types.h"
+
+namespace cdc::minimpi {
+
+/// Outcome of a selection hook for one MF poll.
+struct SelectResult {
+  enum class Action : std::uint8_t {
+    kDeliver,  ///< deliver `indices` (into the candidate span), in order
+    kNoMatch,  ///< Test family: report flag = false now
+    kBlock,    ///< keep the call pending until more messages arrive —
+               ///< in replay mode even Test-family calls block until the
+               ///< recorded message is available (§3.6 wait condition)
+  };
+  Action action = Action::kNoMatch;
+  std::vector<std::size_t> indices;
+};
+
+class ToolHooks {
+ public:
+  virtual ~ToolHooks() = default;
+
+  /// Called for every outgoing message; the returned value is piggybacked
+  /// on the message (the tool attaches its Lamport clock here).
+  virtual std::uint64_t on_send(Rank /*sender*/) { return 0; }
+
+  /// Called each time an MF call polls its request set. `candidates` are
+  /// the matched-but-undelivered receives in match order; `total_requests`
+  /// is the number of (receive) requests the MF call covers. Record mode
+  /// passes matching through unchanged; replay mode releases only the
+  /// recorded next message(s), in the recorded order.
+  virtual SelectResult select(Rank /*rank*/, CallsiteId /*callsite*/,
+                              MFKind kind,
+                              std::span<const Candidate> candidates,
+                              std::size_t total_requests, bool blocking) {
+    // Untooled MPI semantics: deliver exactly the MPI-matched (bound)
+    // candidates, in match order; unbound candidates are invisible.
+    SelectResult result;
+    std::vector<std::size_t> bound;
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (candidates[i].bound) bound.push_back(i);
+    const bool all_variant =
+        kind == MFKind::kWaitall || kind == MFKind::kTestall;
+    if (bound.empty() || (all_variant && bound.size() < total_requests)) {
+      result.action = blocking ? SelectResult::Action::kBlock
+                               : SelectResult::Action::kNoMatch;
+      return result;
+    }
+    result.action = SelectResult::Action::kDeliver;
+    result.indices = std::move(bound);
+    return result;
+  }
+
+  /// A Test-family call reported flag = false — the "unmatched test"
+  /// events of Figure 4. The recorder aggregates consecutive occurrences
+  /// into the `count` column.
+  virtual void on_unmatched_test(Rank /*rank*/, CallsiteId /*callsite*/) {}
+
+  /// Messages were delivered to the application by one MF call, in order.
+  /// Record mode turns each into a receive-event row (`with_next` = not
+  /// the last of the span); both modes update the rank's Lamport clock.
+  virtual void on_deliver(Rank /*rank*/, CallsiteId /*callsite*/,
+                          MFKind /*kind*/,
+                          std::span<const Completion> /*events*/) {}
+
+  /// The simulation deadlocked and is about to abort; the tool may dump
+  /// diagnostic state (the replayer prints per-stream progress).
+  virtual void on_deadlock() {}
+};
+
+}  // namespace cdc::minimpi

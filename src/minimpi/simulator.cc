@@ -1,0 +1,642 @@
+#include "minimpi/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdc::minimpi {
+
+// --- Awaiters -------------------------------------------------------------
+
+void ComputeAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  auto& ctx = sim->ranks_[static_cast<std::size_t>(rank)];
+  sim->schedule(ctx.time + seconds, Simulator::EventType::kResume, rank,
+                handle);
+}
+
+void MFAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  auto& ctx = sim->ranks_[static_cast<std::size_t>(rank)];
+  CDC_CHECK_MSG(!ctx.mf_active, "rank issued a second MF call while pending");
+  ++sim->stats_.mf_calls;
+
+  // Send-only MF calls complete immediately (buffered-send model) and do
+  // not pass through the tool: the paper records receives only.
+  bool any_recv = false;
+  for (const std::uint64_t id : request_ids) {
+    auto& req = ctx.requests[id];
+    if (req.kind == Simulator::RequestState::Kind::kRecv) {
+      any_recv = true;
+    } else {
+      CDC_CHECK_MSG(!any_recv || request_ids.size() == 1,
+                    "mixed send/recv MF request sets are unsupported");
+    }
+  }
+  // Inactive (already delivered) receives are ignored, as in MPI. A call
+  // whose requests are all sends or all inactive completes immediately.
+  std::size_t active = 0;
+  for (const std::uint64_t id : request_ids) {
+    const auto& req = ctx.requests[id];
+    if (req.kind == Simulator::RequestState::Kind::kRecv && !req.delivered)
+      ++active;
+  }
+  if (!any_recv || active == 0) {
+    for (const std::uint64_t id : request_ids)
+      ctx.requests[id].delivered = true;
+    result.flag = true;
+    sim->schedule(ctx.time + sim->config_.mpi_call_cost,
+                  Simulator::EventType::kResume, rank, handle);
+    return;
+  }
+  for (const std::uint64_t id : request_ids) {
+    const auto& req = ctx.requests[id];
+    CDC_CHECK_MSG(req.kind == Simulator::RequestState::Kind::kRecv,
+                  "mixed send/recv MF request sets are unsupported");
+  }
+
+  ctx.mf_active = true;
+  ctx.mf = this;
+  ctx.mf_continuation = handle;
+  ctx.mf_poll_scheduled = true;
+  double call_cost = sim->config_.mpi_call_cost;
+  if (sim->hooks_ != &sim->default_hooks_)
+    call_cost += sim->config_.tool_call_cost;
+  sim->schedule(ctx.time + call_cost, Simulator::EventType::kPoll, rank);
+}
+
+void BarrierAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  auto& ctx = sim->ranks_[static_cast<std::size_t>(rank)];
+  CDC_CHECK(!ctx.in_barrier && ctx.allreduce == nullptr);
+  ctx.in_barrier = true;
+  ctx.collective_continuation = handle;
+  ++sim->barrier_waiting_;
+  sim->complete_barrier_if_ready();
+}
+
+void AllreduceAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  auto& ctx = sim->ranks_[static_cast<std::size_t>(rank)];
+  CDC_CHECK(!ctx.in_barrier && ctx.allreduce == nullptr);
+  ctx.allreduce = this;
+  ctx.collective_continuation = handle;
+  sim->allreduce_inputs_[static_cast<std::size_t>(rank)] =
+      std::move(contribution);
+  ++sim->allreduce_waiting_;
+  sim->complete_allreduce_if_ready();
+}
+
+// --- Comm -----------------------------------------------------------------
+
+int Comm::size() const noexcept { return sim_->size(); }
+double Comm::now() const noexcept {
+  return sim_->ranks_[static_cast<std::size_t>(rank_)].time;
+}
+
+Request Comm::isend(Rank dst, int tag, std::span<const std::uint8_t> data) {
+  return sim_->post_isend(rank_, dst, tag, data);
+}
+
+Request Comm::irecv(Rank source, int tag) {
+  return sim_->post_irecv(rank_, source, tag);
+}
+
+MFAwaiter Comm::make_mf(MFKind kind, std::span<const Request> requests,
+                        CallsiteId callsite) {
+  MFAwaiter awaiter{sim_, rank_, kind, callsite, {}, {}};
+  awaiter.request_ids.reserve(requests.size());
+  for (const Request& r : requests) {
+    CDC_CHECK_MSG(r.valid(), "invalid request passed to an MF call");
+    awaiter.request_ids.push_back(r.id);
+  }
+  CDC_CHECK_MSG(!awaiter.request_ids.empty(), "empty MF request set");
+  return awaiter;
+}
+
+MFAwaiter Comm::wait(Request request, CallsiteId callsite) {
+  return make_mf(MFKind::kWait, {&request, 1}, callsite);
+}
+MFAwaiter Comm::waitall(std::span<const Request> requests,
+                        CallsiteId callsite) {
+  return make_mf(MFKind::kWaitall, requests, callsite);
+}
+MFAwaiter Comm::waitany(std::span<const Request> requests,
+                        CallsiteId callsite) {
+  return make_mf(MFKind::kWaitany, requests, callsite);
+}
+MFAwaiter Comm::waitsome(std::span<const Request> requests,
+                         CallsiteId callsite) {
+  return make_mf(MFKind::kWaitsome, requests, callsite);
+}
+MFAwaiter Comm::test(Request request, CallsiteId callsite) {
+  return make_mf(MFKind::kTest, {&request, 1}, callsite);
+}
+MFAwaiter Comm::testall(std::span<const Request> requests,
+                        CallsiteId callsite) {
+  return make_mf(MFKind::kTestall, requests, callsite);
+}
+MFAwaiter Comm::testany(std::span<const Request> requests,
+                        CallsiteId callsite) {
+  return make_mf(MFKind::kTestany, requests, callsite);
+}
+MFAwaiter Comm::testsome(std::span<const Request> requests,
+                         CallsiteId callsite) {
+  return make_mf(MFKind::kTestsome, requests, callsite);
+}
+
+// --- Simulator ------------------------------------------------------------
+
+Simulator::Simulator(const Config& config, ToolHooks* hooks)
+    : config_(config),
+      hooks_(hooks != nullptr ? hooks : &default_hooks_),
+      noise_(config.noise_seed) {
+  CDC_CHECK(config.num_ranks >= 1);
+  ranks_.resize(static_cast<std::size_t>(config.num_ranks));
+  allreduce_inputs_.resize(ranks_.size());
+  for (int r = 0; r < config.num_ranks; ++r)
+    ranks_[static_cast<std::size_t>(r)].comm =
+        std::make_unique<Comm>(this, r);
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::set_program(const Program& program) {
+  for (int r = 0; r < size(); ++r) set_program(r, program);
+}
+
+void Simulator::set_program(Rank rank, const Program& program) {
+  CDC_CHECK(rank >= 0 && rank < size());
+  CDC_CHECK_MSG(!running_, "set_program during run()");
+  auto& ctx = ranks_[static_cast<std::size_t>(rank)];
+  // A lambda coroutine's frame refers to the closure object itself, so the
+  // callable must outlive the coroutine: store it, then invoke the stored
+  // copy.
+  ctx.program = program;
+  ctx.task = ctx.program(*ctx.comm);
+  CDC_CHECK(ctx.task.valid());
+}
+
+void Simulator::schedule(double time, EventType type, Rank rank,
+                         std::coroutine_handle<> handle,
+                         std::uint64_t message_index) {
+  events_.push(Event{time, next_seq_++, type, rank, handle, message_index});
+}
+
+Request Simulator::post_isend(Rank src, Rank dst, int tag,
+                              std::span<const std::uint8_t> data) {
+  CDC_CHECK(dst >= 0 && dst < size());
+  CDC_CHECK(tag >= 0);
+  auto& ctx = ranks_[static_cast<std::size_t>(src)];
+
+  Message msg;
+  msg.source = src;
+  msg.dest = dst;
+  msg.tag = tag;
+  msg.piggyback = hooks_->on_send(src);
+  msg.payload.assign(data.begin(), data.end());
+  if (hooks_ != &default_hooks_) ctx.time += config_.piggyback_send_cost;
+
+  // Latency noise permutes cross-sender arrival interleavings; per-channel
+  // arrival order is forced non-overtaking (MPI ordering guarantee).
+  const double latency =
+      config_.base_latency + noise_.exponential(config_.jitter_mean);
+  const std::uint64_t channel =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  double arrival = ctx.time + latency;
+  auto [it, inserted] = channel_last_arrival_.try_emplace(channel, 0.0);
+  if (!inserted && arrival <= it->second)
+    arrival = it->second + 1e-12;
+  it->second = arrival;
+
+  const std::uint64_t index = next_message_index_++;
+  in_flight_.emplace(index, std::move(msg));
+  schedule(arrival, EventType::kDeliver, dst, nullptr, index);
+  ++stats_.messages_sent;
+
+  // Buffered-send model: locally complete on creation.
+  RequestState req;
+  req.kind = RequestState::Kind::kSend;
+  req.matched = true;
+  ctx.requests.push_back(std::move(req));
+  return Request{ctx.requests.size() - 1};
+}
+
+Request Simulator::post_irecv(Rank rank, Rank source, int tag) {
+  CDC_CHECK(source == kAnySource || (source >= 0 && source < size()));
+  auto& ctx = ranks_[static_cast<std::size_t>(rank)];
+  RequestState req;
+  req.kind = RequestState::Kind::kRecv;
+  req.source_spec = source;
+  req.tag_spec = tag;
+  ctx.requests.push_back(std::move(req));
+  const std::uint64_t id = ctx.requests.size() - 1;
+
+  // A newly posted receive matches the earliest compatible unexpected
+  // message (MPI matching rule).
+  auto& posted = ctx.requests[id];
+  for (auto it = ctx.unexpected.begin(); it != ctx.unexpected.end(); ++it) {
+    const bool src_ok =
+        posted.source_spec == kAnySource || posted.source_spec == it->source;
+    const bool tag_ok =
+        posted.tag_spec == kAnyTag || posted.tag_spec == it->tag;
+    if (src_ok && tag_ok) {
+      posted.matched = true;
+      posted.match_seq = next_match_seq_++;
+      posted.message = std::move(*it);
+      ctx.unexpected.erase(it);
+      return Request{id};
+    }
+  }
+  ctx.posted_recvs.push_back(id);
+  return Request{id};
+}
+
+namespace {
+
+bool envelope_matches(Rank source_spec, int tag_spec, Rank source,
+                      int tag) noexcept {
+  return (source_spec == kAnySource || source_spec == source) &&
+         (tag_spec == kAnyTag || tag_spec == tag);
+}
+
+}  // namespace
+
+void Simulator::insert_unexpected(RankCtx& ctx, Message&& message) {
+  // Keep the unexpected queue ordered by arrival (displaced messages are
+  // re-inserted at their original position).
+  auto it = ctx.unexpected.end();
+  while (it != ctx.unexpected.begin() &&
+         std::prev(it)->arrival_seq > message.arrival_seq)
+    --it;
+  ctx.unexpected.insert(it, std::move(message));
+}
+
+void Simulator::rematch_unexpected(RankCtx& ctx) {
+  // Re-run eager matching after a replay-tool rebinding disturbed the
+  // request/message association: process arrivals in order against posted
+  // receives in post order — the same rule the original arrivals followed.
+  for (auto msg_it = ctx.unexpected.begin();
+       msg_it != ctx.unexpected.end();) {
+    bool matched = false;
+    for (auto req_it = ctx.posted_recvs.begin();
+         req_it != ctx.posted_recvs.end(); ++req_it) {
+      auto& req = ctx.requests[*req_it];
+      if (envelope_matches(req.source_spec, req.tag_spec, msg_it->source, msg_it->tag)) {
+        req.matched = true;
+        req.match_seq = next_match_seq_++;
+        req.message = std::move(*msg_it);
+        ctx.posted_recvs.erase(req_it);
+        msg_it = ctx.unexpected.erase(msg_it);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++msg_it;
+  }
+}
+
+void Simulator::try_match_arrival(Rank rank, Message&& message) {
+  auto& ctx = ranks_[static_cast<std::size_t>(rank)];
+  message.arrival_seq = next_seq_++;
+  for (auto it = ctx.posted_recvs.begin(); it != ctx.posted_recvs.end();
+       ++it) {
+    auto& req = ctx.requests[*it];
+    if (envelope_matches(req.source_spec, req.tag_spec, message.source, message.tag)) {
+      req.matched = true;
+      req.match_seq = next_match_seq_++;
+      const std::uint64_t id = *it;
+      req.message = std::move(message);
+      ctx.posted_recvs.erase(it);
+      // Wake a pending MF call that covers this request.
+      if (ctx.mf_active && !ctx.mf_poll_scheduled) {
+        const auto& ids = ctx.mf->request_ids;
+        if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+          ctx.mf_poll_scheduled = true;
+          schedule(now_, EventType::kPoll, rank);
+        }
+      }
+      return;
+    }
+  }
+  // Unexpected arrival. It may still be deliverable by a replay tool on an
+  // interchangeable request, so wake a pending MF call whose undelivered
+  // requests could accept it.
+  if (ctx.mf_active && !ctx.mf_poll_scheduled) {
+    for (const std::uint64_t id : ctx.mf->request_ids) {
+      const auto& req = ctx.requests[id];
+      if (!req.delivered &&
+          envelope_matches(req.source_spec, req.tag_spec, message.source, message.tag)) {
+        ctx.mf_poll_scheduled = true;
+        schedule(now_, EventType::kPoll, rank);
+        break;
+      }
+    }
+  }
+  insert_unexpected(ctx, std::move(message));
+}
+
+void Simulator::poll_mf(Rank rank) {
+  auto& ctx = ranks_[static_cast<std::size_t>(rank)];
+  ctx.mf_poll_scheduled = false;
+  if (!ctx.mf_active) return;
+  ctx.time = std::max(ctx.time, now_);
+  MFAwaiter& mf = *ctx.mf;
+
+  std::vector<Candidate> candidates;
+  // For bound candidates: the owning request id; for unbound: the
+  // message's arrival_seq (to locate it in the unexpected queue).
+  std::vector<std::uint64_t> candidate_handle;
+  {
+    // Matched-but-undelivered receives, in global match order — the order
+    // an untooled run would surface them ("first come, first served").
+    std::vector<std::pair<std::uint64_t, std::size_t>> order;
+    for (std::size_t i = 0; i < mf.request_ids.size(); ++i) {
+      const auto& req = ctx.requests[mf.request_ids[i]];
+      if (req.matched && !req.delivered) order.emplace_back(req.match_seq, i);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [seq, i] : order) {
+      auto& req = ctx.requests[mf.request_ids[i]];
+      candidates.push_back(Candidate{i, req.message.source, req.message.tag,
+                                     req.message.piggyback, true,
+                                     !req.message.tool_sighted});
+      req.message.tool_sighted = true;
+      candidate_handle.push_back(mf.request_ids[i]);
+    }
+    // Unexpected arrivals compatible with an undelivered request of the
+    // call (in arrival order): deliverable by a replay tool via request
+    // remapping, invisible to untooled MPI semantics.
+    for (Message& msg : ctx.unexpected) {
+      for (std::size_t i = 0; i < mf.request_ids.size(); ++i) {
+        const auto& req = ctx.requests[mf.request_ids[i]];
+        if (!req.delivered &&
+            envelope_matches(req.source_spec, req.tag_spec, msg.source, msg.tag)) {
+          candidates.push_back(Candidate{i, msg.source, msg.tag,
+                                         msg.piggyback, false,
+                                         !msg.tool_sighted});
+          msg.tool_sighted = true;
+          candidate_handle.push_back(msg.arrival_seq);
+          break;
+        }
+      }
+    }
+  }
+
+  const bool blocking = is_blocking(mf.kind);
+  std::size_t active_requests = 0;
+  for (const std::uint64_t id : mf.request_ids)
+    if (!ctx.requests[id].delivered) ++active_requests;
+  SelectResult selection =
+      hooks_->select(rank, mf.callsite, mf.kind, candidates,
+                     active_requests, blocking);
+
+  switch (selection.action) {
+    case SelectResult::Action::kBlock:
+      CDC_CHECK_MSG(hooks_ != &default_hooks_ || blocking,
+                    "default hooks must not block a Test-family call");
+      return;  // stays pending; a future arrival re-polls
+    case SelectResult::Action::kNoMatch: {
+      CDC_CHECK_MSG(!blocking, "Wait-family call cannot report no-match");
+      mf.result.flag = false;
+      hooks_->on_unmatched_test(rank, mf.callsite);
+      ++stats_.unmatched_tests;
+      break;
+    }
+    case SelectResult::Action::kDeliver: {
+      CDC_CHECK_MSG(!selection.indices.empty(),
+                    "kDeliver with an empty index list");
+      if (!is_multi_delivery(mf.kind)) selection.indices.resize(1);
+
+      // Phase A: extract the selected messages, releasing their current
+      // bindings.
+      std::vector<Message> messages;
+      std::vector<std::uint64_t> origin_req;  // ~0 for unbound
+      std::vector<bool> seen(candidates.size(), false);
+      bool disturbed = false;
+      for (const std::size_t ci : selection.indices) {
+        CDC_CHECK_MSG(ci < candidates.size() && !seen[ci],
+                      "selection index out of range or duplicated");
+        seen[ci] = true;
+        if (candidates[ci].bound) {
+          auto& req = ctx.requests[candidate_handle[ci]];
+          CDC_CHECK(req.matched && !req.delivered);
+          req.matched = false;
+          messages.push_back(std::move(req.message));
+          origin_req.push_back(candidate_handle[ci]);
+        } else {
+          const std::uint64_t seq = candidate_handle[ci];
+          auto it = std::find_if(
+              ctx.unexpected.begin(), ctx.unexpected.end(),
+              [seq](const Message& m) { return m.arrival_seq == seq; });
+          CDC_CHECK(it != ctx.unexpected.end());
+          messages.push_back(std::move(*it));
+          ctx.unexpected.erase(it);
+          origin_req.push_back(~std::uint64_t{0});
+          disturbed = true;
+        }
+      }
+
+      // Phase B: assign each message to an undelivered request slot of the
+      // call — its own request when possible (the untooled path), else the
+      // first compatible interchangeable slot (replay-tool remapping).
+      std::vector<bool> slot_used(mf.request_ids.size(), false);
+      mf.result.flag = true;
+      mf.result.completions.reserve(messages.size());
+      for (std::size_t k = 0; k < messages.size(); ++k) {
+        Message& msg = messages[k];
+        std::size_t slot = mf.request_ids.size();
+        if (origin_req[k] != ~std::uint64_t{0}) {
+          for (std::size_t i = 0; i < mf.request_ids.size(); ++i) {
+            if (mf.request_ids[i] == origin_req[k] && !slot_used[i]) {
+              slot = i;
+              break;
+            }
+          }
+        }
+        if (slot == mf.request_ids.size()) {
+          for (std::size_t i = 0; i < mf.request_ids.size(); ++i) {
+            const auto& req = ctx.requests[mf.request_ids[i]];
+            if (!slot_used[i] && !req.delivered &&
+                envelope_matches(req.source_spec, req.tag_spec, msg.source, msg.tag)) {
+              slot = i;
+              break;
+            }
+          }
+        }
+        CDC_CHECK_MSG(slot < mf.request_ids.size(),
+                      "no compatible request slot for a selected message");
+        slot_used[slot] = true;
+        auto& req = ctx.requests[mf.request_ids[slot]];
+        if (req.matched) {
+          // Displace the message MPI had matched here; it returns to the
+          // unexpected queue at its original arrival position.
+          req.matched = false;
+          insert_unexpected(ctx, std::move(req.message));
+          disturbed = true;
+        }
+        req.delivered = true;
+        Completion completion;
+        completion.span_index = slot;
+        completion.source = msg.source;
+        completion.tag = msg.tag;
+        completion.piggyback = msg.piggyback;
+        completion.payload = std::move(msg.payload);
+        mf.result.completions.push_back(std::move(completion));
+        ++stats_.receive_events_delivered;
+      }
+
+      // Phase C: requests that lost their message re-enter the posted
+      // list (post order = id order), and arrivals re-match eagerly.
+      if (disturbed) {
+        for (const std::uint64_t id : mf.request_ids) {
+          auto& req = ctx.requests[id];
+          if (req.kind == RequestState::Kind::kRecv && !req.delivered &&
+              !req.matched) {
+            auto it = ctx.posted_recvs.begin();
+            while (it != ctx.posted_recvs.end() && *it < id) ++it;
+            if (it == ctx.posted_recvs.end() || *it != id)
+              ctx.posted_recvs.insert(it, id);
+          }
+        }
+        rematch_unexpected(ctx);
+      }
+      if (hooks_ != &default_hooks_)
+        ctx.time += config_.tool_event_cost *
+                    static_cast<double>(mf.result.completions.size());
+      hooks_->on_deliver(rank, mf.callsite, mf.kind, mf.result.completions);
+      break;
+    }
+  }
+
+  ctx.mf_active = false;
+  ctx.mf = nullptr;
+  const std::coroutine_handle<> continuation = ctx.mf_continuation;
+  ctx.mf_continuation = nullptr;
+  continuation.resume();
+  check_rank_done(rank);
+}
+
+void Simulator::resume_rank(Rank rank, std::coroutine_handle<> handle,
+                            double time) {
+  auto& ctx = ranks_[static_cast<std::size_t>(rank)];
+  ctx.time = std::max(ctx.time, time);
+  handle.resume();
+  check_rank_done(rank);
+}
+
+void Simulator::check_rank_done(Rank rank) {
+  auto& ctx = ranks_[static_cast<std::size_t>(rank)];
+  if (!ctx.finished && ctx.task.handle().done()) {
+    ctx.task.rethrow_if_failed();
+    ctx.finished = true;
+  }
+}
+
+void Simulator::complete_barrier_if_ready() {
+  if (barrier_waiting_ != size()) return;
+  barrier_waiting_ = 0;
+  const double hops = std::ceil(std::log2(std::max(2, size())));
+  double release = 0.0;
+  for (const auto& ctx : ranks_) release = std::max(release, ctx.time);
+  release += hops * config_.collective_hop_cost;
+  for (int r = 0; r < size(); ++r) {
+    auto& ctx = ranks_[static_cast<std::size_t>(r)];
+    CDC_CHECK(ctx.in_barrier);
+    ctx.in_barrier = false;
+    schedule(release, EventType::kResume, r, ctx.collective_continuation);
+    ctx.collective_continuation = nullptr;
+  }
+}
+
+void Simulator::complete_allreduce_if_ready() {
+  if (allreduce_waiting_ != size()) return;
+  allreduce_waiting_ = 0;
+
+  // Elementwise sum in strict rank order: bit-reproducible regardless of
+  // arrival timing.
+  const std::size_t width = allreduce_inputs_[0].size();
+  std::vector<double> sum(width, 0.0);
+  for (const auto& input : allreduce_inputs_) {
+    CDC_CHECK_MSG(input.size() == width,
+                  "allreduce contributions differ in length");
+    for (std::size_t i = 0; i < width; ++i) sum[i] += input[i];
+  }
+
+  const double hops = 2.0 * std::ceil(std::log2(std::max(2, size())));
+  double release = 0.0;
+  for (const auto& ctx : ranks_) release = std::max(release, ctx.time);
+  release += hops * config_.collective_hop_cost;
+  for (int r = 0; r < size(); ++r) {
+    auto& ctx = ranks_[static_cast<std::size_t>(r)];
+    CDC_CHECK(ctx.allreduce != nullptr);
+    ctx.allreduce->result = sum;
+    ctx.allreduce = nullptr;
+    allreduce_inputs_[static_cast<std::size_t>(r)].clear();
+    schedule(release, EventType::kResume, r, ctx.collective_continuation);
+    ctx.collective_continuation = nullptr;
+  }
+}
+
+Simulator::Stats Simulator::run() {
+  CDC_CHECK_MSG(!running_, "run() is not reentrant");
+  running_ = true;
+  for (int r = 0; r < size(); ++r) {
+    auto& ctx = ranks_[static_cast<std::size_t>(r)];
+    CDC_CHECK_MSG(ctx.task.valid(), "rank has no program installed");
+    schedule(0.0, EventType::kResume, r, ctx.task.handle());
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    CDC_CHECK(ev.time + 1e-15 >= now_);
+    now_ = std::max(now_, ev.time);
+    ++stats_.scheduler_events;
+    CDC_CHECK_MSG(stats_.scheduler_events <= config_.max_events,
+                  "event budget exceeded (runaway program?)");
+
+    switch (ev.type) {
+      case EventType::kResume:
+        resume_rank(ev.rank, ev.handle, ev.time);
+        break;
+      case EventType::kDeliver: {
+        auto it = in_flight_.find(ev.message_index);
+        CDC_CHECK(it != in_flight_.end());
+        Message msg = std::move(it->second);
+        in_flight_.erase(it);
+        try_match_arrival(ev.rank, std::move(msg));
+        break;
+      }
+      case EventType::kPoll:
+        ranks_[static_cast<std::size_t>(ev.rank)].time =
+            std::max(ranks_[static_cast<std::size_t>(ev.rank)].time, ev.time);
+        poll_mf(ev.rank);
+        break;
+    }
+  }
+
+  bool deadlocked = false;
+  for (int r = 0; r < size(); ++r) {
+    const auto& ctx = ranks_[static_cast<std::size_t>(r)];
+    if (!ctx.finished) {
+      deadlocked = true;
+      if (ctx.mf_active) {
+        std::fprintf(stderr,
+                     "minimpi: deadlock — rank %d blocked in %s at callsite "
+                     "%u (%zu reqs, %zu unexpected)\n",
+                     r, mf_kind_name(ctx.mf->kind), ctx.mf->callsite,
+                     ctx.mf->request_ids.size(), ctx.unexpected.size());
+      } else {
+        std::fprintf(stderr,
+                     "minimpi: deadlock — rank %d blocked (%s)\n", r,
+                     ctx.in_barrier ? "barrier" : "allreduce/unknown");
+      }
+    }
+    stats_.end_time = std::max(stats_.end_time, ctx.time);
+  }
+  if (deadlocked) {
+    hooks_->on_deadlock();
+    CDC_CHECK_MSG(false, "simulation deadlocked");
+  }
+  running_ = false;
+  return stats_;
+}
+
+}  // namespace cdc::minimpi

@@ -1,0 +1,332 @@
+// The MiniMPI discrete-event simulator.
+//
+// Architecture: one global virtual clock, a (time, sequence)-ordered event
+// queue, and one coroutine per rank. Three event kinds exist — rank resume
+// (compute finished), message delivery (a send's latency elapsed at the
+// receiver), and MF poll (a matching-function call re-examines its request
+// set). Message latency = base + Exp(jitter_mean) drawn from a seeded RNG;
+// the same seed reproduces a run bit-for-bit, different seeds permute
+// application-level receive orders — the non-determinism the paper's tool
+// records and replays. Per-(source,destination) delivery is forced
+// non-overtaking, matching MPI's ordering guarantee (§3.1 / Figure 3: the
+// MPI level is ordered per channel; the application level is not).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "minimpi/hooks.h"
+#include "minimpi/task.h"
+#include "minimpi/types.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace cdc::minimpi {
+
+class Comm;
+class Simulator;
+
+/// Awaits a fixed amount of virtual compute time.
+struct ComputeAwaiter {
+  Simulator* sim;
+  Rank rank;
+  double seconds;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  void await_resume() const noexcept {}
+};
+
+/// Awaits one matching-function call (any of the Wait/Test families).
+struct MFAwaiter {
+  Simulator* sim;
+  Rank rank;
+  MFKind kind;
+  CallsiteId callsite;
+  std::vector<std::uint64_t> request_ids;
+  MFResult result;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  MFResult await_resume() noexcept { return std::move(result); }
+};
+
+/// Awaits a barrier (simulator-level deterministic collective).
+struct BarrierAwaiter {
+  Simulator* sim;
+  Rank rank;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  void await_resume() const noexcept {}
+};
+
+/// Awaits an allreduce over a vector of doubles; elementwise reduction in
+/// deterministic rank order (so the collective itself never introduces
+/// non-determinism — any run-to-run variation comes from the local inputs,
+/// exactly as in the paper's MCB discussion).
+struct AllreduceAwaiter {
+  Simulator* sim;
+  Rank rank;
+  std::vector<double> contribution;
+  std::vector<double> result;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  std::vector<double> await_resume() noexcept { return std::move(result); }
+};
+
+/// Per-rank view of the runtime handed to rank programs — the MPI
+/// communicator analogue. All methods must be called from the owning
+/// rank's coroutine.
+class Comm {
+ public:
+  Comm(Simulator* sim, Rank rank) : sim_(sim), rank_(rank) {}
+
+  [[nodiscard]] Rank rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+  [[nodiscard]] double now() const noexcept;
+
+  /// Nonblocking send. Completes locally at once (buffered-send model);
+  /// the returned request is immediately waitable.
+  Request isend(Rank dst, int tag, std::span<const std::uint8_t> data);
+
+  /// Nonblocking receive with optional wildcards.
+  Request irecv(Rank source = kAnySource, int tag = kAnyTag);
+
+  /// Advances this rank's virtual time (models local work).
+  [[nodiscard]] ComputeAwaiter compute(double seconds) noexcept {
+    return {sim_, rank_, seconds};
+  }
+
+  // --- Matching functions (§3.1). `callsite` identifies the MF call
+  // location for per-callsite reference orders (§4.4).
+  [[nodiscard]] MFAwaiter wait(Request request, CallsiteId callsite = 0);
+  [[nodiscard]] MFAwaiter waitall(std::span<const Request> requests,
+                                  CallsiteId callsite = 0);
+  [[nodiscard]] MFAwaiter waitany(std::span<const Request> requests,
+                                  CallsiteId callsite = 0);
+  [[nodiscard]] MFAwaiter waitsome(std::span<const Request> requests,
+                                   CallsiteId callsite = 0);
+  [[nodiscard]] MFAwaiter test(Request request, CallsiteId callsite = 0);
+  [[nodiscard]] MFAwaiter testall(std::span<const Request> requests,
+                                  CallsiteId callsite = 0);
+  [[nodiscard]] MFAwaiter testany(std::span<const Request> requests,
+                                  CallsiteId callsite = 0);
+  [[nodiscard]] MFAwaiter testsome(std::span<const Request> requests,
+                                   CallsiteId callsite = 0);
+
+  // --- Deterministic collectives (not recorded; see DESIGN.md).
+  [[nodiscard]] BarrierAwaiter barrier() noexcept { return {sim_, rank_}; }
+  [[nodiscard]] AllreduceAwaiter allreduce_sum(std::vector<double> values) {
+    return {sim_, rank_, std::move(values), {}};
+  }
+
+ private:
+  MFAwaiter make_mf(MFKind kind, std::span<const Request> requests,
+                    CallsiteId callsite);
+
+  Simulator* sim_;
+  Rank rank_;
+};
+
+/// A rank program: given its communicator, returns the rank's coroutine.
+using Program = std::function<Task(Comm&)>;
+
+class Simulator {
+ public:
+  struct Config {
+    int num_ranks = 1;
+    std::uint64_t noise_seed = 1;      ///< permutes message arrival orders
+    double base_latency = 1.0e-6;      ///< seconds, per message
+    double jitter_mean = 5.0e-7;       ///< mean of exponential noise term
+    double mpi_call_cost = 5.0e-8;     ///< virtual cost of one MPI call
+    double collective_hop_cost = 1.0e-6;
+    /// Virtual cost charged to the application thread per delivered
+    /// receive event when a tool is attached — models the enqueue +
+    /// interference cost of recording (Figure 16's overhead). Calibrate
+    /// from real encoder timings (bench/fig16_overhead).
+    double tool_event_cost = 0.0;
+    /// Virtual cost charged per matching-function call when a tool is
+    /// attached — the PMPI/PnMPI interception stack on hot polling loops.
+    double tool_call_cost = 0.0;
+    /// Virtual cost charged per send for clock piggybacking (§6.2 measures
+    /// 1.18% end-to-end for 8-byte piggyback data).
+    double piggyback_send_cost = 0.0;
+    std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
+  };
+
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t receive_events_delivered = 0;
+    std::uint64_t mf_calls = 0;
+    std::uint64_t unmatched_tests = 0;
+    std::uint64_t scheduler_events = 0;
+    double end_time = 0.0;  ///< virtual seconds when the last rank finished
+  };
+
+  explicit Simulator(const Config& config, ToolHooks* hooks = nullptr);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Installs the same program on every rank.
+  void set_program(const Program& program);
+  /// Installs a program on one rank.
+  void set_program(Rank rank, const Program& program);
+
+  /// Runs to completion. Aborts with a diagnostic on deadlock (all ranks
+  /// blocked with an empty event queue) — a deadlock here is always a bug
+  /// in an application or in a replay tool holding back a message forever.
+  Stats run();
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Comm& comm(Rank rank) {
+    CDC_CHECK(rank >= 0 && rank < size());
+    return *ranks_[static_cast<std::size_t>(rank)].comm;
+  }
+
+ private:
+  friend class Comm;
+  friend struct ComputeAwaiter;
+  friend struct MFAwaiter;
+  friend struct BarrierAwaiter;
+  friend struct AllreduceAwaiter;
+
+  struct Message {
+    Rank source = -1;
+    Rank dest = -1;
+    int tag = -1;
+    std::uint64_t piggyback = 0;
+    std::uint64_t arrival_seq = 0;  ///< stamped at delivery; orders queues
+    bool tool_sighted = false;      ///< already listed to the tool hooks
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct RequestState {
+    enum class Kind : std::uint8_t { kSend, kRecv };
+    Kind kind = Kind::kRecv;
+    Rank source_spec = kAnySource;
+    int tag_spec = kAnyTag;
+    bool matched = false;
+    bool delivered = false;
+    std::uint64_t match_seq = 0;  ///< global order in which matches happened
+    Message message;
+  };
+
+  enum class EventType : std::uint8_t { kResume, kDeliver, kPoll };
+
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    EventType type = EventType::kResume;
+    Rank rank = -1;
+    std::coroutine_handle<> handle;  // kResume only
+    std::uint64_t message_index = 0;  // kDeliver only (into in_flight_)
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct RankCtx {
+    double time = 0.0;
+    Program program;  ///< owns the coroutine's closure for the rank's lifetime
+    Task task;
+    bool finished = false;
+    std::unique_ptr<Comm> comm;
+
+    std::vector<RequestState> requests;
+    std::deque<std::uint64_t> posted_recvs;  // unmatched recv ids, post order
+    std::deque<Message> unexpected;          // unmatched arrivals, in order
+
+    // At most one MF call can be pending per rank (the rank is a single
+    // coroutine).
+    bool mf_active = false;
+    MFAwaiter* mf = nullptr;
+    std::coroutine_handle<> mf_continuation;
+    bool mf_poll_scheduled = false;
+
+    // Collective state.
+    bool in_barrier = false;
+    std::coroutine_handle<> collective_continuation;
+    AllreduceAwaiter* allreduce = nullptr;
+  };
+
+  void schedule(double time, EventType type, Rank rank,
+                std::coroutine_handle<> handle = nullptr,
+                std::uint64_t message_index = 0);
+  void try_match_arrival(Rank rank, Message&& message);
+  void insert_unexpected(RankCtx& ctx, Message&& message);
+  void rematch_unexpected(RankCtx& ctx);
+  void poll_mf(Rank rank);
+  void resume_rank(Rank rank, std::coroutine_handle<> handle, double time);
+  void check_rank_done(Rank rank);
+  void complete_barrier_if_ready();
+  void complete_allreduce_if_ready();
+
+  Request post_isend(Rank src, Rank dst, int tag,
+                     std::span<const std::uint8_t> data);
+  Request post_irecv(Rank rank, Rank source, int tag);
+
+  Config config_;
+  ToolHooks* hooks_;
+  ToolHooks default_hooks_;
+  support::Xoshiro256 noise_;
+  std::vector<RankCtx> ranks_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::unordered_map<std::uint64_t, Message> in_flight_;
+  std::unordered_map<std::uint64_t, double> channel_last_arrival_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_match_seq_ = 1;
+  std::uint64_t next_message_index_ = 0;
+  int barrier_waiting_ = 0;
+  int allreduce_waiting_ = 0;
+  std::vector<std::vector<double>> allreduce_inputs_;
+  Stats stats_;
+  bool running_ = false;
+};
+
+// --- Typed payload helpers ------------------------------------------------
+
+/// Serializes a trivially copyable value into a payload buffer.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::uint8_t> to_payload(const T& value) {
+  std::vector<std::uint8_t> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+/// Deserializes a trivially copyable value from a payload buffer.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T from_payload(std::span<const std::uint8_t> payload) {
+  CDC_CHECK(payload.size() == sizeof(T));
+  T value;
+  std::memcpy(&value, payload.data(), sizeof(T));
+  return value;
+}
+
+}  // namespace cdc::minimpi

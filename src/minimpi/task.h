@@ -1,0 +1,76 @@
+// The coroutine type for rank programs.
+//
+// Each MPI rank runs as one C++20 coroutine driven by the simulator's
+// virtual-time scheduler, so thousands of ranks execute in a single OS
+// thread. A rank program suspends at every MiniMPI call (the awaitables in
+// comm.h) and is resumed by scheduler events.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace cdc::minimpi {
+
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    // Start suspended; the simulator schedules the first resume at t = 0.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Stay suspended at the end so the simulator can observe done() and
+    // owns destruction of the frame.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+    }
+
+    std::exception_ptr exception;
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+  [[nodiscard]] bool done() const noexcept { return handle_.done(); }
+  [[nodiscard]] std::coroutine_handle<promise_type> handle() const noexcept {
+    return handle_;
+  }
+
+  /// Rethrows an exception that escaped the rank program, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace cdc::minimpi

@@ -1,0 +1,109 @@
+// Shared vocabulary types of the MiniMPI runtime.
+//
+// MiniMPI is the MPI substrate of this reproduction: a deterministic
+// discrete-event simulation of an MPI library, exposing exactly the surface
+// the paper's tool interposes on — nonblocking point-to-point with wildcard
+// receives, the Wait/Test matching-function (MF) families, and per-message
+// piggyback data. Non-determinism enters through a seeded message-latency
+// noise model, mirroring the network/system noise the paper cites as the
+// source of message-receive reordering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cdc::minimpi {
+
+using Rank = std::int32_t;
+
+inline constexpr Rank kAnySource = -1;  ///< MPI_ANY_SOURCE
+inline constexpr int kAnyTag = -1;      ///< MPI_ANY_TAG
+
+/// Identifies one matching-function call location in the program. The real
+/// tool derives this from call-stack analysis (§4.4 "MF identification");
+/// simulated applications pass a small stable integer per call site.
+using CallsiteId = std::uint32_t;
+
+/// The MPI matching-function families of §3.1.
+enum class MFKind : std::uint8_t {
+  kWait,
+  kWaitall,
+  kWaitany,
+  kWaitsome,
+  kTest,
+  kTestall,
+  kTestany,
+  kTestsome,
+};
+
+[[nodiscard]] constexpr bool is_blocking(MFKind kind) noexcept {
+  return kind == MFKind::kWait || kind == MFKind::kWaitall ||
+         kind == MFKind::kWaitany || kind == MFKind::kWaitsome;
+}
+
+/// True for MF kinds that may deliver more than one message per call —
+/// exactly the kinds for which the paper records the `with_next` column.
+[[nodiscard]] constexpr bool is_multi_delivery(MFKind kind) noexcept {
+  return kind == MFKind::kWaitall || kind == MFKind::kWaitsome ||
+         kind == MFKind::kTestall || kind == MFKind::kTestsome;
+}
+
+[[nodiscard]] constexpr const char* mf_kind_name(MFKind kind) noexcept {
+  switch (kind) {
+    case MFKind::kWait: return "Wait";
+    case MFKind::kWaitall: return "Waitall";
+    case MFKind::kWaitany: return "Waitany";
+    case MFKind::kWaitsome: return "Waitsome";
+    case MFKind::kTest: return "Test";
+    case MFKind::kTestall: return "Testall";
+    case MFKind::kTestany: return "Testany";
+    case MFKind::kTestsome: return "Testsome";
+  }
+  return "?";
+}
+
+/// Request handle returned by isend/irecv. Valid only within the issuing
+/// rank; handles are not reusable after the request completes.
+struct Request {
+  std::uint64_t id = ~std::uint64_t{0};
+  [[nodiscard]] bool valid() const noexcept { return id != ~std::uint64_t{0}; }
+};
+
+/// A deliverable message offered to the tool's selection hook.
+/// `bound` candidates are matched at the MPI level to a request of the MF
+/// call (span_index = that request's position in the call's request array,
+/// what MPI_Testsome reports via indices[]). Unbound candidates are
+/// arrived-but-unmatched messages whose envelope is compatible with an
+/// undelivered request of the call: a replay tool may deliver one on an
+/// interchangeable request slot (the PMPI-layer remapping every
+/// order-replay tool performs); untooled MPI semantics ignore them.
+struct Candidate {
+  std::size_t span_index = 0;
+  Rank source = -1;
+  int tag = -1;
+  std::uint64_t piggyback = 0;  ///< Lamport clock attached at send
+  bool bound = true;
+  /// True the first time this message appears in any candidate list —
+  /// tools process sightings only for fresh candidates (dedup is O(1)).
+  bool fresh = true;
+};
+
+/// A delivered receive, as surfaced to the application (and to the tool's
+/// on_deliver hook, which records it).
+struct Completion {
+  std::size_t span_index = 0;
+  Rank source = -1;
+  int tag = -1;
+  std::uint64_t piggyback = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Result of one MF call. `flag` is the MPI_Test-style "anything matched"
+/// indicator; for Wait-family calls it is always true on return.
+struct MFResult {
+  bool flag = false;
+  std::vector<Completion> completions;
+};
+
+}  // namespace cdc::minimpi

@@ -1,0 +1,51 @@
+#include "record/baseline.h"
+
+#include "support/bitstream.h"
+
+namespace cdc::record {
+
+std::vector<std::uint8_t> baseline_serialize(std::span<const EventRow> rows) {
+  support::BitWriter writer;
+  for (const EventRow& row : rows) {
+    writer.write(static_cast<std::uint32_t>(row.count), 32);
+    writer.write(static_cast<std::uint32_t>(row.count >> 32), 32);
+    writer.write(row.event.flag ? 1u : 0u, 1);
+    writer.write(row.event.with_next ? 1u : 0u, 1);
+    writer.write(static_cast<std::uint32_t>(row.event.rank), 32);
+    writer.write(static_cast<std::uint32_t>(row.event.clock), 32);
+    writer.write(static_cast<std::uint32_t>(row.event.clock >> 32), 32);
+  }
+  return std::move(writer).finish();
+}
+
+std::optional<std::vector<EventRow>> baseline_parse(
+    std::span<const std::uint8_t> bytes, std::size_t row_count) {
+  support::BitReader reader(bytes);
+  std::vector<EventRow> rows;
+  rows.reserve(row_count);
+  for (std::size_t i = 0; i < row_count; ++i) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::uint32_t flag = 0;
+    std::uint32_t with_next = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t clock_lo = 0;
+    std::uint32_t clock_hi = 0;
+    if (!reader.try_read(32, lo) || !reader.try_read(32, hi) ||
+        !reader.try_read(1, flag) || !reader.try_read(1, with_next) ||
+        !reader.try_read(32, rank) || !reader.try_read(32, clock_lo) ||
+        !reader.try_read(32, clock_hi))
+      return std::nullopt;
+    EventRow row;
+    row.count = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    row.event.flag = flag != 0;
+    row.event.with_next = with_next != 0;
+    row.event.rank = static_cast<std::int32_t>(rank);
+    row.event.clock =
+        (static_cast<std::uint64_t>(clock_hi) << 32) | clock_lo;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace cdc::record

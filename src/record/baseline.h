@@ -1,0 +1,33 @@
+// The traditional order-replay record format (§6.1's "w/o Compression"
+// baseline): one Figure 4 row per event run, bit-packed exactly as the
+// paper accounts it — count (64 bits), flag (1 bit), with_next (1 bit),
+// rank (32 bits), clock (64 bits) = 162 bits per row. The "gzip" baseline
+// of Figure 13 applies gzip to this packed byte stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "record/event.h"
+
+namespace cdc::record {
+
+inline constexpr std::size_t kBaselineBitsPerRow = 64 + 1 + 1 + 32 + 64;
+
+/// Bit-packs Figure 4 rows (162 bits each, final byte zero-padded).
+std::vector<std::uint8_t> baseline_serialize(std::span<const EventRow> rows);
+
+/// Parses a baseline byte stream back into rows. The row count must be
+/// supplied (the format is headerless, as a traditional tool's would be).
+std::optional<std::vector<EventRow>> baseline_parse(
+    std::span<const std::uint8_t> bytes, std::size_t row_count);
+
+/// Exact size in bytes of `row_count` packed rows.
+[[nodiscard]] constexpr std::size_t baseline_size_bytes(
+    std::size_t row_count) noexcept {
+  return (row_count * kBaselineBitsPerRow + 7) / 8;
+}
+
+}  // namespace cdc::record

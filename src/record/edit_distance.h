@@ -1,0 +1,71 @@
+// Permutation encoding (§3.3) and the fast edit-distance algorithm (§4.1).
+//
+// The observed receive order B is a permutation of the reference order
+// P = {0, 1, …, N−1} (reference indices assigned by sorting receives by
+// (clock, sender rank), Definition 6). CDC records only the elements that
+// moved: the complement of a longest common subsequence of B and P — and
+// since P is the identity, of a longest *increasing* subsequence of B.
+// Each moved element is stored as one (reference index, delay) pair; the
+// worked example of Figures 7/10, B = {0,3,2,1,4,7,5,6}, encodes to
+// {(1,+2), (2,+1), (7,−2)}.
+//
+// Decode applies the ops in recorded order to the working list, which
+// starts as P: remove element x (identified by its reference index), then
+// reinsert it `delay` positions away from where it was. This sequential
+// application provably reconstructs B when ops are emitted in increasing
+// reference-index order: an op places its element correctly relative to
+// every non-moved element and every already-placed moved element, and each
+// later op re-places its own element relative to everything present —
+// so after the final op every pair of elements is correctly ordered.
+//
+// Two algorithms compute the minimal move set and are cross-checked in
+// tests: an O(N log N) patience-sorting LIS, and the paper's O(N + D)
+// banded walk that exploits bᵢ = pⱼ ⇔ j = bᵢ (D = edit distance = 2 ×
+// number of moved elements).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cdc::record {
+
+/// One permutation-difference row (Figure 7): the element whose reference
+/// index is `index` was observed `delay` positions away from where the
+/// sequentially-decoded working list had it (positive = received late).
+struct MoveOp {
+  std::int64_t index = 0;
+  std::int64_t delay = 0;
+
+  friend bool operator==(const MoveOp&, const MoveOp&) = default;
+};
+
+/// Longest increasing subsequence — returns one LIS as element *values*
+/// membership mask: keep[i] is true iff B[i] is part of the chosen LIS.
+/// O(N log N) patience sorting.
+std::vector<bool> lis_membership(std::span<const std::uint32_t> b);
+
+/// Minimal move ops turning the identity permutation into `b`
+/// (b must be a permutation of {0..N−1}). Ops are sorted by reference
+/// index; |ops| = N − LIS(b).
+std::vector<MoveOp> encode_permutation(std::span<const std::uint32_t> b);
+
+/// Applies move ops to the identity permutation of size n, reproducing the
+/// observed order.
+std::vector<std::uint32_t> apply_moves(std::size_t n,
+                                       std::span<const MoveOp> ops);
+
+/// Insert/delete edit distance between `b` and the identity permutation,
+/// computed by the paper's O(N + D) method: walk the match diagonal
+/// (j = bᵢ) and count departures. Equals 2 × (N − LIS(b)).
+std::size_t banded_edit_distance(std::span<const std::uint32_t> b);
+
+/// Reference O(N²) dynamic-programming insert/delete edit distance used to
+/// validate banded_edit_distance in tests.
+std::size_t dp_edit_distance(std::span<const std::uint32_t> b);
+
+/// Fraction of permutated messages Np / N (Figure 14's metric): moved
+/// elements over total. Returns 0 for empty input.
+double permutation_percentage(std::span<const std::uint32_t> b);
+
+}  // namespace cdc::record

@@ -1,0 +1,91 @@
+#include "record/epoch.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace cdc::record {
+
+std::size_t find_clean_cut(std::span<const ReceiveEvent> events,
+                           const PendingMins& pending_min,
+                           std::size_t max_matched) {
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+  // Matched events only, in observed order.
+  std::vector<const ReceiveEvent*> matched;
+  for (const ReceiveEvent& e : events)
+    if (e.flag) matched.push_back(&e);
+  const std::size_t n = matched.size();
+  const std::size_t cap = std::min(n, max_matched);
+
+  // Per-sender position lists and suffix minima of clocks.
+  struct SenderState {
+    std::vector<std::uint64_t> clocks;     // in observed order
+    std::vector<std::uint64_t> suffix_min; // suffix_min[k] = min clocks[k..]
+    std::size_t next = 0;                  // first position not in prefix
+    std::uint64_t prefix_max = 0;
+    bool in_prefix = false;
+    bool violating = false;
+    std::uint64_t pending = kInf;
+  };
+  std::unordered_map<std::int32_t, SenderState> senders;
+  std::vector<std::int32_t> order;  // sender of each matched position
+  order.reserve(n);
+  for (const ReceiveEvent* e : matched) {
+    senders[e->rank].clocks.push_back(e->clock);
+    order.push_back(e->rank);
+  }
+  for (auto& [sender, state] : senders) {
+    state.suffix_min.resize(state.clocks.size());
+    std::uint64_t running = kInf;
+    for (std::size_t k = state.clocks.size(); k-- > 0;) {
+      running = std::min(running, state.clocks[k]);
+      state.suffix_min[k] = running;
+    }
+    const auto it = pending_min.find(sender);
+    if (it != pending_min.end()) state.pending = it->second;
+  }
+
+  // Walk cut positions left to right, maintaining the number of senders
+  // whose prefix max is not strictly below everything still outside.
+  std::size_t violations = 0;
+  std::size_t best = 0;
+  for (std::size_t cut = 0; cut <= cap; ++cut) {
+    if (cut > 0) {
+      SenderState& s = senders.at(order[cut - 1]);
+      const std::uint64_t c = s.clocks[s.next];
+      ++s.next;
+      s.prefix_max = s.in_prefix ? std::max(s.prefix_max, c) : c;
+      s.in_prefix = true;
+      const std::uint64_t outside =
+          std::min(s.next < s.clocks.size() ? s.suffix_min[s.next] : kInf,
+                   s.pending);
+      const bool now_violating = s.prefix_max >= outside;
+      if (now_violating != s.violating) {
+        s.violating = now_violating;
+        violations += now_violating ? 1 : std::size_t(-1);
+      }
+    }
+    // A cut between a with_next event and its successor is illegal.
+    const bool splits_group = cut > 0 && matched[cut - 1]->with_next;
+    if (violations == 0 && !splits_group) best = cut;
+  }
+  return best;
+}
+
+std::vector<ReceiveEvent> take_cut(std::vector<ReceiveEvent>& events,
+                                   std::size_t matched_count) {
+  std::size_t seen = 0;
+  std::size_t end = 0;
+  for (; end < events.size() && seen < matched_count; ++end)
+    if (events[end].flag) ++seen;
+  CDC_CHECK_MSG(seen == matched_count, "cut exceeds buffered matched events");
+  std::vector<ReceiveEvent> prefix(events.begin(),
+                                   events.begin() + static_cast<long>(end));
+  events.erase(events.begin(), events.begin() + static_cast<long>(end));
+  return prefix;
+}
+
+}  // namespace cdc::record

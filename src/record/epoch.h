@@ -1,0 +1,39 @@
+// Epoch enforcement (§3.5).
+//
+// A chunk can only be flushed at a "clean cut": for every sender, every
+// clock inside the chunk must be strictly smaller than every clock of that
+// sender that is still outside it — later buffered receives, and messages
+// that have arrived at the MPI level but are not yet delivered to the
+// application. This guarantees that, during replay, the epoch line
+// (per-sender max clock of the chunk) classifies every received message
+// into the right chunk: a message "runs off the epoch line" if and only if
+// it was recorded in a later chunk. A cut is also forbidden from splitting
+// a with_next group (messages delivered by one MF call stay together).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "record/event.h"
+
+namespace cdc::record {
+
+/// Minimum clock per sender among messages arrived at the MPI level but
+/// not yet delivered to the application at this callsite.
+using PendingMins = std::map<std::int32_t, std::uint64_t>;
+
+/// Returns the largest L <= max_matched such that cutting the stream right
+/// after its L-th matched event is clean, or 0 if no clean cut exists yet.
+/// O(N) over the buffered matched events.
+std::size_t find_clean_cut(std::span<const ReceiveEvent> events,
+                           const PendingMins& pending_min,
+                           std::size_t max_matched);
+
+/// Splits `events` at the point right after the L-th matched event;
+/// returns the prefix and erases it (plus nothing after it) from `events`.
+std::vector<ReceiveEvent> take_cut(std::vector<ReceiveEvent>& events,
+                                   std::size_t matched_count);
+
+}  // namespace cdc::record

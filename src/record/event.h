@@ -1,0 +1,68 @@
+// The receive-event model of §3.1 (Figure 4).
+//
+// Order-replay needs, per MF call and per process, the quintuple
+// (count, flag, with_next, rank, clock). In this library the raw stream is
+// a sequence of ReceiveEvent values — one per MF outcome — and the `count`
+// aggregation of consecutive unmatched tests happens at serialization time
+// (EventRow).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clock/lamport.h"
+
+namespace cdc::record {
+
+/// One application-level MF outcome at one callsite.
+struct ReceiveEvent {
+  /// Matching status: true = a message was delivered, false = a
+  /// Test-family call reported no match.
+  bool flag = false;
+  /// True when this message was delivered together with the next event's
+  /// message in the same MF call (matched message set, §3.1).
+  bool with_next = false;
+  /// Sender rank (valid when flag).
+  std::int32_t rank = -1;
+  /// Piggybacked Lamport clock (valid when flag). Together with `rank`
+  /// this uniquely identifies the message (§3.1).
+  std::uint64_t clock = 0;
+
+  friend bool operator==(const ReceiveEvent&, const ReceiveEvent&) = default;
+
+  [[nodiscard]] clock::MessageId id() const noexcept {
+    return clock::MessageId{rank, clock};
+  }
+};
+
+/// One row of the Figure 4 recording table: a run of `count` identical
+/// events (only unmatched tests repeat; matched events are unique).
+struct EventRow {
+  std::uint64_t count = 1;
+  ReceiveEvent event;
+
+  friend bool operator==(const EventRow&, const EventRow&) = default;
+};
+
+/// Collapses an event stream into Figure 4 rows.
+inline std::vector<EventRow> to_rows(const std::vector<ReceiveEvent>& events) {
+  std::vector<EventRow> rows;
+  for (const ReceiveEvent& e : events) {
+    if (!e.flag && !rows.empty() && !rows.back().event.flag) {
+      ++rows.back().count;
+    } else {
+      rows.push_back(EventRow{1, e});
+    }
+  }
+  return rows;
+}
+
+/// Expands Figure 4 rows back into an event stream.
+inline std::vector<ReceiveEvent> from_rows(const std::vector<EventRow>& rows) {
+  std::vector<ReceiveEvent> events;
+  for (const EventRow& row : rows)
+    for (std::uint64_t i = 0; i < row.count; ++i) events.push_back(row.event);
+  return events;
+}
+
+}  // namespace cdc::record

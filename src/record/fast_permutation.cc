@@ -1,0 +1,268 @@
+#include "record/fast_permutation.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.h"
+
+namespace cdc::record {
+
+namespace detail {
+
+namespace {
+
+std::uint64_t mix_priority(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+WorkingList::WorkingList(std::size_t n) : nodes_(n), count_(n) {
+  for (std::size_t v = 0; v < n; ++v)
+    nodes_[v].priority = mix_priority(v);
+  // Build a balanced-by-priority treap of the identity sequence in O(N)
+  // with a rightmost-spine insertion.
+  std::vector<std::uint32_t> spine;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint32_t last = kNil;
+    while (!spine.empty() &&
+           nodes_[spine.back()].priority < nodes_[v].priority) {
+      last = spine.back();
+      pull(last);
+      spine.pop_back();
+    }
+    if (last != kNil) {
+      nodes_[v].left = last;
+      nodes_[last].parent = v;
+    }
+    if (!spine.empty()) {
+      nodes_[spine.back()].right = v;
+      nodes_[v].parent = spine.back();
+    }
+    spine.push_back(v);
+  }
+  while (!spine.empty()) {
+    pull(spine.back());
+    root_ = spine.back();
+    spine.pop_back();
+  }
+  if (n == 0) root_ = kNil;
+}
+
+void WorkingList::pull(std::uint32_t node) noexcept {
+  auto& n = nodes_[node];
+  n.size = 1 + (n.left != kNil ? nodes_[n.left].size : 0) +
+           (n.right != kNil ? nodes_[n.right].size : 0);
+}
+
+std::uint32_t WorkingList::merge(std::uint32_t a, std::uint32_t b) {
+  if (a == kNil) return b;
+  if (b == kNil) return a;
+  if (nodes_[a].priority > nodes_[b].priority) {
+    const std::uint32_t right = merge(nodes_[a].right, b);
+    nodes_[a].right = right;
+    nodes_[right].parent = a;
+    pull(a);
+    nodes_[a].parent = kNil;
+    return a;
+  }
+  const std::uint32_t left = merge(a, nodes_[b].left);
+  nodes_[b].left = left;
+  nodes_[left].parent = b;
+  pull(b);
+  nodes_[b].parent = kNil;
+  return b;
+}
+
+void WorkingList::split(std::uint32_t node, std::uint32_t count,
+                        std::uint32_t& left, std::uint32_t& right) {
+  if (node == kNil) {
+    left = kNil;
+    right = kNil;
+    return;
+  }
+  nodes_[node].parent = kNil;
+  const std::uint32_t left_size =
+      nodes_[node].left != kNil ? nodes_[nodes_[node].left].size : 0;
+  if (count <= left_size) {
+    std::uint32_t inner = kNil;
+    split(nodes_[node].left, count, left, inner);
+    nodes_[node].left = inner;
+    if (inner != kNil) nodes_[inner].parent = node;
+    pull(node);
+    right = node;
+    if (left != kNil) nodes_[left].parent = kNil;
+  } else {
+    std::uint32_t inner = kNil;
+    split(nodes_[node].right, count - left_size - 1, inner, right);
+    nodes_[node].right = inner;
+    if (inner != kNil) nodes_[inner].parent = node;
+    pull(node);
+    left = node;
+    if (right != kNil) nodes_[right].parent = kNil;
+  }
+}
+
+std::size_t WorkingList::position_of(std::uint32_t value) const {
+  const Node& n = nodes_[value];
+  std::size_t position = n.left != kNil ? nodes_[n.left].size : 0;
+  std::uint32_t child = value;
+  std::uint32_t parent = n.parent;
+  while (parent != kNil) {
+    if (nodes_[parent].right == child) {
+      position += 1 +
+                  (nodes_[parent].left != kNil
+                       ? nodes_[nodes_[parent].left].size
+                       : 0);
+    }
+    child = parent;
+    parent = nodes_[parent].parent;
+  }
+  return position;
+}
+
+void WorkingList::erase(std::uint32_t value) {
+  const std::size_t position = position_of(value);
+  std::uint32_t left = kNil;
+  std::uint32_t middle = kNil;
+  std::uint32_t right = kNil;
+  split(root_, static_cast<std::uint32_t>(position), left, middle);
+  std::uint32_t single = kNil;
+  split(middle, 1, single, right);
+  CDC_DCHECK(single == value);
+  nodes_[value] = Node{kNil, kNil, kNil, 1, nodes_[value].priority};
+  root_ = merge(left, right);
+  if (root_ != kNil) nodes_[root_].parent = kNil;
+  --count_;
+}
+
+void WorkingList::insert_at(std::size_t position, std::uint32_t value) {
+  nodes_[value].left = kNil;
+  nodes_[value].right = kNil;
+  nodes_[value].parent = kNil;
+  nodes_[value].size = 1;
+  std::uint32_t left = kNil;
+  std::uint32_t right = kNil;
+  split(root_, static_cast<std::uint32_t>(position), left, right);
+  root_ = merge(merge(left, value), right);
+  if (root_ != kNil) nodes_[root_].parent = kNil;
+  ++count_;
+}
+
+void WorkingList::collect(std::uint32_t node,
+                          std::vector<std::uint32_t>& out) const {
+  if (node == kNil) return;
+  collect(nodes_[node].left, out);
+  out.push_back(node);
+  collect(nodes_[node].right, out);
+}
+
+std::vector<std::uint32_t> WorkingList::to_vector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count_);
+  collect(root_, out);
+  return out;
+}
+
+void Fenwick::add(std::size_t index, int delta) {
+  for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
+    tree_[i] += delta;
+}
+
+int Fenwick::prefix(std::size_t index) const {
+  int sum = 0;
+  for (std::size_t i = std::min(index, tree_.size() - 1); i > 0;
+       i -= i & (~i + 1))
+    sum += tree_[i];
+  return sum;
+}
+
+std::size_t Fenwick::select(int target) const {
+  std::size_t index = 0;
+  std::size_t mask = std::bit_floor(tree_.size() - 1);
+  int remaining = target;
+  while (mask > 0) {
+    const std::size_t next = index + mask;
+    if (next < tree_.size() && tree_[next] < remaining) {
+      index = next;
+      remaining -= tree_[next];
+    }
+    mask >>= 1;
+  }
+  return index;  // 0-based element index
+}
+
+}  // namespace detail
+
+std::vector<MoveOp> fast_encode_permutation(
+    std::span<const std::uint32_t> b) {
+  const std::size_t n = b.size();
+  const std::vector<bool> keep = lis_membership(b);
+
+  std::vector<std::uint32_t> moved;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!keep[i]) moved.push_back(b[i]);
+  std::sort(moved.begin(), moved.end());
+  if (moved.empty()) return {};
+
+  std::vector<std::size_t> pos_in_b(n);
+  for (std::size_t i = 0; i < n; ++i) pos_in_b[b[i]] = i;
+
+  // settled_by_obs marks the observed positions of settled elements;
+  // obs_to_value recovers the element at an observed position.
+  detail::Fenwick settled_by_obs(n);
+  std::vector<std::uint32_t> obs_to_value(n);
+  for (std::size_t i = 0; i < n; ++i) obs_to_value[i] = b[i];
+  for (std::size_t i = 0; i < n; ++i)
+    if (keep[i]) settled_by_obs.add(i, 1);
+
+  // list_rank_of_settled: working-list positions, restricted to settled
+  // elements, keyed by observed position. The c-th settled element of the
+  // working list is the settled element with the c-th smallest observed
+  // position (settled elements always appear in B order).
+  detail::WorkingList work(n);
+
+  std::vector<MoveOp> ops;
+  ops.reserve(moved.size());
+  for (const std::uint32_t x : moved) {
+    const std::size_t j = work.position_of(x);
+    work.erase(x);
+    // c = number of settled elements before x in the observed order.
+    const int c = settled_by_obs.prefix(pos_in_b[x]);
+    std::size_t t = 0;
+    if (c > 0) {
+      // Observed position of the c-th settled element, then its current
+      // working-list position; insert right after it.
+      const std::size_t obs = settled_by_obs.select(c);
+      t = work.position_of(obs_to_value[obs]) + 1;
+    }
+    work.insert_at(t, x);
+    settled_by_obs.add(pos_in_b[x], 1);
+    ops.push_back(MoveOp{static_cast<std::int64_t>(x),
+                         static_cast<std::int64_t>(t) -
+                             static_cast<std::int64_t>(j)});
+  }
+  return ops;
+}
+
+std::vector<std::uint32_t> fast_apply_moves(std::size_t n,
+                                            std::span<const MoveOp> ops) {
+  detail::WorkingList work(n);
+  for (const MoveOp& op : ops) {
+    CDC_CHECK_MSG(op.index >= 0 && op.index < static_cast<std::int64_t>(n),
+                  "move op names an unknown element");
+    const auto value = static_cast<std::uint32_t>(op.index);
+    const std::size_t j = work.position_of(value);
+    work.erase(value);
+    const std::int64_t t = static_cast<std::int64_t>(j) + op.delay;
+    CDC_CHECK_MSG(t >= 0 && t <= static_cast<std::int64_t>(work.size()),
+                  "move op target out of range");
+    work.insert_at(static_cast<std::size_t>(t), value);
+  }
+  return work.to_vector();
+}
+
+}  // namespace cdc::record

@@ -1,0 +1,93 @@
+// Fast permutation encode/decode (§4.1's "fast edit distance" speed class).
+//
+// The reference implementations in edit_distance.h simulate the move-op
+// decoder on a flat vector: O(N + N·D) per chunk, which is fine at the
+// default 4K-event chunks but quadratic-ish for large ones. This module
+// provides the same transformations in O((N + D) log N) using an
+// order-statistic treap for the working list plus a Fenwick tree over
+// observed positions for the settled-element rank queries. Both engines
+// are cross-checked against each other in the tests; encode_chunk and
+// observed_reference_indices use the fast engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "record/edit_distance.h"
+
+namespace cdc::record {
+
+/// Same contract as encode_permutation: minimal move ops, sorted by
+/// reference index, sequential-decode semantics.
+std::vector<MoveOp> fast_encode_permutation(
+    std::span<const std::uint32_t> b);
+
+/// Same contract as apply_moves.
+std::vector<std::uint32_t> fast_apply_moves(std::size_t n,
+                                            std::span<const MoveOp> ops);
+
+namespace detail {
+
+/// Order-statistic treap over the working list of reference indices.
+/// Nodes are preallocated (one per element); priorities come from a
+/// deterministic hash so behaviour is reproducible.
+class WorkingList {
+ public:
+  explicit WorkingList(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  /// Current position of element `value`. O(log N).
+  [[nodiscard]] std::size_t position_of(std::uint32_t value) const;
+
+  /// Removes element `value`. O(log N).
+  void erase(std::uint32_t value);
+
+  /// Inserts element `value` so that exactly `position` elements precede
+  /// it. O(log N).
+  void insert_at(std::size_t position, std::uint32_t value);
+
+  /// In-order traversal into a vector. O(N).
+  [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
+
+ private:
+  struct Node {
+    std::uint32_t left = kNil;
+    std::uint32_t right = kNil;
+    std::uint32_t parent = kNil;
+    std::uint32_t size = 1;
+    std::uint64_t priority = 0;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  void pull(std::uint32_t node) noexcept;
+  [[nodiscard]] std::uint32_t merge(std::uint32_t a, std::uint32_t b);
+  /// Splits `node` into [first `count` elements, rest].
+  void split(std::uint32_t node, std::uint32_t count, std::uint32_t& left,
+             std::uint32_t& right);
+  void collect(std::uint32_t node, std::vector<std::uint32_t>& out) const;
+
+  std::vector<Node> nodes_;  // index == element value
+  std::uint32_t root_ = kNil;
+  std::size_t count_ = 0;
+};
+
+/// Fenwick tree over 0..n-1 with point update / prefix sum / select.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t index, int delta);
+  /// Sum over [0, index).
+  [[nodiscard]] int prefix(std::size_t index) const;
+  /// Smallest index such that prefix(index + 1) >= target (target >= 1).
+  [[nodiscard]] std::size_t select(int target) const;
+
+ private:
+  std::vector<int> tree_;
+};
+
+}  // namespace detail
+
+}  // namespace cdc::record

@@ -1,0 +1,59 @@
+#include "record/tables.h"
+
+#include "support/check.h"
+
+namespace cdc::record {
+
+ChunkTables build_tables(std::span<const ReceiveEvent> events) {
+  ChunkTables tables;
+  std::uint64_t pending_unmatched = 0;
+  for (const ReceiveEvent& e : events) {
+    if (!e.flag) {
+      ++pending_unmatched;
+      continue;
+    }
+    const std::uint64_t index = tables.matched.size();
+    if (pending_unmatched > 0) {
+      tables.unmatched.push_back(UnmatchedRun{index, pending_unmatched});
+      pending_unmatched = 0;
+    }
+    if (e.with_next) tables.with_next.push_back(index);
+    tables.matched.push_back(e.id());
+  }
+  if (pending_unmatched > 0)
+    tables.unmatched.push_back(
+        UnmatchedRun{tables.matched.size(), pending_unmatched});
+  return tables;
+}
+
+std::vector<ReceiveEvent> tables_to_events(const ChunkTables& tables) {
+  std::vector<ReceiveEvent> events;
+  std::size_t next_unmatched = 0;
+  std::size_t next_with = 0;
+  for (std::uint64_t i = 0; i <= tables.matched.size(); ++i) {
+    if (next_unmatched < tables.unmatched.size() &&
+        tables.unmatched[next_unmatched].index == i) {
+      for (std::uint64_t k = 0; k < tables.unmatched[next_unmatched].count;
+           ++k)
+        events.push_back(ReceiveEvent{false, false, -1, 0});
+      ++next_unmatched;
+    }
+    if (i == tables.matched.size()) break;
+    ReceiveEvent e;
+    e.flag = true;
+    e.rank = tables.matched[i].sender;
+    e.clock = tables.matched[i].clock;
+    if (next_with < tables.with_next.size() &&
+        tables.with_next[next_with] == i) {
+      e.with_next = true;
+      ++next_with;
+    }
+    events.push_back(e);
+  }
+  CDC_CHECK_MSG(next_unmatched == tables.unmatched.size() &&
+                    next_with == tables.with_next.size(),
+                "tables reference out-of-range observed indices");
+  return events;
+}
+
+}  // namespace cdc::record

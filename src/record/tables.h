@@ -1,0 +1,52 @@
+// Redundancy elimination (§3.2, Figure 6).
+//
+// The Figure 4 recording table is split into three tables so that each
+// stores only non-redundant information:
+//   * matched-test  — the matched receives in observed order (rank, clock);
+//   * with_next     — observed indices of receives delivered together with
+//                     the next one (empty unless Waitall/Waitsome/
+//                     Testall/Testsome are used);
+//   * unmatched-test— (observed index, count) pairs: how many unmatched
+//                     Test-family results occurred immediately before the
+//                     matched receive at that index (index == N means
+//                     trailing unmatched tests after the last receive).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clock/lamport.h"
+#include "record/event.h"
+
+namespace cdc::record {
+
+struct UnmatchedRun {
+  std::uint64_t index = 0;  ///< observed matched-event index it precedes
+  std::uint64_t count = 0;  ///< number of consecutive unmatched tests
+
+  friend bool operator==(const UnmatchedRun&, const UnmatchedRun&) = default;
+};
+
+struct ChunkTables {
+  std::vector<clock::MessageId> matched;  ///< observed order
+  std::vector<std::uint64_t> with_next;   ///< observed indices, increasing
+  std::vector<UnmatchedRun> unmatched;    ///< increasing by index
+
+  friend bool operator==(const ChunkTables&, const ChunkTables&) = default;
+
+  /// Number of stored values under the paper's accounting (Figure 6:
+  /// 23 in the worked example): 2 per matched event, 1 per with_next row,
+  /// 2 per unmatched row.
+  [[nodiscard]] std::size_t value_count() const noexcept {
+    return 2 * matched.size() + with_next.size() + 2 * unmatched.size();
+  }
+};
+
+/// Splits an event stream into the three tables.
+ChunkTables build_tables(std::span<const ReceiveEvent> events);
+
+/// Reassembles the event stream from the tables (inverse of build_tables).
+std::vector<ReceiveEvent> tables_to_events(const ChunkTables& tables);
+
+}  // namespace cdc::record

@@ -1,0 +1,84 @@
+// Bounded lock-free single-producer/single-consumer ring buffer (§4.2).
+//
+// The paper's recording path is an SPSC pair: the application (main)
+// thread enqueues receive events, the dedicated CDC thread dequeues,
+// encodes and writes — "both main and CDC thread can concurrently enqueue
+// and dequeue events race free without needing explicit mutual exclusion".
+// The ring is bounded and "will block the main thread when the queue is
+// filled up" — callers spin/back off on try_push failure.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "support/check.h"
+
+namespace cdc::runtime {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two; one slot is sacrificed to
+  /// distinguish full from empty.
+  explicit SpscQueue(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity + 1) - 1),
+        slots_(mask_ + 1) {
+    CDC_CHECK(capacity >= 1);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool try_push(T&& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& value) {
+    T copy = value;
+    return try_push(std::move(copy));
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact only when called from producer or
+  /// consumer with the other side quiescent).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  [[nodiscard]] bool empty_approx() const noexcept {
+    return size_approx() == 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_; }
+
+ private:
+  // 64 bytes covers current x86-64 and most AArch64 parts; the standard
+  // constant triggers -Winterference-size and an ABI warning on GCC.
+  static constexpr std::size_t kCacheLine = 64;
+
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace cdc::runtime

@@ -1,0 +1,140 @@
+#include "runtime/storage.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/check.h"
+
+namespace cdc::runtime {
+
+// --- MemoryStore ------------------------------------------------------------
+
+void MemoryStore::append(const StreamKey& key,
+                         std::span<const std::uint8_t> bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& stream = streams_[key];
+  stream.insert(stream.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> MemoryStore::read(const StreamKey& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(key);
+  return it != streams_.end() ? it->second : std::vector<std::uint8_t>{};
+}
+
+std::vector<StreamKey> MemoryStore::keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StreamKey> out;
+  out.reserve(streams_.size());
+  for (const auto& [key, stream] : streams_) out.push_back(key);
+  return out;
+}
+
+std::uint64_t MemoryStore::total_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, stream] : streams_) total += stream.size();
+  return total;
+}
+
+std::uint64_t MemoryStore::rank_bytes(minimpi::Rank rank) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, stream] : streams_)
+    if (key.rank == rank) total += stream.size();
+  return total;
+}
+
+// --- FileStore --------------------------------------------------------------
+
+FileStore::FileStore(std::string directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::string FileStore::path_for(const StreamKey& key) const {
+  return directory_ + "/" + std::to_string(key.rank) + "_" +
+         std::to_string(key.callsite) + ".cdcrec";
+}
+
+void FileStore::append(const StreamKey& key,
+                       std::span<const std::uint8_t> bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ofstream out(path_for(key), std::ios::binary | std::ios::app);
+  CDC_CHECK_MSG(out.good(), "cannot open record file for append");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  CDC_CHECK_MSG(out.good(), "record file write failed");
+  sizes_[key] += bytes.size();
+}
+
+std::vector<std::uint8_t> FileStore::read(const StreamKey& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in.good()) return {};
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+std::vector<StreamKey> FileStore::keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StreamKey> out;
+  out.reserve(sizes_.size());
+  for (const auto& [key, size] : sizes_) out.push_back(key);
+  return out;
+}
+
+std::uint64_t FileStore::total_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, size] : sizes_) total += size;
+  return total;
+}
+
+std::uint64_t FileStore::rank_bytes(minimpi::Rank rank) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, size] : sizes_)
+    if (key.rank == rank) total += size;
+  return total;
+}
+
+// --- CountingStore ----------------------------------------------------------
+
+void CountingStore::append(const StreamKey& key,
+                           std::span<const std::uint8_t> bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sizes_[key] += bytes.size();
+}
+
+std::vector<std::uint8_t> CountingStore::read(const StreamKey&) const {
+  CDC_CHECK_MSG(false, "CountingStore discards data; replay is impossible");
+  return {};
+}
+
+std::vector<StreamKey> CountingStore::keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StreamKey> out;
+  out.reserve(sizes_.size());
+  for (const auto& [key, size] : sizes_) out.push_back(key);
+  return out;
+}
+
+std::uint64_t CountingStore::total_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, size] : sizes_) total += size;
+  return total;
+}
+
+std::uint64_t CountingStore::rank_bytes(minimpi::Rank rank) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, size] : sizes_)
+    if (key.rank == rank) total += size;
+  return total;
+}
+
+}  // namespace cdc::runtime

@@ -1,0 +1,99 @@
+// Record storage backends.
+//
+// The paper writes per-process record data to node-local storage (SSD or
+// ramdisk). Here a RecordStore maps a stream key — (MPI rank, MF callsite)
+// — to an append-only byte stream. MemoryStore models ramdisk recording;
+// FileStore persists streams as files in a directory; size accounting is
+// identical across backends, which is what the evaluation measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "minimpi/types.h"
+
+namespace cdc::runtime {
+
+struct StreamKey {
+  minimpi::Rank rank = 0;
+  minimpi::CallsiteId callsite = 0;
+
+  friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+};
+
+class RecordStore {
+ public:
+  virtual ~RecordStore() = default;
+
+  virtual void append(const StreamKey& key,
+                      std::span<const std::uint8_t> bytes) = 0;
+  [[nodiscard]] virtual std::vector<std::uint8_t> read(
+      const StreamKey& key) const = 0;
+  [[nodiscard]] virtual std::vector<StreamKey> keys() const = 0;
+  [[nodiscard]] virtual std::uint64_t total_bytes() const = 0;
+
+  /// Bytes attributable to one rank (per-process record size).
+  [[nodiscard]] virtual std::uint64_t rank_bytes(minimpi::Rank rank) const = 0;
+};
+
+/// Ramdisk-style in-memory store. Thread-safe (the asynchronous recording
+/// worker and the application may touch different streams concurrently).
+class MemoryStore final : public RecordStore {
+ public:
+  void append(const StreamKey& key,
+              std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read(
+      const StreamKey& key) const override;
+  [[nodiscard]] std::vector<StreamKey> keys() const override;
+  [[nodiscard]] std::uint64_t total_bytes() const override;
+  [[nodiscard]] std::uint64_t rank_bytes(minimpi::Rank rank) const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<StreamKey, std::vector<std::uint8_t>> streams_;
+};
+
+/// Directory-backed store: one file per stream, named
+/// `<rank>_<callsite>.cdcrec`.
+class FileStore final : public RecordStore {
+ public:
+  explicit FileStore(std::string directory);
+
+  void append(const StreamKey& key,
+              std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read(
+      const StreamKey& key) const override;
+  [[nodiscard]] std::vector<StreamKey> keys() const override;
+  [[nodiscard]] std::uint64_t total_bytes() const override;
+  [[nodiscard]] std::uint64_t rank_bytes(minimpi::Rank rank) const override;
+
+ private:
+  [[nodiscard]] std::string path_for(const StreamKey& key) const;
+
+  std::string directory_;
+  mutable std::mutex mutex_;
+  std::map<StreamKey, std::uint64_t> sizes_;
+};
+
+/// Size-accounting-only store for compression benchmarks at scale: bytes
+/// are counted and discarded.
+class CountingStore final : public RecordStore {
+ public:
+  void append(const StreamKey& key,
+              std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read(
+      const StreamKey& key) const override;
+  [[nodiscard]] std::vector<StreamKey> keys() const override;
+  [[nodiscard]] std::uint64_t total_bytes() const override;
+  [[nodiscard]] std::uint64_t rank_bytes(minimpi::Rank rank) const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<StreamKey, std::uint64_t> sizes_;
+};
+
+}  // namespace cdc::runtime

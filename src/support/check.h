@@ -1,0 +1,40 @@
+// Checked assertions used across the library.
+//
+// CDC_CHECK is active in all build types (the codecs guard format
+// invariants with it); CDC_DCHECK compiles out in NDEBUG builds and is
+// reserved for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdc::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CDC_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace cdc::support
+
+#define CDC_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) ::cdc::support::check_failed(#expr, __FILE__, __LINE__, \
+                                              "");                       \
+  } while (false)
+
+#define CDC_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) ::cdc::support::check_failed(#expr, __FILE__, __LINE__, \
+                                              (msg));                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define CDC_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define CDC_DCHECK(expr) CDC_CHECK(expr)
+#endif

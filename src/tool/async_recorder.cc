@@ -1,0 +1,71 @@
+#include "tool/async_recorder.h"
+
+#include <chrono>
+
+namespace cdc::tool {
+
+AsyncRecorder::AsyncRecorder(const Config& config,
+                             runtime::RecordStore* store)
+    : store_(store),
+      recorder_(config.key, config.options),
+      queue_(config.queue_capacity),
+      worker_([this](std::stop_token stop) { worker_loop(stop); }) {
+  CDC_CHECK(store != nullptr);
+}
+
+AsyncRecorder::~AsyncRecorder() { finalize(); }
+
+bool AsyncRecorder::try_enqueue(const record::ReceiveEvent& event) {
+  CDC_CHECK_MSG(!finalized_.load(std::memory_order_relaxed),
+                "enqueue after finalize");
+  if (!queue_.try_push(event)) return false;
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void AsyncRecorder::enqueue(const record::ReceiveEvent& event) {
+  if (try_enqueue(event)) return;
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  // Bounded-queue back-pressure: spin with progressive backoff.
+  int spins = 0;
+  while (!try_enqueue(event)) {
+    if (++spins > 64) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void AsyncRecorder::worker_loop(std::stop_token stop) {
+  record::ReceiveEvent event;
+  for (;;) {
+    bool drained_any = false;
+    while (queue_.try_pop(event)) {
+      drained_any = true;
+      dequeued_.fetch_add(1, std::memory_order_relaxed);
+      if (event.flag) {
+        recorder_.on_delivered(event);
+      } else {
+        recorder_.on_unmatched_test();
+      }
+      recorder_.flush_if_due(*store_);
+    }
+    if (!drained_any) {
+      if (stop.stop_requested()) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void AsyncRecorder::finalize() {
+  if (finalized_.exchange(true)) return;
+  // Wait until the consumer has drained everything we enqueued.
+  while (dequeued_.load(std::memory_order_acquire) <
+         enqueued_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  worker_.request_stop();
+  worker_.join();
+  recorder_.finalize(*store_);
+}
+
+}  // namespace cdc::tool

@@ -1,0 +1,51 @@
+#include "tool/frame.h"
+
+namespace cdc::tool {
+
+void write_frame(support::ByteWriter& out, std::uint8_t codec,
+                 std::uint64_t meta, std::span<const std::uint8_t> payload,
+                 compress::DeflateLevel level) {
+  out.u8(kFrameMagic);
+  out.u8(codec);
+  const std::vector<std::uint8_t> compressed =
+      compress::deflate_compress(payload, level);
+  const bool stored_raw = compressed.size() >= payload.size();
+  out.u8(stored_raw ? 1 : 0);
+  out.varint(meta);
+  out.varint(payload.size());
+  if (stored_raw) {
+    out.varint(payload.size());
+    out.bytes(payload);
+  } else {
+    out.varint(compressed.size());
+    out.bytes(compressed);
+  }
+}
+
+std::optional<Frame> read_frame(support::ByteReader& in) {
+  if (in.exhausted()) return std::nullopt;
+  std::uint8_t magic = 0;
+  if (!in.try_u8(magic) || magic != kFrameMagic) return std::nullopt;
+  Frame frame;
+  std::uint8_t stored_raw = 0;
+  std::uint64_t raw_len = 0;
+  std::uint64_t payload_len = 0;
+  if (!in.try_u8(frame.codec) || !in.try_u8(stored_raw) ||
+      !in.try_varint(frame.meta) || !in.try_varint(raw_len) ||
+      !in.try_varint(payload_len))
+    return std::nullopt;
+  std::span<const std::uint8_t> body;
+  if (!in.try_bytes(static_cast<std::size_t>(payload_len), body))
+    return std::nullopt;
+  if (stored_raw) {
+    if (raw_len != payload_len) return std::nullopt;
+    frame.payload.assign(body.begin(), body.end());
+    return frame;
+  }
+  auto decoded = compress::deflate_decompress(body);
+  if (!decoded || decoded->size() != raw_len) return std::nullopt;
+  frame.payload = std::move(*decoded);
+  return frame;
+}
+
+}  // namespace cdc::tool

@@ -1,0 +1,37 @@
+// On-storage chunk framing shared by the recorder and the replayer.
+//
+// Every flushed chunk becomes one frame:
+//   u8 magic (0xC4) | u8 codec | u8 stored_raw | varint meta |
+//   varint raw_len | varint payload_len | payload
+// `meta` carries codec-specific metadata (the baseline formats need the
+// row count to parse headerless 162-bit rows; CDC frames carry 0). The
+// payload is DEFLATE-compressed unless that would grow it (stored_raw).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "compress/deflate.h"
+#include "support/binary.h"
+
+namespace cdc::tool {
+
+inline constexpr std::uint8_t kFrameMagic = 0xC4;
+
+struct Frame {
+  std::uint8_t codec = 0;
+  std::uint64_t meta = 0;
+  std::vector<std::uint8_t> payload;  ///< decompressed
+};
+
+/// Appends one frame to `out`, compressing the payload with DEFLATE.
+void write_frame(support::ByteWriter& out, std::uint8_t codec,
+                 std::uint64_t meta, std::span<const std::uint8_t> payload,
+                 compress::DeflateLevel level);
+
+/// Parses the next frame; std::nullopt at end of stream or on corruption.
+std::optional<Frame> read_frame(support::ByteReader& in);
+
+}  // namespace cdc::tool

@@ -1,0 +1,115 @@
+// PnMPI-style tool stacking (§4.3: "we integrate the PMPI layers using the
+// PNMPI infrastructure").
+//
+// A HookChain exposes one ToolHooks to the simulator while fanning events
+// out to multiple layers: a single *primary* layer owns the semantics-
+// affecting decisions (piggyback values and matching selection — in this
+// system, the Recorder or the Replayer), and any number of *observer*
+// layers receive the notification stream (sends, deliveries, unmatched
+// tests, deadlock dumps) without being able to alter the run. This is how
+// auxiliary tools — tracers, statistics collectors, invariant checkers —
+// ride along with record or replay.
+#pragma once
+
+#include <vector>
+
+#include "minimpi/hooks.h"
+#include "support/check.h"
+
+namespace cdc::tool {
+
+class HookChain : public minimpi::ToolHooks {
+ public:
+  /// `primary` may be null (untooled semantics with observers attached).
+  explicit HookChain(minimpi::ToolHooks* primary) : primary_(primary) {}
+
+  /// Observers are invoked in registration order, after the primary.
+  void add_observer(minimpi::ToolHooks* observer) {
+    CDC_CHECK(observer != nullptr && observer != primary_);
+    observers_.push_back(observer);
+  }
+
+  std::uint64_t on_send(minimpi::Rank sender) override {
+    const std::uint64_t piggyback =
+        primary_ != nullptr ? primary_->on_send(sender) : 0;
+    for (minimpi::ToolHooks* observer : observers_) observer->on_send(sender);
+    return piggyback;
+  }
+
+  minimpi::SelectResult select(minimpi::Rank rank,
+                               minimpi::CallsiteId callsite,
+                               minimpi::MFKind kind,
+                               std::span<const minimpi::Candidate> candidates,
+                               std::size_t total_requests,
+                               bool blocking) override {
+    // Selection is semantics-affecting: primary only.
+    if (primary_ != nullptr)
+      return primary_->select(rank, callsite, kind, candidates,
+                              total_requests, blocking);
+    return ToolHooks::select(rank, callsite, kind, candidates,
+                             total_requests, blocking);
+  }
+
+  void on_unmatched_test(minimpi::Rank rank,
+                         minimpi::CallsiteId callsite) override {
+    if (primary_ != nullptr) primary_->on_unmatched_test(rank, callsite);
+    for (minimpi::ToolHooks* observer : observers_)
+      observer->on_unmatched_test(rank, callsite);
+  }
+
+  void on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
+                  minimpi::MFKind kind,
+                  std::span<const minimpi::Completion> events) override {
+    if (primary_ != nullptr) primary_->on_deliver(rank, callsite, kind, events);
+    for (minimpi::ToolHooks* observer : observers_)
+      observer->on_deliver(rank, callsite, kind, events);
+  }
+
+  void on_deadlock() override {
+    if (primary_ != nullptr) primary_->on_deadlock();
+    for (minimpi::ToolHooks* observer : observers_) observer->on_deadlock();
+  }
+
+ private:
+  minimpi::ToolHooks* primary_;
+  std::vector<minimpi::ToolHooks*> observers_;
+};
+
+/// A ready-made observer: per-rank / per-callsite receive-event counters,
+/// useful for quick communication profiles alongside record or replay.
+class EventCounter : public minimpi::ToolHooks {
+ public:
+  explicit EventCounter(int num_ranks)
+      : deliveries_(static_cast<std::size_t>(num_ranks), 0),
+        unmatched_(static_cast<std::size_t>(num_ranks), 0),
+        sends_(static_cast<std::size_t>(num_ranks), 0) {}
+
+  std::uint64_t on_send(minimpi::Rank sender) override {
+    ++sends_[static_cast<std::size_t>(sender)];
+    return 0;  // ignored: observers never piggyback
+  }
+  void on_unmatched_test(minimpi::Rank rank, minimpi::CallsiteId) override {
+    ++unmatched_[static_cast<std::size_t>(rank)];
+  }
+  void on_deliver(minimpi::Rank rank, minimpi::CallsiteId, minimpi::MFKind,
+                  std::span<const minimpi::Completion> events) override {
+    deliveries_[static_cast<std::size_t>(rank)] += events.size();
+  }
+
+  [[nodiscard]] std::uint64_t deliveries(minimpi::Rank rank) const {
+    return deliveries_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::uint64_t unmatched(minimpi::Rank rank) const {
+    return unmatched_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::uint64_t sends(minimpi::Rank rank) const {
+    return sends_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  std::vector<std::uint64_t> deliveries_;
+  std::vector<std::uint64_t> unmatched_;
+  std::vector<std::uint64_t> sends_;
+};
+
+}  // namespace cdc::tool

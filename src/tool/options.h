@@ -1,0 +1,49 @@
+// Shared configuration of the record/replay tool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "compress/deflate.h"
+
+namespace cdc::tool {
+
+/// The recording codecs compared in Figure 13.
+enum class RecordCodec : std::uint8_t {
+  kBaselineRaw,   ///< traditional 162-bit rows, no compression
+  kBaselineGzip,  ///< gzip over the traditional rows
+  kCdcRe,         ///< redundancy elimination only, then gzip ("CDC (RE)")
+  kCdcFull,       ///< RE + permutation + LP + epoch, then gzip ("CDC")
+};
+
+[[nodiscard]] constexpr const char* codec_name(RecordCodec codec) noexcept {
+  switch (codec) {
+    case RecordCodec::kBaselineRaw: return "w/o Compression";
+    case RecordCodec::kBaselineGzip: return "gzip";
+    case RecordCodec::kCdcRe: return "CDC (RE)";
+    case RecordCodec::kCdcFull: return "CDC";
+  }
+  return "?";
+}
+
+struct ToolOptions {
+  RecordCodec codec = RecordCodec::kCdcFull;
+  /// §4.4 MF identification: when false, all callsites share one record
+  /// table — the "CDC (RE + PE + LPE)" variant of Figure 13.
+  bool identify_callsites = true;
+  /// Matched receives per chunk flush attempt (§3.5 epoch enforcement may
+  /// defer past this).
+  std::size_t chunk_target = 4096;
+  compress::DeflateLevel level = compress::DeflateLevel::kDefault;
+  /// Rank whose received-clock series is captured (Figure 1); -1 = none.
+  std::int32_t clock_trace_rank = -1;
+  /// Advance the Lamport clock on unmatched Test results as well as on
+  /// sends/receives. Unmatched tests are themselves replayed, so this
+  /// clock is still replayable (the paper's §4.3 invites such refined
+  /// clock definitions); it keeps rank clocks advancing at poll rate,
+  /// which greatly increases observed/reference order similarity for
+  /// polling applications like MCB.
+  bool tick_on_unmatched_test = true;
+};
+
+}  // namespace cdc::tool

@@ -1,0 +1,130 @@
+#include "tool/recorder.h"
+
+#include "support/check.h"
+
+namespace cdc::tool {
+
+Recorder::Recorder(int num_ranks, runtime::RecordStore* store,
+                   const ToolOptions& options)
+    : options_(options),
+      store_(store),
+      clocks_(static_cast<std::size_t>(num_ranks)),
+      digests_(static_cast<std::size_t>(num_ranks),
+               0xcbf29ce484222325ull) {
+  CDC_CHECK(store != nullptr && num_ranks >= 1);
+}
+
+namespace {
+std::uint64_t fnv_mix(std::uint64_t digest, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (8 * i)) & 0xff;
+    digest *= 0x100000001b3ull;
+  }
+  return digest;
+}
+}  // namespace
+
+std::uint64_t Recorder::order_digest() const {
+  std::uint64_t combined = 0;
+  for (const std::uint64_t d : digests_) combined ^= d;
+  return combined;
+}
+
+StreamRecorder& Recorder::stream(minimpi::Rank rank,
+                                 minimpi::CallsiteId callsite) {
+  const runtime::StreamKey key{
+      rank, options_.identify_callsites ? callsite : 0};
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    it = streams_
+             .emplace(key, std::make_unique<StreamRecorder>(key, options_))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t Recorder::on_send(minimpi::Rank sender) {
+  return clocks_[static_cast<std::size_t>(sender)].on_send();
+}
+
+minimpi::SelectResult Recorder::select(
+    minimpi::Rank rank, minimpi::CallsiteId callsite, minimpi::MFKind kind,
+    std::span<const minimpi::Candidate> candidates,
+    std::size_t total_requests, bool blocking) {
+  // Record mode: sight candidates for epoch enforcement, then pass the
+  // matching decision through unchanged.
+  StreamRecorder& rec = stream(rank, callsite);
+  for (const minimpi::Candidate& c : candidates)
+    if (c.fresh) rec.on_candidate(clock::MessageId{c.source, c.piggyback});
+  return ToolHooks::select(rank, callsite, kind, candidates, total_requests,
+                           blocking);
+}
+
+void Recorder::on_unmatched_test(minimpi::Rank rank,
+                                 minimpi::CallsiteId callsite) {
+  if (options_.tick_on_unmatched_test)
+    clocks_[static_cast<std::size_t>(rank)].tick();
+  stream(rank, callsite).on_unmatched_test();
+}
+
+void Recorder::on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
+                          minimpi::MFKind /*kind*/,
+                          std::span<const minimpi::Completion> events) {
+  StreamRecorder& rec = stream(rank, callsite);
+  auto& clock = clocks_[static_cast<std::size_t>(rank)];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const minimpi::Completion& e = events[i];
+    clock.on_receive(e.piggyback);
+    record::ReceiveEvent event;
+    event.flag = true;
+    event.with_next = i + 1 < events.size();
+    event.rank = e.source;
+    event.clock = e.piggyback;
+    rec.on_delivered(event);
+    auto& digest = digests_[static_cast<std::size_t>(rank)];
+    digest = fnv_mix(digest, callsite);
+    digest = fnv_mix(digest, static_cast<std::uint64_t>(e.source));
+    digest = fnv_mix(digest, e.piggyback);
+    if (rank == options_.clock_trace_rank)
+      clock_trace_.push_back(e.piggyback);
+  }
+  rec.flush_if_due(*store_);
+}
+
+void Recorder::finalize() {
+  for (auto& [key, rec] : streams_) rec->finalize(*store_);
+}
+
+Recorder::Totals Recorder::totals() const {
+  Totals totals;
+  for (const auto& [key, rec] : streams_) {
+    const auto& s = rec->stats();
+    totals.matched_events += s.matched_events;
+    totals.unmatched_events += s.unmatched_events;
+    totals.moves += s.moves;
+    totals.chunks += s.chunks;
+    totals.stored_values += s.stored_values;
+    totals.rows += s.rows;
+  }
+  return totals;
+}
+
+std::vector<double> Recorder::permutation_percentages() const {
+  std::map<minimpi::Rank, std::pair<std::uint64_t, std::uint64_t>> by_rank;
+  for (const auto& [key, rec] : streams_) {
+    auto& [moves, matched] = by_rank[key.rank];
+    moves += rec->stats().moves;
+    matched += rec->stats().matched_events;
+  }
+  std::vector<double> out;
+  out.reserve(by_rank.size());
+  for (const auto& [rank, counts] : by_rank) {
+    const auto& [moves, matched] = counts;
+    out.push_back(matched > 0 ? static_cast<double>(moves) /
+                                    static_cast<double>(matched)
+                              : 0.0);
+  }
+  return out;
+}
+
+}  // namespace cdc::tool

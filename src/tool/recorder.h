@@ -1,0 +1,83 @@
+// The record-mode tool session (Figure 2, left; Figure 11 record path).
+//
+// Implements MiniMPI's interposition hooks: piggybacks Lamport clocks on
+// sends, observes every application-level receive event, and feeds the
+// per-(rank, callsite) stream recorders. Matching behaviour is passed
+// through unchanged — recording never alters the run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "clock/lamport.h"
+#include "minimpi/hooks.h"
+#include "runtime/storage.h"
+#include "tool/options.h"
+#include "tool/stream_recorder.h"
+
+namespace cdc::tool {
+
+class Recorder : public minimpi::ToolHooks {
+ public:
+  Recorder(int num_ranks, runtime::RecordStore* store,
+           const ToolOptions& options = {});
+
+  // --- ToolHooks
+  std::uint64_t on_send(minimpi::Rank sender) override;
+  minimpi::SelectResult select(minimpi::Rank rank,
+                               minimpi::CallsiteId callsite,
+                               minimpi::MFKind kind,
+                               std::span<const minimpi::Candidate> candidates,
+                               std::size_t total_requests,
+                               bool blocking) override;
+  void on_unmatched_test(minimpi::Rank rank,
+                         minimpi::CallsiteId callsite) override;
+  void on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
+                  minimpi::MFKind kind,
+                  std::span<const minimpi::Completion> events) override;
+
+  /// Flushes every stream; call once after Simulator::run() returns.
+  void finalize();
+
+  // --- Introspection for the evaluation harnesses.
+  struct Totals {
+    std::uint64_t matched_events = 0;
+    std::uint64_t unmatched_events = 0;
+    std::uint64_t moves = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t stored_values = 0;
+    std::uint64_t rows = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// Np / N per rank (Figure 14).
+  [[nodiscard]] std::vector<double> permutation_percentages() const;
+
+  /// Received-clock series of the clock_trace_rank (Figure 1).
+  [[nodiscard]] const std::vector<std::uint64_t>& clock_trace() const {
+    return clock_trace_;
+  }
+
+  /// Order-sensitive digest of every rank's receive-event stream, combined
+  /// across ranks order-insensitively (per-rank order is the replayed
+  /// property; cross-rank interleaving is not).
+  [[nodiscard]] std::uint64_t order_digest() const;
+
+  [[nodiscard]] const ToolOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  StreamRecorder& stream(minimpi::Rank rank, minimpi::CallsiteId callsite);
+
+  ToolOptions options_;
+  runtime::RecordStore* store_;
+  std::vector<clock::LamportClock> clocks_;
+  std::map<runtime::StreamKey, std::unique_ptr<StreamRecorder>> streams_;
+  std::vector<std::uint64_t> clock_trace_;
+  std::vector<std::uint64_t> digests_;
+};
+
+}  // namespace cdc::tool

@@ -1,0 +1,151 @@
+#include "tool/replayer.h"
+
+#include "support/check.h"
+
+namespace cdc::tool {
+
+Replayer::Replayer(int num_ranks, const runtime::RecordStore* store,
+                   const ToolOptions& options)
+    : options_(options),
+      store_(store),
+      clocks_(static_cast<std::size_t>(num_ranks)),
+      digests_(static_cast<std::size_t>(num_ranks),
+               0xcbf29ce484222325ull) {
+  CDC_CHECK(store != nullptr && num_ranks >= 1);
+  CDC_CHECK_MSG(options.codec == RecordCodec::kCdcFull,
+                "replay is implemented for the CDC codec");
+  // Structural identification needs per-callsite streams: within one
+  // callsite, per-sender sightings are clock-ordered arrival prefixes;
+  // merged streams interleave request classes and break that property.
+  CDC_CHECK_MSG(options.identify_callsites,
+                "replay requires MF identification (identify_callsites)");
+}
+
+namespace {
+std::uint64_t fnv_mix(std::uint64_t digest, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (8 * i)) & 0xff;
+    digest *= 0x100000001b3ull;
+  }
+  return digest;
+}
+}  // namespace
+
+std::uint64_t Replayer::order_digest() const {
+  std::uint64_t combined = 0;
+  for (const std::uint64_t d : digests_) combined ^= d;
+  return combined;
+}
+
+StreamReplayer& Replayer::stream(minimpi::Rank rank,
+                                 minimpi::CallsiteId callsite) {
+  const runtime::StreamKey key{
+      rank, options_.identify_callsites ? callsite : 0};
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    it = streams_
+             .emplace(key, std::make_unique<StreamReplayer>(
+                               key, store_->read(key)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t Replayer::on_send(minimpi::Rank sender) {
+  return clocks_[static_cast<std::size_t>(sender)].on_send();
+}
+
+minimpi::SelectResult Replayer::select(
+    minimpi::Rank rank, minimpi::CallsiteId callsite, minimpi::MFKind kind,
+    std::span<const minimpi::Candidate> candidates,
+    std::size_t total_requests, bool blocking) {
+  StreamReplayer& rep = stream(rank, callsite);
+
+  // Sight newly visible candidates (Definition 8's observed set B).
+  for (const minimpi::Candidate& c : candidates)
+    if (c.fresh) rep.sight(clock::MessageId{c.source, c.piggyback});
+
+  const StreamReplayer::Decision decision = rep.decide(kind, candidates);
+  minimpi::SelectResult result;
+  switch (decision.kind) {
+    case StreamReplayer::Decision::Kind::kPassthrough:
+      return ToolHooks::select(rank, callsite, kind, candidates,
+                               total_requests, blocking);
+    case StreamReplayer::Decision::Kind::kNoMatch:
+      result.action = minimpi::SelectResult::Action::kNoMatch;
+      return result;
+    case StreamReplayer::Decision::Kind::kBlock:
+      // Even Test-family calls wait for the recorded message (§3.6).
+      result.action = minimpi::SelectResult::Action::kBlock;
+      return result;
+    case StreamReplayer::Decision::Kind::kDeliver: {
+      result.action = minimpi::SelectResult::Action::kDeliver;
+      result.indices.reserve(decision.messages.size());
+      for (const clock::MessageId& id : decision.messages) {
+        std::size_t index = candidates.size();
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (candidates[i].source == id.sender &&
+              candidates[i].piggyback == id.clock) {
+            index = i;
+            break;
+          }
+        }
+        CDC_CHECK_MSG(index < candidates.size(),
+                      "selected message vanished from the candidate list");
+        result.indices.push_back(index);
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+void Replayer::on_unmatched_test(minimpi::Rank rank,
+                                 minimpi::CallsiteId callsite) {
+  // Unmatched tests are replayed events, so ticking here keeps the clock
+  // replayable and identical to record mode.
+  if (options_.tick_on_unmatched_test)
+    clocks_[static_cast<std::size_t>(rank)].tick();
+  StreamReplayer& rep = stream(rank, callsite);
+  // In passthrough mode (record exhausted) there is nothing to confirm.
+  if (!rep.exhausted()) rep.confirm_unmatched();
+}
+
+void Replayer::on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
+                          minimpi::MFKind /*kind*/,
+                          std::span<const minimpi::Completion> events) {
+  auto& clock = clocks_[static_cast<std::size_t>(rank)];
+  auto& digest = digests_[static_cast<std::size_t>(rank)];
+  for (const minimpi::Completion& e : events) {
+    clock.on_receive(e.piggyback);
+    digest = fnv_mix(digest, callsite);
+    digest = fnv_mix(digest, static_cast<std::uint64_t>(e.source));
+    digest = fnv_mix(digest, e.piggyback);
+  }
+  StreamReplayer& rep = stream(rank, callsite);
+  if (!rep.exhausted()) rep.confirm_delivered(events);
+}
+
+void Replayer::on_deadlock() {
+  std::fprintf(stderr, "cdc replayer state at deadlock:\n");
+  for (const auto& [key, rep] : streams_)
+    if (!rep->exhausted()) rep->dump_state();
+}
+
+Replayer::Totals Replayer::totals() const {
+  Totals totals;
+  for (const auto& [key, rep] : streams_) {
+    totals.replayed_events += rep->stats().replayed_events;
+    totals.replayed_unmatched += rep->stats().replayed_unmatched;
+    totals.chunks += rep->stats().chunks;
+  }
+  return totals;
+}
+
+bool Replayer::fully_replayed() const {
+  for (const auto& [key, rep] : streams_)
+    if (!rep->exhausted()) return false;
+  return true;
+}
+
+}  // namespace cdc::tool

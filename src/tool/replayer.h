@@ -1,0 +1,67 @@
+// The replay-mode tool session (Figure 2, right; Figure 11 replay path).
+//
+// Gates MiniMPI's matching functions so that every MF call at every rank
+// surfaces exactly the receive events of the recorded run, in the recorded
+// order — regardless of the replay run's own message timing. Lamport
+// clocks are maintained identically to record mode, which (Theorem 2)
+// makes piggybacked clocks — and hence the reconstructed reference
+// orders — identical between the two runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "clock/lamport.h"
+#include "minimpi/hooks.h"
+#include "runtime/storage.h"
+#include "tool/options.h"
+#include "tool/stream_replayer.h"
+
+namespace cdc::tool {
+
+class Replayer : public minimpi::ToolHooks {
+ public:
+  Replayer(int num_ranks, const runtime::RecordStore* store,
+           const ToolOptions& options = {});
+
+  std::uint64_t on_send(minimpi::Rank sender) override;
+  minimpi::SelectResult select(minimpi::Rank rank,
+                               minimpi::CallsiteId callsite,
+                               minimpi::MFKind kind,
+                               std::span<const minimpi::Candidate> candidates,
+                               std::size_t total_requests,
+                               bool blocking) override;
+  void on_unmatched_test(minimpi::Rank rank,
+                         minimpi::CallsiteId callsite) override;
+  void on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
+                  minimpi::MFKind kind,
+                  std::span<const minimpi::Completion> events) override;
+  void on_deadlock() override;
+
+  struct Totals {
+    std::uint64_t replayed_events = 0;
+    std::uint64_t replayed_unmatched = 0;
+    std::uint64_t chunks = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// True when every stream has consumed its record completely.
+  [[nodiscard]] bool fully_replayed() const;
+
+  /// Same digest as Recorder::order_digest(): equal digests mean the
+  /// replay surfaced identical per-rank receive-event streams.
+  [[nodiscard]] std::uint64_t order_digest() const;
+
+ private:
+  StreamReplayer& stream(minimpi::Rank rank, minimpi::CallsiteId callsite);
+
+  ToolOptions options_;
+  const runtime::RecordStore* store_;
+  std::vector<clock::LamportClock> clocks_;
+  std::map<runtime::StreamKey, std::unique_ptr<StreamReplayer>> streams_;
+  std::vector<std::uint64_t> digests_;
+};
+
+}  // namespace cdc::tool

@@ -1,0 +1,97 @@
+#include "tool/stream_recorder.h"
+
+#include "record/baseline.h"
+#include "record/chunk.h"
+#include "record/epoch.h"
+#include "tool/frame.h"
+
+namespace cdc::tool {
+
+void StreamRecorder::flush(runtime::RecordStore& store,
+                           std::size_t max_matched, bool force_all) {
+  // Epoch enforcement: only cut where the per-sender clock frontier is
+  // clean; CDC variants defer otherwise. The baseline codecs have no epoch
+  // machinery (a traditional tool flushes blindly), but cutting them at
+  // the same points keeps the Figure 13 size comparison apples-to-apples.
+  record::PendingMins pending_min;
+  for (const auto& [sender, clocks] : pending_)
+    if (!clocks.empty()) pending_min.emplace(sender, *clocks.begin());
+
+  while (true) {
+    std::size_t cut =
+        record::find_clean_cut(buffer_, pending_min, max_matched);
+    std::size_t cut_matched = cut;
+    if (force_all) {
+      // Take every buffered event, matched or not.
+      cut_matched = 0;
+      for (const auto& e : buffer_) cut_matched += e.flag;
+      cut = cut_matched;
+      if (buffer_.empty()) return;
+    } else if (cut == 0) {
+      return;  // no clean cut yet — keep buffering
+    }
+
+    std::vector<record::ReceiveEvent> events =
+        record::take_cut(buffer_, cut_matched);
+    buffered_matched_ -= cut_matched;
+    if (force_all && !buffer_.empty()) {
+      // take_cut leaves trailing unmatched events; fold them in.
+      events.insert(events.end(), buffer_.begin(), buffer_.end());
+      buffer_.clear();
+    }
+    if (events.empty()) return;
+
+    support::ByteWriter frame_stream;
+    switch (options_.codec) {
+      case RecordCodec::kBaselineRaw:
+      case RecordCodec::kBaselineGzip: {
+        const auto rows = record::to_rows(events);
+        const auto bytes = record::baseline_serialize(rows);
+        stats_.rows += rows.size();
+        stats_.stored_values += 5 * rows.size();
+        if (options_.codec == RecordCodec::kBaselineRaw) {
+          // Traditional uncompressed recording: frame with stored payload.
+          frame_stream.u8(kFrameMagic);
+          frame_stream.u8(static_cast<std::uint8_t>(options_.codec));
+          frame_stream.u8(1);  // stored raw
+          frame_stream.varint(rows.size());
+          frame_stream.varint(bytes.size());
+          frame_stream.varint(bytes.size());
+          frame_stream.bytes(bytes);
+        } else {
+          write_frame(frame_stream,
+                      static_cast<std::uint8_t>(options_.codec), rows.size(),
+                      bytes, options_.level);
+        }
+        break;
+      }
+      case RecordCodec::kCdcRe: {
+        const auto tables = record::build_tables(events);
+        stats_.stored_values += tables.value_count();
+        support::ByteWriter payload;
+        record::write_tables_re(payload, tables);
+        write_frame(frame_stream, static_cast<std::uint8_t>(options_.codec),
+                    0, payload.view(), options_.level);
+        break;
+      }
+      case RecordCodec::kCdcFull: {
+        const auto tables = record::build_tables(events);
+        const auto chunk = record::encode_chunk(tables);
+        stats_.moves += chunk.moves.size();
+        stats_.stored_values += chunk.value_count();
+        support::ByteWriter payload;
+        record::write_chunk(payload, chunk);
+        write_frame(frame_stream, static_cast<std::uint8_t>(options_.codec),
+                    0, payload.view(), options_.level);
+        break;
+      }
+    }
+    store.append(key_, frame_stream.view());
+    ++stats_.chunks;
+
+    if (force_all) return;
+    if (buffered_matched_ < options_.chunk_target) return;
+  }
+}
+
+}  // namespace cdc::tool

@@ -1,0 +1,93 @@
+// Per-(rank, callsite) record stream: event buffering, pending-message
+// tracking for epoch enforcement, chunk flushing, and codec selection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "clock/lamport.h"
+#include "record/event.h"
+#include "runtime/storage.h"
+#include "tool/options.h"
+
+namespace cdc::tool {
+
+class StreamRecorder {
+ public:
+  struct Stats {
+    std::uint64_t matched_events = 0;
+    std::uint64_t unmatched_events = 0;
+    std::uint64_t moves = 0;      ///< permutated messages Np (Figure 14)
+    std::uint64_t chunks = 0;
+    std::uint64_t stored_values = 0;  ///< paper's value accounting
+    std::uint64_t rows = 0;           ///< Figure 4 rows written (baselines)
+  };
+
+  StreamRecorder(runtime::StreamKey key, const ToolOptions& options)
+      : key_(key), options_(options) {}
+
+  /// A Test-family call at this callsite reported flag = false.
+  void on_unmatched_test() {
+    buffer_.push_back(record::ReceiveEvent{false, false, -1, 0});
+    ++stats_.unmatched_events;
+  }
+
+  /// A message was delivered at this callsite.
+  void on_delivered(const record::ReceiveEvent& event) {
+    buffer_.push_back(event);
+    ++buffered_matched_;
+    ++stats_.matched_events;
+    // The message is no longer pending.
+    const auto it = pending_.find(event.rank);
+    if (it != pending_.end()) {
+      it->second.erase(event.clock);
+      if (it->second.empty()) pending_.erase(it);
+    }
+  }
+
+  /// A matched-but-undelivered message was observed at an MF poll.
+  /// Per-sender sightings arrive in clock order within one callsite
+  /// stream, so anything at or below the last sighted clock is a
+  /// re-sighting and is skipped without touching the pending set.
+  void on_candidate(const clock::MessageId& id) {
+    auto [it, inserted] = last_sighted_.emplace(id.sender, id.clock);
+    if (!inserted) {
+      if (id.clock <= it->second) return;
+      it->second = id.clock;
+    }
+    pending_[id.sender].insert(id.clock);
+  }
+
+  /// Flushes a chunk if enough matched events are buffered and a clean
+  /// epoch cut exists (§3.5).
+  void flush_if_due(runtime::RecordStore& store) {
+    if (buffered_matched_ < options_.chunk_target) return;
+    flush(store, options_.chunk_target, /*force_all=*/false);
+  }
+
+  /// Flushes everything remaining (end of run: pending messages will never
+  /// be delivered and no longer constrain the cut).
+  void finalize(runtime::RecordStore& store) {
+    pending_.clear();
+    flush(store, buffer_.size(), /*force_all=*/true);
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const runtime::StreamKey& key() const noexcept { return key_; }
+
+ private:
+  void flush(runtime::RecordStore& store, std::size_t max_matched,
+             bool force_all);
+
+  runtime::StreamKey key_;
+  ToolOptions options_;
+  std::vector<record::ReceiveEvent> buffer_;
+  std::size_t buffered_matched_ = 0;
+  std::map<std::int32_t, std::set<std::uint64_t>> pending_;
+  std::map<std::int32_t, std::uint64_t> last_sighted_;
+  Stats stats_;
+};
+
+}  // namespace cdc::tool

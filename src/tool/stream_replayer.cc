@@ -1,0 +1,209 @@
+#include "tool/stream_replayer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/check.h"
+#include "tool/frame.h"
+#include "tool/options.h"
+
+namespace cdc::tool {
+
+StreamReplayer::StreamReplayer(runtime::StreamKey key,
+                               std::vector<std::uint8_t> bytes)
+    : key_(key), bytes_(std::move(bytes)) {
+  frames_done_ = bytes_.empty();
+  load_next_chunk_if_needed();
+}
+
+void StreamReplayer::load_next_chunk_if_needed() {
+  while (chunk_done_ && !frames_done_) {
+    if (cursor_ == bytes_.size()) {
+      frames_done_ = true;
+      break;
+    }
+    support::ByteReader reader(
+        std::span<const std::uint8_t>{bytes_}.subspan(cursor_));
+    auto frame = read_frame(reader);
+    CDC_CHECK_MSG(frame.has_value(), "corrupt record frame during replay");
+    cursor_ += reader.position();
+    CDC_CHECK_MSG(frame->codec ==
+                      static_cast<std::uint8_t>(RecordCodec::kCdcFull),
+                  "replay requires CDC-encoded record data");
+    support::ByteReader payload(frame->payload);
+    auto parsed = record::read_chunk(payload);
+    CDC_CHECK_MSG(parsed.has_value(), "corrupt CDC chunk during replay");
+    chunk_ = std::move(*parsed);
+    observed_ = record::observed_reference_indices(chunk_);
+    with_next_.clear();
+    with_next_.insert(chunk_.with_next.begin(), chunk_.with_next.end());
+    runs_.assign(chunk_.unmatched.begin(), chunk_.unmatched.end());
+    run_consumed_ = 0;
+    next_pos_ = 0;
+    chunk_done_ = observed_.empty() && runs_.empty();
+    epoch_.clear();
+    for (const auto& entry : chunk_.epoch)
+      epoch_.emplace(entry.sender, entry.clock);
+    ++stats_.chunks;
+
+    // Reference index -> (sender, per-sender occurrence).
+    CDC_CHECK_MSG(chunk_.ref_senders.size() == chunk_.num_matched,
+                  "chunk sender column length mismatch");
+    ref_occurrence_.clear();
+    ref_occurrence_.reserve(chunk_.ref_senders.size());
+    std::map<std::int32_t, std::uint32_t> occurrence;
+    for (const std::int32_t sender : chunk_.ref_senders)
+      ref_occurrence_.emplace_back(sender, occurrence[sender]++);
+
+    // Re-classify messages that ran off earlier epoch lines.
+    chunk_arrivals_.clear();
+    auto pool = std::move(holdover_);
+    holdover_.clear();
+    for (const clock::MessageId& id : pool) classify(id);
+  }
+  if (chunk_done_ && frames_done_) {
+    CDC_CHECK_MSG(runs_.empty() && next_pos_ >= observed_.size(),
+                  "record stream ended mid-chunk");
+  }
+}
+
+void StreamReplayer::classify(const clock::MessageId& id) {
+  const auto epoch_it = epoch_.find(id.sender);
+  if (!chunk_done_ && epoch_it != epoch_.end() &&
+      id.clock <= epoch_it->second) {
+    auto& clocks = chunk_arrivals_[id.sender];
+    // Per-sender sightings arrive in clock order (channel monotonicity).
+    CDC_CHECK_MSG(clocks.empty() || clocks.back() < id.clock,
+                  "out-of-order sighting within a sender channel");
+    clocks.push_back(id.clock);
+  } else {
+    holdover_.insert(id);
+  }
+}
+
+void StreamReplayer::sight(const clock::MessageId& id) {
+  auto [it, inserted] = last_sighted_.emplace(id.sender, id.clock);
+  if (!inserted) {
+    if (id.clock <= it->second) return;  // already sighted
+    it->second = id.clock;
+  }
+  classify(id);
+}
+
+bool StreamReplayer::identify(std::uint32_t ref_index,
+                              clock::MessageId& out) const {
+  const auto& [sender, occurrence] = ref_occurrence_[ref_index];
+  const auto it = chunk_arrivals_.find(sender);
+  if (it == chunk_arrivals_.end() || it->second.size() <= occurrence)
+    return false;
+  out = clock::MessageId{sender, it->second[occurrence]};
+  return true;
+}
+
+StreamReplayer::Decision StreamReplayer::decide(
+    minimpi::MFKind kind, std::span<const minimpi::Candidate> candidates) {
+  const auto available = [&](const clock::MessageId& id) {
+    for (const minimpi::Candidate& c : candidates)
+      if (c.source == id.sender && c.piggyback == id.clock) return true;
+    return false;
+  };
+  load_next_chunk_if_needed();
+  Decision decision;
+  if (exhausted()) {
+    decision.kind = Decision::Kind::kPassthrough;
+    return decision;
+  }
+
+  // A recorded run of unmatched tests at this position?
+  if (!runs_.empty() && runs_.front().index == next_pos_) {
+    CDC_CHECK_MSG(!minimpi::is_blocking(kind),
+                  "replay divergence: record expects an unmatched test but "
+                  "the application issued a Wait-family call");
+    decision.kind = Decision::Kind::kNoMatch;
+    return decision;
+  }
+
+  CDC_CHECK_MSG(next_pos_ < observed_.size(),
+                "replay position ran past the chunk");
+
+  // The with_next group starting at the current position.
+  std::vector<std::uint64_t> group = {next_pos_};
+  while (with_next_.contains(group.back())) group.push_back(group.back() + 1);
+  CDC_CHECK_MSG(group.size() == 1 || minimpi::is_multi_delivery(kind),
+                "replay divergence: recorded message group cannot be "
+                "delivered by a single-delivery MF call");
+
+  decision.messages.reserve(group.size());
+  for (const std::uint64_t pos : group) {
+    CDC_CHECK_MSG(pos < observed_.size(),
+                  "with_next group exceeds chunk bounds");
+    clock::MessageId id;
+    if (!identify(observed_[pos], id) || !available(id)) {
+      decision.kind = Decision::Kind::kBlock;
+      decision.messages.clear();
+      return decision;
+    }
+    decision.messages.push_back(id);
+  }
+  decision.kind = Decision::Kind::kDeliver;
+  return decision;
+}
+
+void StreamReplayer::confirm_unmatched() {
+  CDC_CHECK(!runs_.empty() && runs_.front().index == next_pos_);
+  ++run_consumed_;
+  ++stats_.replayed_unmatched;
+  if (run_consumed_ == runs_.front().count) {
+    runs_.pop_front();
+    run_consumed_ = 0;
+  }
+  if (next_pos_ >= observed_.size() && runs_.empty()) {
+    chunk_done_ = true;
+    load_next_chunk_if_needed();
+  }
+}
+
+void StreamReplayer::confirm_delivered(
+    std::span<const minimpi::Completion> events) {
+  for (const minimpi::Completion& e : events) {
+    CDC_CHECK_MSG(next_pos_ < observed_.size(),
+                  "delivery past the end of the recorded chunk");
+    clock::MessageId expected;
+    CDC_CHECK_MSG(identify(observed_[next_pos_], expected),
+                  "delivered message was never identified");
+    CDC_CHECK_MSG(expected.sender == e.source &&
+                      expected.clock == e.piggyback,
+                  "replay delivered a message that differs from the record");
+    ++next_pos_;
+    ++stats_.replayed_events;
+  }
+  if (next_pos_ >= observed_.size() && runs_.empty()) {
+    chunk_done_ = true;
+    load_next_chunk_if_needed();
+  }
+}
+
+void StreamReplayer::dump_state() const {
+  std::fprintf(stderr,
+               "  stream(rank=%d, cs=%u): chunk#%llu pos=%llu/%zu runs=%zu "
+               "run_consumed=%llu holdover=%zu%s%s\n",
+               key_.rank, key_.callsite,
+               static_cast<unsigned long long>(stats_.chunks),
+               static_cast<unsigned long long>(next_pos_), observed_.size(),
+               runs_.size(), static_cast<unsigned long long>(run_consumed_),
+               holdover_.size(), chunk_done_ ? " chunk_done" : "",
+               frames_done_ ? " frames_done" : "");
+  if (next_pos_ < observed_.size()) {
+    const std::uint32_t ref = observed_[next_pos_];
+    const auto& [sender, occurrence] = ref_occurrence_[ref];
+    const auto it = chunk_arrivals_.find(sender);
+    const std::size_t have =
+        it != chunk_arrivals_.end() ? it->second.size() : 0;
+    std::fprintf(stderr,
+                 "    next ref %u = occurrence %u of sender %d "
+                 "(%zu sighted)\n",
+                 ref, occurrence, sender, have);
+  }
+}
+
+}  // namespace cdc::tool

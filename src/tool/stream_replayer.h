@@ -1,0 +1,112 @@
+// Per-(rank, callsite) replay stream (§3.6, §5).
+//
+// The record stores no message clocks — replay identifies each recorded
+// receive structurally: reference index j of the current chunk means "the
+// k-th chunk message from sender s" (k, s from the chunk's reference-order
+// sender column). Because per-channel clocks are strictly increasing, the
+// sighted messages from a sender always form a prefix of that sender's
+// chunk messages, so the k-th sighted arrival IS the k-th chunk message —
+// identification needs no clock-frontier reasoning. A release therefore
+// waits only for the arrival of the specific messages it delivers
+// (Axiom 1 (ii)), which Theorem 1's induction guarantees will happen; the
+// epoch line classifies each sighted message into the current chunk
+// (clock <= epoch[sender]) or a later one ("runs off the epoch line",
+// §3.5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "clock/lamport.h"
+#include "minimpi/types.h"
+#include "record/chunk.h"
+#include "runtime/storage.h"
+#include "support/binary.h"
+
+namespace cdc::tool {
+
+class StreamReplayer {
+ public:
+  /// What the current MF call should do at this callsite.
+  struct Decision {
+    enum class Kind : std::uint8_t {
+      kDeliver,      ///< release `messages` in that order
+      kNoMatch,      ///< a recorded unmatched test: report flag = false
+      kBlock,        ///< recorded next message not arrived yet — wait
+      kPassthrough,  ///< record exhausted: default MPI behaviour
+    };
+    Kind kind = Kind::kPassthrough;
+    std::vector<clock::MessageId> messages;
+  };
+
+  StreamReplayer(runtime::StreamKey key, std::vector<std::uint8_t> bytes);
+
+  /// Reports a matched-but-undelivered message observed at an MF poll.
+  /// Idempotent across polls (per-sender sightings arrive in clock order).
+  void sight(const clock::MessageId& id);
+
+  /// Decides the current MF call's outcome given the candidates of this
+  /// specific call (linear membership scans: recorded groups are small).
+  Decision decide(minimpi::MFKind kind,
+                  std::span<const minimpi::Candidate> candidates);
+
+  /// Confirms that a flag=false result was surfaced to the application.
+  void confirm_unmatched();
+
+  /// Confirms deliveries in order; verifies them against the record.
+  void confirm_delivered(std::span<const minimpi::Completion> events);
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return chunk_done_ && frames_done_;
+  }
+
+  struct Stats {
+    std::uint64_t replayed_events = 0;
+    std::uint64_t replayed_unmatched = 0;
+    std::uint64_t chunks = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Writes a short progress diagnostic to stderr (deadlock dumps).
+  void dump_state() const;
+
+ private:
+  void load_next_chunk_if_needed();
+  void classify(const clock::MessageId& id);
+  /// The message at reference index j, if its arrival has been sighted.
+  [[nodiscard]] bool identify(std::uint32_t ref_index,
+                              clock::MessageId& out) const;
+
+  runtime::StreamKey key_;
+  std::vector<std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;  ///< parse position within bytes_
+  bool frames_done_ = false;
+
+  // Current chunk.
+  record::CdcChunk chunk_;
+  std::vector<std::uint32_t> observed_;  ///< B: observed -> reference index
+  /// Per reference index: (sender, per-sender occurrence).
+  std::vector<std::pair<std::int32_t, std::uint32_t>> ref_occurrence_;
+  std::set<std::uint64_t> with_next_;
+  std::deque<record::UnmatchedRun> runs_;
+  std::uint64_t run_consumed_ = 0;
+  std::uint64_t next_pos_ = 0;
+  bool chunk_done_ = true;
+  std::map<std::int32_t, std::uint64_t> epoch_;
+
+  // Arrival tracking.
+  std::map<std::int32_t, std::uint64_t> last_sighted_;  ///< stream-global
+  /// Sighted current-chunk clocks per sender, ascending (always a prefix
+  /// of the sender's chunk messages).
+  std::map<std::int32_t, std::vector<std::uint64_t>> chunk_arrivals_;
+  /// Sighted messages that ran off the current epoch line.
+  std::set<clock::MessageId, clock::ReferenceOrderLess> holdover_;
+
+  Stats stats_;
+};
+
+}  // namespace cdc::tool

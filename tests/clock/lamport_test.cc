@@ -1,0 +1,83 @@
+#include "clock/lamport.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace cdc::clock {
+namespace {
+
+TEST(LamportClock, SendAttachesThenIncrements) {
+  LamportClock c;
+  EXPECT_EQ(c.on_send(), 0u);  // attaches current value
+  EXPECT_EQ(c.value(), 1u);    // then increments (Definition 4.i)
+  EXPECT_EQ(c.on_send(), 1u);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(LamportClock, ReceiveTakesMaxThenIncrements) {
+  LamportClock c;
+  c.on_receive(10);  // max(10, 0) + 1
+  EXPECT_EQ(c.value(), 11u);
+  c.on_receive(5);  // max(5, 11) + 1
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(LamportClock, SuccessiveSendsCarryStrictlyIncreasingClocks) {
+  // This is the property that makes (sender, clock) a unique message id.
+  LamportClock c;
+  ClockValue prev = c.on_send();
+  for (int i = 0; i < 100; ++i) {
+    c.on_receive(static_cast<ClockValue>(i % 7));
+    const ClockValue next = c.on_send();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(LamportClock, HappensBeforeImpliesSmallerClock) {
+  // A send and the matching receive: fc(send) < fc(anything after recv).
+  LamportClock sender;
+  LamportClock receiver;
+  const ClockValue attached = sender.on_send();
+  receiver.on_receive(attached);
+  EXPECT_GT(receiver.value(), attached);
+  const ClockValue forwarded = receiver.on_send();
+  EXPECT_GT(forwarded, attached);
+}
+
+TEST(ReferenceOrder, ClockFirstThenSenderRank) {
+  // Definition 6: fm orders by clock, tie-broken by sender rank.
+  const MessageId a{0, 2};
+  const MessageId b{2, 8};
+  const MessageId c{1, 8};
+  const MessageId d{0, 13};
+  std::vector<MessageId> ids = {d, b, a, c};
+  std::sort(ids.begin(), ids.end(), ReferenceOrderLess{});
+  EXPECT_EQ(ids[0], a);  // clock 2
+  EXPECT_EQ(ids[1], c);  // clock 8, rank 1
+  EXPECT_EQ(ids[2], b);  // clock 8, rank 2
+  EXPECT_EQ(ids[3], d);  // clock 13
+}
+
+TEST(ReferenceOrder, IsStrictWeakOrder) {
+  const MessageId a{1, 5};
+  const MessageId b{1, 5};
+  ReferenceOrderLess less;
+  EXPECT_FALSE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+  const MessageId c{2, 5};
+  EXPECT_TRUE(less(a, c));
+  EXPECT_FALSE(less(c, a));
+}
+
+TEST(LamportClock, ResetReturnsToZero) {
+  LamportClock c;
+  c.on_receive(100);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace cdc::clock

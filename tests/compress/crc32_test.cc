@@ -1,0 +1,44 @@
+#include "compress/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace cdc::compress {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32 check values.
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::vector<std::uint8_t> data(1000, 0x5a);
+  const std::uint32_t oneshot = crc32(data);
+  std::uint32_t incremental = 0;
+  const std::span<const std::uint8_t> view{data};
+  incremental = crc32_update(incremental, view.subspan(0, 137));
+  incremental = crc32_update(incremental, view.subspan(137, 400));
+  incremental = crc32_update(incremental, view.subspan(537));
+  EXPECT_EQ(incremental, oneshot);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips) {
+  std::vector<std::uint8_t> data(64, 0);
+  const std::uint32_t base = crc32(data);
+  for (int bit = 0; bit < 8; ++bit) {
+    data[32] = static_cast<std::uint8_t>(1u << bit);
+    EXPECT_NE(crc32(data), base);
+  }
+}
+
+}  // namespace
+}  // namespace cdc::compress

@@ -1,0 +1,158 @@
+#include "compress/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace cdc::compress {
+namespace {
+
+double kraft_sum(std::span<const std::uint8_t> lengths) {
+  double sum = 0.0;
+  for (const std::uint8_t len : lengths)
+    if (len > 0) sum += std::ldexp(1.0, -len);
+  return sum;
+}
+
+TEST(PackageMerge, TwoSymbols) {
+  const std::uint64_t freqs[] = {5, 1};
+  const auto lengths = package_merge_lengths(freqs, 15);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(PackageMerge, SingleSymbolGetsLengthOne) {
+  const std::uint64_t freqs[] = {0, 42, 0};
+  const auto lengths = package_merge_lengths(freqs, 15);
+  EXPECT_EQ(lengths[0], 0);
+  EXPECT_EQ(lengths[1], 1);
+  EXPECT_EQ(lengths[2], 0);
+}
+
+TEST(PackageMerge, SkewedFrequenciesGetShortCodesForCommonSymbols) {
+  const std::uint64_t freqs[] = {1000, 100, 10, 1};
+  const auto lengths = package_merge_lengths(freqs, 15);
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[3]);
+  EXPECT_DOUBLE_EQ(kraft_sum(lengths), 1.0);
+}
+
+TEST(PackageMerge, RespectsLengthLimit) {
+  // Fibonacci-like frequencies force deep unbounded Huffman trees.
+  std::vector<std::uint64_t> freqs = {1, 1};
+  while (freqs.size() < 24)
+    freqs.push_back(freqs[freqs.size() - 1] + freqs[freqs.size() - 2]);
+  for (const int limit : {7, 10, 15}) {
+    const auto lengths = package_merge_lengths(freqs, limit);
+    for (const std::uint8_t len : lengths) EXPECT_LE(len, limit);
+    EXPECT_LE(kraft_sum(lengths), 1.0 + 1e-12);
+  }
+}
+
+TEST(PackageMerge, KraftEqualityHolds) {
+  support::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> freqs(2 + rng.bounded(200));
+    for (auto& f : freqs) f = rng.bounded(10000);
+    std::size_t nonzero = 0;
+    for (const auto f : freqs) nonzero += f > 0;
+    if (nonzero < 2) continue;
+    const auto lengths = package_merge_lengths(freqs, 15);
+    EXPECT_NEAR(kraft_sum(lengths), 1.0, 1e-12);
+  }
+}
+
+TEST(PackageMerge, IsOptimalAtGenerousLimit) {
+  // Against entropy bound: average length within 1 bit of entropy.
+  support::Xoshiro256 rng(12);
+  std::vector<std::uint64_t> freqs(64);
+  for (auto& f : freqs) f = 1 + rng.bounded(1000);
+  const auto lengths = package_merge_lengths(freqs, 15);
+  const double total = static_cast<double>(
+      std::accumulate(freqs.begin(), freqs.end(), std::uint64_t{0}));
+  double entropy = 0.0;
+  double avg_len = 0.0;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    const double p = static_cast<double>(freqs[s]) / total;
+    entropy -= p * std::log2(p);
+    avg_len += p * lengths[s];
+  }
+  EXPECT_GE(avg_len, entropy - 1e-9);
+  EXPECT_LE(avg_len, entropy + 1.0);
+}
+
+TEST(CanonicalCodes, Rfc1951Example) {
+  // RFC 1951 §3.2.2 worked example: lengths (3,3,3,3,3,2,4,4) →
+  // codes (010,011,100,101,110,00,1110,1111).
+  const std::uint8_t lengths[] = {3, 3, 3, 3, 3, 2, 4, 4};
+  const auto codes = canonical_codes(lengths);
+  const std::uint32_t expected[] = {0b010, 0b011, 0b100, 0b101,
+                                    0b110, 0b00,  0b1110, 0b1111};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(codes[i], expected[i]);
+}
+
+TEST(HuffmanDecoder, DecodesCanonicalCodes) {
+  const std::uint8_t lengths[] = {3, 3, 3, 3, 3, 2, 4, 4};
+  const auto codes = canonical_codes(lengths);
+  HuffmanDecoder decoder{std::span<const std::uint8_t>{lengths}};
+  ASSERT_TRUE(decoder.ok());
+
+  for (int sym = 0; sym < 8; ++sym) {
+    decoder.reset();
+    int result = -1;
+    for (int bit = lengths[sym] - 1; bit >= 0; --bit) {
+      result = decoder.feed((codes[static_cast<std::size_t>(sym)] >> bit) & 1);
+    }
+    EXPECT_EQ(result, sym);
+  }
+}
+
+TEST(HuffmanDecoder, RejectsOversubscribedLengths) {
+  const std::uint8_t lengths[] = {1, 1, 1};  // Kraft sum 1.5
+  HuffmanDecoder decoder;
+  EXPECT_FALSE(decoder.init(lengths));
+}
+
+TEST(HuffmanDecoder, RejectsIncompleteMultiSymbolLengths) {
+  const std::uint8_t lengths[] = {2, 2, 2};  // Kraft sum 0.75
+  HuffmanDecoder decoder;
+  EXPECT_FALSE(decoder.init(lengths));
+}
+
+TEST(HuffmanDecoder, AcceptsDegenerateSingleCode) {
+  const std::uint8_t lengths[] = {0, 1, 0};
+  HuffmanDecoder decoder;
+  ASSERT_TRUE(decoder.init(lengths));
+  decoder.reset();
+  EXPECT_EQ(decoder.feed(0), 1);
+}
+
+TEST(HuffmanDecoder, RoundTripRandomAlphabets) {
+  support::Xoshiro256 rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> freqs(2 + rng.bounded(280));
+    for (auto& f : freqs) f = rng.bounded(500);
+    freqs[0] = 1;
+    freqs[1] = 1;  // at least two coded symbols
+    const auto lengths = package_merge_lengths(freqs, 15);
+    const auto codes = canonical_codes(lengths);
+    HuffmanDecoder decoder{std::span<const std::uint8_t>{lengths}};
+    ASSERT_TRUE(decoder.ok());
+    for (std::size_t sym = 0; sym < freqs.size(); ++sym) {
+      if (lengths[sym] == 0) continue;
+      decoder.reset();
+      int result = -1;
+      for (int bit = lengths[sym] - 1; bit >= 0; --bit)
+        result = decoder.feed((codes[sym] >> bit) & 1);
+      EXPECT_EQ(result, static_cast<int>(sym));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdc::compress

@@ -1,0 +1,78 @@
+// Interoperability with reference zlib output: our inflate must decode
+// streams produced by the canonical implementation (vectors generated with
+// CPython's zlib at level 9, raw deflate / wbits=-15). This pins the
+// bit-level DEFLATE details (LSB-first packing, fixed/dynamic trees,
+// code-length RLE) against an independent implementation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "compress/deflate.h"
+
+namespace cdc::compress {
+namespace {
+
+// generated with python zlib (see test header)
+const std::vector<std::uint8_t> kZlibEmpty = {0x03, 0x00};
+const std::vector<std::uint8_t> kZlibText = {
+    0xcb, 0x48, 0xcd, 0xc9, 0xc9, 0xd7, 0x51, 0xc8, 0x40,
+    0xa2, 0x14, 0xca, 0xf3, 0x8b, 0x72, 0x52, 0x00};
+const std::vector<std::uint8_t> kZlibRepeats = {
+    0x4b, 0x4c, 0x4a, 0x4e, 0x1c, 0x45, 0xc4, 0x21, 0x00};
+const std::vector<std::uint8_t> kZlibZeros = {
+    0x63, 0x60, 0x18, 0x05, 0x23, 0x0d, 0x30, 0x32, 0x31,
+    0x0f, 0x42, 0x04, 0x00};
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(ZlibInterop, DecodesEmptyStream) {
+  const auto decoded = deflate_decompress(kZlibEmpty);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ZlibInterop, DecodesFixedHuffmanText) {
+  const auto decoded = deflate_decompress(kZlibText);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bytes_of("hello, hello, hello world"));
+}
+
+TEST(ZlibInterop, DecodesOverlappingMatches) {
+  std::vector<std::uint8_t> expected;
+  for (int i = 0; i < 10; ++i) {
+    const auto part = bytes_of("abcabcabcabcabcabcabcabcabcabc");
+    expected.insert(expected.end(), part.begin(), part.end());
+  }
+  const auto decoded = deflate_decompress(kZlibRepeats);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, expected);
+}
+
+TEST(ZlibInterop, DecodesLongZeroRuns) {
+  std::vector<std::uint8_t> expected(500, 0);
+  for (int i = 0; i < 50; ++i)
+    for (std::uint8_t v : {1, 2, 3}) expected.push_back(v);
+  const auto decoded = deflate_decompress(kZlibZeros);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, expected);
+}
+
+TEST(ZlibInterop, DecodesStoredBlockFromZlib) {
+  // zlib emits a stored block for incompressible data (0..255).
+  // Reconstruct the reference stream: 01 (BFINAL+stored) LEN NLEN data.
+  std::vector<std::uint8_t> stream = {0x01, 0x00, 0x01, 0xff, 0xfe};
+  for (int i = 0; i < 256; ++i)
+    stream.push_back(static_cast<std::uint8_t>(i));
+  const auto decoded = deflate_decompress(stream);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 256u);
+  for (int i = 0; i < 256; ++i)
+    EXPECT_EQ((*decoded)[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace cdc::compress

@@ -1,0 +1,107 @@
+#include "compress/lz77.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace cdc::compress {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Lz77, EmptyInput) {
+  EXPECT_TRUE(lz77_tokenize({}).empty());
+}
+
+TEST(Lz77, AllLiteralsForIncompressibleShortInput) {
+  const auto input = bytes_of("abcdefg");
+  const auto tokens = lz77_tokenize(input);
+  EXPECT_EQ(tokens.size(), input.size());
+  for (const auto& t : tokens) EXPECT_TRUE(t.is_literal());
+}
+
+TEST(Lz77, FindsRepeats) {
+  const auto input = bytes_of("abcabcabcabcabcabc");
+  const auto tokens = lz77_tokenize(input);
+  EXPECT_LT(tokens.size(), input.size());
+  EXPECT_EQ(lz77_expand(tokens), input);
+}
+
+TEST(Lz77, OverlappingMatchRunLengthStyle) {
+  // "aaaa..." compresses to one literal + one overlapping match.
+  const std::vector<std::uint8_t> input(300, 'a');
+  const auto tokens = lz77_tokenize(input);
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].is_literal());
+  EXPECT_FALSE(tokens[1].is_literal());
+  EXPECT_EQ(tokens[1].distance, 1);
+  EXPECT_EQ(lz77_expand(tokens), input);
+}
+
+TEST(Lz77, MatchLengthCapped) {
+  const std::vector<std::uint8_t> input(10000, 'x');
+  const auto tokens = lz77_tokenize(input);
+  for (const auto& t : tokens) {
+    if (!t.is_literal()) {
+      EXPECT_LE(t.length, kMaxMatch);
+    }
+  }
+  EXPECT_EQ(lz77_expand(tokens), input);
+}
+
+TEST(Lz77, RoundTripRandomData) {
+  support::Xoshiro256 rng(21);
+  for (const std::size_t size : {1u, 10u, 1000u, 100000u}) {
+    std::vector<std::uint8_t> input(size);
+    for (auto& b : input) b = static_cast<std::uint8_t>(rng.bounded(256));
+    EXPECT_EQ(lz77_expand(lz77_tokenize(input)), input);
+  }
+}
+
+TEST(Lz77, RoundTripStructuredData) {
+  // Low-entropy data with long-range repeats (like record tables).
+  support::Xoshiro256 rng(22);
+  std::vector<std::uint8_t> input;
+  for (int block = 0; block < 50; ++block) {
+    const std::uint8_t fill = static_cast<std::uint8_t>(rng.bounded(4));
+    input.insert(input.end(), 500 + rng.bounded(500), fill);
+  }
+  const auto tokens = lz77_tokenize(input);
+  EXPECT_LT(tokens.size(), input.size() / 20);
+  EXPECT_EQ(lz77_expand(tokens), input);
+}
+
+TEST(Lz77, RoundTripAcrossWindowBoundary) {
+  // Repeats separated by more than the 32 KiB window must not match.
+  std::vector<std::uint8_t> input = bytes_of("unique-prefix-0123456789");
+  input.resize(40000, 0);
+  const auto suffix = bytes_of("unique-prefix-0123456789");
+  input.insert(input.end(), suffix.begin(), suffix.end());
+  const auto tokens = lz77_tokenize(input);
+  for (const auto& t : tokens) {
+    if (!t.is_literal()) {
+      EXPECT_LE(t.distance, kWindowSize);
+    }
+  }
+  EXPECT_EQ(lz77_expand(tokens), input);
+}
+
+TEST(Lz77, GreedyVsLazyBothRoundTrip) {
+  support::Xoshiro256 rng(23);
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 5000; ++i)
+    input.push_back(static_cast<std::uint8_t>(rng.bounded(8)));
+  Lz77Params greedy{.max_chain = 32, .nice_length = 64, .lazy = false};
+  Lz77Params lazy{.max_chain = 32, .nice_length = 64, .lazy = true};
+  EXPECT_EQ(lz77_expand(lz77_tokenize(input, greedy)), input);
+  EXPECT_EQ(lz77_expand(lz77_tokenize(input, lazy)), input);
+}
+
+}  // namespace
+}  // namespace cdc::compress

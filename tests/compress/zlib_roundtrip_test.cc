@@ -1,0 +1,90 @@
+// Bidirectional interop with the system zlib (test-only dependency): every
+// stream our encoder produces must inflate correctly under the reference
+// implementation, for all levels and a range of data shapes.
+#include <gtest/gtest.h>
+#include <zlib.h>
+
+#include <vector>
+
+#include "compress/deflate.h"
+#include "support/rng.h"
+
+namespace cdc::compress {
+namespace {
+
+std::vector<std::uint8_t> zlib_inflate_raw(
+    std::span<const std::uint8_t> compressed, std::size_t expected_size) {
+  std::vector<std::uint8_t> out(std::max<std::size_t>(expected_size, 1));
+  z_stream stream{};
+  EXPECT_EQ(inflateInit2(&stream, -15), Z_OK);  // raw deflate
+  stream.next_in = const_cast<Bytef*>(compressed.data());
+  stream.avail_in = static_cast<uInt>(compressed.size());
+  stream.next_out = out.data();
+  stream.avail_out = static_cast<uInt>(out.size());
+  const int rc = inflate(&stream, Z_FINISH);
+  EXPECT_EQ(rc, Z_STREAM_END) << "zlib rejected our deflate stream";
+  out.resize(stream.total_out);
+  inflateEnd(&stream);
+  return out;
+}
+
+class ZlibAcceptsOurOutput
+    : public ::testing::TestWithParam<DeflateLevel> {};
+
+TEST_P(ZlibAcceptsOurOutput, RandomBinary) {
+  support::Xoshiro256 rng(55);
+  for (const std::size_t size : {1u, 100u, 65536u, 200000u}) {
+    std::vector<std::uint8_t> input(size);
+    for (auto& b : input) b = static_cast<std::uint8_t>(rng.bounded(256));
+    const auto compressed = deflate_compress(input, GetParam());
+    EXPECT_EQ(zlib_inflate_raw(compressed, input.size()), input);
+  }
+}
+
+TEST_P(ZlibAcceptsOurOutput, StructuredData) {
+  support::Xoshiro256 rng(56);
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 120000; ++i)
+    input.push_back(static_cast<std::uint8_t>(
+        rng.uniform() < 0.8 ? 0 : rng.bounded(7)));
+  const auto compressed = deflate_compress(input, GetParam());
+  EXPECT_EQ(zlib_inflate_raw(compressed, input.size()), input);
+}
+
+TEST_P(ZlibAcceptsOurOutput, Empty) {
+  const auto compressed = deflate_compress({}, GetParam());
+  EXPECT_TRUE(zlib_inflate_raw(compressed, 0).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, ZlibAcceptsOurOutput,
+                         ::testing::Values(DeflateLevel::kStored,
+                                           DeflateLevel::kFast,
+                                           DeflateLevel::kDefault,
+                                           DeflateLevel::kBest));
+
+TEST(ZlibInterop, WeDecodeZlibAcrossLevels) {
+  support::Xoshiro256 rng(57);
+  std::vector<std::uint8_t> input(50000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.bounded(16));
+  for (const int level : {1, 6, 9}) {
+    std::vector<std::uint8_t> compressed(compressBound(input.size()) + 64);
+    z_stream stream{};
+    ASSERT_EQ(deflateInit2(&stream, level, Z_DEFLATED, -15, 8,
+                           Z_DEFAULT_STRATEGY),
+              Z_OK);
+    stream.next_in = input.data();
+    stream.avail_in = static_cast<uInt>(input.size());
+    stream.next_out = compressed.data();
+    stream.avail_out = static_cast<uInt>(compressed.size());
+    ASSERT_EQ(deflate(&stream, Z_FINISH), Z_STREAM_END);
+    compressed.resize(stream.total_out);
+    deflateEnd(&stream);
+
+    const auto decoded = deflate_decompress(compressed);
+    ASSERT_TRUE(decoded.has_value()) << "level " << level;
+    EXPECT_EQ(*decoded, input);
+  }
+}
+
+}  // namespace
+}  // namespace cdc::compress

@@ -1,0 +1,162 @@
+// Failure injection: corrupted, truncated, or mismatched record data must
+// produce loud, early failures — never a silently diverged replay.
+#include <gtest/gtest.h>
+
+#include "apps/mcb.h"
+#include "apps/taskfarm.h"
+#include "minimpi/simulator.h"
+#include "runtime/storage.h"
+#include "tool/recorder.h"
+#include "tool/replayer.h"
+
+namespace cdc {
+namespace {
+
+minimpi::Simulator::Config sim_config(int ranks, std::uint64_t seed) {
+  minimpi::Simulator::Config config;
+  config.num_ranks = ranks;
+  config.noise_seed = seed;
+  return config;
+}
+
+apps::McbConfig small_mcb() {
+  apps::McbConfig config;
+  config.grid_x = 2;
+  config.grid_y = 2;
+  config.particles_per_rank = 30;
+  config.segments_per_particle = 6;
+  return config;
+}
+
+/// Records a small MCB run and returns the store.
+std::unique_ptr<runtime::MemoryStore> record_small_mcb() {
+  auto store = std::make_unique<runtime::MemoryStore>();
+  tool::Recorder recorder(4, store.get());
+  minimpi::Simulator sim(sim_config(4, 5), &recorder);
+  apps::run_mcb(sim, small_mcb());
+  recorder.finalize();
+  return store;
+}
+
+/// A store wrapper that serves tampered bytes for every stream.
+class TamperedStore final : public runtime::RecordStore {
+ public:
+  enum class Mode { kTruncate, kFlipHeader, kFlipBody };
+
+  TamperedStore(const runtime::RecordStore* base, Mode mode)
+      : base_(base), mode_(mode) {}
+
+  void append(const runtime::StreamKey&,
+              std::span<const std::uint8_t>) override {
+    CDC_CHECK(false);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> read(
+      const runtime::StreamKey& key) const override {
+    std::vector<std::uint8_t> bytes = base_->read(key);
+    if (bytes.empty()) return bytes;
+    switch (mode_) {
+      case Mode::kTruncate:
+        bytes.resize(bytes.size() - std::min<std::size_t>(3, bytes.size()));
+        break;
+      case Mode::kFlipHeader:
+        bytes[0] ^= 0xff;
+        break;
+      case Mode::kFlipBody:
+        bytes[bytes.size() / 2] ^= 0x20;
+        break;
+    }
+    return bytes;
+  }
+  [[nodiscard]] std::vector<runtime::StreamKey> keys() const override {
+    return base_->keys();
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const override {
+    return base_->total_bytes();
+  }
+  [[nodiscard]] std::uint64_t rank_bytes(minimpi::Rank rank) const override {
+    return base_->rank_bytes(rank);
+  }
+
+ private:
+  const runtime::RecordStore* base_;
+  Mode mode_;
+};
+
+void replay_small_mcb(const runtime::RecordStore& store,
+                      std::uint64_t seed = 6) {
+  tool::Replayer replayer(4, &store, {});
+  minimpi::Simulator sim(sim_config(4, seed), &replayer);
+  apps::run_mcb(sim, small_mcb());
+}
+
+using FailureInjection = ::testing::Test;
+
+TEST(FailureInjection, CleanRecordReplaysAsControl) {
+  const auto store = record_small_mcb();
+  replay_small_mcb(*store);  // must not abort
+}
+
+TEST(FailureInjection, TruncatedRecordAborts) {
+  const auto store = record_small_mcb();
+  TamperedStore tampered(store.get(), TamperedStore::Mode::kTruncate);
+  EXPECT_DEATH(replay_small_mcb(tampered), "corrupt|mid-chunk|deadlock");
+}
+
+TEST(FailureInjection, CorruptFrameHeaderAborts) {
+  const auto store = record_small_mcb();
+  TamperedStore tampered(store.get(), TamperedStore::Mode::kFlipHeader);
+  EXPECT_DEATH(replay_small_mcb(tampered), "corrupt");
+}
+
+TEST(FailureInjection, CorruptFrameBodyAbortsOrDiverges) {
+  const auto store = record_small_mcb();
+  TamperedStore tampered(store.get(), TamperedStore::Mode::kFlipBody);
+  // Depending on which byte flips, the DEFLATE layer, the chunk parser, or
+  // the replay-consistency checks fire — never a quiet success with
+  // different semantics. (A flip in a late stream may leave earlier ranks
+  // replayable; the CHECK message varies.)
+  EXPECT_DEATH(replay_small_mcb(tampered),
+               "corrupt|differs|divergence|deadlock|out-of-order|range");
+}
+
+TEST(FailureInjection, WrongApplicationDiverges) {
+  // Replaying a different program against an MCB record must trip a
+  // divergence check or deadlock loudly.
+  const auto store = record_small_mcb();
+  EXPECT_DEATH(
+      {
+        tool::Replayer replayer(4, store.get(), {});
+        minimpi::Simulator sim(sim_config(4, 6), &replayer);
+        apps::TaskFarmConfig farm;
+        farm.tasks = 50;
+        apps::run_taskfarm(sim, farm);
+      },
+      "divergence|differs|deadlock|mid-chunk|out-of-order");
+}
+
+TEST(FailureInjection, WrongWorkloadParametersDiverge) {
+  const auto store = record_small_mcb();
+  EXPECT_DEATH(
+      {
+        tool::Replayer replayer(4, store.get(), {});
+        minimpi::Simulator sim(sim_config(4, 6), &replayer);
+        apps::McbConfig bigger = small_mcb();
+        bigger.particles_per_rank = 60;  // different traffic than recorded
+        apps::run_mcb(sim, bigger);
+      },
+      "divergence|differs|deadlock|mid-chunk|out-of-order");
+}
+
+TEST(FailureInjection, EmptyStoreReplaysInPassthrough) {
+  // No record at all: the replayer passes matching through unchanged, so
+  // the run completes (this is also the exhausted-record behaviour).
+  runtime::MemoryStore empty;
+  tool::Replayer replayer(4, &empty, {});
+  minimpi::Simulator sim(sim_config(4, 6), &replayer);
+  const auto result = apps::run_mcb(sim, small_mcb());
+  EXPECT_GT(result.total_tracks, 0u);
+  EXPECT_TRUE(replayer.fully_replayed());
+}
+
+}  // namespace
+}  // namespace cdc

@@ -1,0 +1,58 @@
+#include "record/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "figure4.h"
+
+namespace cdc::record {
+namespace {
+
+TEST(Baseline, RowIs162Bits) {
+  EXPECT_EQ(kBaselineBitsPerRow, 162u);
+  // "162 bits in total" — §6.1.
+  EXPECT_EQ(baseline_size_bytes(1), 21u);  // ceil(162 / 8)
+}
+
+TEST(Baseline, SizeMatchesPaperAccounting) {
+  // §6.1: 9.7M events at 162 bits ≈ 197.0 MB. Rows here ≈ events because
+  // matched events dominate and each is one row.
+  const double bytes = static_cast<double>(baseline_size_bytes(9'700'000));
+  EXPECT_NEAR(bytes / 1e6, 196.4, 1.0);
+}
+
+TEST(Baseline, SerializeParsesBack) {
+  const auto rows = to_rows(testing::figure4_events());
+  const auto bytes = baseline_serialize(rows);
+  EXPECT_EQ(bytes.size(), baseline_size_bytes(rows.size()));
+  const auto parsed = baseline_parse(bytes, rows.size());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(Baseline, ParseRejectsTruncation) {
+  const auto rows = to_rows(testing::figure4_events());
+  auto bytes = baseline_serialize(rows);
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(baseline_parse(bytes, rows.size()).has_value());
+}
+
+TEST(Baseline, LargeCountsSurvive) {
+  std::vector<EventRow> rows = {
+      {0xFFFFFFFFFFull, {false, false, -1, 0}},
+      {1, {true, true, 0x7FFFFFFF, 0xFFFFFFFFFFFFFFFFull}},
+  };
+  const auto parsed =
+      baseline_parse(baseline_serialize(rows), rows.size());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(Baseline, EmptyStream) {
+  EXPECT_TRUE(baseline_serialize({}).empty());
+  const auto parsed = baseline_parse({}, 0);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace cdc::record

@@ -1,0 +1,139 @@
+// Edge cases of the CDC chunk format: sender-column bit widths, clock
+// ties, degenerate chunks.
+#include <gtest/gtest.h>
+
+#include "record/chunk.h"
+#include "support/rng.h"
+
+namespace cdc::record {
+namespace {
+
+CdcChunk roundtrip(const CdcChunk& chunk) {
+  support::ByteWriter writer;
+  write_chunk(writer, chunk);
+  support::ByteReader reader(writer.view());
+  const auto parsed = read_chunk(reader);
+  EXPECT_TRUE(parsed.has_value());
+  EXPECT_TRUE(reader.exhausted());
+  return parsed.value_or(CdcChunk{});
+}
+
+TEST(ChunkEdge, SingleSenderColumnCostsZeroBits) {
+  // One sender: the sender column packs to zero bits per entry.
+  std::vector<ReceiveEvent> events;
+  for (std::uint64_t c = 1; c <= 100; ++c)
+    events.push_back({true, false, 5, c});
+  const auto tables = build_tables(events);
+  const auto chunk = encode_chunk(tables);
+  ASSERT_EQ(chunk.epoch.size(), 1u);
+
+  support::ByteWriter with_senders;
+  write_chunk(with_senders, chunk);
+  // 100 events, no moves, no with_next, no unmatched: the serialized
+  // chunk is tiny — senders must not cost ~1 byte each.
+  EXPECT_LT(with_senders.size(), 32u);
+  EXPECT_EQ(roundtrip(chunk), chunk);
+}
+
+TEST(ChunkEdge, ManySendersUseWiderCodes) {
+  // 300 senders force a 9-bit packed column; round-trip must hold.
+  std::vector<ReceiveEvent> events;
+  std::uint64_t clk = 1;
+  for (int s = 0; s < 300; ++s)
+    for (int k = 0; k < 3; ++k)
+      events.push_back({true, false, s, clk += 1 + (s * k) % 5});
+  const auto chunk = encode_chunk(build_tables(events));
+  EXPECT_EQ(chunk.epoch.size(), 300u);
+  EXPECT_EQ(roundtrip(chunk), chunk);
+}
+
+TEST(ChunkEdge, ClockTiesAcrossSendersBreakByRank) {
+  // Several senders share clock values: Definition 6 tie-breaks by rank.
+  std::vector<ReceiveEvent> events = {
+      {true, false, 2, 10}, {true, false, 0, 10}, {true, false, 1, 10},
+  };
+  const auto tables = build_tables(events);
+  const auto chunk = encode_chunk(tables);
+  EXPECT_EQ(chunk.ref_senders, (std::vector<std::int32_t>{0, 1, 2}));
+  const auto decoded =
+      decode_chunk(roundtrip(chunk), reference_order(tables.matched));
+  EXPECT_EQ(decoded, tables);
+}
+
+TEST(ChunkEdge, UnmatchedOnlyChunk) {
+  std::vector<ReceiveEvent> events(7, ReceiveEvent{false, false, -1, 0});
+  const auto chunk = encode_chunk(build_tables(events));
+  EXPECT_EQ(chunk.num_matched, 0u);
+  EXPECT_TRUE(chunk.epoch.empty());
+  ASSERT_EQ(chunk.unmatched.size(), 1u);
+  EXPECT_EQ(chunk.unmatched[0].count, 7u);
+  EXPECT_EQ(roundtrip(chunk), chunk);
+}
+
+TEST(ChunkEdge, EmptyChunk) {
+  const auto chunk = encode_chunk(build_tables({}));
+  EXPECT_EQ(chunk.num_matched, 0u);
+  EXPECT_EQ(roundtrip(chunk), chunk);
+}
+
+TEST(ChunkEdge, DenseWithNextUsesBitmap) {
+  // Every event grouped with its successor except the last: the bitmap
+  // representation must keep the chunk small.
+  std::vector<ReceiveEvent> events;
+  for (std::uint64_t c = 1; c <= 256; ++c)
+    events.push_back({true, c < 256, 0, c});
+  const auto chunk = encode_chunk(build_tables(events));
+  EXPECT_EQ(chunk.with_next.size(), 255u);
+  support::ByteWriter writer;
+  write_chunk(writer, chunk);
+  EXPECT_LT(writer.size(), 64u);  // 256/8 bitmap bytes + headers
+  EXPECT_EQ(roundtrip(chunk), chunk);
+}
+
+TEST(ChunkEdge, SparseWithNextUsesIndices) {
+  std::vector<ReceiveEvent> events;
+  for (std::uint64_t c = 1; c <= 4096; ++c)
+    events.push_back({true, c == 17, 0, c});
+  const auto chunk = encode_chunk(build_tables(events));
+  ASSERT_EQ(chunk.with_next.size(), 1u);
+  support::ByteWriter writer;
+  write_chunk(writer, chunk);
+  EXPECT_LT(writer.size(), 64u);  // no 512-byte bitmap for one mark
+  EXPECT_EQ(roundtrip(chunk), chunk);
+}
+
+TEST(ChunkEdge, HugeClockValuesSurvive) {
+  std::vector<ReceiveEvent> events = {
+      {true, false, 0, 0xFFFFFFFFFFFFFFF0ull},
+      {true, false, 1, 0xFFFFFFFFFFFFFFFFull},
+  };
+  const auto tables = build_tables(events);
+  const auto chunk = encode_chunk(tables);
+  const auto decoded =
+      decode_chunk(roundtrip(chunk), reference_order(tables.matched));
+  EXPECT_EQ(decoded, tables);
+}
+
+TEST(ChunkEdge, ValueCountExcludesSenderColumn) {
+  // The paper-comparable accounting must not grow with N when the stream
+  // is in reference order.
+  std::vector<ReceiveEvent> events;
+  for (std::uint64_t c = 1; c <= 1000; ++c)
+    events.push_back({true, false, static_cast<std::int32_t>(c % 3), c});
+  const auto chunk = encode_chunk(build_tables(events));
+  EXPECT_TRUE(chunk.moves.empty());
+  EXPECT_EQ(chunk.value_count(), 2 * chunk.epoch.size());
+}
+
+TEST(ChunkEdge, RandomFuzzedBytesNeverCrash) {
+  support::Xoshiro256 rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.bounded(120));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.bounded(256));
+    support::ByteReader reader(junk);
+    (void)read_chunk(reader);  // must return nullopt or a chunk, not crash
+  }
+}
+
+}  // namespace
+}  // namespace cdc::record

@@ -1,0 +1,171 @@
+#include "record/chunk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "figure4.h"
+#include "support/rng.h"
+
+namespace cdc::record {
+namespace {
+
+TEST(CdcChunk, Figure8EpochLine) {
+  const auto chunk = encode_chunk(build_tables(testing::figure4_events()));
+  // Figure 8: per-sender maximum clock — (0,18), (1,19), (2,8).
+  ASSERT_EQ(chunk.epoch.size(), 3u);
+  EXPECT_EQ(chunk.epoch[0], (EpochEntry{0, 18}));
+  EXPECT_EQ(chunk.epoch[1], (EpochEntry{1, 19}));
+  EXPECT_EQ(chunk.epoch[2], (EpochEntry{2, 8}));
+}
+
+TEST(CdcChunk, Figure8ValueAccountingIs19) {
+  // "we can reduce the number of storing values from 55 to 19".
+  const auto chunk = encode_chunk(build_tables(testing::figure4_events()));
+  EXPECT_EQ(chunk.value_count(), 19u);
+}
+
+TEST(CdcChunk, ThreeMovesForTheWorkedExample) {
+  const auto chunk = encode_chunk(build_tables(testing::figure4_events()));
+  EXPECT_EQ(chunk.num_matched, 8u);
+  EXPECT_EQ(chunk.moves.size(), 3u);
+  EXPECT_EQ(chunk.with_next, (std::vector<std::uint64_t>{1}));
+  ASSERT_EQ(chunk.unmatched.size(), 3u);
+  EXPECT_EQ(chunk.unmatched[0], (UnmatchedRun{1, 2}));
+}
+
+TEST(CdcChunk, DecodeRoundTripsTheWorkedExample) {
+  const auto events = testing::figure4_events();
+  const auto tables = build_tables(events);
+  const auto chunk = encode_chunk(tables);
+  // Replay reconstructs the reference order from replayed clocks; tests
+  // obtain it by sorting.
+  const auto reference = reference_order(tables.matched);
+  const auto decoded = decode_chunk(chunk, reference);
+  EXPECT_EQ(decoded, tables);
+  EXPECT_EQ(tables_to_events(decoded), events);
+}
+
+TEST(CdcChunk, ReferenceOrderSortsByClockThenSender) {
+  const auto tables = build_tables(testing::figure4_events());
+  const auto reference = reference_order(tables.matched);
+  const std::vector<clock::MessageId> expected = {
+      {0, 2}, {1, 8}, {2, 8}, {0, 13}, {0, 15}, {0, 17}, {0, 18}, {1, 19}};
+  EXPECT_EQ(reference, expected);
+}
+
+TEST(CdcChunk, InReferenceOrderStreamNeedsNoMoves) {
+  // "if a rank receives messages from senders with monotonically
+  // increasing clock values, the recording size for the matched-test
+  // table becomes zero."
+  std::vector<ReceiveEvent> events;
+  for (std::uint64_t c = 1; c <= 50; ++c)
+    events.push_back({true, false, static_cast<std::int32_t>(c % 3), c * 2});
+  const auto chunk = encode_chunk(build_tables(events));
+  EXPECT_TRUE(chunk.moves.empty());
+}
+
+TEST(CdcChunk, SerializationRoundTripWorkedExample) {
+  const auto chunk = encode_chunk(build_tables(testing::figure4_events()));
+  support::ByteWriter writer;
+  write_chunk(writer, chunk);
+  support::ByteReader reader(writer.view());
+  const auto parsed = read_chunk(reader);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, chunk);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(CdcChunk, SerializationRejectsTruncation) {
+  const auto chunk = encode_chunk(build_tables(testing::figure4_events()));
+  support::ByteWriter writer;
+  write_chunk(writer, chunk);
+  const auto full = writer.view();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    support::ByteReader reader(full.subspan(0, cut));
+    const auto parsed = read_chunk(reader);
+    // Either parse failure, or a short-read chunk that differs — never
+    // a crash. Most prefixes must fail outright.
+    if (parsed.has_value()) {
+      EXPECT_NE(*parsed, chunk);
+    }
+  }
+}
+
+TEST(CdcChunk, ReSerializationRoundTrip) {
+  const auto tables = build_tables(testing::figure4_events());
+  support::ByteWriter writer;
+  write_tables_re(writer, tables);
+  support::ByteReader reader(writer.view());
+  const auto parsed = read_tables_re(reader);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, tables);
+}
+
+class ChunkProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChunkProperty, RandomStreamsRoundTripThroughChunkAndBytes) {
+  support::Xoshiro256 rng(GetParam());
+  // Build a random but legal event stream: clocks strictly increase per
+  // sender; observed order is a noisy interleave.
+  const int senders = 1 + static_cast<int>(rng.bounded(6));
+  std::vector<ReceiveEvent> events;
+  std::vector<std::uint64_t> next_clock(static_cast<std::size_t>(senders), 1);
+  const std::size_t n = 1 + rng.bounded(300);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.2) {
+      events.push_back({false, false, -1, 0});
+      continue;
+    }
+    const auto s = static_cast<std::int32_t>(rng.bounded(senders));
+    auto& clk = next_clock[static_cast<std::size_t>(s)];
+    clk += 1 + rng.bounded(5);
+    events.push_back({true, rng.uniform() < 0.1, s, clk});
+  }
+  if (!events.empty() && events.back().flag) events.back().with_next = false;
+  // with_next must not dangle: last matched event has it cleared.
+  for (std::size_t i = events.size(); i-- > 0;) {
+    if (events[i].flag) {
+      events[i].with_next = false;
+      break;
+    }
+  }
+
+  const auto tables = build_tables(events);
+  const auto chunk = encode_chunk(tables);
+
+  support::ByteWriter writer;
+  write_chunk(writer, chunk);
+  support::ByteReader reader(writer.view());
+  const auto parsed = read_chunk(reader);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, chunk);
+
+  const auto decoded = decode_chunk(*parsed, reference_order(tables.matched));
+  EXPECT_EQ(decoded, tables);
+}
+
+TEST_P(ChunkProperty, ValueCountNeverExceedsReTables) {
+  // Full CDC stores at most as many values as redundancy elimination
+  // whenever the stream is near reference order (moves ≪ N); for fully
+  // reference-ordered streams it stores only epoch + unmatched + with_next.
+  support::Xoshiro256 rng(GetParam() + 500);
+  std::vector<ReceiveEvent> events;
+  std::uint64_t clk = 0;
+  for (int i = 0; i < 200; ++i) {
+    clk += 1 + rng.bounded(3);
+    events.push_back({true, false, static_cast<std::int32_t>(rng.bounded(4)),
+                      clk});
+  }
+  const auto tables = build_tables(events);
+  const auto chunk = encode_chunk(tables);
+  EXPECT_LE(chunk.value_count(), tables.value_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkProperty,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107,
+                                           108, 109, 110));
+
+}  // namespace
+}  // namespace cdc::record

@@ -1,0 +1,156 @@
+#include "record/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace cdc::record {
+namespace {
+
+std::vector<std::uint32_t> identity(std::size_t n) {
+  std::vector<std::uint32_t> v(n);
+  std::iota(v.begin(), v.end(), 0u);
+  return v;
+}
+
+TEST(PaperExample, DecoderReproducesFigure7) {
+  // Figure 7/8: ops {(1,+2),(2,+1),(7,−2)} turn the identity into
+  // B = {0,3,2,1,4,7,5,6}.
+  const std::vector<MoveOp> ops = {{1, +2}, {2, +1}, {7, -2}};
+  const std::vector<std::uint32_t> expected = {0, 3, 2, 1, 4, 7, 5, 6};
+  EXPECT_EQ(apply_moves(8, ops), expected);
+}
+
+TEST(PaperExample, EncoderProducesMinimalOps) {
+  const std::vector<std::uint32_t> b = {0, 3, 2, 1, 4, 7, 5, 6};
+  const auto ops = encode_permutation(b);
+  EXPECT_EQ(ops.size(), 3u);  // three moved messages, as in the paper
+  EXPECT_EQ(apply_moves(b.size(), ops), b);
+}
+
+TEST(PaperExample, PermutationPercentageMatches) {
+  // "the percentage becomes 37.5% (= 3/8) in the example of Figure 7".
+  const std::vector<std::uint32_t> b = {0, 3, 2, 1, 4, 7, 5, 6};
+  EXPECT_DOUBLE_EQ(permutation_percentage(b), 3.0 / 8.0);
+}
+
+TEST(PaperExample, EditDistanceIsSix) {
+  // Figure 10's edit script has 3 deletions + 3 insertions.
+  const std::vector<std::uint32_t> b = {0, 3, 2, 1, 4, 7, 5, 6};
+  EXPECT_EQ(banded_edit_distance(b), 6u);
+  EXPECT_EQ(dp_edit_distance(b), 6u);
+}
+
+TEST(EncodePermutation, IdentityNeedsNoOps) {
+  const auto b = identity(100);
+  EXPECT_TRUE(encode_permutation(b).empty());
+  EXPECT_EQ(banded_edit_distance(b), 0u);
+  EXPECT_DOUBLE_EQ(permutation_percentage(b), 0.0);
+}
+
+TEST(EncodePermutation, ReversalMovesAllButOne) {
+  std::vector<std::uint32_t> b = identity(10);
+  std::reverse(b.begin(), b.end());
+  const auto ops = encode_permutation(b);
+  EXPECT_EQ(ops.size(), 9u);  // LIS of a reversal is 1
+  EXPECT_EQ(apply_moves(b.size(), ops), b);
+}
+
+TEST(EncodePermutation, SingleElement) {
+  const std::vector<std::uint32_t> b = {0};
+  EXPECT_TRUE(encode_permutation(b).empty());
+  EXPECT_EQ(apply_moves(1, {}), b);
+}
+
+TEST(EncodePermutation, Empty) {
+  EXPECT_TRUE(encode_permutation({}).empty());
+  EXPECT_TRUE(apply_moves(0, {}).empty());
+}
+
+TEST(EncodePermutation, AdjacentSwap) {
+  const std::vector<std::uint32_t> b = {1, 0, 2, 3};
+  const auto ops = encode_permutation(b);
+  EXPECT_EQ(ops.size(), 1u);
+  EXPECT_EQ(apply_moves(4, ops), b);
+}
+
+TEST(Lis, MembershipMarksAnIncreasingSubsequence) {
+  const std::vector<std::uint32_t> b = {2, 0, 1, 4, 3};
+  const auto keep = lis_membership(b);
+  std::vector<std::uint32_t> kept;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    if (keep[i]) kept.push_back(b[i]);
+  EXPECT_TRUE(std::is_sorted(kept.begin(), kept.end()));
+  EXPECT_EQ(kept.size(), 3u);  // LIS length of {2,0,1,4,3}
+}
+
+class RandomPermutation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPermutation, EncodeDecodeIdentity) {
+  support::Xoshiro256 rng(GetParam());
+  for (const std::size_t n : {2u, 3u, 5u, 17u, 100u, 1000u}) {
+    auto b = identity(n);
+    for (std::size_t i = n; i > 1; --i)
+      std::swap(b[i - 1], b[rng.bounded(i)]);
+    const auto ops = encode_permutation(b);
+    EXPECT_EQ(apply_moves(n, ops), b);
+    // Minimality: ops == N − LIS, and indices strictly increase.
+    std::size_t lis = 0;
+    for (const bool k : lis_membership(b)) lis += k;
+    EXPECT_EQ(ops.size(), n - lis);
+    for (std::size_t i = 1; i < ops.size(); ++i)
+      EXPECT_LT(ops[i - 1].index, ops[i].index);
+  }
+}
+
+TEST_P(RandomPermutation, NearSortedInputsProduceFewOps) {
+  support::Xoshiro256 rng(GetParam() + 1000);
+  auto b = identity(500);
+  // Perturb 5% of positions by adjacent swaps: mimics MCB's mostly-in-
+  // reference-order receive streams (Figure 1).
+  for (int i = 0; i < 25; ++i) {
+    const std::size_t j = rng.bounded(b.size() - 1);
+    std::swap(b[j], b[j + 1]);
+  }
+  const auto ops = encode_permutation(b);
+  EXPECT_LE(ops.size(), 50u);
+  EXPECT_EQ(apply_moves(b.size(), ops), b);
+}
+
+TEST_P(RandomPermutation, BandedDistanceAgreesWithDp) {
+  support::Xoshiro256 rng(GetParam() + 2000);
+  for (const std::size_t n : {2u, 8u, 40u, 120u}) {
+    auto b = identity(n);
+    for (std::size_t i = n; i > 1; --i)
+      std::swap(b[i - 1], b[rng.bounded(i)]);
+    EXPECT_EQ(banded_edit_distance(b), dp_edit_distance(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPermutation,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
+
+TEST(Delays, PositiveDelayMeansReceivedLate) {
+  // One element moved late: {1, 2, 0} — element 0 received 2 late.
+  const std::vector<std::uint32_t> b = {1, 2, 0};
+  const auto ops = encode_permutation(b);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].index, 0);
+  EXPECT_EQ(ops[0].delay, 2);
+}
+
+TEST(Delays, NegativeDelayMeansReceivedEarly) {
+  const std::vector<std::uint32_t> b = {2, 0, 1};
+  const auto ops = encode_permutation(b);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].index, 2);
+  EXPECT_EQ(ops[0].delay, -2);
+}
+
+}  // namespace
+}  // namespace cdc::record

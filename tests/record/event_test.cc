@@ -1,0 +1,63 @@
+#include "record/event.h"
+
+#include <gtest/gtest.h>
+
+#include "figure4.h"
+
+namespace cdc::record {
+namespace {
+
+TEST(EventRows, Figure4StreamCollapsesToElevenRows) {
+  const auto events = testing::figure4_events();
+  const auto rows = to_rows(events);
+  ASSERT_EQ(rows.size(), 11u);  // the 11 rows of Figure 4
+
+  // Spot-check the table against the paper.
+  EXPECT_EQ(rows[0], (EventRow{1, {true, false, 0, 2}}));
+  EXPECT_EQ(rows[1].count, 2u);
+  EXPECT_FALSE(rows[1].event.flag);
+  EXPECT_EQ(rows[2], (EventRow{1, {true, true, 0, 13}}));
+  EXPECT_EQ(rows[3], (EventRow{1, {true, false, 2, 8}}));
+  EXPECT_EQ(rows[7].count, 3u);
+  EXPECT_FALSE(rows[7].event.flag);
+  EXPECT_EQ(rows[10], (EventRow{1, {true, false, 0, 18}}));
+}
+
+TEST(EventRows, PaperValueAccountingIs55) {
+  // "this process needs to write 55 values (the five values × 11 events)".
+  const auto rows = to_rows(testing::figure4_events());
+  EXPECT_EQ(rows.size() * 5, 55u);
+}
+
+TEST(EventRows, RoundTrip) {
+  const auto events = testing::figure4_events();
+  EXPECT_EQ(from_rows(to_rows(events)), events);
+}
+
+TEST(EventRows, EmptyStream) {
+  EXPECT_TRUE(to_rows({}).empty());
+  EXPECT_TRUE(from_rows({}).empty());
+}
+
+TEST(EventRows, OnlyUnmatchedAggregatesToOneRow) {
+  std::vector<ReceiveEvent> events(5, ReceiveEvent{false, false, -1, 0});
+  const auto rows = to_rows(events);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].count, 5u);
+  EXPECT_EQ(from_rows(rows), events);
+}
+
+TEST(EventRows, MatchedEventsNeverAggregate) {
+  std::vector<ReceiveEvent> events = {
+      {true, false, 0, 1}, {true, false, 0, 2}, {true, false, 0, 3}};
+  EXPECT_EQ(to_rows(events).size(), 3u);
+}
+
+TEST(ReceiveEvent, MessageIdExposesSenderAndClock) {
+  const ReceiveEvent e{true, false, 7, 42};
+  EXPECT_EQ(e.id().sender, 7);
+  EXPECT_EQ(e.id().clock, 42u);
+}
+
+}  // namespace
+}  // namespace cdc::record

@@ -1,0 +1,30 @@
+// The paper's worked example: the Figure 4 recording table as a raw event
+// stream, shared by the record-module tests.
+#pragma once
+
+#include <vector>
+
+#include "record/event.h"
+
+namespace cdc::record::testing {
+
+/// Figure 4 rows expanded to events:
+///   (1,1,0,-,0,2) (2,0,…) (1,1,1,0,13) (1,1,0,2,8) (1,1,0,1,8)
+///   (1,1,0,0,15) (1,1,0,1,19) (3,0,…) (1,1,0,0,17) (1,0,…) (1,1,0,0,18)
+inline std::vector<ReceiveEvent> figure4_events() {
+  const auto matched = [](std::int32_t rank, std::uint64_t clk,
+                          bool with_next = false) {
+    return ReceiveEvent{true, with_next, rank, clk};
+  };
+  const ReceiveEvent unmatched{false, false, -1, 0};
+  return {
+      matched(0, 2),        unmatched, unmatched,
+      matched(0, 13, true), matched(2, 8),
+      matched(1, 8),        matched(0, 15),
+      matched(1, 19),       unmatched, unmatched, unmatched,
+      matched(0, 17),       unmatched,
+      matched(0, 18),
+  };
+}
+
+}  // namespace cdc::record::testing

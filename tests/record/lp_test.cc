@@ -1,0 +1,76 @@
+#include "record/lp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.h"
+
+namespace cdc::record {
+namespace {
+
+TEST(LpEncoding, PaperWorkedExample) {
+  // §3.4: {1,2,4,6,8,12,17} encodes to {1,0,1,0,0,2,1}.
+  const std::vector<std::int64_t> xs = {1, 2, 4, 6, 8, 12, 17};
+  const std::vector<std::int64_t> expected = {1, 0, 1, 0, 0, 2, 1};
+  EXPECT_EQ(lp_encode(xs), expected);
+}
+
+TEST(LpEncoding, LinearSequencesEncodeToNearZero) {
+  std::vector<std::int64_t> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(5 + 3 * i);
+  const auto es = lp_encode(xs);
+  // After the two warm-up residuals every value is exactly zero.
+  for (std::size_t n = 2; n < es.size(); ++n) EXPECT_EQ(es[n], 0);
+}
+
+TEST(LpEncoding, RoundTripPaperExample) {
+  const std::vector<std::int64_t> xs = {1, 2, 4, 6, 8, 12, 17};
+  EXPECT_EQ(lp_decode(lp_encode(xs)), xs);
+}
+
+TEST(LpEncoding, RoundTripEmptyAndSingle) {
+  EXPECT_TRUE(lp_encode({}).empty());
+  const std::vector<std::int64_t> one = {42};
+  EXPECT_EQ(lp_decode(lp_encode(one)), one);
+}
+
+TEST(LpEncoding, RoundTripNegativeValues) {
+  const std::vector<std::int64_t> xs = {-5, 10, -20, 3, 0, -1};
+  EXPECT_EQ(lp_decode(lp_encode(xs)), xs);
+}
+
+class LpRandomRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpRandomRoundTrip, Identity) {
+  support::Xoshiro256 rng(GetParam());
+  std::vector<std::int64_t> xs(1 + rng.bounded(1000));
+  std::int64_t acc = 0;
+  for (auto& x : xs) {
+    acc += static_cast<std::int64_t>(rng.bounded(20)) - 5;
+    x = acc;
+  }
+  EXPECT_EQ(lp_decode(lp_encode(xs)), xs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LpEncoding, MonotoneIndexColumnsHaveSmallResiduals) {
+  // The intended use: near-arithmetic index sequences.
+  support::Xoshiro256 rng(99);
+  std::vector<std::int64_t> xs;
+  std::int64_t v = 0;
+  for (int i = 0; i < 1000; ++i) {
+    v += 3 + static_cast<std::int64_t>(rng.bounded(2));  // slope 3 or 4
+    xs.push_back(v);
+  }
+  const auto es = lp_encode(xs);
+  for (std::size_t n = 2; n < es.size(); ++n) {
+    EXPECT_LE(es[n], 2);
+    EXPECT_GE(es[n], -2);
+  }
+}
+
+}  // namespace
+}  // namespace cdc::record

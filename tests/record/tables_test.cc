@@ -1,0 +1,98 @@
+#include "record/tables.h"
+
+#include <gtest/gtest.h>
+
+#include "figure4.h"
+
+namespace cdc::record {
+namespace {
+
+TEST(RedundancyElimination, Figure6Tables) {
+  const auto tables = build_tables(testing::figure4_events());
+
+  // Matched-test table, observed order (Figure 6 left).
+  ASSERT_EQ(tables.matched.size(), 8u);
+  const clock::MessageId expected[] = {{0, 2},  {0, 13}, {2, 8},  {1, 8},
+                                       {0, 15}, {1, 19}, {0, 17}, {0, 18}};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(tables.matched[i], expected[i]);
+
+  // with_next table: only observed index 1 (the clock-13 receive).
+  ASSERT_EQ(tables.with_next.size(), 1u);
+  EXPECT_EQ(tables.with_next[0], 1u);
+
+  // unmatched-test table: (1,2), (6,3), (7,1) — Figure 6 right.
+  ASSERT_EQ(tables.unmatched.size(), 3u);
+  EXPECT_EQ(tables.unmatched[0], (UnmatchedRun{1, 2}));
+  EXPECT_EQ(tables.unmatched[1], (UnmatchedRun{6, 3}));
+  EXPECT_EQ(tables.unmatched[2], (UnmatchedRun{7, 1}));
+}
+
+TEST(RedundancyElimination, PaperValueAccountingIs23) {
+  // "After this redundancy elimination, CDC can reduce the number of
+  // recording values to 23 values in the example."
+  const auto tables = build_tables(testing::figure4_events());
+  EXPECT_EQ(tables.value_count(), 23u);
+}
+
+TEST(RedundancyElimination, RoundTrip) {
+  const auto events = testing::figure4_events();
+  EXPECT_EQ(tables_to_events(build_tables(events)), events);
+}
+
+TEST(RedundancyElimination, NoTestFamilyMeansEmptyUnmatchedTable) {
+  // "if an application does not call the MPI Test family … the size of the
+  // unmatched-test table becomes zero."
+  std::vector<ReceiveEvent> events = {
+      {true, false, 0, 1}, {true, false, 1, 2}, {true, false, 0, 3}};
+  const auto tables = build_tables(events);
+  EXPECT_TRUE(tables.unmatched.empty());
+  EXPECT_TRUE(tables.with_next.empty());
+  EXPECT_EQ(tables_to_events(tables), events);
+}
+
+TEST(RedundancyElimination, TrailingUnmatchedTestsUseIndexN) {
+  std::vector<ReceiveEvent> events = {
+      {true, false, 0, 1}, {false, false, -1, 0}, {false, false, -1, 0}};
+  const auto tables = build_tables(events);
+  ASSERT_EQ(tables.unmatched.size(), 1u);
+  EXPECT_EQ(tables.unmatched[0], (UnmatchedRun{1, 2}));
+  EXPECT_EQ(tables_to_events(tables), events);
+}
+
+TEST(RedundancyElimination, LeadingUnmatchedTestsUseIndexZero) {
+  std::vector<ReceiveEvent> events = {
+      {false, false, -1, 0}, {true, false, 3, 9}};
+  const auto tables = build_tables(events);
+  ASSERT_EQ(tables.unmatched.size(), 1u);
+  EXPECT_EQ(tables.unmatched[0], (UnmatchedRun{0, 1}));
+  EXPECT_EQ(tables_to_events(tables), events);
+}
+
+TEST(RedundancyElimination, OnlyUnmatchedEvents) {
+  std::vector<ReceiveEvent> events(4, ReceiveEvent{false, false, -1, 0});
+  const auto tables = build_tables(events);
+  EXPECT_TRUE(tables.matched.empty());
+  ASSERT_EQ(tables.unmatched.size(), 1u);
+  EXPECT_EQ(tables.unmatched[0], (UnmatchedRun{0, 4}));
+  EXPECT_EQ(tables_to_events(tables), events);
+}
+
+TEST(RedundancyElimination, EmptyStream) {
+  const auto tables = build_tables({});
+  EXPECT_TRUE(tables.matched.empty());
+  EXPECT_TRUE(tables_to_events(tables).empty());
+}
+
+TEST(RedundancyElimination, WithNextGroupsSurvive) {
+  // A Waitsome delivering three messages at once: first two with_next.
+  std::vector<ReceiveEvent> events = {
+      {true, true, 0, 1}, {true, true, 1, 2}, {true, false, 2, 3}};
+  const auto tables = build_tables(events);
+  ASSERT_EQ(tables.with_next.size(), 2u);
+  EXPECT_EQ(tables.with_next[0], 0u);
+  EXPECT_EQ(tables.with_next[1], 1u);
+  EXPECT_EQ(tables_to_events(tables), events);
+}
+
+}  // namespace
+}  // namespace cdc::record

@@ -1,0 +1,122 @@
+#include "runtime/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace cdc::runtime {
+namespace {
+
+TEST(SpscQueue, PushPopSingleThread) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  int out = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(SpscQueue, ReportsFull) {
+  SpscQueue<int> q(4);
+  std::size_t pushed = 0;
+  while (q.try_push(int(pushed))) ++pushed;
+  EXPECT_GE(pushed, 4u);  // capacity is rounded up
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_TRUE(q.try_push(99));  // space freed
+}
+
+TEST(SpscQueue, SizeApprox) {
+  SpscQueue<int> q(16);
+  EXPECT_TRUE(q.empty_approx());
+  q.try_push(1);
+  q.try_push(2);
+  EXPECT_EQ(q.size_approx(), 2u);
+  int out;
+  q.try_pop(out);
+  EXPECT_EQ(q.size_approx(), 1u);
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<int> q(4);
+  int out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(q.try_push(int{round}));
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(SpscQueue, MoveOnlyPayloads) {
+  SpscQueue<std::unique_ptr<int>> q(8);
+  ASSERT_TRUE(q.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscQueueStress, TwoThreadsPreserveFifoAndLoseNothing) {
+  constexpr std::uint64_t kCount = 2'000'000;
+  SpscQueue<std::uint64_t> q(1024);
+  std::uint64_t sum = 0;
+  std::uint64_t expected_next = 0;
+  bool ordered = true;
+
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    std::uint64_t received = 0;
+    while (received < kCount) {
+      if (q.try_pop(v)) {
+        if (v != expected_next) ordered = false;
+        ++expected_next;
+        sum += v;
+        ++received;
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!q.try_push(std::uint64_t{i})) {
+    }
+  }
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(SpscQueueStress, BurstyProducer) {
+  SpscQueue<int> q(64);
+  constexpr int kBursts = 1000;
+  constexpr int kBurstSize = 100;
+  std::atomic<bool> done{false};
+  std::uint64_t received = 0;
+
+  std::thread consumer([&] {
+    int v = 0;
+    for (;;) {
+      if (q.try_pop(v)) {
+        ++received;
+      } else if (done.load(std::memory_order_acquire)) {
+        while (q.try_pop(v)) ++received;
+        return;
+      }
+    }
+  });
+  for (int b = 0; b < kBursts; ++b) {
+    for (int i = 0; i < kBurstSize; ++i) {
+      while (!q.try_push(int{i})) {
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  EXPECT_EQ(received, static_cast<std::uint64_t>(kBursts) * kBurstSize);
+}
+
+}  // namespace
+}  // namespace cdc::runtime

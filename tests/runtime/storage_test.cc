@@ -1,0 +1,63 @@
+#include "runtime/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cdc::runtime {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> list) {
+  return list;
+}
+
+template <typename Store>
+void exercise_basic(Store& store) {
+  const StreamKey a{0, 1};
+  const StreamKey b{3, 2};
+  store.append(a, bytes({1, 2, 3}));
+  store.append(a, bytes({4}));
+  store.append(b, bytes({9, 9}));
+
+  EXPECT_EQ(store.total_bytes(), 6u);
+  EXPECT_EQ(store.rank_bytes(0), 4u);
+  EXPECT_EQ(store.rank_bytes(3), 2u);
+  EXPECT_EQ(store.rank_bytes(7), 0u);
+  EXPECT_EQ(store.keys().size(), 2u);
+}
+
+TEST(MemoryStore, AppendReadBack) {
+  MemoryStore store;
+  exercise_basic(store);
+  EXPECT_EQ(store.read(StreamKey{0, 1}), bytes({1, 2, 3, 4}));
+  EXPECT_EQ(store.read(StreamKey{3, 2}), bytes({9, 9}));
+  EXPECT_TRUE(store.read(StreamKey{5, 5}).empty());
+}
+
+TEST(FileStore, AppendReadBack) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "cdc_filestore_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  FileStore store(dir);
+  exercise_basic(store);
+  EXPECT_EQ(store.read(StreamKey{0, 1}), bytes({1, 2, 3, 4}));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/0_1.cdcrec"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CountingStore, CountsWithoutStoring) {
+  CountingStore store;
+  exercise_basic(store);
+  EXPECT_DEATH(store.read(StreamKey{0, 1}), "discards");
+}
+
+TEST(MemoryStore, EmptyStoreTotals) {
+  MemoryStore store;
+  EXPECT_EQ(store.total_bytes(), 0u);
+  EXPECT_TRUE(store.keys().empty());
+}
+
+}  // namespace
+}  // namespace cdc::runtime

@@ -1,0 +1,137 @@
+#include "support/binary.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace cdc::support {
+namespace {
+
+TEST(Zigzag, MapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(Zigzag, RoundTripsExtremes) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(ByteWriter, FixedWidthLittleEndian) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ull);
+  const auto view = w.view();
+  ASSERT_EQ(view.size(), 15u);
+  EXPECT_EQ(view[0], 0xab);
+  EXPECT_EQ(view[1], 0x34);
+  EXPECT_EQ(view[2], 0x12);
+  EXPECT_EQ(view[3], 0xef);
+  EXPECT_EQ(view[14], 0x01);
+}
+
+TEST(ByteReaderWriter, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(123456789u);
+  w.u64(0xffffffffffffffffull);
+  w.f64(3.14159);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456789u);
+  EXPECT_EQ(r.u64(), 0xffffffffffffffffull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Varint, SingleByteValues) {
+  ByteWriter w;
+  w.varint(0);
+  w.varint(127);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(Varint, MultiByteBoundaries) {
+  ByteWriter w;
+  w.varint(128);
+  EXPECT_EQ(w.size(), 2u);
+  w.varint(16384);
+  EXPECT_EQ(w.size(), 5u);
+}
+
+TEST(Varint, RoundTripRandom) {
+  Xoshiro256 rng(42);
+  ByteWriter w;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix of small and large magnitudes.
+    const std::uint64_t v = rng() >> (rng() % 64);
+    values.push_back(v);
+    w.varint(v);
+  }
+  ByteReader r(w.view());
+  for (const std::uint64_t v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Svarint, RoundTripRandomSigned) {
+  Xoshiro256 rng(43);
+  ByteWriter w;
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v =
+        static_cast<std::int64_t>(rng() >> (rng() % 64)) * ((i % 2) ? 1 : -1);
+    values.push_back(v);
+    w.svarint(v);
+  }
+  ByteReader r(w.view());
+  for (const std::int64_t v : values) EXPECT_EQ(r.svarint(), v);
+}
+
+TEST(ByteReader, TruncatedVarintFails) {
+  const std::uint8_t bytes[] = {0x80, 0x80};  // unterminated
+  ByteReader r(bytes);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(r.try_varint(out));
+}
+
+TEST(ByteReader, TruncatedFixedFails) {
+  const std::uint8_t bytes[] = {1, 2, 3};
+  ByteReader r(bytes);
+  std::uint32_t out = 0;
+  EXPECT_FALSE(r.try_u32(out));
+}
+
+TEST(ByteReader, SizedBytesRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6};
+  w.sized_bytes(payload);
+  ByteReader r(w.view());
+  std::span<const std::uint8_t> out;
+  ASSERT_TRUE(r.try_sized_bytes(out));
+  EXPECT_EQ(std::vector<std::uint8_t>(out.begin(), out.end()), payload);
+}
+
+TEST(ByteReader, SizedBytesRejectsOverlongLength) {
+  ByteWriter w;
+  w.varint(1000);  // claims 1000 bytes, none follow
+  ByteReader r(w.view());
+  std::span<const std::uint8_t> out;
+  EXPECT_FALSE(r.try_sized_bytes(out));
+}
+
+}  // namespace
+}  // namespace cdc::support

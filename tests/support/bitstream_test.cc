@@ -1,0 +1,95 @@
+#include "support/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.h"
+
+namespace cdc::support {
+namespace {
+
+TEST(BitStream, LsbFirstPacking) {
+  BitWriter w;
+  w.write(0b1, 1);
+  w.write(0b01, 2);   // bits 1,0
+  w.write(0b10110, 5);
+  const auto bytes = std::move(w).finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  // Bit layout (LSB first): 1, then 1,0, then 0,1,1,0,1.
+  EXPECT_EQ(bytes[0], 0b10110011);
+}
+
+TEST(BitStream, RoundTripRandomFields) {
+  Xoshiro256 rng(7);
+  BitWriter w;
+  std::vector<std::pair<std::uint32_t, int>> fields;
+  for (int i = 0; i < 2000; ++i) {
+    const int count = 1 + static_cast<int>(rng.bounded(32));
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(rng()) &
+        (count == 32 ? ~0u : ((1u << count) - 1));
+    fields.emplace_back(value, count);
+    w.write(value, count);
+  }
+  const auto bytes = std::move(w).finish();
+  BitReader r(bytes);
+  for (const auto& [value, count] : fields) {
+    std::uint32_t out = 0;
+    ASSERT_TRUE(r.try_read(count, out));
+    EXPECT_EQ(out, value);
+  }
+}
+
+TEST(BitStream, HuffmanCodesAreMsbFirst) {
+  BitWriter w;
+  w.write_huffman(0b110, 3);  // should emit 1,1,0 (MSB of code first)
+  const auto bytes = std::move(w).finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b011);  // LSB-first packing of the sequence 1,1,0
+}
+
+TEST(BitStream, AlignedByteReads) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.align_to_byte();
+  w.append_byte(0xAA);
+  w.append_byte(0xBB);
+  const auto bytes = std::move(w).finish();
+
+  BitReader r(bytes);
+  std::uint32_t head = 0;
+  ASSERT_TRUE(r.try_read(3, head));
+  EXPECT_EQ(head, 0b101u);
+  std::span<const std::uint8_t> aligned;
+  ASSERT_TRUE(r.try_read_aligned_bytes(2, aligned));
+  EXPECT_EQ(aligned[0], 0xAA);
+  EXPECT_EQ(aligned[1], 0xBB);
+}
+
+TEST(BitStream, AlignedReadGivesBackBufferedBytes) {
+  // Force the reader to buffer more than one byte before aligning.
+  BitWriter w;
+  w.write(0x3FFFF, 18);  // 18 bits — reader will buffer 3 bytes
+  w.align_to_byte();
+  w.append_byte(0x42);
+  const auto bytes = std::move(w).finish();
+
+  BitReader r(bytes);
+  std::uint32_t head = 0;
+  ASSERT_TRUE(r.try_read(18, head));
+  std::span<const std::uint8_t> aligned;
+  ASSERT_TRUE(r.try_read_aligned_bytes(1, aligned));
+  EXPECT_EQ(aligned[0], 0x42);
+}
+
+TEST(BitStream, UnderrunReported) {
+  const std::vector<std::uint8_t> bytes = {0xFF};
+  BitReader r(bytes);
+  std::uint32_t out = 0;
+  ASSERT_TRUE(r.try_read(8, out));
+  EXPECT_FALSE(r.try_read(1, out));
+}
+
+}  // namespace
+}  // namespace cdc::support

@@ -1,0 +1,68 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace cdc::support {
+namespace {
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Xoshiro, BoundedStaysInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(7), 7u);
+  }
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro, BoundedCoversAllResidues) {
+  Xoshiro256 rng(6);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.bounded(10)];
+  for (const int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(10);
+  const double mean = 3.5;
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.exponential(mean);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, mean, 0.05 * mean);
+}
+
+}  // namespace
+}  // namespace cdc::support

@@ -1,0 +1,88 @@
+#include "tool/async_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "tool/frame.h"
+
+namespace cdc::tool {
+namespace {
+
+record::ReceiveEvent matched(std::int32_t sender, std::uint64_t clk) {
+  return {true, false, sender, clk};
+}
+
+AsyncRecorder::Config small_config(std::size_t queue_capacity = 1 << 10) {
+  AsyncRecorder::Config config;
+  config.key = {0, 1};
+  config.options.chunk_target = 64;
+  config.queue_capacity = queue_capacity;
+  return config;
+}
+
+TEST(AsyncRecorder, RecordsEverythingEnqueued) {
+  runtime::MemoryStore store;
+  {
+    AsyncRecorder recorder(small_config(), &store);
+    for (std::uint64_t c = 1; c <= 10000; ++c) {
+      if (c % 7 == 0)
+        recorder.enqueue(record::ReceiveEvent{false, false, -1, 0});
+      recorder.enqueue(matched(static_cast<std::int32_t>(c % 5), c));
+    }
+    recorder.finalize();
+    const auto counters = recorder.counters();
+    EXPECT_EQ(counters.enqueued, counters.dequeued);
+    EXPECT_EQ(recorder.stream_stats().matched_events, 10000u);
+  }
+  EXPECT_GT(store.total_bytes(), 0u);
+
+  // The stream parses into the recorded number of frames.
+  const auto bytes = store.read({0, 1});
+  support::ByteReader reader(bytes);
+  std::size_t frames = 0;
+  while (read_frame(reader).has_value()) ++frames;
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_GT(frames, 100u);  // 10000 events / 64 per chunk
+}
+
+TEST(AsyncRecorder, BackPressureBlocksRatherThanDrops) {
+  runtime::MemoryStore store;
+  AsyncRecorder recorder(small_config(/*queue_capacity=*/16), &store);
+  // Flood a tiny ring: the producer must stall, never lose events.
+  for (std::uint64_t c = 1; c <= 50000; ++c)
+    recorder.enqueue(matched(0, c));
+  recorder.finalize();
+  EXPECT_EQ(recorder.stream_stats().matched_events, 50000u);
+}
+
+TEST(AsyncRecorder, DestructorFinalizes) {
+  runtime::MemoryStore store;
+  {
+    AsyncRecorder recorder(small_config(), &store);
+    for (std::uint64_t c = 1; c <= 10; ++c) recorder.enqueue(matched(0, c));
+  }
+  EXPECT_GT(store.total_bytes(), 0u);
+}
+
+TEST(AsyncRecorder, FinalizeIsIdempotent) {
+  runtime::MemoryStore store;
+  AsyncRecorder recorder(small_config(), &store);
+  recorder.enqueue(matched(0, 1));
+  recorder.finalize();
+  recorder.finalize();
+  EXPECT_EQ(recorder.stream_stats().matched_events, 1u);
+}
+
+TEST(AsyncRecorder, ConsumerKeepsUpWithRealisticRates) {
+  // §6.2: the dequeue rate far exceeds the production rate, so the ring
+  // stays near empty. With a sane queue there must be almost no stalls.
+  runtime::MemoryStore store;
+  AsyncRecorder recorder(small_config(1 << 16), &store);
+  for (std::uint64_t c = 1; c <= 100000; ++c)
+    recorder.enqueue(matched(static_cast<std::int32_t>(c % 3), c));
+  recorder.finalize();
+  const auto counters = recorder.counters();
+  EXPECT_EQ(counters.dequeued, 100000u);
+}
+
+}  // namespace
+}  // namespace cdc::tool

@@ -1,0 +1,105 @@
+#include "tool/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace cdc::tool {
+namespace {
+
+std::vector<std::uint8_t> make_payload(std::size_t n, bool compressible) {
+  support::Xoshiro256 rng(5);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out)
+    b = compressible ? 0 : static_cast<std::uint8_t>(rng.bounded(256));
+  return out;
+}
+
+TEST(Frame, RoundTripCompressible) {
+  const auto payload = make_payload(10000, true);
+  support::ByteWriter w;
+  write_frame(w, 3, 42, payload, compress::DeflateLevel::kDefault);
+  EXPECT_LT(w.size(), payload.size() / 10);
+
+  support::ByteReader r(w.view());
+  const auto frame = read_frame(r);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->codec, 3);
+  EXPECT_EQ(frame->meta, 42u);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Frame, IncompressiblePayloadStoredRaw) {
+  const auto payload = make_payload(1000, false);
+  support::ByteWriter w;
+  write_frame(w, 1, 0, payload, compress::DeflateLevel::kDefault);
+  // Raw storage bounds the expansion to the small frame header.
+  EXPECT_LE(w.size(), payload.size() + 16);
+  support::ByteReader r(w.view());
+  const auto frame = read_frame(r);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(Frame, SequenceOfFrames) {
+  support::ByteWriter w;
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    const std::vector<std::uint8_t> payload(100 + i, i);
+    write_frame(w, i, i * 10, payload, compress::DeflateLevel::kFast);
+  }
+  support::ByteReader r(w.view());
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    const auto frame = read_frame(r);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->codec, i);
+    EXPECT_EQ(frame->meta, i * 10u);
+    EXPECT_EQ(frame->payload.size(), 100u + i);
+  }
+  EXPECT_FALSE(read_frame(r).has_value());  // clean end of stream
+}
+
+TEST(Frame, EmptyStreamYieldsNothing) {
+  support::ByteReader r({});
+  EXPECT_FALSE(read_frame(r).has_value());
+}
+
+TEST(Frame, RejectsBadMagic) {
+  support::ByteWriter w;
+  write_frame(w, 0, 0, make_payload(50, true),
+              compress::DeflateLevel::kDefault);
+  auto data = std::move(w).take();
+  data[0] = 0x00;
+  support::ByteReader r(data);
+  EXPECT_FALSE(read_frame(r).has_value());
+}
+
+TEST(Frame, RejectsTruncatedBody) {
+  support::ByteWriter w;
+  write_frame(w, 0, 0, make_payload(5000, true),
+              compress::DeflateLevel::kDefault);
+  auto data = std::move(w).take();
+  data.resize(data.size() - 3);
+  support::ByteReader r(data);
+  EXPECT_FALSE(read_frame(r).has_value());
+}
+
+TEST(Frame, RejectsCorruptCompressedBody) {
+  support::ByteWriter w;
+  write_frame(w, 0, 0, make_payload(5000, true),
+              compress::DeflateLevel::kDefault);
+  auto data = std::move(w).take();
+  data[data.size() / 2] ^= 0x55;
+  support::ByteReader r(data);
+  const auto frame = read_frame(r);
+  // Either the DEFLATE stream fails to parse or the length check fires;
+  // silent wrong payloads are not acceptable. (A flipped bit could decode
+  // to the right length only with different content — guarded upstream by
+  // chunk-level validation.)
+  if (frame.has_value()) {
+    EXPECT_NE(frame->payload, make_payload(5000, true));
+  }
+}
+
+}  // namespace
+}  // namespace cdc::tool

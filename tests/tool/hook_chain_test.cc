@@ -1,0 +1,115 @@
+#include "tool/hook_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/mcb.h"
+#include "minimpi/simulator.h"
+#include "runtime/storage.h"
+#include "tool/recorder.h"
+#include "tool/replayer.h"
+
+namespace cdc::tool {
+namespace {
+
+minimpi::Simulator::Config sim_config(int ranks, std::uint64_t seed) {
+  minimpi::Simulator::Config config;
+  config.num_ranks = ranks;
+  config.noise_seed = seed;
+  return config;
+}
+
+apps::McbConfig small_mcb() {
+  apps::McbConfig config;
+  config.grid_x = 2;
+  config.grid_y = 2;
+  config.particles_per_rank = 25;
+  config.segments_per_particle = 5;
+  return config;
+}
+
+TEST(HookChain, ObserverSeesTheSameEventsAsTheRecorder) {
+  runtime::MemoryStore store;
+  Recorder recorder(4, &store);
+  EventCounter counter(4);
+  HookChain chain(&recorder);
+  chain.add_observer(&counter);
+
+  minimpi::Simulator sim(sim_config(4, 3), &chain);
+  apps::run_mcb(sim, small_mcb());
+  recorder.finalize();
+
+  std::uint64_t observed = 0;
+  std::uint64_t observed_unmatched = 0;
+  for (minimpi::Rank r = 0; r < 4; ++r) {
+    observed += counter.deliveries(r);
+    observed_unmatched += counter.unmatched(r);
+  }
+  EXPECT_EQ(observed, recorder.totals().matched_events);
+  EXPECT_EQ(observed_unmatched, recorder.totals().unmatched_events);
+  EXPECT_GT(counter.sends(0), 0u);
+}
+
+TEST(HookChain, RecordingThroughAChainStillReplays) {
+  runtime::MemoryStore store;
+  {
+    Recorder recorder(4, &store);
+    EventCounter counter(4);
+    HookChain chain(&recorder);
+    chain.add_observer(&counter);
+    minimpi::Simulator sim(sim_config(4, 3), &chain);
+    apps::run_mcb(sim, small_mcb());
+    recorder.finalize();
+  }
+
+  // Replay with its own observer chain attached.
+  Replayer replayer(4, &store);
+  EventCounter counter(4);
+  HookChain chain(&replayer);
+  chain.add_observer(&counter);
+  minimpi::Simulator sim(sim_config(4, 44), &chain);
+  const auto result = apps::run_mcb(sim, small_mcb());
+  EXPECT_GT(result.total_tracks, 0u);
+  EXPECT_TRUE(replayer.fully_replayed());
+}
+
+TEST(HookChain, NullPrimaryPreservesUntooledSemantics) {
+  // Same seed with and without an observer-only chain: identical runs
+  // (observers never perturb matching or clocks).
+  apps::McbResult untooled;
+  {
+    minimpi::Simulator sim(sim_config(4, 9), nullptr);
+    untooled = apps::run_mcb(sim, small_mcb());
+  }
+  EventCounter counter(4);
+  HookChain chain(nullptr);
+  chain.add_observer(&counter);
+  minimpi::Simulator sim(sim_config(4, 9), &chain);
+  const auto observed = apps::run_mcb(sim, small_mcb());
+  EXPECT_EQ(observed.global_tally, untooled.global_tally);
+  EXPECT_EQ(observed.messages, untooled.messages);
+}
+
+TEST(HookChain, MultipleObservers) {
+  EventCounter a(2);
+  EventCounter b(2);
+  HookChain chain(nullptr);
+  chain.add_observer(&a);
+  chain.add_observer(&b);
+
+  minimpi::Simulator sim(sim_config(2, 1), &chain);
+  sim.set_program(0, [](minimpi::Comm& comm) -> minimpi::Task {
+    comm.isend(1, 1, std::vector<std::uint8_t>{1});
+    co_return;
+  });
+  sim.set_program(1, [](minimpi::Comm& comm) -> minimpi::Task {
+    minimpi::Request r = comm.irecv(0, 1);
+    co_await comm.wait(r);
+  });
+  sim.run();
+  EXPECT_EQ(a.deliveries(1), 1u);
+  EXPECT_EQ(b.deliveries(1), 1u);
+  EXPECT_EQ(a.sends(0), 1u);
+}
+
+}  // namespace
+}  // namespace cdc::tool

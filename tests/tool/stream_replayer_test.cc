@@ -1,0 +1,246 @@
+// Direct unit tests of the replay gate's state machine: unmatched-test
+// consumption, arrival-gated releases, with_next group delivery, epoch
+// chunk classification, and passthrough after exhaustion — driven without
+// the simulator.
+#include "tool/stream_replayer.h"
+
+#include <gtest/gtest.h>
+
+#include "record/event.h"
+#include "runtime/storage.h"
+#include "tool/stream_recorder.h"
+
+namespace cdc::tool {
+namespace {
+
+using record::ReceiveEvent;
+
+/// Builds the recorded byte stream for one callsite from a raw event list.
+std::vector<std::uint8_t> record_stream(
+    const std::vector<ReceiveEvent>& events, std::size_t chunk_target = 64) {
+  runtime::MemoryStore store;
+  ToolOptions options;
+  options.chunk_target = chunk_target;
+  StreamRecorder recorder({0, 1}, options);
+  for (const ReceiveEvent& e : events) {
+    if (e.flag) {
+      recorder.on_delivered(e);
+    } else {
+      recorder.on_unmatched_test();
+    }
+    recorder.flush_if_due(store);
+  }
+  recorder.finalize(store);
+  return store.read({0, 1});
+}
+
+minimpi::Candidate candidate(std::int32_t source, std::uint64_t clk,
+                             bool fresh = true) {
+  minimpi::Candidate c;
+  c.span_index = 0;
+  c.source = source;
+  c.piggyback = clk;
+  c.fresh = fresh;
+  return c;
+}
+
+minimpi::Completion completion(std::int32_t source, std::uint64_t clk) {
+  minimpi::Completion c;
+  c.source = source;
+  c.piggyback = clk;
+  return c;
+}
+
+TEST(StreamReplayer, EmptyRecordIsExhaustedImmediately) {
+  StreamReplayer replayer({0, 1}, {});
+  EXPECT_TRUE(replayer.exhausted());
+  const auto decision = replayer.decide(minimpi::MFKind::kTest, {});
+  EXPECT_EQ(decision.kind, StreamReplayer::Decision::Kind::kPassthrough);
+}
+
+TEST(StreamReplayer, ConsumesUnmatchedRunsThenDelivers) {
+  // Record: two failed tests, then a receive from (3, 10).
+  const auto bytes = record_stream({
+      {false, false, -1, 0},
+      {false, false, -1, 0},
+      {true, false, 3, 10},
+  });
+  StreamReplayer replayer({0, 1}, bytes);
+  ASSERT_FALSE(replayer.exhausted());
+
+  // The message may already be visible, but the two recorded unmatched
+  // tests must surface first.
+  replayer.sight({3, 10});
+  for (int i = 0; i < 2; ++i) {
+    const std::vector<minimpi::Candidate> cands = {candidate(3, 10, i == 0)};
+    const auto decision = replayer.decide(minimpi::MFKind::kTest, cands);
+    ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kNoMatch);
+    replayer.confirm_unmatched();
+  }
+
+  const std::vector<minimpi::Candidate> cands = {candidate(3, 10, false)};
+  const auto decision = replayer.decide(minimpi::MFKind::kTest, cands);
+  ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kDeliver);
+  ASSERT_EQ(decision.messages.size(), 1u);
+  EXPECT_EQ(decision.messages[0], (clock::MessageId{3, 10}));
+  const minimpi::Completion done[] = {completion(3, 10)};
+  replayer.confirm_delivered(done);
+  EXPECT_TRUE(replayer.exhausted());
+}
+
+TEST(StreamReplayer, BlocksUntilTheRecordedMessageArrives) {
+  const auto bytes = record_stream({
+      {true, false, 1, 5},
+      {true, false, 2, 6},
+  });
+  StreamReplayer replayer({0, 1}, bytes);
+
+  // Only (2,6) has arrived; position 0 wants (1,5): block even for a Test.
+  replayer.sight({2, 6});
+  {
+    const std::vector<minimpi::Candidate> cands = {candidate(2, 6)};
+    EXPECT_EQ(replayer.decide(minimpi::MFKind::kTest, cands).kind,
+              StreamReplayer::Decision::Kind::kBlock);
+  }
+  replayer.sight({1, 5});
+  {
+    const std::vector<minimpi::Candidate> cands = {candidate(2, 6, false),
+                                                   candidate(1, 5, false)};
+    const auto decision = replayer.decide(minimpi::MFKind::kTest, cands);
+    ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kDeliver);
+    EXPECT_EQ(decision.messages[0], (clock::MessageId{1, 5}));
+  }
+}
+
+TEST(StreamReplayer, OutOfReferenceOrderObservedSequence) {
+  // Recorded observed order (2,8) before (1,5): replay must release the
+  // later-clock message first, exactly as recorded.
+  const auto bytes = record_stream({
+      {true, false, 2, 8},
+      {true, false, 1, 5},
+  });
+  StreamReplayer replayer({0, 1}, bytes);
+  replayer.sight({1, 5});
+  replayer.sight({2, 8});
+  const std::vector<minimpi::Candidate> cands = {candidate(1, 5, false),
+                                                 candidate(2, 8, false)};
+  auto decision = replayer.decide(minimpi::MFKind::kWaitany, cands);
+  ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kDeliver);
+  EXPECT_EQ(decision.messages[0], (clock::MessageId{2, 8}));
+  const minimpi::Completion first[] = {completion(2, 8)};
+  replayer.confirm_delivered(first);
+
+  decision = replayer.decide(minimpi::MFKind::kWaitany, cands);
+  ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kDeliver);
+  EXPECT_EQ(decision.messages[0], (clock::MessageId{1, 5}));
+}
+
+TEST(StreamReplayer, WithNextGroupsDeliverTogether) {
+  const auto bytes = record_stream({
+      {true, true, 1, 5},
+      {true, false, 2, 6},
+      {true, false, 1, 9},
+  });
+  StreamReplayer replayer({0, 1}, bytes);
+  replayer.sight({1, 5});
+  // Group {(1,5),(2,6)} incomplete: block.
+  {
+    const std::vector<minimpi::Candidate> cands = {candidate(1, 5)};
+    EXPECT_EQ(replayer.decide(minimpi::MFKind::kWaitsome, cands).kind,
+              StreamReplayer::Decision::Kind::kBlock);
+  }
+  replayer.sight({2, 6});
+  const std::vector<minimpi::Candidate> cands = {candidate(1, 5, false),
+                                                 candidate(2, 6, false)};
+  const auto decision = replayer.decide(minimpi::MFKind::kWaitsome, cands);
+  ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kDeliver);
+  ASSERT_EQ(decision.messages.size(), 2u);
+  EXPECT_EQ(decision.messages[0], (clock::MessageId{1, 5}));
+  EXPECT_EQ(decision.messages[1], (clock::MessageId{2, 6}));
+}
+
+TEST(StreamReplayer, GroupOnSingleDeliveryKindAborts) {
+  const auto bytes = record_stream({
+      {true, true, 1, 5},
+      {true, false, 2, 6},
+  });
+  StreamReplayer replayer({0, 1}, bytes);
+  replayer.sight({1, 5});
+  replayer.sight({2, 6});
+  const std::vector<minimpi::Candidate> cands = {candidate(1, 5, false),
+                                                 candidate(2, 6, false)};
+  EXPECT_DEATH(replayer.decide(minimpi::MFKind::kWait, cands),
+               "single-delivery");
+}
+
+TEST(StreamReplayer, FutureChunkMessagesAreHeldOver) {
+  // Two chunks (chunk_target = 2): the second chunk's messages have
+  // strictly larger per-sender clocks (clean cut). A message of chunk 2
+  // sighted during chunk 1 must not be delivered early.
+  const auto bytes = record_stream(
+      {
+          {true, false, 1, 5},
+          {true, false, 1, 7},
+          {true, false, 1, 11},
+          {true, false, 1, 13},
+      },
+      /*chunk_target=*/2);
+  StreamReplayer replayer({0, 1}, bytes);
+
+  replayer.sight({1, 5});
+  replayer.sight({1, 7});
+  replayer.sight({1, 11});  // belongs to chunk 2 (epoch_1[1] == 7)
+
+  const std::vector<minimpi::Candidate> cands = {
+      candidate(1, 5, false), candidate(1, 7, false),
+      candidate(1, 11, false)};
+  for (const std::uint64_t expected : {5ull, 7ull}) {
+    const auto decision = replayer.decide(minimpi::MFKind::kTest, cands);
+    ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kDeliver);
+    EXPECT_EQ(decision.messages[0].clock, expected);
+    const minimpi::Completion done[] = {completion(1, expected)};
+    replayer.confirm_delivered(done);
+  }
+  // Chunk 2 active now; the held-over (1,11) becomes deliverable.
+  const auto decision = replayer.decide(minimpi::MFKind::kTest, cands);
+  ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kDeliver);
+  EXPECT_EQ(decision.messages[0].clock, 11u);
+  EXPECT_EQ(replayer.stats().chunks, 2u);
+}
+
+TEST(StreamReplayer, WrongDeliveryConfirmationAborts) {
+  const auto bytes = record_stream({{true, false, 1, 5}});
+  StreamReplayer replayer({0, 1}, bytes);
+  replayer.sight({1, 5});
+  const minimpi::Completion wrong[] = {completion(1, 6)};
+  EXPECT_DEATH(replayer.confirm_delivered(wrong), "differs|never");
+}
+
+TEST(StreamReplayer, WaitWhileUnmatchedRecordedAborts) {
+  const auto bytes = record_stream({
+      {false, false, -1, 0},
+      {true, false, 1, 5},
+  });
+  StreamReplayer replayer({0, 1}, bytes);
+  replayer.sight({1, 5});
+  const std::vector<minimpi::Candidate> cands = {candidate(1, 5, false)};
+  EXPECT_DEATH(replayer.decide(minimpi::MFKind::kWait, cands),
+               "unmatched test");
+}
+
+TEST(StreamReplayer, PassthroughAfterExhaustion) {
+  const auto bytes = record_stream({{true, false, 1, 5}});
+  StreamReplayer replayer({0, 1}, bytes);
+  replayer.sight({1, 5});
+  const std::vector<minimpi::Candidate> cands = {candidate(1, 5, false)};
+  const auto decision = replayer.decide(minimpi::MFKind::kTest, cands);
+  ASSERT_EQ(decision.kind, StreamReplayer::Decision::Kind::kDeliver);
+  const minimpi::Completion done[] = {completion(1, 5)};
+  replayer.confirm_delivered(done);
+  EXPECT_TRUE(replayer.exhausted());
+  EXPECT_EQ(replayer.decide(minimpi::MFKind::kTest, {}).kind,
+            StreamReplayer::Decision::Kind::kPassthrough);
+}
+
+}  // namespace
+}  // namespace cdc::tool
