@@ -8,15 +8,29 @@
 // reports the same rows. Absolute sizes differ from the paper (different
 // machine, different MCB implementation); the ordering and rough factors
 // are the reproduction target.
+//
+// On top of the codec table, the bench measures the src/store/ compression
+// service on the very chunks this workload sealed: the frame jobs captured
+// during the gzip and CDC runs are re-encoded inline and through a
+// CompressionService with 1/2/4 workers. Results land in BENCH_store.json
+// (machine-readable; the 4-worker row is the ISSUE acceptance number).
+#include <chrono>
 #include <cstdio>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common.h"
 #include "runtime/storage.h"
+#include "store/compression_service.h"
 #include "support/stats.h"
+#include "tool/frame.h"
+#include "tool/frame_sink.h"
 #include "tool/recorder.h"
 
 namespace {
+
+using namespace cdc;
 
 struct Row {
   const char* label;
@@ -24,6 +38,37 @@ struct Row {
   bool identify_callsites;
   std::uint64_t bytes = 0;
   std::uint64_t events = 0;
+};
+
+/// Delegates to the inline path (so the codec table stays honest) while
+/// keeping a copy of every sealed chunk for the throughput section.
+class CapturingSink final : public tool::FrameSink {
+ public:
+  CapturingSink(runtime::RecordStore* store,
+                std::vector<std::pair<runtime::StreamKey, tool::FrameJob>>*
+                    jobs)
+      : inner_(store), jobs_(jobs) {}
+
+  void submit(const runtime::StreamKey& key, tool::FrameJob job) override {
+    jobs_->emplace_back(key, job);
+    inner_.submit(key, std::move(job));
+  }
+
+ private:
+  tool::InlineFrameSink inner_;
+  std::vector<std::pair<runtime::StreamKey, tool::FrameJob>>* jobs_;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ThroughputRow {
+  std::size_t workers = 0;  ///< 0 = inline on the calling thread
+  double seconds = 0;
+  double mb_per_s = 0;
 };
 
 }  // namespace
@@ -43,12 +88,21 @@ int main() {
       {"CDC", tool::RecordCodec::kCdcFull, true},
   };
 
+  // Chunks sealed by the gzip and CDC rows: the workload for the
+  // compression-service throughput section below.
+  std::vector<std::pair<runtime::StreamKey, tool::FrameJob>> jobs;
+
   for (Row& row : rows) {
     runtime::CountingStore store;
     tool::ToolOptions options;
     options.codec = row.codec;
     options.identify_callsites = row.identify_callsites;
-    tool::Recorder recorder(ranks, &store, options);
+    const bool capture = row.codec == tool::RecordCodec::kBaselineGzip ||
+                         (row.codec == tool::RecordCodec::kCdcFull &&
+                          row.identify_callsites);
+    CapturingSink sink(&store, &jobs);
+    tool::Recorder recorder(ranks, &store, options,
+                            capture ? &sink : nullptr);
     minimpi::Simulator sim(bench::sim_config(ranks), &recorder);
     apps::run_mcb(sim, bench::mcb_config(ranks));
     recorder.finalize();
@@ -78,5 +132,132 @@ int main() {
       "%.3f bytes/event.\n",
       raw / cdc, gz / cdc,
       cdc / static_cast<double>(rows.back().events));
+
+  // --- store/ compression-service throughput on the captured chunks ------
+  const std::size_t cap = static_cast<std::size_t>(
+      bench::env_int("CDC_STORE_JOBS", 2048));
+  if (jobs.size() > cap) {
+    // Keep an evenly spaced sample so the large/small chunk mix survives.
+    std::vector<std::pair<runtime::StreamKey, tool::FrameJob>> sampled;
+    sampled.reserve(cap);
+    const std::size_t stride = jobs.size() / cap;
+    for (std::size_t i = 0; i < jobs.size() && sampled.size() < cap;
+         i += stride)
+      sampled.push_back(jobs[i]);
+    std::fprintf(stderr,
+                 "  [store bench: sampled %zu of %zu captured chunks; "
+                 "raise CDC_STORE_JOBS to use more]\n",
+                 sampled.size(), jobs.size());
+    jobs = std::move(sampled);
+  }
+  std::uint64_t job_raw_bytes = 0;
+  for (const auto& [key, job] : jobs) job_raw_bytes += job.payload.size();
+  const double job_mb =
+      static_cast<double>(job_raw_bytes) / (1024.0 * 1024.0);
+
+  std::printf("\nstore/ compression service on %zu sealed chunks "
+              "(%s raw):\n",
+              jobs.size(),
+              support::format_bytes(
+                  static_cast<double>(job_raw_bytes)).c_str());
+  std::printf("%-10s %10s %12s %10s\n", "path", "seconds", "MB/s",
+              "speedup");
+
+  std::vector<ThroughputRow> throughput;
+  {  // inline reference: encode every chunk on this thread.
+    runtime::CountingStore store;
+    const auto start = Clock::now();
+    for (const auto& [key, job] : jobs)
+      store.append(key, tool::encode_frame(job));
+    ThroughputRow row;
+    row.workers = 0;
+    row.seconds = seconds_since(start);
+    row.mb_per_s = job_mb / row.seconds;
+    throughput.push_back(row);
+  }
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    runtime::CountingStore store;
+    store::CompressionService::Config config;
+    config.workers = workers;
+    const auto start = Clock::now();
+    {
+      store::CompressionService service(&store, config);
+      for (const auto& [key, job] : jobs)
+        service.submit(key, job.payload.size(),
+                       [&job = job] { return tool::encode_frame(job); });
+      service.drain();
+    }
+    ThroughputRow row;
+    row.workers = workers;
+    row.seconds = seconds_since(start);
+    row.mb_per_s = job_mb / row.seconds;
+    throughput.push_back(row);
+  }
+  const double inline_seconds = throughput.front().seconds;
+  for (const ThroughputRow& row : throughput) {
+    char label[32];
+    if (row.workers == 0)
+      std::snprintf(label, sizeof label, "inline");
+    else
+      std::snprintf(label, sizeof label, "%zu worker%s", row.workers,
+                    row.workers == 1 ? "" : "s");
+    std::printf("%-10s %10.4f %12.2f %9.2fx\n", label, row.seconds,
+                row.mb_per_s, inline_seconds / row.seconds);
+  }
+  const double speedup_4x = inline_seconds / throughput.back().seconds;
+  const unsigned cpus = std::thread::hardware_concurrency();
+  if (cpus < 4)
+    std::printf("(only %u hardware thread%s available — parallel speedup "
+                "is core-limited on this machine)\n",
+                cpus, cpus == 1 ? "" : "s");
+
+  // --- machine-readable output ------------------------------------------
+  const char* json_path = "BENCH_store.json";
+  if (std::FILE* out = std::fopen(json_path, "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"fig13_compression\",\n");
+    std::fprintf(out, "  \"ranks\": %d,\n", ranks);
+    std::fprintf(out, "  \"receive_events\": %llu,\n",
+                 static_cast<unsigned long long>(rows[0].events));
+    std::fprintf(out, "  \"codecs\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double bytes = static_cast<double>(rows[i].bytes);
+      std::fprintf(out,
+                   "    {\"label\": \"%s\", \"bytes\": %llu, "
+                   "\"bytes_per_event\": %.4f, \"vs_raw\": %.3f, "
+                   "\"vs_gzip\": %.3f}%s\n",
+                   rows[i].label,
+                   static_cast<unsigned long long>(rows[i].bytes),
+                   bytes / static_cast<double>(rows[i].events), raw / bytes,
+                   gz / bytes, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"store_throughput\": {\n");
+    std::fprintf(out, "    \"hardware_threads\": %u,\n", cpus);
+    std::fprintf(out, "    \"chunks\": %zu,\n", jobs.size());
+    std::fprintf(out, "    \"raw_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(job_raw_bytes));
+    std::fprintf(out, "    \"paths\": [\n");
+    for (std::size_t i = 0; i < throughput.size(); ++i) {
+      const ThroughputRow& row = throughput[i];
+      std::fprintf(out,
+                   "      {\"workers\": %zu, \"inline\": %s, "
+                   "\"seconds\": %.6f, \"mb_per_s\": %.3f, "
+                   "\"speedup_vs_inline\": %.4f}%s\n",
+                   row.workers, row.workers == 0 ? "true" : "false",
+                   row.seconds, row.mb_per_s,
+                   inline_seconds / row.seconds,
+                   i + 1 < throughput.size() ? "," : "");
+    }
+    std::fprintf(out, "    ],\n");
+    std::fprintf(out, "    \"speedup_4_workers_vs_inline\": %.4f\n",
+                 speedup_4x);
+    std::fprintf(out, "  }\n");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s (4-worker speedup vs inline: %.2fx)\n",
+                json_path, speedup_4x);
+  }
+
   return (cdc < gz && gz < raw) ? 0 : 1;
 }

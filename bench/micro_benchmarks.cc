@@ -7,10 +7,14 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <string_view>
 #include <vector>
 
 #include "compress/deflate.h"
 #include "record/baseline.h"
+#include "store/compression_service.h"
+#include "store/mpmc_queue.h"
+#include "store/sharded_store.h"
 #include "record/chunk.h"
 #include "record/edit_distance.h"
 #include "record/fast_permutation.h"
@@ -259,6 +263,63 @@ void BM_AsyncRecorderDrain(benchmark::State& state) {
 }
 BENCHMARK(BM_AsyncRecorderDrain)->Unit(benchmark::kMillisecond);
 
+// --- src/store/ pipeline ------------------------------------------------------
+
+void BM_MpmcQueueThroughput(benchmark::State& state) {
+  store::BoundedMpmcQueue<int> queue(1 << 10);
+  int out = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.push(1));
+    benchmark::DoNotOptimize(queue.pop(out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcQueueThroughput);
+
+void BM_ShardedStoreAppend(benchmark::State& state) {
+  const std::vector<std::uint8_t> chunk(256, 7);
+  store::ShardedStore sharded;
+  std::uint32_t callsite = 0;
+  for (auto _ : state) {
+    sharded.append({0, callsite++ % 64}, chunk);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_ShardedStoreAppend);
+
+void BM_CompressionService(benchmark::State& state) {
+  // DEFLATE of sealed gzip-baseline chunks through the worker pool,
+  // in-order commit included; compare workers=1/2/4 against the
+  // single-thread BM_DeflateRecordLike cost above.
+  const auto rows = record::to_rows(mcb_like_events(1 << 14));
+  const auto payload = record::baseline_serialize(rows);
+  constexpr int kJobs = 64;
+  for (auto _ : state) {
+    runtime::CountingStore counting;
+    store::CompressionService::Config config;
+    config.workers = static_cast<std::size_t>(state.range(0));
+    {
+      store::CompressionService service(&counting, config);
+      for (int i = 0; i < kJobs; ++i)
+        service.submit({0, 1}, payload.size(), [&payload] {
+          return compress::deflate_compress(payload);
+        });
+      service.drain();
+    }
+    benchmark::DoNotOptimize(counting.total_bytes());
+  }
+  state.SetBytesProcessed(state.iterations() * kJobs *
+                          static_cast<std::int64_t>(payload.size()));
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CompressionService)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // --- chunk serialization ------------------------------------------------------
 
 void BM_ChunkSerializeParse(benchmark::State& state) {
@@ -278,4 +339,24 @@ BENCHMARK(BM_ChunkSerializeParse)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to a machine-readable JSON dump next
+// to BENCH_store.json when the caller did not pick an output file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    has_out |= std::string_view(argv[i]).starts_with("--benchmark_out=");
+  std::string default_out = "--benchmark_out=BENCH_micro.json";
+  std::string default_fmt = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(default_out.data());
+    args.push_back(default_fmt.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,14 +1,18 @@
 // Record inspector: a release-style utility that dissects CDC record data.
 //
-// Records a small MCB run into a directory-backed store (or inspects an
-// existing record directory given as argv[1]) and prints, per stream and
+// Records a small MCB run into a container-backed store (or inspects an
+// existing record given on the command line) and prints, per stream and
 // per chunk: event counts, permutation moves, with_next and unmatched-test
 // table sizes, the epoch line, stored-value accounting, and compressed
 // sizes. Handy when debugging the tool itself or sizing records.
 //
-//   $ ./record_inspector            # self-contained demo
-//   $ ./record_inspector /path/dir  # inspect an existing FileStore record
+//   $ ./record_inspector                     # self-contained demo
+//   $ ./record_inspector --dir <path>        # inspect a FileStore record
+//   $ ./record_inspector --container <file>  # inspect a record container
+//   $ ./record_inspector --verify <file>     # CRC-verify a container
+//   $ ./record_inspector --repack <in> <out> # salvage/compact a container
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -16,8 +20,12 @@
 #include "minimpi/simulator.h"
 #include "record/chunk.h"
 #include "runtime/storage.h"
+#include "store/compression_service.h"
+#include "store/container_reader.h"
+#include "store/container_store.h"
 #include "support/stats.h"
 #include "tool/frame.h"
+#include "tool/frame_sink.h"
 #include "tool/options.h"
 #include "tool/recorder.h"
 
@@ -91,36 +99,121 @@ void inspect(const runtime::RecordStore& store) {
                   : 0.0);
 }
 
+int inspect_container(const std::string& path) {
+  const auto store = store::ContainerStore::open(path);
+  std::printf("inspecting record container: %s\n\n", path.c_str());
+  inspect(*store);
+  return 0;
+}
+
+int verify_container(const std::string& path) {
+  std::string error;
+  const auto reader = store::ContainerReader::open(path, &error);
+  if (reader == nullptr) {
+    std::printf("FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  const store::VerifyReport report = reader->verify();
+  std::printf("%s: %s\n", path.c_str(), report.summary().c_str());
+  for (const std::string& problem : report.container_errors)
+    std::printf("  container: %s\n", problem.c_str());
+  for (const store::FrameDefect& defect : report.bad_frames) {
+    if (defect.key_known)
+      std::printf("  frame at offset %llu: stream (rank=%d, callsite=%u) "
+                  "frame #%llu: %s\n",
+                  static_cast<unsigned long long>(defect.offset),
+                  defect.key.rank, defect.key.callsite,
+                  static_cast<unsigned long long>(defect.seq),
+                  defect.reason.c_str());
+    else
+      std::printf("  frame at offset %llu: (stream unidentifiable) %s\n",
+                  static_cast<unsigned long long>(defect.offset),
+                  defect.reason.c_str());
+  }
+  return report.ok ? 0 : 1;
+}
+
+int repack(const std::string& in_path, const std::string& out_path) {
+  const store::RepackResult result =
+      store::repack_container(in_path, out_path);
+  if (!result.ok) {
+    std::printf("repack FAILED: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("repacked %s -> %s: kept %llu frames, dropped %llu, "
+              "%s -> %s\n",
+              in_path.c_str(), out_path.c_str(),
+              static_cast<unsigned long long>(result.frames_kept),
+              static_cast<unsigned long long>(result.frames_dropped),
+              support::format_bytes(
+                  static_cast<double>(result.bytes_in)).c_str(),
+              support::format_bytes(
+                  static_cast<double>(result.bytes_out)).c_str());
+  return verify_container(out_path);
+}
+
+int demo() {
+  std::printf("== recording a demo MCB run into a record container ==\n\n");
+  const std::string file = "/tmp/cdc_record_demo.cdcc";
+  {
+    store::ContainerStore container(file);
+    store::CompressionService::Config service_config;
+    service_config.workers = 2;
+    store::CompressionService service(&container, service_config);
+    tool::AsyncFrameSink sink(&service);
+    tool::ToolOptions options;
+    options.chunk_target = 128;
+    tool::Recorder recorder(9, &container, options, &sink);
+    minimpi::Simulator::Config config;
+    config.num_ranks = 9;
+    config.noise_seed = 4;
+    minimpi::Simulator sim(config, &recorder);
+    apps::McbConfig mcb;
+    mcb.grid_x = 3;
+    mcb.grid_y = 3;
+    mcb.particles_per_rank = 120;
+    apps::run_mcb(sim, mcb);
+    recorder.finalize();
+    service.drain();
+    container.seal();
+
+    inspect(container);
+    const auto stats = service.stats();
+    std::printf("\ncompression service: %llu chunks on %zu workers, "
+                "%s raw -> %s stored\n",
+                static_cast<unsigned long long>(stats.jobs), stats.workers,
+                support::format_bytes(
+                    static_cast<double>(stats.raw_bytes)).c_str(),
+                support::format_bytes(
+                    static_cast<double>(stats.encoded_bytes)).c_str());
+  }
+  std::printf("\nrecord container left at %s; verifying it:\n", file.c_str());
+  return verify_container(file);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1) {
-    runtime::FileStore store(argv[1]);
+  const auto is = [&](int i, const char* flag) {
+    return i < argc && std::strcmp(argv[i], flag) == 0;
+  };
+  if (is(1, "--container") && argc == 3) return inspect_container(argv[2]);
+  if (is(1, "--verify") && argc == 3) return verify_container(argv[2]);
+  if (is(1, "--repack") && argc == 4) return repack(argv[2], argv[3]);
+  if (is(1, "--dir") && argc == 3) {
+    runtime::FileStore store(argv[2]);
     // FileStore discovers nothing on its own; rebuild keys from names is
     // out of scope — inspect freshly recorded directories instead.
-    std::printf("inspecting existing record directory: %s\n\n", argv[1]);
+    std::printf("inspecting existing record directory: %s\n\n", argv[2]);
     inspect(store);
     return 0;
   }
-
-  std::printf("== recording a demo MCB run into a FileStore ==\n\n");
-  const std::string dir = "/tmp/cdc_record_demo";
-  runtime::FileStore store(dir);
-  tool::ToolOptions options;
-  options.chunk_target = 128;
-  tool::Recorder recorder(9, &store, options);
-  minimpi::Simulator::Config config;
-  config.num_ranks = 9;
-  config.noise_seed = 4;
-  minimpi::Simulator sim(config, &recorder);
-  apps::McbConfig mcb;
-  mcb.grid_x = 3;
-  mcb.grid_y = 3;
-  mcb.particles_per_rank = 120;
-  apps::run_mcb(sim, mcb);
-  recorder.finalize();
-
-  inspect(store);
-  std::printf("\nrecord files left in %s\n", dir.c_str());
-  return 0;
+  if (argc > 1) {
+    std::printf(
+        "usage: %s [--dir <path> | --container <file> | --verify <file> | "
+        "--repack <in> <out>]\n",
+        argv[0]);
+    return 2;
+  }
+  return demo();
 }

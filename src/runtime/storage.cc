@@ -50,7 +50,14 @@ std::uint64_t MemoryStore::rank_bytes(minimpi::Rank rank) const {
 
 FileStore::FileStore(std::string directory)
     : directory_(std::move(directory)) {
-  std::filesystem::create_directories(directory_);
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  const bool usable =
+      !ec && std::filesystem::is_directory(directory_, ec) && !ec;
+  if (!usable)
+    std::fprintf(stderr, "FileStore: cannot use '%s' as record directory\n",
+                 directory_.c_str());
+  CDC_CHECK_MSG(usable, "cannot create record directory");
 }
 
 std::string FileStore::path_for(const StreamKey& key) const {
@@ -61,8 +68,14 @@ std::string FileStore::path_for(const StreamKey& key) const {
 void FileStore::append(const StreamKey& key,
                        std::span<const std::uint8_t> bytes) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::ofstream out(path_for(key), std::ios::binary | std::ios::app);
-  CDC_CHECK_MSG(out.good(), "cannot open record file for append");
+  const std::string path = path_for(key);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out.good())
+    std::fprintf(stderr, "FileStore: cannot open '%s' for append\n",
+                 path.c_str());
+  CDC_CHECK_MSG(out.good(),
+                "cannot open record file for append (directory missing or "
+                "unwritable?)");
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   CDC_CHECK_MSG(out.good(), "record file write failed");
@@ -71,10 +84,28 @@ void FileStore::append(const StreamKey& key,
 
 std::vector<std::uint8_t> FileStore::read(const StreamKey& key) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::ifstream in(path_for(key), std::ios::binary);
-  if (!in.good()) return {};
+  const std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    // Distinguish "stream never recorded" (legitimately empty) from a
+    // vanished directory or file — silent empty reads turn storage
+    // failures into baffling replay divergence.
+    std::error_code ec;
+    if (!std::filesystem::is_directory(directory_, ec) || ec) {
+      std::fprintf(stderr, "FileStore: record directory '%s' is gone\n",
+                   directory_.c_str());
+      CDC_CHECK_MSG(false, "record directory missing on read");
+    }
+    if (sizes_.contains(key)) {
+      std::fprintf(stderr, "FileStore: record file '%s' is gone\n",
+                   path.c_str());
+      CDC_CHECK_MSG(false, "record file missing on read");
+    }
+    return {};
+  }
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
+  CDC_CHECK_MSG(!in.bad(), "record file read failed");
   return bytes;
 }
 

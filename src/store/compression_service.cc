@@ -1,0 +1,88 @@
+#include "store/compression_service.h"
+
+#include "support/check.h"
+
+namespace cdc::store {
+
+CompressionService::CompressionService(runtime::RecordStore* store)
+    : CompressionService(store, Config{}) {}
+
+CompressionService::CompressionService(runtime::RecordStore* store,
+                                       const Config& config)
+    : store_(store), queue_(config.queue_capacity) {
+  CDC_CHECK(store != nullptr);
+  CDC_CHECK_MSG(config.workers >= 1,
+                "compression service needs at least one worker");
+  workers_.reserve(config.workers);
+  for (std::size_t i = 0; i < config.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+CompressionService::~CompressionService() {
+  queue_.close();
+  workers_.clear();  // joins
+}
+
+void CompressionService::submit(const runtime::StreamKey& key,
+                                std::size_t raw_size_hint, Encoder encode) {
+  // submit_mutex_ makes ticket order equal queue order, which in-order
+  // commit relies on: FIFO pops then guarantee the lowest outstanding
+  // ticket is always held by some worker, never stranded behind blocked
+  // ones. It must NOT be the commit mutex — push() blocks on a full
+  // queue, and workers need the commit mutex to drain it.
+  const std::lock_guard<std::mutex> lock(submit_mutex_);
+  Job job;
+  job.key = key;
+  job.raw_size = raw_size_hint;
+  job.encode = std::move(encode);
+  job.ticket = next_ticket_;
+  const bool pushed = queue_.push(std::move(job));
+  CDC_CHECK_MSG(pushed, "submit after the compression service stopped");
+  ++next_ticket_;
+  raw_bytes_ += raw_size_hint;
+}
+
+void CompressionService::worker_loop() {
+  Job job;
+  while (queue_.pop(job)) {
+    const std::vector<std::uint8_t> encoded = job.encode();
+    commit_in_order(job, encoded);
+  }
+}
+
+void CompressionService::commit_in_order(
+    const Job& job, const std::vector<std::uint8_t>& encoded) {
+  std::unique_lock<std::mutex> lock(commit_mutex_);
+  commit_cv_.wait(lock, [&] { return next_commit_ == job.ticket; });
+  store_->append(job.key, encoded);
+  encoded_bytes_ += encoded.size();
+  ++next_commit_;
+  commit_cv_.notify_all();
+}
+
+void CompressionService::drain() {
+  std::uint64_t submitted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(submit_mutex_);
+    submitted = next_ticket_;
+  }
+  std::unique_lock<std::mutex> lock(commit_mutex_);
+  commit_cv_.wait(lock, [&] { return next_commit_ >= submitted; });
+}
+
+CompressionService::Stats CompressionService::stats() const {
+  Stats stats;
+  {
+    const std::lock_guard<std::mutex> lock(submit_mutex_);
+    stats.raw_bytes = raw_bytes_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(commit_mutex_);
+    stats.jobs = next_commit_;
+    stats.encoded_bytes = encoded_bytes_;
+  }
+  stats.workers = workers_.size();
+  return stats;
+}
+
+}  // namespace cdc::store

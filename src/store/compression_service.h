@@ -1,0 +1,98 @@
+// Parallel chunk-compression service.
+//
+// The seed serialized all DEFLATE work on whichever thread flushed a
+// chunk (the application thread under the synchronous Recorder, the one
+// AsyncRecorder worker otherwise). This service fans sealed-chunk
+// encoding jobs out over a bounded MPMC queue to a worker pool and then
+// commits the encoded frames to the RecordStore *in submission order*
+// (ticketed two-phase commit), so the byte stream each store key receives
+// is bit-identical to the inline path — replay and the Figure 13 size
+// accounting cannot tell the difference, only the wall clock can.
+//
+// Jobs are opaque encode closures rather than raw payloads so the service
+// stays codec-agnostic: the tool layer hands it `encode_frame` thunks,
+// the benches hand it synthetic ones, and a future replay-side service
+// can hand it decode work unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/storage.h"
+#include "store/mpmc_queue.h"
+
+namespace cdc::store {
+
+class CompressionService {
+ public:
+  /// Produces the fully framed bytes to append for one job. Runs on a
+  /// worker thread; must be self-contained (owns its input payload).
+  using Encoder = std::function<std::vector<std::uint8_t>()>;
+
+  struct Config {
+    std::size_t workers = 2;
+    std::size_t queue_capacity = 128;  ///< back-pressure bound, in jobs
+  };
+
+  explicit CompressionService(runtime::RecordStore* store);
+  CompressionService(runtime::RecordStore* store, const Config& config);
+
+  /// Drains outstanding jobs and stops the workers.
+  ~CompressionService();
+
+  CompressionService(const CompressionService&) = delete;
+  CompressionService& operator=(const CompressionService&) = delete;
+
+  /// Enqueues one encode job for `key`. Blocks when `queue_capacity`
+  /// jobs are already outstanding. `raw_size_hint` is the uncompressed
+  /// payload size, used only for throughput accounting.
+  void submit(const runtime::StreamKey& key, std::size_t raw_size_hint,
+              Encoder encode);
+
+  /// Blocks until every job submitted so far has been committed to the
+  /// store. Safe to call repeatedly and to keep submitting afterwards.
+  void drain();
+
+  struct Stats {
+    std::uint64_t jobs = 0;
+    std::uint64_t raw_bytes = 0;      ///< sum of size hints
+    std::uint64_t encoded_bytes = 0;  ///< framed bytes committed
+    std::size_t workers = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Job {
+    std::uint64_t ticket = 0;
+    runtime::StreamKey key;
+    std::size_t raw_size = 0;
+    Encoder encode;
+  };
+
+  void worker_loop();
+  void commit_in_order(const Job& job,
+                       const std::vector<std::uint8_t>& encoded);
+
+  runtime::RecordStore* store_;
+  BoundedMpmcQueue<Job> queue_;
+
+  // Ticketed in-order commit: submit() hands out tickets under
+  // submit_mutex_ (so queue order == ticket order), workers encode out of
+  // order, commit_in_order admits exactly one worker at a time in ticket
+  // order under commit_mutex_. The two mutexes are never held together
+  // by the service itself — see submit() for why that matters.
+  mutable std::mutex submit_mutex_;
+  std::uint64_t next_ticket_ = 0;  ///< next ticket submit() hands out
+  std::uint64_t raw_bytes_ = 0;
+
+  mutable std::mutex commit_mutex_;
+  std::condition_variable commit_cv_;
+  std::uint64_t next_commit_ = 0;  ///< ticket allowed to commit next
+  std::uint64_t encoded_bytes_ = 0;
+
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace cdc::store

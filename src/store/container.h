@@ -1,0 +1,69 @@
+// The CDC record-container format: an append-only segment log that packs
+// every (rank, callsite) stream of one recorded run into a single file,
+// the way the paper's per-process records land on one node-local device
+// (§4.2). Layout:
+//
+//   [header]   8 B   "CDCC" | version u8 (=1) | 3 reserved zero bytes
+//   [frame]*         data frames, appended in commit order
+//   [index]          stream directory (per-stream frame offsets)
+//   [footer]  20 B   index crc32 u32 | index length u64 | "CDCINDX1"
+//
+// Each frame is individually CRC32-protected (compress/crc32.h):
+//
+//   u8 0xF7 | svarint rank | varint callsite | varint seq |
+//   varint payload_len | payload | u32 crc32(everything after the magic)
+//
+// The fixed-size footer makes stream lookup O(1 + index) on open: seek to
+// EOF-20, validate the magic, seek back over the index, CRC-check it, and
+// every stream's frame offsets are known without scanning the data region.
+// A container whose footer or index is damaged is still recoverable by
+// sequential scan (see ContainerReader::verify and repack_container).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/storage.h"
+
+namespace cdc::store {
+
+inline constexpr std::uint8_t kContainerMagic[4] = {'C', 'D', 'C', 'C'};
+inline constexpr std::uint8_t kContainerVersion = 1;
+inline constexpr std::size_t kContainerHeaderSize = 8;
+
+inline constexpr std::uint8_t kFrameMagic = 0xF7;
+
+inline constexpr std::uint8_t kFooterMagic[8] = {'C', 'D', 'C', 'I',
+                                                 'N', 'D', 'X', '1'};
+inline constexpr std::size_t kContainerFooterSize = 4 + 8 + 8;
+
+/// Index entry for one stream: where its frames live in the data region.
+struct StreamIndexEntry {
+  runtime::StreamKey key;
+  std::vector<std::uint64_t> frame_offsets;  ///< file offset of each frame
+  std::uint64_t payload_bytes = 0;           ///< sum of frame payload sizes
+};
+
+/// One defect found while verifying a container.
+struct FrameDefect {
+  std::uint64_t offset = 0;  ///< file offset of the affected frame
+  bool key_known = false;    ///< stream identification succeeded
+  runtime::StreamKey key;
+  std::uint64_t seq = 0;  ///< per-stream frame sequence number
+  std::string reason;     ///< e.g. "frame crc mismatch"
+};
+
+/// Result of a full-container verification pass.
+struct VerifyReport {
+  bool ok = true;
+  std::uint64_t frames_checked = 0;
+  std::uint64_t payload_bytes = 0;
+  std::vector<FrameDefect> bad_frames;
+  /// Container-level problems (header, index, footer, truncation).
+  std::vector<std::string> container_errors;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace cdc::store

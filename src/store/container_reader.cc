@@ -1,0 +1,370 @@
+#include "store/container_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "compress/crc32.h"
+#include "store/container_writer.h"
+#include "support/binary.h"
+#include "support/check.h"
+
+namespace cdc::store {
+
+namespace {
+
+std::string offset_str(std::uint64_t offset) {
+  return "offset " + std::to_string(offset);
+}
+
+}  // namespace
+
+std::string VerifyReport::summary() const {
+  std::string out = ok ? "OK" : "CORRUPT";
+  out += ": " + std::to_string(frames_checked) + " frames, " +
+         std::to_string(payload_bytes) + " payload bytes";
+  if (!bad_frames.empty())
+    out += ", " + std::to_string(bad_frames.size()) + " bad frame(s)";
+  if (!container_errors.empty())
+    out += ", " + std::to_string(container_errors.size()) +
+           " container error(s)";
+  return out;
+}
+
+std::unique_ptr<ContainerReader> ContainerReader::open(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return nullptr;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.size() < kContainerHeaderSize + kContainerFooterSize) {
+    if (error != nullptr)
+      *error = "'" + path + "' is too small to be a record container";
+    return nullptr;
+  }
+  auto reader = std::unique_ptr<ContainerReader>(new ContainerReader());
+  reader->path_ = path;
+  reader->bytes_ = std::move(bytes);
+  reader->parse_footer_and_index();
+  return reader;
+}
+
+void ContainerReader::parse_footer_and_index() {
+  // Header.
+  header_ok_ = std::memcmp(bytes_.data(), kContainerMagic, 4) == 0 &&
+               bytes_[4] == kContainerVersion && bytes_[5] == 0 &&
+               bytes_[6] == 0 && bytes_[7] == 0;
+  if (!header_ok_) header_error_ = "bad container header (magic/version)";
+
+  // Fixed-size footer at EOF.
+  const std::span<const std::uint8_t> all(bytes_);
+  const std::size_t footer_at = bytes_.size() - kContainerFooterSize;
+  support::ByteReader footer(all.subspan(footer_at, kContainerFooterSize));
+  const std::uint32_t index_crc = footer.u32();
+  const std::uint64_t index_len = footer.u64();
+  if (std::memcmp(bytes_.data() + footer_at + 12, kFooterMagic, 8) != 0) {
+    index_error_ = "bad footer magic";
+    return;
+  }
+  if (index_len > footer_at - kContainerHeaderSize) {
+    index_error_ = "footer index length exceeds file";
+    return;
+  }
+  const std::size_t index_at = footer_at - index_len;
+  data_end_ = index_at;  // trustworthy once the index CRC matches
+  const auto index_bytes =
+      all.subspan(index_at, static_cast<std::size_t>(index_len));
+  if (compress::crc32(index_bytes) != index_crc) {
+    index_error_ = "index crc mismatch";
+    return;
+  }
+
+  support::ByteReader in(index_bytes);
+  std::uint64_t stream_count = 0;
+  if (!in.try_varint(stream_count)) {
+    index_error_ = "truncated index";
+    return;
+  }
+  for (std::uint64_t s = 0; s < stream_count; ++s) {
+    std::int64_t rank = 0;
+    std::uint64_t callsite = 0;
+    std::uint64_t frame_count = 0;
+    std::uint64_t payload_bytes = 0;
+    if (!in.try_svarint(rank) || !in.try_varint(callsite) ||
+        !in.try_varint(frame_count) || !in.try_varint(payload_bytes)) {
+      index_error_ = "truncated index entry";
+      return;
+    }
+    StreamIndexEntry entry;
+    entry.key = runtime::StreamKey{
+        static_cast<minimpi::Rank>(rank),
+        static_cast<minimpi::CallsiteId>(callsite)};
+    entry.payload_bytes = payload_bytes;
+    entry.frame_offsets.reserve(frame_count);
+    std::uint64_t offset = 0;
+    for (std::uint64_t f = 0; f < frame_count; ++f) {
+      std::uint64_t delta = 0;
+      if (!in.try_varint(delta)) {
+        index_error_ = "truncated index offsets";
+        return;
+      }
+      offset += delta;
+      if (offset < kContainerHeaderSize || offset >= data_end_) {
+        index_error_ = "index offset out of range";
+        return;
+      }
+      entry.frame_offsets.push_back(offset);
+    }
+    index_.emplace(entry.key, std::move(entry));
+  }
+  if (!in.exhausted()) {
+    index_error_ = "trailing bytes after index";
+    return;
+  }
+  index_ok_ = true;
+}
+
+ContainerReader::ParsedFrame ContainerReader::parse_frame_at(
+    std::uint64_t offset, std::uint64_t limit) const {
+  ParsedFrame frame;
+  if (offset >= limit) {
+    frame.parse_error = "frame offset past data region";
+    return frame;
+  }
+  const std::span<const std::uint8_t> all(bytes_);
+  const auto region = all.subspan(static_cast<std::size_t>(offset),
+                                  static_cast<std::size_t>(limit - offset));
+  support::ByteReader in(region);
+  std::uint8_t magic = 0;
+  if (!in.try_u8(magic) || magic != kFrameMagic) {
+    frame.parse_error = "bad frame magic";
+    return frame;
+  }
+  std::int64_t rank = 0;
+  std::uint64_t callsite = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t payload_len = 0;
+  if (!in.try_svarint(rank) || !in.try_varint(callsite) ||
+      !in.try_varint(seq) || !in.try_varint(payload_len)) {
+    frame.parse_error = "truncated frame header";
+    return frame;
+  }
+  std::span<const std::uint8_t> payload;
+  if (!in.try_bytes(static_cast<std::size_t>(payload_len), payload)) {
+    frame.parse_error = "frame payload overruns data region";
+    return frame;
+  }
+  const std::size_t body_end = in.position();
+  std::uint32_t stored_crc = 0;
+  if (!in.try_u32(stored_crc)) {
+    frame.parse_error = "truncated frame crc";
+    return frame;
+  }
+  frame.parsed = true;
+  frame.key = runtime::StreamKey{static_cast<minimpi::Rank>(rank),
+                                 static_cast<minimpi::CallsiteId>(callsite)};
+  frame.seq = seq;
+  frame.payload = payload;
+  frame.frame_size = in.position();
+  frame.crc_ok = compress::crc32(region.subspan(1, body_end - 1)) ==
+                 stored_crc;
+  if (!frame.crc_ok) frame.parse_error = "frame crc mismatch";
+  return frame;
+}
+
+std::vector<std::uint64_t> ContainerReader::sorted_index_offsets() const {
+  std::vector<std::uint64_t> offsets;
+  for (const auto& [key, entry] : index_)
+    offsets.insert(offsets.end(), entry.frame_offsets.begin(),
+                   entry.frame_offsets.end());
+  std::sort(offsets.begin(), offsets.end());
+  return offsets;
+}
+
+std::vector<runtime::StreamKey> ContainerReader::keys() const {
+  std::vector<runtime::StreamKey> out;
+  if (index_ok_) {
+    out.reserve(index_.size());
+    for (const auto& [key, entry] : index_) out.push_back(key);
+    return out;
+  }
+  for (const GoodFrame& frame : scan_good_frames())
+    if (out.empty() || std::find(out.begin(), out.end(), frame.key) ==
+                           out.end())
+      out.push_back(frame.key);
+  return out;
+}
+
+const StreamIndexEntry* ContainerReader::find(
+    const runtime::StreamKey& key) const {
+  const auto it = index_.find(key);
+  return it != index_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::uint8_t> ContainerReader::read_stream(
+    const runtime::StreamKey& key) const {
+  CDC_CHECK_MSG(index_ok_,
+                "container index unreadable — run verify/repack first");
+  const StreamIndexEntry* entry = find(key);
+  if (entry == nullptr) return {};
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(entry->payload_bytes));
+  for (const std::uint64_t offset : entry->frame_offsets) {
+    const ParsedFrame frame = parse_frame_at(offset, data_end_);
+    CDC_CHECK_MSG(frame.parsed && frame.crc_ok,
+                  "container frame corrupt — refusing to replay from it");
+    CDC_CHECK_MSG(frame.key == key, "container frame belongs to another "
+                                    "stream — index is inconsistent");
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  }
+  return out;
+}
+
+VerifyReport ContainerReader::verify() const {
+  VerifyReport report;
+  if (!header_ok_) {
+    report.container_errors.push_back(header_error_);
+  }
+  if (!index_ok_) report.container_errors.push_back(index_error_);
+
+  // Identity fallback for frames whose own header bytes are mangled.
+  std::map<std::uint64_t, std::pair<runtime::StreamKey, std::uint64_t>>
+      identity;
+  if (index_ok_) {
+    for (const auto& [key, entry] : index_)
+      for (std::size_t i = 0; i < entry.frame_offsets.size(); ++i)
+        identity.emplace(entry.frame_offsets[i], std::make_pair(key, i));
+  }
+
+  const auto add_defect = [&](std::uint64_t offset, const ParsedFrame& frame,
+                              const std::string& reason) {
+    FrameDefect defect;
+    defect.offset = offset;
+    defect.reason = reason;
+    const auto it = identity.find(offset);
+    if (it != identity.end()) {
+      defect.key_known = true;
+      defect.key = it->second.first;
+      defect.seq = it->second.second;
+    } else if (frame.parsed) {
+      defect.key_known = true;
+      defect.key = frame.key;
+      defect.seq = frame.seq;
+    }
+    report.bad_frames.push_back(defect);
+  };
+
+  if (index_ok_) {
+    // Index-driven sweep with a contiguity check: the frames listed in the
+    // index must tile the data region exactly, so a flip anywhere in the
+    // data region lands inside some checked frame.
+    const std::vector<std::uint64_t> offsets = sorted_index_offsets();
+    std::uint64_t expected = kContainerHeaderSize;
+    for (const std::uint64_t offset : offsets) {
+      if (offset != expected)
+        report.container_errors.push_back(
+            "index/data gap or overlap at " + offset_str(offset));
+      const ParsedFrame frame = parse_frame_at(offset, data_end_);
+      if (!frame.parsed || !frame.crc_ok) {
+        add_defect(offset, frame, frame.parse_error);
+        expected = offset;  // resync on the next indexed offset
+        continue;
+      }
+      const auto it = identity.find(offset);
+      if (it != identity.end() &&
+          (frame.key != it->second.first || frame.seq != it->second.second)) {
+        add_defect(offset, frame, "frame identity disagrees with index");
+      } else {
+        ++report.frames_checked;
+        report.payload_bytes += frame.payload.size();
+      }
+      expected = offset + frame.frame_size;
+    }
+    if (report.bad_frames.empty() && expected != data_end_)
+      report.container_errors.push_back(
+          "data region does not end where the index begins (" +
+          offset_str(expected) + " vs " + offset_str(data_end_) + ")");
+  } else {
+    // No trustworthy index: sequential scan as far as frames parse.
+    const std::uint64_t limit = data_end_ != 0 ? data_end_ : bytes_.size();
+    std::uint64_t pos = kContainerHeaderSize;
+    while (pos < limit) {
+      const ParsedFrame frame = parse_frame_at(pos, limit);
+      if (!frame.parsed) {
+        report.container_errors.push_back(
+            "sequential scan stopped at " + offset_str(pos) + " (" +
+            frame.parse_error + "); remainder unverified");
+        break;
+      }
+      if (!frame.crc_ok) add_defect(pos, frame, frame.parse_error);
+      else {
+        ++report.frames_checked;
+        report.payload_bytes += frame.payload.size();
+      }
+      pos += frame.frame_size;
+    }
+  }
+
+  report.ok = header_ok_ && index_ok_ && report.bad_frames.empty() &&
+              report.container_errors.empty();
+  return report;
+}
+
+std::vector<ContainerReader::GoodFrame> ContainerReader::scan_good_frames()
+    const {
+  std::vector<GoodFrame> out;
+  if (index_ok_) {
+    for (const std::uint64_t offset : sorted_index_offsets()) {
+      const ParsedFrame frame = parse_frame_at(offset, data_end_);
+      if (frame.parsed && frame.crc_ok)
+        out.push_back(GoodFrame{offset, frame.key, frame.seq, frame.payload});
+    }
+    return out;
+  }
+  const std::uint64_t limit = data_end_ != 0 ? data_end_ : bytes_.size();
+  std::uint64_t pos = kContainerHeaderSize;
+  while (pos < limit) {
+    const ParsedFrame frame = parse_frame_at(pos, limit);
+    if (!frame.parsed) break;  // cannot resync without an index
+    if (frame.crc_ok)
+      out.push_back(GoodFrame{pos, frame.key, frame.seq, frame.payload});
+    pos += frame.frame_size;
+  }
+  return out;
+}
+
+RepackResult repack_container(const std::string& in_path,
+                              const std::string& out_path) {
+  RepackResult result;
+  std::string error;
+  const auto reader = ContainerReader::open(in_path, &error);
+  if (reader == nullptr) {
+    result.error = error;
+    return result;
+  }
+  const auto frames = reader->scan_good_frames();
+  std::uint64_t listed = frames.size();
+  if (reader->index_ok()) {
+    listed = 0;
+    for (const runtime::StreamKey& key : reader->keys())
+      listed += reader->find(key)->frame_offsets.size();
+  }
+  {
+    ContainerWriter writer(out_path);
+    for (const ContainerReader::GoodFrame& frame : frames)
+      writer.append_frame(frame.key, frame.payload);
+    writer.seal();
+  }
+  result.ok = true;
+  result.frames_kept = frames.size();
+  result.frames_dropped = listed - frames.size();
+  result.bytes_in = reader->file_bytes();
+  result.bytes_out = std::filesystem::file_size(out_path);
+  return result;
+}
+
+}  // namespace cdc::store

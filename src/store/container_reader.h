@@ -1,0 +1,113 @@
+// Read side of the record container (see container.h for the layout).
+//
+// open() loads the file and parses the footer index, giving O(1 + index)
+// stream lookup without touching the data region. Damage tolerance is the
+// point of the format, so open() only fails on I/O errors: a container
+// with a mangled footer or index still opens (index_ok() == false) and can
+// be inspected with verify() or salvaged with repack_container(), which
+// fall back to a sequential frame scan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/container.h"
+
+namespace cdc::store {
+
+class ContainerReader {
+ public:
+  /// Loads `path` fully into memory. Returns nullptr (and sets *error)
+  /// only when the file cannot be read or is smaller than header+footer.
+  static std::unique_ptr<ContainerReader> open(const std::string& path,
+                                               std::string* error = nullptr);
+
+  /// True when the footer and index parsed and CRC-checked clean.
+  [[nodiscard]] bool index_ok() const noexcept { return index_ok_; }
+
+  /// Streams recorded in the index (index order). When the index is
+  /// damaged, falls back to the streams found by a sequential scan.
+  [[nodiscard]] std::vector<runtime::StreamKey> keys() const;
+
+  [[nodiscard]] const StreamIndexEntry* find(
+      const runtime::StreamKey& key) const;
+
+  /// Concatenated payloads of one stream in sequence order. Trusted read
+  /// path: aborts with a CDC_CHECK error on CRC mismatch — replay must
+  /// never consume silently corrupt data. Requires index_ok().
+  [[nodiscard]] std::vector<std::uint8_t> read_stream(
+      const runtime::StreamKey& key) const;
+
+  /// Full verification sweep: header, every frame (parse + CRC), index
+  /// CRC, footer, and index/data cross-checks. Every byte of the file is
+  /// covered by at least one check, so any single-byte corruption is
+  /// reported, with the offending stream and frame identified when the
+  /// index allows it.
+  [[nodiscard]] VerifyReport verify() const;
+
+  /// One intact frame, in file order (spans alias the reader's buffer).
+  struct GoodFrame {
+    std::uint64_t offset = 0;
+    runtime::StreamKey key;
+    std::uint64_t seq = 0;
+    std::span<const std::uint8_t> payload;
+  };
+
+  /// Every frame that parses and CRC-checks, in file order — the salvage
+  /// input for repack_container(). Uses the index to skip past damaged
+  /// frames; without an index the scan stops at the first damage.
+  [[nodiscard]] std::vector<GoodFrame> scan_good_frames() const;
+
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept {
+    return bytes_.size();
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct ParsedFrame {
+    runtime::StreamKey key;
+    std::uint64_t seq = 0;
+    std::span<const std::uint8_t> payload;
+    std::uint64_t frame_size = 0;  ///< bytes consumed including magic+crc
+    bool crc_ok = false;
+    bool parsed = false;       ///< header fields were decodable
+    std::string parse_error;
+  };
+
+  ContainerReader() = default;
+  void parse_footer_and_index();
+  [[nodiscard]] ParsedFrame parse_frame_at(std::uint64_t offset,
+                                           std::uint64_t limit) const;
+  [[nodiscard]] std::vector<std::uint64_t> sorted_index_offsets() const;
+
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+  bool header_ok_ = false;
+  std::string header_error_;
+  bool index_ok_ = false;
+  std::string index_error_;
+  std::map<runtime::StreamKey, StreamIndexEntry> index_;
+  std::uint64_t data_end_ = 0;  ///< first byte past the data region
+};
+
+/// Rewrites `in_path` as a fresh, compacted container at `out_path`,
+/// keeping every intact frame (file order preserved, per-stream sequence
+/// numbers renumbered densely) and dropping damaged ones. Rebuilds the
+/// index from scratch, so it also repairs containers with a broken or
+/// missing footer.
+struct RepackResult {
+  bool ok = false;  ///< input was readable and output sealed
+  std::uint64_t frames_kept = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::string error;
+};
+RepackResult repack_container(const std::string& in_path,
+                              const std::string& out_path);
+
+}  // namespace cdc::store

@@ -1,0 +1,64 @@
+#include "store/container_store.h"
+
+#include <cstdio>
+
+#include "store/container_reader.h"
+#include "support/check.h"
+
+namespace cdc::store {
+
+ContainerStore::ContainerStore(std::string path, std::size_t shard_count)
+    : path_(std::move(path)),
+      memory_(shard_count),
+      writer_(std::make_unique<ContainerWriter>(path_)) {}
+
+ContainerStore::ContainerStore(std::string path, std::size_t shard_count,
+                               bool /*read_only*/)
+    : path_(std::move(path)), memory_(shard_count) {}
+
+std::unique_ptr<ContainerStore> ContainerStore::open(
+    const std::string& path, std::size_t shard_count) {
+  std::string error;
+  const auto reader = ContainerReader::open(path, &error);
+  if (reader == nullptr)
+    std::fprintf(stderr, "store: %s\n", error.c_str());
+  CDC_CHECK_MSG(reader != nullptr, "cannot open record container");
+  CDC_CHECK_MSG(reader->index_ok(),
+                "container index corrupt — run verify/repack first");
+  auto store = std::unique_ptr<ContainerStore>(
+      new ContainerStore(path, shard_count, /*read_only=*/true));
+  for (const runtime::StreamKey& key : reader->keys())
+    store->memory_.append(key, reader->read_stream(key));
+  return store;
+}
+
+void ContainerStore::append(const runtime::StreamKey& key,
+                            std::span<const std::uint8_t> bytes) {
+  CDC_CHECK_MSG(writer_ != nullptr,
+                "append to a container store opened read-only");
+  memory_.append(key, bytes);
+  writer_->append_frame(key, bytes);
+}
+
+std::vector<std::uint8_t> ContainerStore::read(
+    const runtime::StreamKey& key) const {
+  return memory_.read(key);
+}
+
+std::vector<runtime::StreamKey> ContainerStore::keys() const {
+  return memory_.keys();
+}
+
+std::uint64_t ContainerStore::total_bytes() const {
+  return memory_.total_bytes();
+}
+
+std::uint64_t ContainerStore::rank_bytes(minimpi::Rank rank) const {
+  return memory_.rank_bytes(rank);
+}
+
+void ContainerStore::seal() {
+  if (writer_ != nullptr) writer_->seal();
+}
+
+}  // namespace cdc::store

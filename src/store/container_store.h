@@ -1,0 +1,62 @@
+// RecordStore backed by a sharded in-memory cache plus a record container
+// on disk — the "sharded container store" the recording runtime targets.
+//
+// Recording mode (constructor): every append lands in the lock-striped
+// memory shards (serving read()/replay immediately, like MemoryStore) and
+// is simultaneously persisted as one CRC-protected container frame.
+// seal() finishes the container; after that the file is a self-contained,
+// verifiable record of the run.
+//
+// Replay mode (open()): loads a sealed container back into the shards —
+// CRC-checking every frame on the way in — and serves reads from memory.
+// A store opened this way is read-only; appends are a caller bug.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/container_writer.h"
+#include "store/sharded_store.h"
+
+namespace cdc::store {
+
+class ContainerStore final : public runtime::RecordStore {
+ public:
+  /// Recording mode: creates (truncating) the container at `path`.
+  explicit ContainerStore(std::string path,
+                          std::size_t shard_count = ShardedStore::kDefaultShards);
+
+  /// Replay mode: loads a sealed container, verifying frame CRCs. Aborts
+  /// with a CDC_CHECK error on unreadable or corrupt input (use the
+  /// verify/repack tooling for forensics on damaged containers).
+  static std::unique_ptr<ContainerStore> open(
+      const std::string& path,
+      std::size_t shard_count = ShardedStore::kDefaultShards);
+
+  void append(const runtime::StreamKey& key,
+              std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read(
+      const runtime::StreamKey& key) const override;
+  [[nodiscard]] std::vector<runtime::StreamKey> keys() const override;
+  [[nodiscard]] std::uint64_t total_bytes() const override;
+  [[nodiscard]] std::uint64_t rank_bytes(minimpi::Rank rank) const override;
+
+  /// Finishes the container (index + footer). Idempotent; recording mode
+  /// only. The destructor seals too, so this is for callers that want to
+  /// reopen the file while the store is still alive.
+  void seal();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  ContainerStore(std::string path, std::size_t shard_count, bool read_only);
+
+  std::string path_;
+  ShardedStore memory_;
+  std::unique_ptr<ContainerWriter> writer_;  ///< null in replay mode
+};
+
+}  // namespace cdc::store

@@ -1,0 +1,99 @@
+#include "store/container_writer.h"
+
+#include <cstdio>
+
+#include "compress/crc32.h"
+#include "support/binary.h"
+#include "support/check.h"
+
+namespace cdc::store {
+
+ContainerWriter::ContainerWriter(std::string path)
+    : path_(std::move(path)),
+      out_(path_, std::ios::binary | std::ios::trunc) {
+  if (!out_.good())
+    std::fprintf(stderr, "store: cannot create container '%s'\n",
+                 path_.c_str());
+  CDC_CHECK_MSG(out_.good(), "cannot create record container");
+  support::ByteWriter header;
+  for (const std::uint8_t byte : kContainerMagic) header.u8(byte);
+  header.u8(kContainerVersion);
+  for (int i = 0; i < 3; ++i) header.u8(0);
+  out_.write(reinterpret_cast<const char*>(header.view().data()),
+             static_cast<std::streamsize>(header.size()));
+  CDC_CHECK_MSG(out_.good(), "container header write failed");
+  offset_ = header.size();
+}
+
+ContainerWriter::~ContainerWriter() { seal(); }
+
+void ContainerWriter::append_frame(const runtime::StreamKey& key,
+                                   std::span<const std::uint8_t> payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CDC_CHECK_MSG(!sealed_, "append_frame on a sealed container");
+  IndexEntry& entry = index_[key];
+
+  // Frame body: every field after the magic byte, covered by the CRC.
+  support::ByteWriter body;
+  body.svarint(key.rank);
+  body.varint(key.callsite);
+  body.varint(entry.offsets.size());  // per-stream sequence number
+  body.varint(payload.size());
+  body.bytes(payload);
+  const std::uint32_t crc = compress::crc32(body.view());
+
+  support::ByteWriter frame;
+  frame.u8(kFrameMagic);
+  frame.bytes(body.view());
+  frame.u32(crc);
+  out_.write(reinterpret_cast<const char*>(frame.view().data()),
+             static_cast<std::streamsize>(frame.size()));
+  CDC_CHECK_MSG(out_.good(), "container frame write failed");
+
+  entry.offsets.push_back(offset_);
+  entry.payload_bytes += payload.size();
+  offset_ += frame.size();
+  ++frames_;
+  payload_bytes_ += payload.size();
+}
+
+void ContainerWriter::seal() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sealed_) return;
+  sealed_ = true;
+
+  support::ByteWriter index;
+  index.varint(index_.size());
+  for (const auto& [key, entry] : index_) {
+    index.svarint(key.rank);
+    index.varint(key.callsite);
+    index.varint(entry.offsets.size());
+    index.varint(entry.payload_bytes);
+    // Offsets are strictly increasing; delta-encode them.
+    std::uint64_t previous = 0;
+    for (const std::uint64_t offset : entry.offsets) {
+      index.varint(offset - previous);
+      previous = offset;
+    }
+  }
+
+  support::ByteWriter footer;
+  footer.u32(compress::crc32(index.view()));
+  footer.u64(index.size());
+  for (const std::uint8_t byte : kFooterMagic) footer.u8(byte);
+
+  out_.write(reinterpret_cast<const char*>(index.view().data()),
+             static_cast<std::streamsize>(index.size()));
+  out_.write(reinterpret_cast<const char*>(footer.view().data()),
+             static_cast<std::streamsize>(footer.size()));
+  out_.flush();
+  CDC_CHECK_MSG(out_.good(), "container index/footer write failed");
+  out_.close();
+}
+
+ContainerWriter::Stats ContainerWriter::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{frames_, payload_bytes_, offset_};
+}
+
+}  // namespace cdc::store

@@ -1,0 +1,65 @@
+// Append side of the record container (see container.h for the layout).
+//
+// Thread-safe: concurrent appenders are serialized on one mutex — the file
+// is a single append point anyway, and callers that need parallelism put a
+// CompressionService in front (frames arrive here already encoded). The
+// in-memory index grows as frames land; seal() writes it as the footer.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "store/container.h"
+
+namespace cdc::store {
+
+class ContainerWriter {
+ public:
+  /// Creates (truncating) `path` and writes the container header. Aborts
+  /// with a CDC_CHECK error if the file cannot be created.
+  explicit ContainerWriter(std::string path);
+
+  /// Seals the container if the caller has not already done so.
+  ~ContainerWriter();
+
+  ContainerWriter(const ContainerWriter&) = delete;
+  ContainerWriter& operator=(const ContainerWriter&) = delete;
+
+  /// Appends one CRC-protected frame carrying `payload` for `key`.
+  void append_frame(const runtime::StreamKey& key,
+                    std::span<const std::uint8_t> payload);
+
+  /// Writes the index and footer and closes the file. Idempotent; no
+  /// frames may be appended afterwards.
+  void seal();
+
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t file_bytes = 0;  ///< total container size so far
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct IndexEntry {
+    std::vector<std::uint64_t> offsets;
+    std::uint64_t payload_bytes = 0;
+  };
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t offset_ = 0;  ///< next frame's file offset
+  std::map<runtime::StreamKey, IndexEntry> index_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace cdc::store

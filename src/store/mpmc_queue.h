@@ -1,0 +1,80 @@
+// Bounded multi-producer/multi-consumer job queue.
+//
+// The runtime's SpscQueue carries fine-grained receive events between
+// exactly two threads and must be lock-free; this queue carries coarse
+// compression jobs (whole sealed chunks, thousands of events each) between
+// many submitters and a worker pool, so a mutex + condvar design is the
+// right trade: microseconds of lock cost against milliseconds of DEFLATE
+// per job, with real blocking (no spin) on both full and empty, and
+// close() semantics for orderly worker shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "support/check.h"
+
+namespace cdc::store {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    CDC_CHECK_MSG(capacity >= 1, "queue capacity must be positive");
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Blocks while the queue is full (bounded back-pressure, like the
+  /// paper's recording ring). Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns false once the queue is
+  /// closed AND drained — the worker-pool termination signal.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// After close(), push() fails and pop() drains the backlog then fails.
+  void close() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cdc::store

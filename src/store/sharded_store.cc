@@ -1,0 +1,66 @@
+#include "store/sharded_store.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cdc::store {
+
+ShardedStore::ShardedStore(std::size_t shard_count) {
+  CDC_CHECK_MSG(shard_count >= 1, "ShardedStore needs at least one shard");
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+void ShardedStore::append(const runtime::StreamKey& key,
+                          std::span<const std::uint8_t> bytes) {
+  Shard& shard = *shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& stream = shard.streams[key];
+  stream.insert(stream.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> ShardedStore::read(
+    const runtime::StreamKey& key) const {
+  const Shard& shard = *shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.streams.find(key);
+  return it != shard.streams.end() ? it->second
+                                   : std::vector<std::uint8_t>{};
+}
+
+std::vector<runtime::StreamKey> ShardedStore::keys() const {
+  // Collect per shard, then merge: RecordStore consumers (the replayer,
+  // the inspectors) expect deterministic key order regardless of shard
+  // layout.
+  std::vector<runtime::StreamKey> out;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, stream] : shard->streams) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t ShardedStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, stream] : shard->streams)
+      total += stream.size();
+  }
+  return total;
+}
+
+std::uint64_t ShardedStore::rank_bytes(minimpi::Rank rank) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, stream] : shard->streams)
+      if (key.rank == rank) total += stream.size();
+  }
+  return total;
+}
+
+}  // namespace cdc::store

@@ -1,0 +1,73 @@
+// Lock-striped in-memory record store.
+//
+// MemoryStore serializes every recorder on one global mutex; at a few
+// dozen concurrent stream recorders that mutex is the storage bottleneck
+// the paper's node-local design avoids. ShardedStore hashes each
+// (rank, callsite) stream key onto one of N independent shards, so
+// recorders for different streams almost never contend — the same
+// lock-striping the eventual multi-node sharding will apply across
+// machines (ROADMAP: sharding/batching/async).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "runtime/storage.h"
+
+namespace cdc::store {
+
+/// Stable 64-bit mix of a stream key (splitmix64 finalizer) — also the
+/// hash the container repacker and future cross-node placement use, so a
+/// stream lands on the same shard everywhere.
+[[nodiscard]] constexpr std::uint64_t stream_hash(
+    const runtime::StreamKey& key) noexcept {
+  std::uint64_t h =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.rank))
+       << 32) ^
+      key.callsite;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+class ShardedStore final : public runtime::RecordStore {
+ public:
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit ShardedStore(std::size_t shard_count = kDefaultShards);
+
+  void append(const runtime::StreamKey& key,
+              std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read(
+      const runtime::StreamKey& key) const override;
+  [[nodiscard]] std::vector<runtime::StreamKey> keys() const override;
+  [[nodiscard]] std::uint64_t total_bytes() const override;
+  [[nodiscard]] std::uint64_t rank_bytes(minimpi::Rank rank) const override;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(
+      const runtime::StreamKey& key) const noexcept {
+    return static_cast<std::size_t>(stream_hash(key) % shards_.size());
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<runtime::StreamKey, std::vector<std::uint8_t>> streams;
+  };
+
+  // unique_ptr because Shard owns a mutex and is neither movable nor
+  // copyable, which vector<Shard> would require.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace cdc::store

@@ -4,10 +4,28 @@
 
 namespace cdc::tool {
 
+namespace {
+
+std::unique_ptr<store::CompressionService> make_service(
+    const AsyncRecorder::Config& config, runtime::RecordStore* store) {
+  if (config.compression_workers == 0) return nullptr;
+  store::CompressionService::Config service_config;
+  service_config.workers = config.compression_workers;
+  service_config.queue_capacity = config.compression_queue_capacity;
+  return std::make_unique<store::CompressionService>(store, service_config);
+}
+
+}  // namespace
+
 AsyncRecorder::AsyncRecorder(const Config& config,
                              runtime::RecordStore* store)
     : store_(store),
       recorder_(config.key, config.options),
+      service_(make_service(config, store)),
+      sink_(service_ != nullptr
+                ? static_cast<std::unique_ptr<FrameSink>>(
+                      std::make_unique<AsyncFrameSink>(service_.get()))
+                : std::make_unique<InlineFrameSink>(store)),
       queue_(config.queue_capacity),
       worker_([this](std::stop_token stop) { worker_loop(stop); }) {
   CDC_CHECK(store != nullptr);
@@ -47,7 +65,7 @@ void AsyncRecorder::worker_loop(std::stop_token stop) {
       } else {
         recorder_.on_unmatched_test();
       }
-      recorder_.flush_if_due(*store_);
+      recorder_.flush_if_due(*sink_);
     }
     if (!drained_any) {
       if (stop.stop_requested()) return;
@@ -65,7 +83,9 @@ void AsyncRecorder::finalize() {
   }
   worker_.request_stop();
   worker_.join();
-  recorder_.finalize(*store_);
+  recorder_.finalize(*sink_);
+  // Everything is submitted; wait for the service workers to commit.
+  if (service_ != nullptr) service_->drain();
 }
 
 }  // namespace cdc::tool

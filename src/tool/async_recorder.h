@@ -12,12 +12,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <thread>
 
 #include "record/event.h"
 #include "runtime/spsc_queue.h"
 #include "runtime/storage.h"
+#include "store/compression_service.h"
+#include "tool/frame_sink.h"
 #include "tool/stream_recorder.h"
 
 namespace cdc::tool {
@@ -28,6 +31,12 @@ class AsyncRecorder {
     runtime::StreamKey key;
     ToolOptions options;
     std::size_t queue_capacity = 1 << 16;
+    /// 0 = the seed's inline path (the worker thread DEFLATEs each chunk
+    /// itself). >= 1 spins up a store::CompressionService with that many
+    /// workers; the recorder worker only seals chunks and the service
+    /// commits identical bytes to the store in order.
+    std::size_t compression_workers = 0;
+    std::size_t compression_queue_capacity = 128;
   };
 
   AsyncRecorder(const Config& config, runtime::RecordStore* store);
@@ -65,11 +74,19 @@ class AsyncRecorder {
     return recorder_.stats();
   }
 
+  /// Null when compression_workers == 0.
+  [[nodiscard]] const store::CompressionService* compression()
+      const noexcept {
+    return service_.get();
+  }
+
  private:
   void worker_loop(std::stop_token stop);
 
   runtime::RecordStore* store_;
   StreamRecorder recorder_;  ///< touched only by the worker thread
+  std::unique_ptr<store::CompressionService> service_;  ///< may be null
+  std::unique_ptr<FrameSink> sink_;
   runtime::SpscQueue<record::ReceiveEvent> queue_;
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> dequeued_{0};

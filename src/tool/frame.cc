@@ -22,6 +22,24 @@ void write_frame(support::ByteWriter& out, std::uint8_t codec,
   }
 }
 
+std::vector<std::uint8_t> encode_frame(const FrameJob& job) {
+  support::ByteWriter out;
+  if (job.compress) {
+    write_frame(out, job.codec, job.meta, job.payload, job.level);
+  } else {
+    // Stored-raw framing: identical to write_frame's incompressible-input
+    // fallback, chosen up front.
+    out.u8(kFrameMagic);
+    out.u8(job.codec);
+    out.u8(1);
+    out.varint(job.meta);
+    out.varint(job.payload.size());
+    out.varint(job.payload.size());
+    out.bytes(job.payload);
+  }
+  return std::move(out).take();
+}
+
 std::optional<Frame> read_frame(support::ByteReader& in) {
   if (in.exhausted()) return std::nullopt;
   std::uint8_t magic = 0;

@@ -26,6 +26,23 @@ struct Frame {
   std::vector<std::uint8_t> payload;  ///< decompressed
 };
 
+/// One not-yet-encoded frame: the unit of work the compression service
+/// parallelizes. `compress == false` is the "w/o Compression" baseline,
+/// which frames its payload verbatim (stored-raw) by construction rather
+/// than by the size fallback.
+struct FrameJob {
+  std::uint8_t codec = 0;
+  std::uint64_t meta = 0;
+  bool compress = true;
+  compress::DeflateLevel level = compress::DeflateLevel::kDefault;
+  std::vector<std::uint8_t> payload;  ///< raw (uncompressed) chunk bytes
+};
+
+/// Encodes one job into its on-storage frame bytes. Deterministic: the
+/// same job yields the same bytes on any thread, which is what lets the
+/// parallel compression service commit bit-identical streams.
+std::vector<std::uint8_t> encode_frame(const FrameJob& job);
+
 /// Appends one frame to `out`, compressing the payload with DEFLATE.
 void write_frame(support::ByteWriter& out, std::uint8_t codec,
                  std::uint64_t meta, std::span<const std::uint8_t> payload,

@@ -1,0 +1,28 @@
+#include "tool/frame_sink.h"
+
+#include "store/compression_service.h"
+#include "support/check.h"
+
+namespace cdc::tool {
+
+InlineFrameSink::InlineFrameSink(runtime::RecordStore* store)
+    : store_(store) {
+  CDC_CHECK(store != nullptr);
+}
+
+void InlineFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
+  store_->append(key, encode_frame(job));
+}
+
+AsyncFrameSink::AsyncFrameSink(store::CompressionService* service)
+    : service_(service) {
+  CDC_CHECK(service != nullptr);
+}
+
+void AsyncFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
+  const std::size_t raw_size = job.payload.size();
+  service_->submit(key, raw_size,
+                   [job = std::move(job)] { return encode_frame(job); });
+}
+
+}  // namespace cdc::tool

@@ -1,0 +1,52 @@
+// Where sealed chunks go: the seam between chunk building (StreamRecorder)
+// and frame encoding + storage.
+//
+// The seed compressed every chunk inline on whichever thread flushed it.
+// Routing flushes through a FrameSink instead lets the same recorder code
+// run against either path:
+//   InlineFrameSink — encode (DEFLATE) on the calling thread, append to
+//     the store immediately; the seed's behaviour.
+//   AsyncFrameSink  — hand the raw payload to a store::CompressionService
+//     worker pool; frames are committed to the store in submission order,
+//     so the stored bytes are identical to the inline path.
+#pragma once
+
+#include "runtime/storage.h"
+#include "tool/frame.h"
+
+namespace cdc::store {
+class CompressionService;
+}  // namespace cdc::store
+
+namespace cdc::tool {
+
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+
+  /// Encodes (now or later) and appends one frame to `key`'s stream.
+  /// Per-key submission order is preserved in the stored stream.
+  virtual void submit(const runtime::StreamKey& key, FrameJob job) = 0;
+};
+
+/// Encodes on the calling thread, appends immediately.
+class InlineFrameSink final : public FrameSink {
+ public:
+  explicit InlineFrameSink(runtime::RecordStore* store);
+  void submit(const runtime::StreamKey& key, FrameJob job) override;
+
+ private:
+  runtime::RecordStore* store_;
+};
+
+/// Queues the job on a compression service's worker pool.
+class AsyncFrameSink final : public FrameSink {
+ public:
+  explicit AsyncFrameSink(store::CompressionService* service);
+  void submit(const runtime::StreamKey& key, FrameJob job) override;
+
+ private:
+  store::CompressionService* service_;
+};
+
+}  // namespace cdc::tool

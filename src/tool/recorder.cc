@@ -5,9 +5,11 @@
 namespace cdc::tool {
 
 Recorder::Recorder(int num_ranks, runtime::RecordStore* store,
-                   const ToolOptions& options)
+                   const ToolOptions& options, FrameSink* sink)
     : options_(options),
       store_(store),
+      inline_sink_(store),
+      sink_(sink != nullptr ? sink : &inline_sink_),
       clocks_(static_cast<std::size_t>(num_ranks)),
       digests_(static_cast<std::size_t>(num_ranks),
                0xcbf29ce484222325ull) {
@@ -88,11 +90,11 @@ void Recorder::on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
     if (rank == options_.clock_trace_rank)
       clock_trace_.push_back(e.piggyback);
   }
-  rec.flush_if_due(*store_);
+  rec.flush_if_due(*sink_);
 }
 
 void Recorder::finalize() {
-  for (auto& [key, rec] : streams_) rec->finalize(*store_);
+  for (auto& [key, rec] : streams_) rec->finalize(*sink_);
 }
 
 Recorder::Totals Recorder::totals() const {

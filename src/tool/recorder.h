@@ -14,6 +14,7 @@
 #include "clock/lamport.h"
 #include "minimpi/hooks.h"
 #include "runtime/storage.h"
+#include "tool/frame_sink.h"
 #include "tool/options.h"
 #include "tool/stream_recorder.h"
 
@@ -21,8 +22,12 @@ namespace cdc::tool {
 
 class Recorder : public minimpi::ToolHooks {
  public:
+  /// `sink` routes sealed chunks to their encoder: null means encode
+  /// inline into `store` (the seed path); pass an AsyncFrameSink to run
+  /// the entropy stage on a store::CompressionService worker pool. The
+  /// sink must outlive the recorder and commit into `store`.
   Recorder(int num_ranks, runtime::RecordStore* store,
-           const ToolOptions& options = {});
+           const ToolOptions& options = {}, FrameSink* sink = nullptr);
 
   // --- ToolHooks
   std::uint64_t on_send(minimpi::Rank sender) override;
@@ -74,6 +79,8 @@ class Recorder : public minimpi::ToolHooks {
 
   ToolOptions options_;
   runtime::RecordStore* store_;
+  InlineFrameSink inline_sink_;
+  FrameSink* sink_;  ///< &inline_sink_ unless the caller provided one
   std::vector<clock::LamportClock> clocks_;
   std::map<runtime::StreamKey, std::unique_ptr<StreamRecorder>> streams_;
   std::vector<std::uint64_t> clock_trace_;

@@ -7,8 +7,8 @@
 
 namespace cdc::tool {
 
-void StreamRecorder::flush(runtime::RecordStore& store,
-                           std::size_t max_matched, bool force_all) {
+void StreamRecorder::flush(FrameSink& sink, std::size_t max_matched,
+                           bool force_all) {
   // Epoch enforcement: only cut where the per-sender clock frontier is
   // clean; CDC variants defer otherwise. The baseline codecs have no epoch
   // machinery (a traditional tool flushes blindly), but cutting them at
@@ -41,28 +41,20 @@ void StreamRecorder::flush(runtime::RecordStore& store,
     }
     if (events.empty()) return;
 
-    support::ByteWriter frame_stream;
+    // Build the raw chunk payload; the sink decides where and on which
+    // thread the entropy stage runs.
+    FrameJob job;
+    job.codec = static_cast<std::uint8_t>(options_.codec);
+    job.level = options_.level;
     switch (options_.codec) {
       case RecordCodec::kBaselineRaw:
       case RecordCodec::kBaselineGzip: {
         const auto rows = record::to_rows(events);
-        const auto bytes = record::baseline_serialize(rows);
         stats_.rows += rows.size();
         stats_.stored_values += 5 * rows.size();
-        if (options_.codec == RecordCodec::kBaselineRaw) {
-          // Traditional uncompressed recording: frame with stored payload.
-          frame_stream.u8(kFrameMagic);
-          frame_stream.u8(static_cast<std::uint8_t>(options_.codec));
-          frame_stream.u8(1);  // stored raw
-          frame_stream.varint(rows.size());
-          frame_stream.varint(bytes.size());
-          frame_stream.varint(bytes.size());
-          frame_stream.bytes(bytes);
-        } else {
-          write_frame(frame_stream,
-                      static_cast<std::uint8_t>(options_.codec), rows.size(),
-                      bytes, options_.level);
-        }
+        job.meta = rows.size();
+        job.compress = options_.codec != RecordCodec::kBaselineRaw;
+        job.payload = record::baseline_serialize(rows);
         break;
       }
       case RecordCodec::kCdcRe: {
@@ -70,8 +62,7 @@ void StreamRecorder::flush(runtime::RecordStore& store,
         stats_.stored_values += tables.value_count();
         support::ByteWriter payload;
         record::write_tables_re(payload, tables);
-        write_frame(frame_stream, static_cast<std::uint8_t>(options_.codec),
-                    0, payload.view(), options_.level);
+        job.payload = std::move(payload).take();
         break;
       }
       case RecordCodec::kCdcFull: {
@@ -81,12 +72,11 @@ void StreamRecorder::flush(runtime::RecordStore& store,
         stats_.stored_values += chunk.value_count();
         support::ByteWriter payload;
         record::write_chunk(payload, chunk);
-        write_frame(frame_stream, static_cast<std::uint8_t>(options_.codec),
-                    0, payload.view(), options_.level);
+        job.payload = std::move(payload).take();
         break;
       }
     }
-    store.append(key_, frame_stream.view());
+    sink.submit(key_, std::move(job));
     ++stats_.chunks;
 
     if (force_all) return;

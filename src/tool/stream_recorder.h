@@ -10,6 +10,7 @@
 #include "clock/lamport.h"
 #include "record/event.h"
 #include "runtime/storage.h"
+#include "tool/frame_sink.h"
 #include "tool/options.h"
 
 namespace cdc::tool {
@@ -62,24 +63,34 @@ class StreamRecorder {
 
   /// Flushes a chunk if enough matched events are buffered and a clean
   /// epoch cut exists (§3.5).
-  void flush_if_due(runtime::RecordStore& store) {
+  void flush_if_due(FrameSink& sink) {
     if (buffered_matched_ < options_.chunk_target) return;
-    flush(store, options_.chunk_target, /*force_all=*/false);
+    flush(sink, options_.chunk_target, /*force_all=*/false);
+  }
+
+  /// Convenience overload: encode inline into `store` (the seed path).
+  void flush_if_due(runtime::RecordStore& store) {
+    InlineFrameSink sink(&store);
+    flush_if_due(sink);
   }
 
   /// Flushes everything remaining (end of run: pending messages will never
   /// be delivered and no longer constrain the cut).
-  void finalize(runtime::RecordStore& store) {
+  void finalize(FrameSink& sink) {
     pending_.clear();
-    flush(store, buffer_.size(), /*force_all=*/true);
+    flush(sink, buffer_.size(), /*force_all=*/true);
+  }
+
+  void finalize(runtime::RecordStore& store) {
+    InlineFrameSink sink(&store);
+    finalize(sink);
   }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const runtime::StreamKey& key() const noexcept { return key_; }
 
  private:
-  void flush(runtime::RecordStore& store, std::size_t max_matched,
-             bool force_all);
+  void flush(FrameSink& sink, std::size_t max_matched, bool force_all);
 
   runtime::StreamKey key_;
   ToolOptions options_;

@@ -47,6 +47,57 @@ TEST(FileStore, AppendReadBack) {
   std::filesystem::remove_all(dir);
 }
 
+// Regression tests for the FileStore failure modes that used to pass
+// silently: a store that cannot reach its directory must abort loudly,
+// never hand replay empty data.
+class FileStoreErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "cdc_filestore_errors")
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FileStoreErrors, ConstructorDiesOnUncreatableDirectory) {
+  // A path under a regular file can never become a directory.
+  EXPECT_DEATH(FileStore("/proc/version/not_a_dir"),
+               "cannot create record directory");
+}
+
+TEST_F(FileStoreErrors, ReadDiesWhenRecordFileVanishes) {
+  FileStore store(dir_);
+  store.append(StreamKey{0, 1}, bytes({1, 2, 3}));
+  std::filesystem::remove(dir_ + "/0_1.cdcrec");
+  EXPECT_DEATH(store.read(StreamKey{0, 1}), "record file missing on read");
+}
+
+TEST_F(FileStoreErrors, ReadDiesWhenDirectoryVanishes) {
+  FileStore store(dir_);
+  store.append(StreamKey{0, 1}, bytes({1, 2, 3}));
+  std::filesystem::remove_all(dir_);
+  EXPECT_DEATH(store.read(StreamKey{0, 1}),
+               "record directory missing on read");
+}
+
+TEST_F(FileStoreErrors, ReadOfUnknownKeyWithIntactDirectoryIsEmpty) {
+  FileStore store(dir_);
+  store.append(StreamKey{0, 1}, bytes({1}));
+  // Never-written key: legitimately empty, not an error.
+  EXPECT_TRUE(store.read(StreamKey{5, 5}).empty());
+}
+
+TEST_F(FileStoreErrors, AppendDiesWhenDirectoryVanishes) {
+  FileStore store(dir_);
+  store.append(StreamKey{0, 1}, bytes({1}));
+  std::filesystem::remove_all(dir_);
+  EXPECT_DEATH(store.append(StreamKey{0, 1}, bytes({2})),
+               "cannot open record file for append");
+}
+
 TEST(CountingStore, CountsWithoutStoring) {
   CountingStore store;
   exercise_basic(store);

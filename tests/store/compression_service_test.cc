@@ -1,0 +1,130 @@
+#include "store/compression_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/storage.h"
+#include "tool/frame.h"
+#include "tool/frame_sink.h"
+
+namespace cdc::store {
+namespace {
+
+runtime::StreamKey key(std::int32_t rank, std::uint32_t callsite = 0) {
+  return runtime::StreamKey{rank, callsite};
+}
+
+TEST(CompressionService, CommitsInSubmissionOrderDespiteSlowEarlyJobs) {
+  runtime::MemoryStore store;
+  CompressionService::Config config;
+  config.workers = 4;
+  CompressionService service(&store, config);
+  // Early jobs sleep, later ones finish instantly: a service that
+  // committed on completion order would interleave them.
+  for (std::uint8_t i = 0; i < 32; ++i) {
+    service.submit(key(0), 1, [i] {
+      if (i % 4 == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return std::vector<std::uint8_t>{i};
+    });
+  }
+  service.drain();
+  const auto stream = store.read(key(0));
+  ASSERT_EQ(stream.size(), 32u);
+  for (std::uint8_t i = 0; i < 32; ++i) EXPECT_EQ(stream[i], i);
+}
+
+TEST(CompressionService, DrainThenSubmitMoreKeepsWorking) {
+  runtime::MemoryStore store;
+  CompressionService service(&store);
+  service.submit(key(1), 1, [] { return std::vector<std::uint8_t>{1}; });
+  service.drain();
+  EXPECT_EQ(store.read(key(1)).size(), 1u);
+  service.submit(key(1), 1, [] { return std::vector<std::uint8_t>{2}; });
+  service.drain();
+  EXPECT_EQ(store.read(key(1)), (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(CompressionService, DestructorDrainsOutstandingJobs) {
+  runtime::MemoryStore store;
+  {
+    CompressionService::Config config;
+    config.workers = 2;
+    config.queue_capacity = 4;
+    CompressionService service(&store, config);
+    for (int i = 0; i < 16; ++i)
+      service.submit(key(0), 1, [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return std::vector<std::uint8_t>{7};
+      });
+  }
+  EXPECT_EQ(store.read(key(0)).size(), 16u);
+}
+
+TEST(CompressionService, StatsAccounting) {
+  runtime::MemoryStore store;
+  CompressionService::Config config;
+  config.workers = 3;
+  CompressionService service(&store, config);
+  for (int i = 0; i < 10; ++i)
+    service.submit(key(i % 2), 100,
+                   [] { return std::vector<std::uint8_t>(40, 0); });
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs, 10u);
+  EXPECT_EQ(stats.raw_bytes, 1000u);
+  EXPECT_EQ(stats.encoded_bytes, 400u);
+  EXPECT_EQ(stats.workers, 3u);
+}
+
+TEST(CompressionService, BoundedQueueBackPressuresSubmitters) {
+  runtime::MemoryStore store;
+  CompressionService::Config config;
+  config.workers = 1;
+  config.queue_capacity = 2;
+  CompressionService service(&store, config);
+  // 50 slow jobs through a 2-deep queue: submit must block, not drop.
+  for (int i = 0; i < 50; ++i)
+    service.submit(key(0), 1, [] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      return std::vector<std::uint8_t>{1};
+    });
+  service.drain();
+  EXPECT_EQ(store.read(key(0)).size(), 50u);
+}
+
+TEST(AsyncFrameSink, ProducesBitIdenticalStreamsToInline) {
+  // The headline property: the parallel path stores the same bytes.
+  std::vector<tool::FrameJob> jobs;
+  for (int i = 0; i < 24; ++i) {
+    tool::FrameJob job;
+    job.codec = static_cast<std::uint8_t>(i % 4);
+    job.meta = static_cast<std::uint64_t>(i);
+    job.compress = i % 4 != 0;
+    std::vector<std::uint8_t> payload(256 + i * 17);
+    for (std::size_t b = 0; b < payload.size(); ++b)
+      payload[b] = static_cast<std::uint8_t>((b * (i + 1)) % 7);
+    job.payload = std::move(payload);
+    jobs.push_back(std::move(job));
+  }
+
+  runtime::MemoryStore inline_store;
+  tool::InlineFrameSink inline_sink(&inline_store);
+  for (const auto& job : jobs) inline_sink.submit(key(0), job);
+
+  runtime::MemoryStore parallel_store;
+  CompressionService::Config config;
+  config.workers = 4;
+  CompressionService service(&parallel_store, config);
+  tool::AsyncFrameSink async_sink(&service);
+  for (const auto& job : jobs) async_sink.submit(key(0), job);
+  service.drain();
+
+  EXPECT_EQ(inline_store.read(key(0)), parallel_store.read(key(0)));
+  EXPECT_EQ(service.stats().encoded_bytes, inline_store.total_bytes());
+}
+
+}  // namespace
+}  // namespace cdc::store

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "store/container_reader.h"
+#include "store/container_store.h"
+#include "store/container_writer.h"
+
+namespace cdc::store {
+namespace {
+
+class ContainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "cdc_container_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<std::uint8_t> payload_for(int seed, std::size_t size) {
+  std::vector<std::uint8_t> out(size);
+  for (std::size_t i = 0; i < size; ++i)
+    out[i] = static_cast<std::uint8_t>(seed * 131 + i);
+  return out;
+}
+
+TEST_F(ContainerTest, RoundTripMultipleStreams) {
+  const std::string file = path("multi.cdcc");
+  const runtime::StreamKey a{0, 1};
+  const runtime::StreamKey b{3, 2};
+  const runtime::StreamKey c{-1, 0};  // negative rank must survive zigzag
+  {
+    ContainerWriter writer(file);
+    writer.append_frame(a, payload_for(1, 100));
+    writer.append_frame(b, payload_for(2, 10));
+    writer.append_frame(a, payload_for(3, 50));
+    writer.append_frame(c, payload_for(4, 1));
+    writer.append_frame(a, payload_for(5, 0));  // empty payloads are legal
+    writer.seal();
+    EXPECT_EQ(writer.stats().frames, 5u);
+    EXPECT_EQ(writer.stats().payload_bytes, 161u);
+  }
+
+  const auto reader = ContainerReader::open(file);
+  ASSERT_NE(reader, nullptr);
+  EXPECT_TRUE(reader->index_ok());
+  EXPECT_EQ(reader->keys().size(), 3u);
+
+  auto expected_a = payload_for(1, 100);
+  const auto more_a = payload_for(3, 50);
+  expected_a.insert(expected_a.end(), more_a.begin(), more_a.end());
+  EXPECT_EQ(reader->read_stream(a), expected_a);
+  EXPECT_EQ(reader->read_stream(b), payload_for(2, 10));
+  EXPECT_EQ(reader->read_stream(c), payload_for(4, 1));
+  EXPECT_TRUE(reader->read_stream(runtime::StreamKey{9, 9}).empty());
+
+  const StreamIndexEntry* entry = reader->find(a);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->frame_offsets.size(), 3u);
+  EXPECT_EQ(entry->payload_bytes, 150u);
+
+  const auto report = reader->verify();
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.frames_checked, 5u);
+  EXPECT_EQ(report.payload_bytes, 161u);
+}
+
+TEST_F(ContainerTest, EmptyContainerIsValid) {
+  const std::string file = path("empty.cdcc");
+  {
+    ContainerWriter writer(file);
+    writer.seal();
+  }
+  const auto reader = ContainerReader::open(file);
+  ASSERT_NE(reader, nullptr);
+  EXPECT_TRUE(reader->index_ok());
+  EXPECT_TRUE(reader->keys().empty());
+  EXPECT_TRUE(reader->verify().ok);
+}
+
+TEST_F(ContainerTest, SealIsIdempotentAndDestructorSeals) {
+  const std::string file = path("seal.cdcc");
+  {
+    ContainerWriter writer(file);
+    writer.append_frame({0, 0}, payload_for(1, 8));
+    writer.seal();
+    writer.seal();
+  }  // destructor seals again — must be a no-op
+  const auto reader = ContainerReader::open(file);
+  ASSERT_NE(reader, nullptr);
+  EXPECT_TRUE(reader->verify().ok);
+}
+
+TEST_F(ContainerTest, WriterRefusesUncreatablePath) {
+  EXPECT_DEATH(ContainerWriter(path("no_such_dir") + "/x/y.cdcc"),
+               "cannot create record container");
+}
+
+TEST_F(ContainerTest, RepackPreservesContentAndDropsNothingWhenClean) {
+  const std::string file = path("in.cdcc");
+  const std::string out = path("out.cdcc");
+  const runtime::StreamKey a{1, 1};
+  const runtime::StreamKey b{2, 1};
+  {
+    ContainerWriter writer(file);
+    for (int i = 0; i < 20; ++i)
+      writer.append_frame(i % 3 == 0 ? b : a, payload_for(i, 30));
+    writer.seal();
+  }
+  const auto result = repack_container(file, out);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.frames_kept, 20u);
+  EXPECT_EQ(result.frames_dropped, 0u);
+
+  const auto before = ContainerReader::open(file);
+  const auto after = ContainerReader::open(out);
+  ASSERT_NE(after, nullptr);
+  EXPECT_TRUE(after->verify().ok);
+  EXPECT_EQ(after->read_stream(a), before->read_stream(a));
+  EXPECT_EQ(after->read_stream(b), before->read_stream(b));
+}
+
+TEST_F(ContainerTest, ContainerStoreRecordReopenReadsBack) {
+  const std::string file = path("store.cdcc");
+  const runtime::StreamKey a{0, 4};
+  const runtime::StreamKey b{7, 4};
+  {
+    ContainerStore store(file);
+    store.append(a, payload_for(1, 64));
+    store.append(b, payload_for(2, 16));
+    store.append(a, payload_for(3, 8));
+    // Memory side serves reads immediately, before sealing.
+    EXPECT_EQ(store.total_bytes(), 88u);
+    EXPECT_EQ(store.rank_bytes(0), 72u);
+    store.seal();
+  }
+  const auto reopened = ContainerStore::open(file);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->keys().size(), 2u);
+  auto expected_a = payload_for(1, 64);
+  const auto more_a = payload_for(3, 8);
+  expected_a.insert(expected_a.end(), more_a.begin(), more_a.end());
+  EXPECT_EQ(reopened->read(a), expected_a);
+  EXPECT_EQ(reopened->read(b), payload_for(2, 16));
+  EXPECT_EQ(reopened->total_bytes(), 88u);
+}
+
+TEST_F(ContainerTest, ReopenedContainerStoreIsReadOnly) {
+  const std::string file = path("ro.cdcc");
+  {
+    ContainerStore store(file);
+    store.append({0, 0}, payload_for(1, 4));
+    store.seal();
+  }
+  const auto reopened = ContainerStore::open(file);
+  EXPECT_DEATH(reopened->append({0, 0}, payload_for(2, 4)),
+               "read-only");
+}
+
+TEST_F(ContainerTest, OpenMissingFileFails) {
+  std::string error;
+  EXPECT_EQ(ContainerReader::open(path("nope.cdcc"), &error), nullptr);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdc::store

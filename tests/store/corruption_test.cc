@@ -1,0 +1,184 @@
+// The detection guarantee of the container format (ISSUE acceptance
+// criterion): corrupting ANY single byte of a sealed container must be
+// detected by verify(), and for bytes inside a data frame the report must
+// identify the offending stream and frame. The main test literally flips
+// every byte of a small container, one at a time.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "store/container_reader.h"
+#include "store/container_writer.h"
+
+namespace cdc::store {
+namespace {
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "cdc_corruption_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Writes a small container with three streams and five frames.
+void build_sample(const std::string& file) {
+  ContainerWriter writer(file);
+  writer.append_frame({0, 1},
+                      std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6, 7, 8});
+  writer.append_frame({2, 1}, std::vector<std::uint8_t>{10, 20, 30});
+  writer.append_frame({0, 1}, std::vector<std::uint8_t>{9, 9, 9, 9});
+  writer.append_frame(
+      {-1, 3}, std::vector<std::uint8_t>{0xAA, 0xBB, 0xCC, 0xDD, 0xEE});
+  writer.append_frame({2, 1}, std::vector<std::uint8_t>{42});
+  writer.seal();
+}
+
+TEST_F(CorruptionTest, EverySingleByteFlipIsDetected) {
+  const std::string clean_path = path("clean.cdcc");
+  build_sample(clean_path);
+  const std::vector<std::uint8_t> clean = read_file(clean_path);
+  ASSERT_GT(clean.size(), kContainerHeaderSize + kContainerFooterSize);
+
+  // Map each data-region byte to the frame that owns it, using the clean
+  // container's own index: frames tile [header, data_end) contiguously.
+  const auto reader = ContainerReader::open(clean_path);
+  ASSERT_NE(reader, nullptr);
+  ASSERT_TRUE(reader->index_ok());
+  const auto frames = reader->scan_good_frames();
+  ASSERT_EQ(frames.size(), 5u);
+  // data_end = file_size - footer - index_len (footer: crc u32 | len u64 |
+  // magic u8[8], all little-endian).
+  std::uint64_t index_len = 0;
+  for (int b = 7; b >= 0; --b)
+    index_len = (index_len << 8) | clean[clean.size() - 16 + b];
+  const std::uint64_t data_end =
+      clean.size() - kContainerFooterSize - index_len;
+  ASSERT_EQ(frames.front().offset, kContainerHeaderSize);
+
+  const std::string mutated_path = path("mutated.cdcc");
+  for (std::size_t flip = 0; flip < clean.size(); ++flip) {
+    std::vector<std::uint8_t> mutated = clean;
+    mutated[flip] ^= 0xA5;
+    write_file(mutated_path, mutated);
+
+    const auto damaged = ContainerReader::open(mutated_path);
+    ASSERT_NE(damaged, nullptr) << "open must tolerate damage, byte " << flip;
+    const VerifyReport report = damaged->verify();
+    EXPECT_FALSE(report.ok) << "flip of byte " << flip << " went undetected";
+
+    if (flip < kContainerHeaderSize || flip >= data_end) continue;
+
+    // Data-frame byte: the report must name the stream and frame that own
+    // this offset (later frames may incur follow-on defects; that's fine).
+    const ContainerReader::GoodFrame* owner = nullptr;
+    for (const auto& frame : frames)
+      if (frame.offset <= flip) owner = &frame;
+    ASSERT_NE(owner, nullptr);
+    bool identified = false;
+    for (const FrameDefect& defect : report.bad_frames)
+      identified |= defect.key_known && defect.key == owner->key &&
+                    defect.seq == owner->seq;
+    EXPECT_TRUE(identified)
+        << "flip of frame byte " << flip << " not attributed to stream ("
+        << owner->key.rank << "," << owner->key.callsite << ") frame "
+        << owner->seq << "; report: " << report.summary();
+  }
+}
+
+TEST_F(CorruptionTest, TruncationIsDetected) {
+  const std::string clean_path = path("clean.cdcc");
+  build_sample(clean_path);
+  const std::vector<std::uint8_t> clean = read_file(clean_path);
+
+  const std::string cut_path = path("cut.cdcc");
+  // Every proper prefix is either unopenable or fails verification.
+  for (std::size_t keep : {clean.size() - 1, clean.size() - 7,
+                           clean.size() / 2, kContainerHeaderSize + 3,
+                           std::size_t{4}, std::size_t{0}}) {
+    write_file(cut_path,
+               {clean.begin(), clean.begin() + static_cast<long>(keep)});
+    std::string error;
+    const auto damaged = ContainerReader::open(cut_path, &error);
+    if (damaged == nullptr) {
+      EXPECT_FALSE(error.empty());
+      continue;
+    }
+    EXPECT_FALSE(damaged->verify().ok) << "truncated to " << keep;
+  }
+}
+
+TEST_F(CorruptionTest, RepackDropsExactlyTheBadFrameAndVerifiesClean) {
+  const std::string clean_path = path("clean.cdcc");
+  build_sample(clean_path);
+  std::vector<std::uint8_t> bytes = read_file(clean_path);
+
+  // Corrupt one payload byte of the second frame ({2,1} seq 0).
+  const auto reader = ContainerReader::open(clean_path);
+  ASSERT_NE(reader, nullptr);
+  const auto frames = reader->scan_good_frames();
+  ASSERT_EQ(frames.size(), 5u);
+  // Frames tile the data region, so frame 1 ends where frame 2 begins;
+  // its last payload byte sits right before the trailing crc32.
+  const std::size_t frame_end = static_cast<std::size_t>(frames[2].offset);
+  const std::size_t victim_payload_byte = frame_end - 4 - 1;  // last payload
+  bytes[victim_payload_byte] ^= 0xFF;
+
+  const std::string hurt_path = path("hurt.cdcc");
+  write_file(hurt_path, bytes);
+
+  const std::string repacked_path = path("repacked.cdcc");
+  const RepackResult result = repack_container(hurt_path, repacked_path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.frames_kept, 4u);
+  EXPECT_EQ(result.frames_dropped, 1u);
+
+  const auto repacked = ContainerReader::open(repacked_path);
+  ASSERT_NE(repacked, nullptr);
+  EXPECT_TRUE(repacked->verify().ok);
+  // Undamaged streams survive byte-for-byte.
+  EXPECT_EQ(repacked->read_stream({0, 1}), reader->read_stream({0, 1}));
+  EXPECT_EQ(repacked->read_stream({-1, 3}), reader->read_stream({-1, 3}));
+  // The damaged stream keeps only its intact frame ({2,1} seq 1 = {42}).
+  EXPECT_EQ(repacked->read_stream({2, 1}), (std::vector<std::uint8_t>{42}));
+}
+
+TEST_F(CorruptionTest, ReadStreamAbortsOnCorruptFrame) {
+  const std::string clean_path = path("clean.cdcc");
+  build_sample(clean_path);
+  std::vector<std::uint8_t> bytes = read_file(clean_path);
+  bytes[kContainerHeaderSize + 3] ^= 0x01;  // inside the first frame
+  const std::string hurt_path = path("hurt.cdcc");
+  write_file(hurt_path, bytes);
+
+  const auto damaged = ContainerReader::open(hurt_path);
+  ASSERT_NE(damaged, nullptr);
+  // Replay must never consume silently corrupt data.
+  EXPECT_DEATH((void)damaged->read_stream({0, 1}), "");
+}
+
+}  // namespace
+}  // namespace cdc::store

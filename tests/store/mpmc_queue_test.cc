@@ -1,0 +1,91 @@
+#include "store/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace cdc::store {
+namespace {
+
+TEST(BoundedMpmcQueue, FifoSingleThread) {
+  BoundedMpmcQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(BoundedMpmcQueue, CloseDrainsBacklogThenFails) {
+  BoundedMpmcQueue<int> queue(8);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(BoundedMpmcQueue, FullQueueBlocksPushUntilPop) {
+  BoundedMpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::jthread pusher([&] {
+    EXPECT_TRUE(queue.push(3));
+    third_pushed.store(true);
+  });
+  // The pusher must be blocked on the capacity bound.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  pusher.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BoundedMpmcQueue, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedMpmcQueue<int> queue(16);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  {
+    std::vector<std::jthread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        int value = 0;
+        while (queue.pop(value)) {
+          sum.fetch_add(value);
+          popped.fetch_add(1);
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+          for (int i = 0; i < kPerProducer; ++i)
+            EXPECT_TRUE(queue.push(p * kPerProducer + i));
+        });
+      }
+    }
+    queue.close();
+  }
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace cdc::store
