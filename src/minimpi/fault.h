@@ -1,0 +1,97 @@
+// Deterministic transport-level fault injection for the MiniMPI simulator.
+//
+// Replay systems are only trustworthy under adversarial delivery orders and
+// partial failures, so the simulator can inject four fault classes at the
+// transport layer, all drawn from a dedicated seeded RNG (never the latency
+// noise stream — a fully disabled plan draws nothing and leaves a run
+// bit-identical to the faultless one):
+//   * delay spikes    — individual messages held back for many multiples of
+//                       the base latency (a congested link / OS jitter);
+//   * reorder bursts  — runs of consecutive sends scattered across a wide
+//                       latency window, maximising cross-sender permutation
+//                       of application-level receive order;
+//   * duplicates      — a second transport copy of a message; the
+//                       simulator's per-channel dedup (sequence numbers over
+//                       the non-overtaking channel) drops it before the MPI
+//                       matching layer, as a real transport would;
+//   * rank stalls     — scheduler-level pauses of one rank's compute/poll
+//                       resumption (GC pause, OS preemption, NUMA fault).
+// All faults perturb *timing only*: MPI semantics (per-channel ordering,
+// exactly-once delivery) are preserved, which is exactly what makes the
+// recorded receive order adversarial yet replayable.
+#pragma once
+
+#include <cstdint>
+
+namespace cdc::minimpi {
+
+/// Fault classes, as reported to ToolHooks::on_fault.
+enum class FaultKind : std::uint8_t {
+  kDelaySpike,
+  kReorderBurst,  ///< reported once per message inside a burst
+  kDuplicate,
+  kRankStall,
+};
+
+[[nodiscard]] constexpr const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDelaySpike: return "delay_spike";
+    case FaultKind::kReorderBurst: return "reorder_burst";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kRankStall: return "rank_stall";
+  }
+  return "?";
+}
+
+/// Seeded fault-injection schedule, part of Simulator::Config. Probabilities
+/// are per injection opportunity (per send for the message classes, per
+/// scheduled rank resume/poll for stalls).
+struct FaultPlan {
+  /// Seeds the dedicated fault RNG. Two runs with identical configs,
+  /// programs, and seeds inject identical faults (the reproduction contract
+  /// every fuzzer failure report relies on).
+  std::uint64_t seed = 0;
+
+  // --- Delay spikes.
+  double delay_spike_probability = 0.0;
+  /// Extra latency: uniform in [0.5, 1.5] x factor x (base + jitter mean).
+  double delay_spike_factor = 100.0;
+
+  // --- Reordering bursts.
+  double reorder_burst_probability = 0.0;  ///< chance a burst starts
+  std::uint32_t reorder_burst_length = 8;  ///< sends affected per burst
+  /// Each burst message gets uniform extra latency in
+  /// [0, spread x (base + jitter mean)] — wide enough to scramble the
+  /// interleaving of every in-burst sender.
+  double reorder_burst_spread = 30.0;
+
+  // --- Duplicate delivery.
+  double duplicate_probability = 0.0;
+
+  // --- Rank stalls.
+  double stall_probability = 0.0;
+  /// Stall length: uniform in [0.5, 1.5] x mean seconds.
+  double stall_mean = 5.0e-5;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return delay_spike_probability > 0.0 || reorder_burst_probability > 0.0 ||
+           duplicate_probability > 0.0 || stall_probability > 0.0;
+  }
+};
+
+/// What actually fired during a run (Simulator::fault_stats()).
+struct FaultStats {
+  std::uint64_t delay_spikes = 0;
+  std::uint64_t reorder_bursts = 0;
+  std::uint64_t burst_messages = 0;
+  std::uint64_t duplicates_injected = 0;
+  /// Transport copies discarded by per-channel dedup. Equals
+  /// duplicates_injected once every in-flight copy has arrived — asserted
+  /// at the end of Simulator::run(): a duplicate must never reach the MPI
+  /// matching layer.
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t stalls = 0;
+  double stall_seconds = 0.0;
+};
+
+}  // namespace cdc::minimpi

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "minimpi/fault.h"
 #include "minimpi/types.h"
 
 namespace cdc::minimpi {
@@ -78,6 +79,11 @@ class ToolHooks {
   /// The simulation deadlocked and is about to abort; the tool may dump
   /// diagnostic state (the replayer prints per-stream progress).
   virtual void on_deadlock() {}
+
+  /// A transport fault from the simulator's FaultPlan fired. `rank` is the
+  /// destination rank for message faults and the stalled rank for stalls.
+  /// Purely observational — fault injection never consults the tool.
+  virtual void on_fault(FaultKind /*kind*/, Rank /*rank*/) {}
 };
 
 }  // namespace cdc::minimpi

@@ -1,0 +1,422 @@
+#include "minimpi/schedule_fuzzer.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "apps/mcb.h"
+#include "apps/taskfarm.h"
+#include "store/container_reader.h"
+#include "store/container_store.h"
+#include "support/check.h"
+#include "support/oracle.h"
+#include "tool/crash_store.h"
+#include "tool/recorder.h"
+#include "tool/replayer.h"
+
+namespace cdc::fuzz {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the per-purpose seeds derived from
+/// one case seed (noise vs. faults, record vs. replay).
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+minimpi::Simulator::Config sim_config(int num_ranks,
+                                      std::uint64_t noise_seed,
+                                      const minimpi::FaultPlan& faults) {
+  minimpi::Simulator::Config config;
+  config.num_ranks = num_ranks;
+  config.noise_seed = noise_seed;
+  config.faults = faults;
+  return config;
+}
+
+std::uint64_t fired_faults(const minimpi::FaultStats& stats) noexcept {
+  return stats.delay_spikes + stats.burst_messages +
+         stats.duplicates_injected + stats.stalls;
+}
+
+tool::ToolOptions tool_options(std::size_t chunk_target,
+                               bool partial_record = false) {
+  tool::ToolOptions options;
+  options.chunk_target = chunk_target;
+  options.partial_record = partial_record;
+  return options;
+}
+
+std::string format_double_bits(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::filesystem::path scratch_root(const std::string& scratch_dir) {
+  return scratch_dir.empty() ? std::filesystem::temp_directory_path()
+                             : std::filesystem::path(scratch_dir);
+}
+
+void remove_quietly(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+/// Prefix lengths for support::check_prefix, from replay progress: per
+/// stream, the events gated by the (partial) record before the global
+/// release.
+std::map<runtime::StreamKey, std::uint64_t> prefix_lengths(
+    const tool::Replayer& replayer) {
+  std::map<runtime::StreamKey, std::uint64_t> lengths;
+  for (const auto& [key, stats] : replayer.stream_totals())
+    lengths[key] = stats.replayed_events + stats.replayed_unmatched;
+  return lengths;
+}
+
+}  // namespace
+
+minimpi::FaultPlan plan_for(FaultClass cls, std::uint64_t seed) {
+  minimpi::FaultPlan plan;
+  plan.seed = seed;
+  const bool all = cls == FaultClass::kAll;
+  if (all || cls == FaultClass::kDelaySpike)
+    plan.delay_spike_probability = 0.05;
+  if (all || cls == FaultClass::kReorderBurst)
+    plan.reorder_burst_probability = 0.02;
+  if (all || cls == FaultClass::kDuplicate)
+    plan.duplicate_probability = 0.05;
+  if (all || cls == FaultClass::kRankStall) plan.stall_probability = 0.01;
+  return plan;
+}
+
+FuzzWorkload taskfarm_workload(int num_ranks, int tasks) {
+  apps::TaskFarmConfig config;
+  config.tasks = tasks;
+  FuzzWorkload workload;
+  workload.name = "taskfarm" + std::to_string(num_ranks) + "x" +
+                  std::to_string(tasks);
+  workload.num_ranks = num_ranks;
+  workload.run = [config](minimpi::Simulator& sim) {
+    return apps::run_taskfarm(sim, config).accumulated;
+  };
+  return workload;
+}
+
+FuzzWorkload mcb_workload(int grid_x, int grid_y, int particles_per_rank) {
+  apps::McbConfig config;
+  config.grid_x = grid_x;
+  config.grid_y = grid_y;
+  config.particles_per_rank = particles_per_rank;
+  config.segments_per_particle = 6;
+  config.tracks_per_poll = 8;
+  FuzzWorkload workload;
+  workload.name = "mcb" + std::to_string(grid_x) + "x" +
+                  std::to_string(grid_y);
+  workload.num_ranks = grid_x * grid_y;
+  workload.run = [config](minimpi::Simulator& sim) {
+    return apps::run_mcb(sim, config).global_tally;
+  };
+  return workload;
+}
+
+std::string FuzzFailure::repro() const {
+  return "workload=" + workload + " class=" + fault_class_name(cls) +
+         " seed=" + std::to_string(seed);
+}
+
+std::string FuzzReport::summary() const {
+  std::string out = "fuzz: " + std::to_string(cases_passed) + "/" +
+                    std::to_string(cases_run) + " cases passed, " +
+                    std::to_string(events_checked) + " events checked, " +
+                    std::to_string(faults_injected) + " faults injected";
+  for (const FuzzFailure& f : failures)
+    out += "\n  FAIL " + f.repro() + ": " + f.detail;
+  return out;
+}
+
+ScheduleFuzzer::ScheduleFuzzer(FuzzWorkload workload, FuzzOptions options)
+    : workload_(std::move(workload)), options_(std::move(options)) {
+  CDC_CHECK(workload_.run != nullptr && workload_.num_ranks >= 2);
+}
+
+FuzzReport ScheduleFuzzer::run() {
+  FuzzReport report;
+  for (const FaultClass cls : options_.classes)
+    for (std::uint32_t i = 0; i < options_.num_seeds; ++i)
+      if (auto failure = run_case(cls, options_.base_seed + i, &report))
+        report.failures.push_back(std::move(*failure));
+  return report;
+}
+
+std::optional<FuzzFailure> ScheduleFuzzer::run_case(FaultClass cls,
+                                                    std::uint64_t seed,
+                                                    FuzzReport* report) {
+  return cls == FaultClass::kRecorderCrash
+             ? run_crash_case(seed, report)
+             : run_transport_case(cls, seed, report);
+}
+
+std::optional<FuzzFailure> ScheduleFuzzer::run_transport_case(
+    FaultClass cls, std::uint64_t seed, FuzzReport* report) {
+  FuzzFailure failure{workload_.name, cls, seed, {}};
+  if (report != nullptr) ++report->cases_run;
+
+  // Record under the case's fault schedule.
+  runtime::MemoryStore store;
+  tool::Recorder recorder(workload_.num_ranks, &store,
+                          tool_options(options_.chunk_target));
+  support::OrderProbe record_probe(&recorder);
+  minimpi::Simulator record_sim(
+      sim_config(workload_.num_ranks, mix(seed * 4 + 1),
+                 plan_for(cls, mix(seed * 4 + 2))),
+      &record_probe);
+  const double recorded_value = workload_.run(record_sim);
+  recorder.finalize();
+
+  // Replay under a different noise seed AND a different fault schedule of
+  // the same class: replay must pin the receive order regardless of what
+  // the replay run's own transport does.
+  tool::Replayer replayer(workload_.num_ranks, &store,
+                          tool_options(options_.chunk_target));
+  support::OrderProbe replay_probe(&replayer);
+  minimpi::Simulator replay_sim(
+      sim_config(workload_.num_ranks, mix(seed * 4 + 3),
+                 plan_for(cls, mix(seed * 4 + 4))),
+      &replay_probe);
+  const double replayed_value = workload_.run(replay_sim);
+
+  if (report != nullptr)
+    report->faults_injected += fired_faults(record_sim.fault_stats()) +
+                               fired_faults(replay_sim.fault_stats());
+
+  const support::OracleReport oracle =
+      support::check_equivalence(record_probe.trace(), replay_probe.trace());
+  if (report != nullptr) report->events_checked += oracle.events_compared;
+  if (!oracle.ok) {
+    failure.detail = oracle.summary();
+    return failure;
+  }
+  if (recorded_value != replayed_value) {
+    failure.detail = "order-sensitive result diverged: recorded " +
+                     format_double_bits(recorded_value) + " != replayed " +
+                     format_double_bits(replayed_value);
+    return failure;
+  }
+  if (!replayer.fully_replayed()) {
+    failure.detail = "replay finished with unconsumed record";
+    return failure;
+  }
+  if (report != nullptr) ++report->cases_passed;
+  return std::nullopt;
+}
+
+std::string ScheduleFuzzer::scratch_path(const char* tag,
+                                         std::uint64_t seed) const {
+  const std::string file = "cdc_fuzz_" + workload_.name + "_" + tag + "_" +
+                           std::to_string(seed) + "_" +
+                           std::to_string(::getpid()) + ".cdc";
+  return (scratch_root(options_.scratch_dir) / file).string();
+}
+
+std::optional<FuzzFailure> ScheduleFuzzer::run_crash_case(
+    std::uint64_t seed, FuzzReport* report) {
+  FuzzFailure failure{workload_.name, FaultClass::kRecorderCrash, seed, {}};
+  if (report != nullptr) ++report->cases_run;
+  const std::string container_path = scratch_path("crash", seed);
+  const std::string repacked_path = scratch_path("repacked", seed);
+
+  // Record into an on-disk container; the recorder "crashes" after a
+  // seed-dependent number of frame appends and the container is abandoned
+  // unsealed — a killed process's on-disk state.
+  store::ContainerStore container(container_path);
+  tool::CrashingStore crashing(&container, /*appends_before_crash=*/seed % 32);
+  tool::Recorder recorder(workload_.num_ranks, &crashing,
+                          tool_options(options_.chunk_target));
+  support::OrderProbe record_probe(&recorder);
+  minimpi::Simulator record_sim(
+      sim_config(workload_.num_ranks, mix(seed * 4 + 1), {}), &record_probe);
+  workload_.run(record_sim);
+  recorder.finalize();
+  container.abandon();
+
+  // Salvage: repack the intact frames into a fresh sealed container and
+  // prefix-replay it.
+  store::SalvageResult salvage =
+      store::salvage_container(container_path, repacked_path);
+  std::optional<FuzzFailure> result;
+  if (salvage.store == nullptr) {
+    // Nothing salvageable is legitimate only when (almost) nothing was
+    // persisted: a header-only container is below the reader's minimum
+    // size. Anything else is a salvage bug.
+    if (crashing.appends_forwarded() > 0) {
+      failure.detail = "salvage failed with " +
+                       std::to_string(crashing.appends_forwarded()) +
+                       " frames persisted: " + salvage.repack.error;
+      result = failure;
+    } else if (report != nullptr) {
+      ++report->cases_passed;
+    }
+  } else {
+    tool::Replayer replayer(workload_.num_ranks, salvage.store.get(),
+                            tool_options(options_.chunk_target,
+                                         /*partial_record=*/true));
+    support::OrderProbe replay_probe(&replayer);
+    minimpi::Simulator replay_sim(
+        sim_config(workload_.num_ranks, mix(seed * 4 + 3), {}),
+        &replay_probe);
+    workload_.run(replay_sim);
+
+    const support::OracleReport oracle = support::check_prefix(
+        record_probe.trace(), replay_probe.trace(), prefix_lengths(replayer));
+    if (report != nullptr) report->events_checked += oracle.events_compared;
+    if (!oracle.ok) {
+      failure.detail = oracle.summary();
+      result = failure;
+    } else if (salvage.repack.frames_kept > 0 &&
+               oracle.events_compared == 0 && !replayer.released()) {
+      // An empty verified prefix is legitimate under a tiny crash budget:
+      // the first MF call can hit a stream with no salvaged chunks, which
+      // releases the whole replay to passthrough before anything is gated.
+      // But frames present + nothing gated + no release = a dead replay.
+      failure.detail = "frames were salvaged but the replay gated nothing";
+      result = failure;
+    } else if (report != nullptr) {
+      ++report->cases_passed;
+    }
+  }
+  remove_quietly(container_path);
+  remove_quietly(repacked_path);
+  return result;
+}
+
+// --- Crash-at-every-frame-boundary sweep -----------------------------------
+
+std::string CrashSweepReport::summary() const {
+  std::string out = "crash sweep: " + std::to_string(prefixes_verified) +
+                    "/" + std::to_string(boundaries_tested) +
+                    " boundaries verified (" +
+                    std::to_string(frames_recorded) + " frames, " +
+                    std::to_string(events_checked) + " events checked)";
+  for (const std::string& f : failures) out += "\n  FAIL " + f;
+  return out;
+}
+
+CrashSweepReport crash_boundary_sweep(const FuzzWorkload& workload,
+                                      std::uint64_t seed,
+                                      const std::string& scratch_dir,
+                                      std::size_t chunk_target) {
+  CrashSweepReport report;
+  const auto root = scratch_root(scratch_dir);
+  const std::string stem = "cdc_sweep_" + workload.name + "_" +
+                           std::to_string(seed) + "_" +
+                           std::to_string(::getpid());
+  const std::string sealed_path = (root / (stem + ".cdc")).string();
+  const std::string trunc_path = (root / (stem + "_trunc.cdc")).string();
+  const std::string repacked_path = (root / (stem + "_repacked.cdc")).string();
+
+  // One clean recording, sealed — the reference run and the byte source
+  // for every truncation.
+  support::Trace recorded_trace;
+  {
+    store::ContainerStore container(sealed_path);
+    tool::Recorder recorder(workload.num_ranks, &container,
+                            tool_options(chunk_target));
+    support::OrderProbe probe(&recorder);
+    minimpi::Simulator sim(
+        sim_config(workload.num_ranks, mix(seed * 4 + 1), {}), &probe);
+    workload.run(sim);
+    recorder.finalize();
+    container.seal();
+    recorded_trace = probe.trace();
+  }
+
+  std::vector<std::uint64_t> boundaries;
+  std::vector<std::uint8_t> bytes;
+  {
+    const auto reader = store::ContainerReader::open(sealed_path);
+    CDC_CHECK_MSG(reader != nullptr && reader->index_ok(),
+                  "sweep recording produced an unreadable container");
+    for (const auto& frame : reader->scan_good_frames())
+      boundaries.push_back(frame.offset);  // truncating here drops frame..end
+    boundaries.push_back(reader->data_end());  // all frames, no footer
+    report.frames_recorded = boundaries.size() - 1;
+
+    std::ifstream in(sealed_path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    CDC_CHECK(bytes.size() == reader->file_bytes());
+  }
+
+  for (std::size_t b = 0; b < boundaries.size(); ++b) {
+    ++report.boundaries_tested;
+    const std::uint64_t boundary = boundaries[b];
+    const auto fail = [&](const std::string& what) {
+      report.failures.push_back("boundary " + std::to_string(b) + " (offset " +
+                                std::to_string(boundary) + "): " + what);
+    };
+    {
+      std::ofstream out(trunc_path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(boundary));
+      CDC_CHECK(out.good());
+    }
+
+    store::SalvageResult salvage =
+        store::salvage_container(trunc_path, repacked_path);
+    if (salvage.store == nullptr) {
+      // Only the empty prefix (header-only file, below the reader's
+      // minimum size) may fail to salvage.
+      if (b == 0)
+        ++report.prefixes_verified;
+      else
+        fail("salvage failed: " + salvage.repack.error);
+      continue;
+    }
+    if (salvage.repack.frames_kept != b) {
+      fail("expected " + std::to_string(b) + " salvaged frames, got " +
+           std::to_string(salvage.repack.frames_kept));
+      continue;
+    }
+
+    // Every surviving byte re-verifies by CRC after the repack.
+    const auto reader = store::ContainerReader::open(repacked_path);
+    const store::VerifyReport verify =
+        reader != nullptr ? reader->verify() : store::VerifyReport{};
+    if (reader == nullptr || !verify.ok) {
+      fail("repacked container failed verification");
+      continue;
+    }
+
+    tool::Replayer replayer(workload.num_ranks, salvage.store.get(),
+                            tool_options(chunk_target,
+                                         /*partial_record=*/true));
+    support::OrderProbe probe(&replayer);
+    minimpi::Simulator sim(
+        sim_config(workload.num_ranks, mix(seed * 4 + 3), {}), &probe);
+    workload.run(sim);
+
+    const support::OracleReport oracle = support::check_prefix(
+        recorded_trace, probe.trace(), prefix_lengths(replayer));
+    report.events_checked += oracle.events_compared;
+    if (!oracle.ok) {
+      fail(oracle.summary());
+      continue;
+    }
+    ++report.prefixes_verified;
+  }
+
+  remove_quietly(sealed_path);
+  remove_quietly(trunc_path);
+  remove_quietly(repacked_path);
+  return report;
+}
+
+}  // namespace cdc::fuzz

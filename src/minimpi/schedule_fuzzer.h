@@ -1,0 +1,161 @@
+// Schedule fuzzer: adversarial record→replay validation at volume.
+//
+// Drives N seeded delivery-order permutations — each under a transport
+// fault class from minimpi/fault.h — through the full pipeline
+// (record → encode → store → decode → replay) and checks every case with
+// the replay-equivalence oracle (support/oracle.h): the replayed
+// per-(rank, callsite) receive order must be bit-identical to the recorded
+// one, and the workload's order-sensitive floating-point result must match
+// bitwise. The recorder-crash class records into an on-disk container,
+// abandons it unsealed mid-run (tool/crash_store.h), salvages it with the
+// store repack path, and prefix-replays the survivor; a companion sweep
+// truncates a sealed container at every frame boundary and proves each
+// salvaged prefix CRC-verifies and replays faithfully.
+//
+// Every failure carries (workload, fault class, seed) — the complete
+// reproduction key: two runs with the same triple are bit-identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minimpi/fault.h"
+#include "minimpi/simulator.h"
+
+namespace cdc::fuzz {
+
+/// One fault class per fuzz case. kAll layers every transport fault;
+/// kRecorderCrash is the storage-failure case (no transport faults — the
+/// crash is the adversary).
+enum class FaultClass : std::uint8_t {
+  kNone,
+  kDelaySpike,
+  kReorderBurst,
+  kDuplicate,
+  kRankStall,
+  kAll,
+  kRecorderCrash,
+};
+
+inline constexpr std::array<FaultClass, 7> kAllFaultClasses = {
+    FaultClass::kNone,      FaultClass::kDelaySpike,
+    FaultClass::kReorderBurst, FaultClass::kDuplicate,
+    FaultClass::kRankStall, FaultClass::kAll,
+    FaultClass::kRecorderCrash,
+};
+
+[[nodiscard]] constexpr const char* fault_class_name(FaultClass cls) noexcept {
+  switch (cls) {
+    case FaultClass::kNone: return "none";
+    case FaultClass::kDelaySpike: return "delay_spike";
+    case FaultClass::kReorderBurst: return "reorder_burst";
+    case FaultClass::kDuplicate: return "duplicate";
+    case FaultClass::kRankStall: return "rank_stall";
+    case FaultClass::kAll: return "all";
+    case FaultClass::kRecorderCrash: return "recorder_crash";
+  }
+  return "?";
+}
+
+/// The seeded FaultPlan one fuzz case runs under (deterministic in
+/// (cls, seed); kNone/kRecorderCrash yield a disabled plan).
+[[nodiscard]] minimpi::FaultPlan plan_for(FaultClass cls, std::uint64_t seed);
+
+/// A workload the fuzzer can drive: installs programs on the simulator,
+/// runs it, and returns an order-sensitive floating-point result (bitwise
+/// reproduction of that value is part of the oracle check).
+struct FuzzWorkload {
+  std::string name;
+  int num_ranks = 1;
+  std::function<double(minimpi::Simulator&)> run;
+};
+
+/// Master/worker task farm (Waitany/Wait idiom), sized for fuzzing volume.
+[[nodiscard]] FuzzWorkload taskfarm_workload(int num_ranks = 6,
+                                             int tasks = 160);
+/// MCB-style particle transport (Testsome polling idiom), small grid.
+[[nodiscard]] FuzzWorkload mcb_workload(int grid_x = 2, int grid_y = 2,
+                                        int particles_per_rank = 30);
+
+struct FuzzOptions {
+  std::uint64_t base_seed = 1;   ///< case seeds are base_seed + i
+  std::uint32_t num_seeds = 64;  ///< cases per fault class
+  std::vector<FaultClass> classes{kAllFaultClasses.begin(),
+                                  kAllFaultClasses.end()};
+  std::size_t chunk_target = 64;  ///< small: exercise chunk/epoch logic
+  /// Directory for recorder-crash container files; empty = the system
+  /// temp directory.
+  std::string scratch_dir;
+};
+
+struct FuzzFailure {
+  std::string workload;
+  FaultClass cls = FaultClass::kNone;
+  std::uint64_t seed = 0;
+  std::string detail;
+
+  [[nodiscard]] std::string repro() const;  ///< one-line reproduction key
+};
+
+struct FuzzReport {
+  std::uint64_t cases_run = 0;
+  std::uint64_t cases_passed = 0;
+  std::uint64_t events_checked = 0;   ///< oracle event comparisons
+  std::uint64_t faults_injected = 0;  ///< across all record+replay runs
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+class ScheduleFuzzer {
+ public:
+  explicit ScheduleFuzzer(FuzzWorkload workload, FuzzOptions options = {});
+
+  /// Runs every configured (class, seed) case; never aborts on a
+  /// mismatch — failures land in the report with their reproduction keys.
+  FuzzReport run();
+
+  /// Runs one case (the reproduction entry point for a failure from a CI
+  /// log), accumulating into `report` when given.
+  std::optional<FuzzFailure> run_case(FaultClass cls, std::uint64_t seed,
+                                      FuzzReport* report = nullptr);
+
+ private:
+  std::optional<FuzzFailure> run_transport_case(FaultClass cls,
+                                                std::uint64_t seed,
+                                                FuzzReport* report);
+  std::optional<FuzzFailure> run_crash_case(std::uint64_t seed,
+                                            FuzzReport* report);
+  [[nodiscard]] std::string scratch_path(const char* tag,
+                                         std::uint64_t seed) const;
+
+  FuzzWorkload workload_;
+  FuzzOptions options_;
+};
+
+/// Crash-at-every-frame-boundary sweep: records `workload` once into a
+/// sealed container, then for each frame boundary (including "no frames
+/// yet" and "all frames, no footer") truncates a copy there, repacks it,
+/// verifies every surviving byte by CRC, and prefix-replays it against the
+/// recorded trace.
+struct CrashSweepReport {
+  std::uint64_t boundaries_tested = 0;
+  std::uint64_t prefixes_verified = 0;  ///< CRC-clean and oracle-passed
+  std::uint64_t frames_recorded = 0;    ///< frames in the sealed container
+  std::uint64_t events_checked = 0;
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] CrashSweepReport crash_boundary_sweep(
+    const FuzzWorkload& workload, std::uint64_t seed,
+    const std::string& scratch_dir = {}, std::size_t chunk_target = 64);
+
+}  // namespace cdc::fuzz

@@ -145,7 +145,8 @@ MFAwaiter Comm::testsome(std::span<const Request> requests,
 Simulator::Simulator(const Config& config, ToolHooks* hooks)
     : config_(config),
       hooks_(hooks != nullptr ? hooks : &default_hooks_),
-      noise_(config.noise_seed) {
+      noise_(config.noise_seed),
+      fault_rng_(config.faults.seed ^ 0xfa17fa17fa17fa17ull) {
   CDC_CHECK(config.num_ranks >= 1);
   ranks_.resize(static_cast<std::size_t>(config.num_ranks));
   allreduce_inputs_.resize(ranks_.size());
@@ -175,7 +176,68 @@ void Simulator::set_program(Rank rank, const Program& program) {
 void Simulator::schedule(double time, EventType type, Rank rank,
                          std::coroutine_handle<> handle,
                          std::uint64_t message_index) {
+  // Rank stalls pause a rank's resume/poll, never a network delivery.
+  if (type != EventType::kDeliver) time = maybe_stall(time, rank);
   events_.push(Event{time, next_seq_++, type, rank, handle, message_index});
+}
+
+double Simulator::maybe_stall(double time, Rank rank) {
+  const FaultPlan& plan = config_.faults;
+  if (plan.stall_probability <= 0.0 || rank < 0) return time;
+  if (fault_rng_.uniform() >= plan.stall_probability) return time;
+  const double stall = plan.stall_mean * (0.5 + fault_rng_.uniform());
+  ++fault_stats_.stalls;
+  fault_stats_.stall_seconds += stall;
+  hooks_->on_fault(FaultKind::kRankStall, rank);
+  return time + stall;
+}
+
+double Simulator::apply_message_faults(double latency, Rank dst) {
+  const FaultPlan& plan = config_.faults;
+  const double scale = config_.base_latency + config_.jitter_mean;
+  if (plan.delay_spike_probability > 0.0 &&
+      fault_rng_.uniform() < plan.delay_spike_probability) {
+    latency += plan.delay_spike_factor * scale * (0.5 + fault_rng_.uniform());
+    ++fault_stats_.delay_spikes;
+    hooks_->on_fault(FaultKind::kDelaySpike, dst);
+  }
+  if (plan.reorder_burst_probability > 0.0) {
+    if (burst_remaining_ == 0 &&
+        fault_rng_.uniform() < plan.reorder_burst_probability) {
+      burst_remaining_ = plan.reorder_burst_length;
+      ++fault_stats_.reorder_bursts;
+    }
+    if (burst_remaining_ > 0) {
+      --burst_remaining_;
+      latency += fault_rng_.uniform() * plan.reorder_burst_spread * scale;
+      ++fault_stats_.burst_messages;
+      hooks_->on_fault(FaultKind::kReorderBurst, dst);
+    }
+  }
+  return latency;
+}
+
+void Simulator::maybe_duplicate(const Message& msg, double arrival,
+                                std::uint64_t channel) {
+  const FaultPlan& plan = config_.faults;
+  if (plan.duplicate_probability <= 0.0 ||
+      fault_rng_.uniform() >= plan.duplicate_probability)
+    return;
+  // The copy carries the original's transport sequence number — the dedup
+  // key — and trails it on the (non-overtaking) channel.
+  Message dup = msg;
+  double dup_arrival =
+      arrival + fault_rng_.exponential(config_.jitter_mean);
+  auto it = channel_last_arrival_.find(channel);
+  if (it != channel_last_arrival_.end() && dup_arrival <= it->second)
+    dup_arrival = it->second + 1e-12;
+  channel_last_arrival_[channel] = dup_arrival;
+  const std::uint64_t index = next_message_index_++;
+  const Rank dest = dup.dest;
+  in_flight_.emplace(index, std::move(dup));
+  schedule(dup_arrival, EventType::kDeliver, dest, nullptr, index);
+  ++fault_stats_.duplicates_injected;
+  hooks_->on_fault(FaultKind::kDuplicate, dest);
 }
 
 Request Simulator::post_isend(Rank src, Rank dst, int tag,
@@ -194,17 +256,21 @@ Request Simulator::post_isend(Rank src, Rank dst, int tag,
 
   // Latency noise permutes cross-sender arrival interleavings; per-channel
   // arrival order is forced non-overtaking (MPI ordering guarantee).
-  const double latency =
+  double latency =
       config_.base_latency + noise_.exponential(config_.jitter_mean);
+  if (config_.faults.enabled()) latency = apply_message_faults(latency, dst);
   const std::uint64_t channel =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
       static_cast<std::uint32_t>(dst);
+  msg.transport_seq = ++channel_send_seq_[channel];
   double arrival = ctx.time + latency;
   auto [it, inserted] = channel_last_arrival_.try_emplace(channel, 0.0);
   if (!inserted && arrival <= it->second)
     arrival = it->second + 1e-12;
   it->second = arrival;
 
+  if (config_.faults.duplicate_probability > 0.0)
+    maybe_duplicate(msg, arrival, channel);
   const std::uint64_t index = next_message_index_++;
   in_flight_.emplace(index, std::move(msg));
   schedule(arrival, EventType::kDeliver, dst, nullptr, index);
@@ -583,35 +649,78 @@ Simulator::Stats Simulator::run() {
     schedule(0.0, EventType::kResume, r, ctx.task.handle());
   }
 
-  while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
-    CDC_CHECK(ev.time + 1e-15 >= now_);
-    now_ = std::max(now_, ev.time);
-    ++stats_.scheduler_events;
-    CDC_CHECK_MSG(stats_.scheduler_events <= config_.max_events,
-                  "event budget exceeded (runaway program?)");
+  // Outer loop: drain the event queue; when it empties with matching-
+  // function calls still pending, re-poll each of them once. A replay tool
+  // that released its gating late (e.g. partial-record replay switching to
+  // passthrough after the last arrival) can make blocked calls deliverable
+  // without any further message traffic; re-polling gives it the chance.
+  // Each productive round delivers at least one event, so this terminates.
+  std::uint64_t last_progress = std::numeric_limits<std::uint64_t>::max();
+  for (;;) {
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      CDC_CHECK(ev.time + 1e-15 >= now_);
+      now_ = std::max(now_, ev.time);
+      ++stats_.scheduler_events;
+      CDC_CHECK_MSG(stats_.scheduler_events <= config_.max_events,
+                    "event budget exceeded (runaway program?)");
 
-    switch (ev.type) {
-      case EventType::kResume:
-        resume_rank(ev.rank, ev.handle, ev.time);
-        break;
-      case EventType::kDeliver: {
-        auto it = in_flight_.find(ev.message_index);
-        CDC_CHECK(it != in_flight_.end());
-        Message msg = std::move(it->second);
-        in_flight_.erase(it);
-        try_match_arrival(ev.rank, std::move(msg));
-        break;
+      switch (ev.type) {
+        case EventType::kResume:
+          resume_rank(ev.rank, ev.handle, ev.time);
+          break;
+        case EventType::kDeliver: {
+          auto it = in_flight_.find(ev.message_index);
+          CDC_CHECK(it != in_flight_.end());
+          Message msg = std::move(it->second);
+          in_flight_.erase(it);
+          // Transport dedup: per-channel delivery is non-overtaking, so a
+          // non-increasing sequence number is a duplicate copy; drop it
+          // before the matching layer ever sees it.
+          const std::uint64_t channel =
+              (static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(msg.source))
+               << 32) |
+              static_cast<std::uint32_t>(msg.dest);
+          auto& delivered = channel_delivered_seq_[channel];
+          if (msg.transport_seq <= delivered) {
+            ++fault_stats_.duplicates_dropped;
+            break;
+          }
+          delivered = msg.transport_seq;
+          try_match_arrival(ev.rank, std::move(msg));
+          break;
+        }
+        case EventType::kPoll:
+          ranks_[static_cast<std::size_t>(ev.rank)].time =
+              std::max(ranks_[static_cast<std::size_t>(ev.rank)].time,
+                       ev.time);
+          poll_mf(ev.rank);
+          break;
       }
-      case EventType::kPoll:
-        ranks_[static_cast<std::size_t>(ev.rank)].time =
-            std::max(ranks_[static_cast<std::size_t>(ev.rank)].time, ev.time);
-        poll_mf(ev.rank);
-        break;
+    }
+
+    bool any_pending_mf = false;
+    for (const auto& ctx : ranks_)
+      any_pending_mf = any_pending_mf || (!ctx.finished && ctx.mf_active);
+    if (!any_pending_mf) break;
+    const std::uint64_t progress =
+        stats_.receive_events_delivered + stats_.unmatched_tests;
+    if (progress == last_progress) break;  // re-poll changed nothing: stuck
+    last_progress = progress;
+    for (int r = 0; r < size(); ++r) {
+      auto& ctx = ranks_[static_cast<std::size_t>(r)];
+      if (!ctx.finished && ctx.mf_active && !ctx.mf_poll_scheduled) {
+        ctx.mf_poll_scheduled = true;
+        schedule(now_, EventType::kPoll, r);
+      }
     }
   }
 
+  CDC_CHECK_MSG(
+      fault_stats_.duplicates_dropped == fault_stats_.duplicates_injected,
+      "a transport duplicate leaked past channel dedup");
   bool deadlocked = false;
   for (int r = 0; r < size(); ++r) {
     const auto& ctx = ranks_[static_cast<std::size_t>(r)];

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "minimpi/fault.h"
 #include "minimpi/hooks.h"
 #include "minimpi/task.h"
 #include "minimpi/types.h"
@@ -166,6 +167,10 @@ class Simulator {
     /// 1.18% end-to-end for 8-byte piggyback data).
     double piggyback_send_cost = 0.0;
     std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
+    /// Seeded transport-fault schedule (see fault.h). Disabled by default;
+    /// a disabled plan draws nothing from the fault RNG, so the run is
+    /// bit-identical to one without the field.
+    FaultPlan faults;
   };
 
   struct Stats {
@@ -198,6 +203,9 @@ class Simulator {
   }
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return fault_stats_;
+  }
   [[nodiscard]] Comm& comm(Rank rank) {
     CDC_CHECK(rank >= 0 && rank < size());
     return *ranks_[static_cast<std::size_t>(rank)].comm;
@@ -216,6 +224,10 @@ class Simulator {
     int tag = -1;
     std::uint64_t piggyback = 0;
     std::uint64_t arrival_seq = 0;  ///< stamped at delivery; orders queues
+    /// Per-channel send sequence number. Channels deliver non-overtaking,
+    /// so arrivals carry strictly increasing values — a repeated value is a
+    /// transport duplicate and is dropped before the matching layer.
+    std::uint64_t transport_seq = 0;
     bool tool_sighted = false;      ///< already listed to the tool hooks
     std::vector<std::uint8_t> payload;
   };
@@ -276,6 +288,14 @@ class Simulator {
   void schedule(double time, EventType type, Rank rank,
                 std::coroutine_handle<> handle = nullptr,
                 std::uint64_t message_index = 0);
+  /// Adds fault-plan extra latency (delay spikes, reorder bursts) for one
+  /// outgoing message; returns the adjusted latency.
+  double apply_message_faults(double latency, Rank dst);
+  /// Schedules a transport duplicate of `msg` if the plan rolls one.
+  void maybe_duplicate(const Message& msg, double arrival,
+                       std::uint64_t channel);
+  /// Applies a rank-stall fault to a pending resume/poll time.
+  double maybe_stall(double time, Rank rank);
   void try_match_arrival(Rank rank, Message&& message);
   void insert_unexpected(RankCtx& ctx, Message&& message);
   void rematch_unexpected(RankCtx& ctx);
@@ -293,10 +313,17 @@ class Simulator {
   ToolHooks* hooks_;
   ToolHooks default_hooks_;
   support::Xoshiro256 noise_;
+  /// Dedicated fault stream: never consulted when the plan is disabled, so
+  /// FaultPlan{} leaves the noise stream — and the run — untouched.
+  support::Xoshiro256 fault_rng_;
+  std::uint32_t burst_remaining_ = 0;
+  FaultStats fault_stats_;
   std::vector<RankCtx> ranks_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::unordered_map<std::uint64_t, Message> in_flight_;
   std::unordered_map<std::uint64_t, double> channel_last_arrival_;
+  std::unordered_map<std::uint64_t, std::uint64_t> channel_send_seq_;
+  std::unordered_map<std::uint64_t, std::uint64_t> channel_delivered_seq_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_match_seq_ = 1;

@@ -65,6 +65,10 @@ class ContainerReader {
   [[nodiscard]] std::uint64_t file_bytes() const noexcept {
     return bytes_.size();
   }
+  /// First byte past the frame data region (= start of the index when the
+  /// footer parsed). The crash-sweep truncates here to model a recorder
+  /// that died after its last frame but before seal().
+  [[nodiscard]] std::uint64_t data_end() const noexcept { return data_end_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:

@@ -61,4 +61,20 @@ void ContainerStore::seal() {
   if (writer_ != nullptr) writer_->seal();
 }
 
+void ContainerStore::abandon() {
+  CDC_CHECK_MSG(writer_ != nullptr,
+                "abandon on a container store opened read-only");
+  writer_->abandon();
+}
+
+SalvageResult salvage_container(const std::string& in_path,
+                                const std::string& repacked_path,
+                                std::size_t shard_count) {
+  SalvageResult result;
+  result.repack = repack_container(in_path, repacked_path);
+  if (!result.repack.ok) return result;
+  result.store = ContainerStore::open(repacked_path, shard_count);
+  return result;
+}
+
 }  // namespace cdc::store

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "store/container_reader.h"
 #include "store/container_writer.h"
 #include "store/sharded_store.h"
 
@@ -49,6 +50,12 @@ class ContainerStore final : public runtime::RecordStore {
   /// reopen the file while the store is still alive.
   void seal();
 
+  /// Simulates a recorder crash: closes the container file WITHOUT an
+  /// index/footer (ContainerWriter::abandon). The file then refuses
+  /// open() — as a real half-written container would — until it has been
+  /// salvaged via salvage_container(). Recording mode only; idempotent.
+  void abandon();
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
@@ -58,5 +65,18 @@ class ContainerStore final : public runtime::RecordStore {
   ShardedStore memory_;
   std::unique_ptr<ContainerWriter> writer_;  ///< null in replay mode
 };
+
+/// The crash-recovery path in one call: repack whatever intact frames the
+/// (unsealed or damaged) container at `in_path` still holds into a fresh
+/// sealed container at `repacked_path`, then open that for replay. `store`
+/// is null when the input was unreadable or yielded no sealable output;
+/// `repack` always carries the salvage statistics either way.
+struct SalvageResult {
+  RepackResult repack;
+  std::unique_ptr<ContainerStore> store;
+};
+[[nodiscard]] SalvageResult salvage_container(
+    const std::string& in_path, const std::string& repacked_path,
+    std::size_t shard_count = ShardedStore::kDefaultShards);
 
 }  // namespace cdc::store

@@ -91,6 +91,14 @@ void ContainerWriter::seal() {
   out_.close();
 }
 
+void ContainerWriter::abandon() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sealed_) return;
+  sealed_ = true;  // also disarms the destructor's seal()
+  out_.flush();
+  out_.close();
+}
+
 ContainerWriter::Stats ContainerWriter::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return Stats{frames_, payload_bytes_, offset_};

@@ -37,6 +37,13 @@ class ContainerWriter {
   /// frames may be appended afterwards.
   void seal();
 
+  /// Closes the file WITHOUT writing the index/footer — the on-disk state
+  /// a crashed recorder leaves behind (frames up to the crash, no index).
+  /// Idempotent; seal() afterwards is a no-op. The result fails
+  /// ContainerStore::open() by design and must go through the
+  /// verify/repack salvage path.
+  void abandon();
+
   struct Stats {
     std::uint64_t frames = 0;
     std::uint64_t payload_bytes = 0;

@@ -1,0 +1,177 @@
+#include "support/oracle.h"
+
+#include <cstdio>
+
+#include "compress/crc32.h"
+
+namespace cdc::support {
+
+namespace {
+
+std::string format_event(const ObservedEvent& e) {
+  char buf[128];
+  if (!e.matched) return "{unmatched-test}";
+  std::snprintf(buf, sizeof buf,
+                "{src=%d tag=%d clock=%llu payload=%lluB crc=%08x}",
+                e.source, e.tag,
+                static_cast<unsigned long long>(e.piggyback),
+                static_cast<unsigned long long>(e.payload_size),
+                e.payload_crc);
+  return buf;
+}
+
+std::string format_key(const runtime::StreamKey& key) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "(rank=%d, callsite=%u)", key.rank,
+                key.callsite);
+  return buf;
+}
+
+constexpr std::size_t kMaxMismatches = 8;
+
+void add_mismatch(OracleReport& report, std::string text) {
+  report.ok = false;
+  if (report.mismatches.size() < kMaxMismatches)
+    report.mismatches.push_back(std::move(text));
+}
+
+/// Compares `limit` leading events of one stream; ~0 means the full stream
+/// (and then lengths must agree too).
+void compare_stream(OracleReport& report, const runtime::StreamKey& key,
+                    const StreamTrace& recorded, const StreamTrace& replayed,
+                    std::uint64_t limit) {
+  const bool full = limit == ~std::uint64_t{0};
+  const std::uint64_t want = full ? recorded.size() : limit;
+  if (want > recorded.size()) {
+    add_mismatch(report, format_key(key) + ": claimed prefix " +
+                             std::to_string(want) + " exceeds recorded " +
+                             std::to_string(recorded.size()) + " events");
+    return;
+  }
+  if (replayed.size() < want || (full && replayed.size() != want)) {
+    add_mismatch(report, format_key(key) + ": recorded " +
+                             std::to_string(want) + " events, replayed " +
+                             std::to_string(replayed.size()));
+    return;
+  }
+  for (std::uint64_t i = 0; i < want; ++i) {
+    ++report.events_compared;
+    if (recorded[i] == replayed[i]) continue;
+    add_mismatch(report, format_key(key) + " event " + std::to_string(i) +
+                             ": recorded " + format_event(recorded[i]) +
+                             " != replayed " + format_event(replayed[i]));
+    return;  // one diagnosis per stream; later events usually cascade
+  }
+}
+
+OracleReport compare_traces(
+    const Trace& recorded, const Trace& replayed,
+    const std::map<runtime::StreamKey, std::uint64_t>* prefix_lengths) {
+  OracleReport report;
+  for (const auto& [key, rec_stream] : recorded) {
+    ++report.streams_compared;
+    std::uint64_t limit = ~std::uint64_t{0};
+    if (prefix_lengths != nullptr) {
+      const auto it = prefix_lengths->find(key);
+      limit = it == prefix_lengths->end() ? 0 : it->second;
+    }
+    static const StreamTrace kEmpty;
+    const auto rep_it = replayed.find(key);
+    // A missing replay stream is fine iff nothing is required of it: the
+    // probe only creates a stream entry once an event lands there.
+    const StreamTrace& rep_stream =
+        rep_it == replayed.end() ? kEmpty : rep_it->second;
+    compare_stream(report, key, rec_stream, rep_stream, limit);
+  }
+  if (prefix_lengths == nullptr) {
+    for (const auto& [key, rep_stream] : replayed) {
+      if (!recorded.contains(key) && !rep_stream.empty())
+        add_mismatch(report, format_key(key) + ": replay surfaced " +
+                                 std::to_string(rep_stream.size()) +
+                                 " events on a stream never recorded");
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+// --- OrderProbe ------------------------------------------------------------
+
+std::uint64_t OrderProbe::on_send(minimpi::Rank sender) {
+  return inner_ != nullptr ? inner_->on_send(sender)
+                           : ToolHooks::on_send(sender);
+}
+
+minimpi::SelectResult OrderProbe::select(
+    minimpi::Rank rank, minimpi::CallsiteId callsite, minimpi::MFKind kind,
+    std::span<const minimpi::Candidate> candidates,
+    std::size_t total_requests, bool blocking) {
+  return inner_ != nullptr
+             ? inner_->select(rank, callsite, kind, candidates,
+                              total_requests, blocking)
+             : ToolHooks::select(rank, callsite, kind, candidates,
+                                 total_requests, blocking);
+}
+
+void OrderProbe::on_unmatched_test(minimpi::Rank rank,
+                                   minimpi::CallsiteId callsite) {
+  ObservedEvent event;
+  event.matched = false;
+  trace_[runtime::StreamKey{rank, callsite}].push_back(event);
+  if (inner_ != nullptr) inner_->on_unmatched_test(rank, callsite);
+}
+
+void OrderProbe::on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
+                            minimpi::MFKind kind,
+                            std::span<const minimpi::Completion> events) {
+  auto& stream = trace_[runtime::StreamKey{rank, callsite}];
+  for (const minimpi::Completion& c : events) {
+    ObservedEvent event;
+    event.matched = true;
+    event.source = c.source;
+    event.tag = c.tag;
+    event.piggyback = c.piggyback;
+    event.payload_crc = compress::crc32(c.payload);
+    event.payload_size = c.payload.size();
+    stream.push_back(event);
+  }
+  if (inner_ != nullptr) inner_->on_deliver(rank, callsite, kind, events);
+}
+
+void OrderProbe::on_deadlock() {
+  if (inner_ != nullptr) inner_->on_deadlock();
+}
+
+void OrderProbe::on_fault(minimpi::FaultKind kind, minimpi::Rank rank) {
+  ++fault_counts_[static_cast<std::size_t>(kind)];
+  if (inner_ != nullptr) inner_->on_fault(kind, rank);
+}
+
+std::uint64_t OrderProbe::total_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [key, stream] : trace_) total += stream.size();
+  return total;
+}
+
+// --- Oracle checks ---------------------------------------------------------
+
+std::string OracleReport::summary() const {
+  std::string out = ok ? "oracle OK: " : "oracle FAILED: ";
+  out += std::to_string(streams_compared) + " streams, " +
+         std::to_string(events_compared) + " events compared";
+  for (const std::string& m : mismatches) out += "\n  " + m;
+  return out;
+}
+
+OracleReport check_equivalence(const Trace& recorded, const Trace& replayed) {
+  return compare_traces(recorded, replayed, nullptr);
+}
+
+OracleReport check_prefix(
+    const Trace& recorded, const Trace& replayed,
+    const std::map<runtime::StreamKey, std::uint64_t>& prefix_lengths) {
+  return compare_traces(recorded, replayed, &prefix_lengths);
+}
+
+}  // namespace cdc::support

@@ -70,6 +70,12 @@ class HookChain : public minimpi::ToolHooks {
     for (minimpi::ToolHooks* observer : observers_) observer->on_deadlock();
   }
 
+  void on_fault(minimpi::FaultKind kind, minimpi::Rank rank) override {
+    if (primary_ != nullptr) primary_->on_fault(kind, rank);
+    for (minimpi::ToolHooks* observer : observers_)
+      observer->on_fault(kind, rank);
+  }
+
  private:
   minimpi::ToolHooks* primary_;
   std::vector<minimpi::ToolHooks*> observers_;

@@ -44,6 +44,16 @@ struct ToolOptions {
   /// which greatly increases observed/reference order similarity for
   /// polling applications like MCB.
   bool tick_on_unmatched_test = true;
+  /// Replay a *partial* record — e.g. one salvaged from a crashed
+  /// recorder's container (store/container_reader.h repack). The record is
+  /// a prefix of the original run, not a causally consistent cut, so the
+  /// moment any stream exhausts its record the replayer releases ALL
+  /// streams to passthrough at once: per-stream gating beyond that point
+  /// would mix replayed and free-run Lamport clocks and mis-identify
+  /// messages. Events surfaced before the release are a faithful per-stream
+  /// prefix of the recorded order (checked by support/oracle.h
+  /// check_prefix); events after it are ordinary free-run non-determinism.
+  bool partial_record = false;
 };
 
 }  // namespace cdc::tool

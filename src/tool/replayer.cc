@@ -59,6 +59,9 @@ minimpi::SelectResult Replayer::select(
     minimpi::Rank rank, minimpi::CallsiteId callsite, minimpi::MFKind kind,
     std::span<const minimpi::Candidate> candidates,
     std::size_t total_requests, bool blocking) {
+  if (released_)
+    return ToolHooks::select(rank, callsite, kind, candidates,
+                             total_requests, blocking);
   StreamReplayer& rep = stream(rank, callsite);
 
   // Sight newly visible candidates (Definition 8's observed set B).
@@ -69,6 +72,11 @@ minimpi::SelectResult Replayer::select(
   minimpi::SelectResult result;
   switch (decision.kind) {
     case StreamReplayer::Decision::Kind::kPassthrough:
+      // A partial record is a prefix, not a causally consistent cut: the
+      // first stream to run dry releases EVERY stream to passthrough.
+      // Gating the others further would compare free-running Lamport
+      // clocks against recorded ones and mis-identify messages.
+      if (options_.partial_record) released_ = true;
       return ToolHooks::select(rank, callsite, kind, candidates,
                                total_requests, blocking);
     case StreamReplayer::Decision::Kind::kNoMatch:
@@ -106,6 +114,7 @@ void Replayer::on_unmatched_test(minimpi::Rank rank,
   // replayable and identical to record mode.
   if (options_.tick_on_unmatched_test)
     clocks_[static_cast<std::size_t>(rank)].tick();
+  if (released_) return;
   StreamReplayer& rep = stream(rank, callsite);
   // In passthrough mode (record exhausted) there is nothing to confirm.
   if (!rep.exhausted()) rep.confirm_unmatched();
@@ -122,6 +131,7 @@ void Replayer::on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
     digest = fnv_mix(digest, static_cast<std::uint64_t>(e.source));
     digest = fnv_mix(digest, e.piggyback);
   }
+  if (released_) return;
   StreamReplayer& rep = stream(rank, callsite);
   if (!rep.exhausted()) rep.confirm_delivered(events);
 }
@@ -139,6 +149,13 @@ Replayer::Totals Replayer::totals() const {
     totals.replayed_unmatched += rep->stats().replayed_unmatched;
     totals.chunks += rep->stats().chunks;
   }
+  return totals;
+}
+
+std::map<runtime::StreamKey, StreamReplayer::Stats> Replayer::stream_totals()
+    const {
+  std::map<runtime::StreamKey, StreamReplayer::Stats> totals;
+  for (const auto& [key, rep] : streams_) totals.emplace(key, rep->stats());
   return totals;
 }
 

@@ -50,6 +50,16 @@ class Replayer : public minimpi::ToolHooks {
   /// True when every stream has consumed its record completely.
   [[nodiscard]] bool fully_replayed() const;
 
+  /// True once a partial-record replay has released every stream to
+  /// passthrough (see ToolOptions::partial_record). Always false otherwise.
+  [[nodiscard]] bool released() const noexcept { return released_; }
+
+  /// Per-stream replay progress — in partial-record mode, the verified
+  /// prefix length of each stream (events gated by the record before the
+  /// global release), the input to support/oracle.h check_prefix.
+  [[nodiscard]] std::map<runtime::StreamKey, StreamReplayer::Stats>
+  stream_totals() const;
+
   /// Same digest as Recorder::order_digest(): equal digests mean the
   /// replay surfaced identical per-rank receive-event streams.
   [[nodiscard]] std::uint64_t order_digest() const;
@@ -62,6 +72,7 @@ class Replayer : public minimpi::ToolHooks {
   std::vector<clock::LamportClock> clocks_;
   std::map<runtime::StreamKey, std::unique_ptr<StreamReplayer>> streams_;
   std::vector<std::uint64_t> digests_;
+  bool released_ = false;  ///< partial-record global release fired
 };
 
 }  // namespace cdc::tool

@@ -3,6 +3,7 @@
 // compression service must store byte-for-byte what the seed's inline path
 // stores, and a sealed container must replay the run bitwise.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -24,7 +25,11 @@ namespace {
 class ContainerPipelineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "cdc_pipeline_test";
+    // Per-process scratch dir: ctest -j runs each test of this fixture as
+    // its own process, and a shared directory would be remove_all'd by a
+    // concurrent sibling mid-test.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cdc_pipeline_test." + std::to_string(::getpid()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }

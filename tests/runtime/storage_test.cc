@@ -1,6 +1,7 @@
 #include "runtime/storage.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -36,8 +37,10 @@ TEST(MemoryStore, AppendReadBack) {
 }
 
 TEST(FileStore, AppendReadBack) {
+  // Per-process scratch dir: ctest -j runs tests as concurrent processes.
   const std::string dir =
-      (std::filesystem::temp_directory_path() / "cdc_filestore_test")
+      (std::filesystem::temp_directory_path() /
+       ("cdc_filestore_test." + std::to_string(::getpid())))
           .string();
   std::filesystem::remove_all(dir);
   FileStore store(dir);
@@ -53,7 +56,8 @@ TEST(FileStore, AppendReadBack) {
 class FileStoreErrors : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "cdc_filestore_errors")
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("cdc_filestore_errors." + std::to_string(::getpid())))
                .string();
     std::filesystem::remove_all(dir_);
   }

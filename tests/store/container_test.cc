@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -12,7 +13,11 @@ namespace {
 class ContainerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "cdc_container_test";
+    // Per-process scratch dir: ctest -j runs each test of this fixture as
+    // its own process, and a shared directory would be remove_all'd by a
+    // concurrent sibling mid-test.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cdc_container_test." + std::to_string(::getpid()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }

@@ -4,6 +4,7 @@
 // identify the offending stream and frame. The main test literally flips
 // every byte of a small container, one at a time.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -19,7 +20,11 @@ namespace {
 class CorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "cdc_corruption_test";
+    // Per-process scratch dir: ctest -j runs each test of this fixture as
+    // its own process, and a shared directory would be remove_all'd by a
+    // concurrent sibling mid-test.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cdc_corruption_test." + std::to_string(::getpid()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }
