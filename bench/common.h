@@ -13,14 +13,49 @@
 //                   from its command line alone — no hidden RNG state.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "apps/mcb.h"
 #include "minimpi/simulator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace cdc::bench {
+
+using Clock = std::chrono::steady_clock;
+
+/// Wall seconds since `start`. When `metric` names an obs histogram
+/// (`bench.<what>_ns`), the interval is also recorded there, so bench
+/// timings land in the same snapshot the pipeline report reads — one
+/// timing substrate for figures and production metrics alike.
+inline double seconds_since(Clock::time_point start,
+                            const char* metric = nullptr) {
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (metric != nullptr && seconds > 0.0)
+    obs::histogram(metric).record(
+        static_cast<std::uint64_t>(seconds * 1e9));
+  return seconds;
+}
+
+/// Writes a finished BENCH_*.json document (built with obs::JsonWriter —
+/// every fig bench shares one emitter instead of hand-rolled fprintf
+/// blocks) after a well-formedness check. Returns false on either
+/// failure.
+inline bool write_bench_json(const char* path, const std::string& doc) {
+  if (!obs::json_well_formed(doc)) {
+    std::fprintf(stderr, "bench: refusing to write malformed %s\n", path);
+    return false;
+  }
+  if (!obs::JsonWriter::write_file(path, doc)) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    return false;
+  }
+  return true;
+}
 
 inline bool full_scale() {
   const char* env = std::getenv("CDC_FULL");

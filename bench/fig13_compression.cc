@@ -59,11 +59,8 @@ class CapturingSink final : public tool::FrameSink {
   std::vector<std::pair<runtime::StreamKey, tool::FrameJob>>* jobs_;
 };
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+using bench::Clock;
+using bench::seconds_since;
 
 struct ThroughputRow {
   std::size_t workers = 0;  ///< 0 = inline on the calling thread
@@ -171,7 +168,7 @@ int main() {
       store.append(key, tool::encode_frame(job));
     ThroughputRow row;
     row.workers = 0;
-    row.seconds = seconds_since(start);
+    row.seconds = seconds_since(start, "bench.fig13.inline_encode_ns");
     row.mb_per_s = job_mb / row.seconds;
     throughput.push_back(row);
   }
@@ -189,7 +186,7 @@ int main() {
     }
     ThroughputRow row;
     row.workers = workers;
-    row.seconds = seconds_since(start);
+    row.seconds = seconds_since(start, "bench.fig13.service_encode_ns");
     row.mb_per_s = job_mb / row.seconds;
     throughput.push_back(row);
   }
@@ -211,53 +208,46 @@ int main() {
                 "is core-limited on this machine)\n",
                 cpus, cpus == 1 ? "" : "s");
 
-  // --- machine-readable output ------------------------------------------
+  // --- machine-readable output (same keys as the fprintf original) ------
   const char* json_path = "BENCH_store.json";
-  if (std::FILE* out = std::fopen(json_path, "w")) {
-    std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"bench\": \"fig13_compression\",\n");
-    std::fprintf(out, "  \"ranks\": %d,\n", ranks);
-    std::fprintf(out, "  \"receive_events\": %llu,\n",
-                 static_cast<unsigned long long>(rows[0].events));
-    std::fprintf(out, "  \"codecs\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const double bytes = static_cast<double>(rows[i].bytes);
-      std::fprintf(out,
-                   "    {\"label\": \"%s\", \"bytes\": %llu, "
-                   "\"bytes_per_event\": %.4f, \"vs_raw\": %.3f, "
-                   "\"vs_gzip\": %.3f}%s\n",
-                   rows[i].label,
-                   static_cast<unsigned long long>(rows[i].bytes),
-                   bytes / static_cast<double>(rows[i].events), raw / bytes,
-                   gz / bytes, i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(out, "  ],\n");
-    std::fprintf(out, "  \"store_throughput\": {\n");
-    std::fprintf(out, "    \"hardware_threads\": %u,\n", cpus);
-    std::fprintf(out, "    \"chunks\": %zu,\n", jobs.size());
-    std::fprintf(out, "    \"raw_bytes\": %llu,\n",
-                 static_cast<unsigned long long>(job_raw_bytes));
-    std::fprintf(out, "    \"paths\": [\n");
-    for (std::size_t i = 0; i < throughput.size(); ++i) {
-      const ThroughputRow& row = throughput[i];
-      std::fprintf(out,
-                   "      {\"workers\": %zu, \"inline\": %s, "
-                   "\"seconds\": %.6f, \"mb_per_s\": %.3f, "
-                   "\"speedup_vs_inline\": %.4f}%s\n",
-                   row.workers, row.workers == 0 ? "true" : "false",
-                   row.seconds, row.mb_per_s,
-                   inline_seconds / row.seconds,
-                   i + 1 < throughput.size() ? "," : "");
-    }
-    std::fprintf(out, "    ],\n");
-    std::fprintf(out, "    \"speedup_4_workers_vs_inline\": %.4f\n",
-                 speedup_4x);
-    std::fprintf(out, "  }\n");
-    std::fprintf(out, "}\n");
-    std::fclose(out);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "fig13_compression");
+  w.field("ranks", ranks);
+  w.field("receive_events", rows[0].events);
+  w.key("codecs").begin_array();
+  for (const auto& row : rows) {
+    const double bytes = static_cast<double>(row.bytes);
+    w.begin_object();
+    w.field("label", row.label);
+    w.field("bytes", row.bytes);
+    w.field("bytes_per_event", bytes / static_cast<double>(row.events));
+    w.field("vs_raw", raw / bytes);
+    w.field("vs_gzip", gz / bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("store_throughput").begin_object();
+  w.field("hardware_threads", cpus);
+  w.field("chunks", jobs.size());
+  w.field("raw_bytes", job_raw_bytes);
+  w.key("paths").begin_array();
+  for (const ThroughputRow& row : throughput) {
+    w.begin_object();
+    w.field("workers", row.workers);
+    w.field("inline", row.workers == 0);
+    w.field("seconds", row.seconds);
+    w.field("mb_per_s", row.mb_per_s);
+    w.field("speedup_vs_inline", inline_seconds / row.seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("speedup_4_workers_vs_inline", speedup_4x);
+  w.end_object();
+  w.end_object();
+  if (bench::write_bench_json(json_path, std::move(w).take()))
     std::printf("\nwrote %s (4-worker speedup vs inline: %.2fx)\n",
                 json_path, speedup_4x);
-  }
 
   return (cdc < gz && gz < raw) ? 0 : 1;
 }

@@ -16,11 +16,14 @@
 // enqueue work plus a core-share of the CDC thread's encode compute (24
 // ranks + tool threads on 24 cores). (c) is calibrated by timing this
 // repo's real encoder on an MCB-like stream and charging 1/24th of it.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "common.h"
+#include "obs/obs.h"
 #include "record/event.h"
 #include "runtime/storage.h"
 #include "support/rng.h"
@@ -100,15 +103,41 @@ int main() {
               cdc_cost * 1e9, kCoresPerNode, kInterceptCost * 1e9,
               kPiggybackCost * 1e9);
 
+  // Observability tax: the same real encode loop (the record hot path —
+  // metric counters fire per chunk and per frame) with the obs layer
+  // enabled-but-idle vs runtime-disabled. Best of 3 to shed scheduler
+  // noise. The satellite acceptance bar is < ~2%.
+  double obs_on_cost = std::numeric_limits<double>::infinity();
+  double obs_off_cost = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::set_enabled(true);
+    obs_on_cost = std::min(
+        obs_on_cost, calibrate_encode_cost(tool::RecordCodec::kCdcFull));
+    obs::set_enabled(false);
+    obs_off_cost = std::min(
+        obs_off_cost, calibrate_encode_cost(tool::RecordCodec::kCdcFull));
+  }
+  obs::set_enabled(true);
+  const double obs_tax_pct = 100.0 * (obs_on_cost / obs_off_cost - 1.0);
+  std::printf("obs layer: record hot path %.0f ns/event metrics-on vs "
+              "%.0f ns/event metrics-off (%+.2f%% enabled-but-idle, "
+              "target < ~2%%)\n\n",
+              obs_on_cost * 1e9, obs_off_cost * 1e9, obs_tax_pct);
+
   std::vector<int> scales;
   for (int r = 48; r <= max_ranks; r *= 2) scales.push_back(r);
 
-  std::printf("%8s %18s %18s %18s %10s %10s\n", "procs", "no recording",
-              "gzip", "CDC", "CDC ovh", "CDCvsGzip");
+  std::printf("%8s %18s %18s %18s %10s %10s %10s\n", "procs",
+              "no recording", "gzip", "CDC", "CDC ovh", "CDCvsGzip",
+              "obs off d");
   bool shape_ok = true;
   for (const int ranks : scales) {
-    Cell none, gzip, cdc;
-    for (int mode = 0; mode < 3; ++mode) {
+    // Mode 3 repeats the CDC run with obs runtime-disabled: the virtual
+    // schedule must be bit-identical (the acceptance criterion that
+    // disabling obs changes nothing an experiment can measure).
+    Cell none, gzip, cdc, cdc_obs_off;
+    for (int mode = 0; mode < 4; ++mode) {
+      if (mode == 3) obs::set_enabled(false);
       minimpi::Simulator::Config config = bench::sim_config(ranks);
       runtime::CountingStore store;
       std::unique_ptr<tool::Recorder> recorder;
@@ -125,17 +154,26 @@ int main() {
       minimpi::Simulator sim(config, recorder.get());
       const auto result = apps::run_mcb(sim, bench::mcb_config(ranks));
       if (recorder) recorder->finalize();
-      (mode == 0 ? none : mode == 1 ? gzip : cdc).tracks_per_sec =
-          result.tracks_per_sec;
+      if (mode == 3) obs::set_enabled(true);
+      (mode == 0   ? none
+       : mode == 1 ? gzip
+       : mode == 2 ? cdc
+                   : cdc_obs_off)
+          .tracks_per_sec = result.tracks_per_sec;
     }
     const double ovh =
         100.0 * (1.0 - cdc.tracks_per_sec / none.tracks_per_sec);
     const double vs_gzip =
         100.0 * (1.0 - cdc.tracks_per_sec / gzip.tracks_per_sec);
-    std::printf("%8d %18.3e %18.3e %18.3e %9.1f%% %9.1f%%\n", ranks,
-                none.tracks_per_sec, gzip.tracks_per_sec,
-                cdc.tracks_per_sec, ovh, vs_gzip);
+    const double obs_delta =
+        100.0 * (1.0 - cdc.tracks_per_sec / cdc_obs_off.tracks_per_sec);
+    std::printf("%8d %18.3e %18.3e %18.3e %9.1f%% %9.1f%% %9.3f%%\n",
+                ranks, none.tracks_per_sec, gzip.tracks_per_sec,
+                cdc.tracks_per_sec, ovh, vs_gzip, obs_delta);
     shape_ok = shape_ok && cdc.tracks_per_sec <= none.tracks_per_sec;
+    // Disabling obs must not perturb the simulated schedule at all.
+    shape_ok =
+        shape_ok && cdc.tracks_per_sec == cdc_obs_off.tracks_per_sec;
   }
 
   std::printf(

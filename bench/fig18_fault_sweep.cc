@@ -28,11 +28,8 @@
 namespace {
 
 using namespace cdc;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+using bench::Clock;
+using bench::seconds_since;
 
 struct ClassRow {
   fuzz::FaultClass cls = fuzz::FaultClass::kNone;
@@ -78,7 +75,7 @@ int main() {
     row.cls = cls;
     const auto start = Clock::now();
     row.report = fuzz::ScheduleFuzzer(workload, options).run();
-    row.wall_seconds = seconds_since(start);
+    row.wall_seconds = seconds_since(start, "bench.fig18.class_ns");
     matrix.push_back(row);
     std::fprintf(stderr, "  [fuzzed %-14s %llu/%llu]\n",
                  fuzz::fault_class_name(cls),
@@ -138,7 +135,8 @@ int main() {
   const auto sweep_start = Clock::now();
   const fuzz::CrashSweepReport sweep =
       fuzz::crash_boundary_sweep(workload, base_seed);
-  const double sweep_seconds = seconds_since(sweep_start);
+  const double sweep_seconds =
+      seconds_since(sweep_start, "bench.fig18.crash_sweep_ns");
   std::printf("\ncrash sweep : %s (%.2f s)\n", sweep.summary().c_str(),
               sweep_seconds);
   for (const std::string& failure : sweep.failures)
@@ -149,58 +147,48 @@ int main() {
   std::printf("\nverdict     : %s\n", all_ok ? "all cases oracle-clean"
                                              : "FAILURES (see above)");
 
-  // --- machine-readable ----------------------------------------------------
+  // --- machine-readable (same keys as the fprintf original) ---------------
   const char* json_path = "BENCH_fault.json";
-  if (std::FILE* out = std::fopen(json_path, "w")) {
-    std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"bench\": \"fig18_fault_sweep\",\n");
-    std::fprintf(out, "  \"ranks\": %d,\n", ranks);
-    std::fprintf(out, "  \"tasks\": %d,\n", tasks);
-    std::fprintf(out, "  \"base_seed\": %llu,\n",
-                 static_cast<unsigned long long>(base_seed));
-    std::fprintf(out, "  \"seeds_per_class\": %u,\n", num_seeds);
-    std::fprintf(out, "  \"classes\": [\n");
-    for (std::size_t i = 0; i < matrix.size(); ++i) {
-      const ClassRow& row = matrix[i];
-      std::fprintf(out,
-                   "    {\"class\": \"%s\", \"cases\": %llu, "
-                   "\"passed\": %llu, \"events_checked\": %llu, "
-                   "\"faults_injected\": %llu, \"wall_seconds\": %.3f}%s\n",
-                   fuzz::fault_class_name(row.cls),
-                   static_cast<unsigned long long>(row.report.cases_run),
-                   static_cast<unsigned long long>(row.report.cases_passed),
-                   static_cast<unsigned long long>(row.report.events_checked),
-                   static_cast<unsigned long long>(
-                       row.report.faults_injected),
-                   row.wall_seconds, i + 1 < matrix.size() ? "," : "");
-    }
-    std::fprintf(out, "  ],\n");
-    std::fprintf(out, "  \"overhead\": [\n");
-    for (std::size_t i = 0; i < overhead.size(); ++i) {
-      const OverheadRow& row = overhead[i];
-      std::fprintf(out,
-                   "    {\"class\": \"%s\", \"virtual_seconds\": %.9f, "
-                   "\"faults\": %llu, \"record_bytes\": %llu}%s\n",
-                   fuzz::fault_class_name(row.cls), row.virtual_seconds,
-                   static_cast<unsigned long long>(row.faults),
-                   static_cast<unsigned long long>(row.record_bytes),
-                   i + 1 < overhead.size() ? "," : "");
-    }
-    std::fprintf(out, "  ],\n");
-    std::fprintf(out,
-                 "  \"crash_sweep\": {\"frames\": %llu, \"boundaries\": "
-                 "%llu, \"prefixes_verified\": %llu, \"events_checked\": "
-                 "%llu, \"wall_seconds\": %.3f},\n",
-                 static_cast<unsigned long long>(sweep.frames_recorded),
-                 static_cast<unsigned long long>(sweep.boundaries_tested),
-                 static_cast<unsigned long long>(sweep.prefixes_verified),
-                 static_cast<unsigned long long>(sweep.events_checked),
-                 sweep_seconds);
-    std::fprintf(out, "  \"ok\": %s\n", all_ok ? "true" : "false");
-    std::fprintf(out, "}\n");
-    std::fclose(out);
-    std::printf("json        : %s\n", json_path);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "fig18_fault_sweep");
+  w.field("ranks", ranks);
+  w.field("tasks", tasks);
+  w.field("base_seed", base_seed);
+  w.field("seeds_per_class", num_seeds);
+  w.key("classes").begin_array();
+  for (const ClassRow& row : matrix) {
+    w.begin_object();
+    w.field("class", fuzz::fault_class_name(row.cls));
+    w.field("cases", row.report.cases_run);
+    w.field("passed", row.report.cases_passed);
+    w.field("events_checked", row.report.events_checked);
+    w.field("faults_injected", row.report.faults_injected);
+    w.field("wall_seconds", row.wall_seconds);
+    w.end_object();
   }
+  w.end_array();
+  w.key("overhead").begin_array();
+  for (const OverheadRow& row : overhead) {
+    w.begin_object();
+    w.field("class", fuzz::fault_class_name(row.cls));
+    w.field("virtual_seconds", row.virtual_seconds);
+    w.field("faults", row.faults);
+    w.field("record_bytes", row.record_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("crash_sweep").begin_object();
+  w.field("frames", sweep.frames_recorded);
+  w.field("boundaries", sweep.boundaries_tested);
+  w.field("prefixes_verified", sweep.prefixes_verified);
+  w.field("events_checked", sweep.events_checked);
+  w.field("wall_seconds", sweep_seconds);
+  w.end_object();
+  w.field("ok", all_ok);
+  w.end_object();
+  if (bench::write_bench_json(json_path, std::move(w).take()))
+    std::printf("json        : %s\n", json_path);
 
   return all_ok ? 0 : 1;
 }

@@ -11,6 +11,9 @@
 //   $ ./record_inspector --container <file>  # inspect a record container
 //   $ ./record_inspector --verify <file>     # CRC-verify a container
 //   $ ./record_inspector --repack <in> <out> # salvage/compact a container
+//   $ ./record_inspector --stats             # instrumented demo run:
+//                                            # pipeline report + trace JSON
+//   $ ./record_inspector --stats <file>      # pipeline report of a container
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -18,6 +21,10 @@
 
 #include "apps/mcb.h"
 #include "minimpi/simulator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "record/chunk.h"
 #include "runtime/storage.h"
 #include "store/compression_service.h"
@@ -27,6 +34,7 @@
 #include "tool/frame.h"
 #include "tool/frame_sink.h"
 #include "tool/options.h"
+#include "tool/pipeline_inspect.h"
 #include "tool/recorder.h"
 
 namespace {
@@ -152,6 +160,92 @@ int repack(const std::string& in_path, const std::string& out_path) {
   return verify_container(out_path);
 }
 
+int emit_report(obs::PipelineReport& report,
+                const std::string& report_path) {
+  report.reconcile();
+  report.print(stdout);
+  const std::string json = report.to_json();
+  if (!obs::json_well_formed(json)) {
+    std::printf("INTERNAL: pipeline report JSON is malformed\n");
+    return 1;
+  }
+  if (!obs::JsonWriter::write_file(report_path, json)) {
+    std::printf("cannot write %s\n", report_path.c_str());
+    return 1;
+  }
+  std::printf("\npipeline report written to %s\n", report_path.c_str());
+  return report.reconciled ? 0 : 1;
+}
+
+/// `--stats <container>`: report on an existing container (no live
+/// metrics, so only the container section and its internal checks).
+int stats_container(const std::string& path) {
+  obs::PipelineReport report;
+  std::string error;
+  if (!tool::fill_container_section(path, report, &error)) {
+    std::printf("cannot open %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  return emit_report(report, "cdc_pipeline_report.json");
+}
+
+/// `--stats`: record an instrumented demo MCB run (metrics + trace ring +
+/// parallel compression service into a container), then reconcile the
+/// live stage/byte accounting against the container on disk.
+int stats_demo() {
+  std::printf("== instrumented demo MCB run (record + container) ==\n\n");
+  const std::string file = "/tmp/cdc_record_stats.cdcc";
+  obs::Registry::global().reset_values();
+  obs::TraceBuffer ring(1 << 16);
+  obs::install_trace(&ring);
+  {
+    store::ContainerStore container(file);
+    store::CompressionService::Config service_config;
+    service_config.workers = 2;
+    store::CompressionService service(&container, service_config);
+    tool::AsyncFrameSink sink(&service);
+    tool::ToolOptions options;
+    options.chunk_target = 128;
+    tool::Recorder recorder(9, &container, options, &sink);
+    minimpi::Simulator::Config config;
+    config.num_ranks = 9;
+    config.noise_seed = 4;
+    minimpi::Simulator sim(config, &recorder);
+    apps::McbConfig mcb;
+    mcb.grid_x = 3;
+    mcb.grid_y = 3;
+    mcb.particles_per_rank = 120;
+    apps::run_mcb(sim, mcb);
+    recorder.finalize();
+    service.drain();
+    container.seal();
+  }
+  obs::install_trace(nullptr);  // quiesce before export
+
+  obs::PipelineReport report =
+      obs::PipelineReport::from_snapshot(obs::Registry::global().snapshot());
+  std::string error;
+  if (!tool::fill_container_section(file, report, &error)) {
+    std::printf("cannot re-open %s: %s\n", file.c_str(), error.c_str());
+    return 1;
+  }
+
+  const std::string trace =
+      ring.export_chrome_json({.virtual_time = false, .include_args = true});
+  if (!obs::json_well_formed(trace)) {
+    std::printf("INTERNAL: trace JSON is malformed\n");
+    return 1;
+  }
+  if (!obs::JsonWriter::write_file("cdc_trace.json", trace)) {
+    std::printf("cannot write cdc_trace.json\n");
+    return 1;
+  }
+  std::printf("trace: %zu events (%llu overwritten) -> cdc_trace.json "
+              "(load in Perfetto / chrome://tracing)\n\n",
+              ring.size(), static_cast<unsigned long long>(ring.dropped()));
+  return emit_report(report, "cdc_pipeline_report.json");
+}
+
 int demo() {
   std::printf("== recording a demo MCB run into a record container ==\n\n");
   const std::string file = "/tmp/cdc_record_demo.cdcc";
@@ -200,6 +294,8 @@ int main(int argc, char** argv) {
   if (is(1, "--container") && argc == 3) return inspect_container(argv[2]);
   if (is(1, "--verify") && argc == 3) return verify_container(argv[2]);
   if (is(1, "--repack") && argc == 4) return repack(argv[2], argv[3]);
+  if (is(1, "--stats") && argc == 2) return stats_demo();
+  if (is(1, "--stats") && argc == 3) return stats_container(argv[2]);
   if (is(1, "--dir") && argc == 3) {
     runtime::FileStore store(argv[2]);
     // FileStore discovers nothing on its own; rebuild keys from names is
@@ -211,7 +307,7 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     std::printf(
         "usage: %s [--dir <path> | --container <file> | --verify <file> | "
-        "--repack <in> <out>]\n",
+        "--repack <in> <out> | --stats [container]]\n",
         argv[0]);
     return 2;
   }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cdc::minimpi {
 
 // --- Awaiters -------------------------------------------------------------
@@ -188,6 +191,7 @@ double Simulator::maybe_stall(double time, Rank rank) {
   const double stall = plan.stall_mean * (0.5 + fault_rng_.uniform());
   ++fault_stats_.stalls;
   fault_stats_.stall_seconds += stall;
+  obs::trace_instant("fault.stall", rank);
   hooks_->on_fault(FaultKind::kRankStall, rank);
   return time + stall;
 }
@@ -199,6 +203,7 @@ double Simulator::apply_message_faults(double latency, Rank dst) {
       fault_rng_.uniform() < plan.delay_spike_probability) {
     latency += plan.delay_spike_factor * scale * (0.5 + fault_rng_.uniform());
     ++fault_stats_.delay_spikes;
+    obs::trace_instant("fault.delay_spike", dst);
     hooks_->on_fault(FaultKind::kDelaySpike, dst);
   }
   if (plan.reorder_burst_probability > 0.0) {
@@ -211,6 +216,7 @@ double Simulator::apply_message_faults(double latency, Rank dst) {
       --burst_remaining_;
       latency += fault_rng_.uniform() * plan.reorder_burst_spread * scale;
       ++fault_stats_.burst_messages;
+      obs::trace_instant("fault.reorder_burst", dst);
       hooks_->on_fault(FaultKind::kReorderBurst, dst);
     }
   }
@@ -237,6 +243,7 @@ void Simulator::maybe_duplicate(const Message& msg, double arrival,
   in_flight_.emplace(index, std::move(dup));
   schedule(dup_arrival, EventType::kDeliver, dest, nullptr, index);
   ++fault_stats_.duplicates_injected;
+  obs::trace_instant("fault.duplicate", dest);
   hooks_->on_fault(FaultKind::kDuplicate, dest);
 }
 
@@ -546,6 +553,9 @@ void Simulator::poll_mf(Rank rank) {
         completion.payload = std::move(msg.payload);
         mf.result.completions.push_back(std::move(completion));
         ++stats_.receive_events_delivered;
+        obs::trace_instant("recv.deliver", rank, "source",
+                           static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(msg.source)));
       }
 
       // Phase C: requests that lost their message re-enter the posted
@@ -655,6 +665,7 @@ Simulator::Stats Simulator::run() {
   // passthrough after the last arrival) can make blocked calls deliverable
   // without any further message traffic; re-polling gives it the chance.
   // Each productive round delivers at least one event, so this terminates.
+  static obs::Counter& obs_events = obs::counter("sim.scheduler_events");
   std::uint64_t last_progress = std::numeric_limits<std::uint64_t>::max();
   for (;;) {
     while (!events_.empty()) {
@@ -662,6 +673,8 @@ Simulator::Stats Simulator::run() {
       events_.pop();
       CDC_CHECK(ev.time + 1e-15 >= now_);
       now_ = std::max(now_, ev.time);
+      obs::publish_virtual_now(now_);
+      obs_events.add(1);
       ++stats_.scheduler_events;
       CDC_CHECK_MSG(stats_.scheduler_events <= config_.max_events,
                     "event budget exceeded (runaway program?)");
@@ -745,6 +758,21 @@ Simulator::Stats Simulator::run() {
     CDC_CHECK_MSG(false, "simulation deadlocked");
   }
   running_ = false;
+
+  // Mirror the per-run tallies into the obs registry so the pipeline
+  // report sees them without holding a Stats copy.
+  if (obs::enabled()) {
+    obs::counter("sim.messages_sent").add(stats_.messages_sent);
+    obs::counter("sim.mf_calls").add(stats_.mf_calls);
+    obs::counter("sim.receive_events").add(stats_.receive_events_delivered);
+    obs::counter("sim.unmatched_tests").add(stats_.unmatched_tests);
+    obs::counter("sim.faults")
+        .add(fault_stats_.stalls + fault_stats_.delay_spikes +
+             fault_stats_.burst_messages + fault_stats_.duplicates_injected);
+    obs::gauge("sim.virtual_time_us")
+        .add(static_cast<std::int64_t>(stats_.end_time * 1e6));
+    obs::publish_virtual_now(stats_.end_time);
+  }
   return stats_;
 }
 

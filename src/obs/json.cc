@@ -1,0 +1,144 @@
+#include "obs/json.h"
+
+#include <cctype>
+
+namespace cdc::obs {
+
+namespace {
+
+// Recursive-descent validator over the RFC 8259 grammar. `depth` bounds
+// recursion so adversarial input cannot blow the stack.
+class Validator {
+ public:
+  explicit Validator(std::string_view doc) : doc_(doc) {}
+
+  bool run() {
+    skip_ws();
+    if (!value(64)) return false;
+    skip_ws();
+    return pos_ == doc_.size();
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= doc_.size(); }
+  [[nodiscard]] char peek() const { return doc_[pos_]; }
+  bool eat(char c) {
+    if (eof() || doc_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+  bool literal(std::string_view word) {
+    if (doc_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof()) {
+      const char c = doc_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = doc_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(
+                             static_cast<unsigned char>(doc_[pos_])))
+              return false;
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return false;
+    if (!eat('0'))
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    if (eat('.')) {
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eat('+')) eat('-');
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value(int depth) {  // NOLINT(misc-no-recursion)
+    if (depth <= 0 || eof()) return false;
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object(int depth) {  // NOLINT(misc-no-recursion)
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value(depth - 1)) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array(int depth) {  // NOLINT(misc-no-recursion)
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value(depth - 1)) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_well_formed(std::string_view doc) noexcept {
+  return Validator(doc).run();
+}
+
+}  // namespace cdc::obs

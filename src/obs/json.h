@@ -1,0 +1,158 @@
+// Minimal streaming JSON writer used by the metrics snapshot, the trace
+// exporter, the pipeline report, and the BENCH_*.json emitters — one
+// implementation of escaping and comma placement instead of five fprintf
+// blocks. Emits deterministic, human-diffable output: two-space indent,
+// keys in insertion order, %.17g doubles (round-trip exact).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.h"
+
+namespace cdc::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{', '}'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('[', ']'); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Starts `"key": ` inside an object; follow with a value or container.
+  JsonWriter& key(std::string_view k) {
+    comma();
+    write_string(k);
+    out_ += ": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // JSON has no inf/nan; clamp to null like Chrome's tracer does.
+    if (std::isfinite(v)) out_ += buf; else out_ += "null";
+    return *this;
+  }
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, const T& v) {
+    return key(k).value(v);
+  }
+
+  /// Finishes and returns the document. All containers must be closed.
+  [[nodiscard]] std::string take() && {
+    CDC_CHECK_MSG(stack_.empty(), "unclosed JSON container");
+    out_ += '\n';
+    return std::move(out_);
+  }
+
+  /// Writes the (finished) document to `path`; false on I/O error.
+  static bool write_file(const std::string& path, const std::string& doc) {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return false;
+    const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), out);
+    return std::fclose(out) == 0 && written == doc.size();
+  }
+
+ private:
+  struct Level {
+    char closer;
+    bool first = true;
+  };
+
+  JsonWriter& open(char opener, char closer) {
+    comma();
+    out_ += opener;
+    stack_.push_back(Level{closer});
+    return *this;
+  }
+
+  JsonWriter& close(char closer) {
+    CDC_CHECK_MSG(!stack_.empty() && stack_.back().closer == closer,
+                  "mismatched JSON container close");
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty) {
+      out_ += '\n';
+      indent();
+    }
+    out_ += closer;
+    return *this;
+  }
+
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value completes a `key: ` — no newline, no comma
+    }
+    if (stack_.empty()) return;
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+    out_ += '\n';
+    indent();
+  }
+
+  void indent() {
+    out_.append(2 * stack_.size(), ' ');
+  }
+
+  void write_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Level> stack_;
+  bool pending_value_ = false;
+};
+
+/// Syntax-only JSON well-formedness check (RFC 8259 grammar, no semantic
+/// limits). Used by the trace/report tests and cheap enough to run on
+/// every export in debug builds.
+[[nodiscard]] bool json_well_formed(std::string_view doc) noexcept;
+
+}  // namespace cdc::obs

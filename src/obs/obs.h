@@ -1,0 +1,97 @@
+// Observability substrate shared by the metrics and tracing layers.
+//
+// Three tiny global facilities, all safe to touch from any thread:
+//   * the runtime enable flag — one relaxed atomic load on every metric
+//     record; CDC_OBS=0 in the environment starts the process disabled;
+//   * the published virtual clock — the simulator's event loop stores the
+//     current virtual time here so trace events emitted anywhere (tool
+//     hooks, compression workers) can stamp both time domains;
+//   * stable small thread indices — shard selection for the per-thread
+//     metric slots and the `tid` field of trace events.
+//
+// Compile-time kill switch: building with -DCDC_OBS_DISABLED turns every
+// metric-record and trace-emit path in the headers into an empty inline
+// function, so the whole layer compiles to no-ops (the registry and
+// snapshot APIs remain so callers need no #ifdefs of their own).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+
+namespace cdc::obs {
+
+namespace detail {
+
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("CDC_OBS");
+    return env == nullptr || env[0] != '0';
+  }()};
+  return flag;
+}
+
+inline std::atomic<double>& virtual_now_slot() noexcept {
+  static std::atomic<double> now{0.0};
+  return now;
+}
+
+}  // namespace detail
+
+/// False when the layer was compiled out with -DCDC_OBS_DISABLED. Tests
+/// and tools that assert on recorded values use this to skip themselves
+/// in that configuration instead of failing on the deliberate no-ops.
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+#ifdef CDC_OBS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Runtime switch for the whole layer. Disabled means every record/emit
+/// call returns after one relaxed load — the "enabled-but-idle" cost that
+/// bench/fig16_overhead measures is the enabled path.
+[[nodiscard]] inline bool enabled() noexcept {
+#ifdef CDC_OBS_DISABLED
+  return false;
+#else
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+#endif
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// The simulator publishes its virtual clock here as it processes events;
+/// 0.0 outside a run. Relaxed: readers only annotate, never synchronize.
+inline void publish_virtual_now(double seconds) noexcept {
+  detail::virtual_now_slot().store(seconds, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline double virtual_now() noexcept {
+  return detail::virtual_now_slot().load(std::memory_order_relaxed);
+}
+
+/// Dense per-thread index, assigned on first use and stable for the
+/// thread's lifetime. Used for metric-shard selection (masked down) and
+/// as the trace `tid`.
+[[nodiscard]] inline std::uint32_t thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// Monotonic wall time in microseconds since the first call in the
+/// process — the trace `ts` domain (Chrome trace events use us).
+[[nodiscard]] inline double wall_now_us() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+}  // namespace cdc::obs

@@ -1,0 +1,306 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/stats.h"
+
+namespace cdc::obs {
+
+DistReport DistReport::from(const HistogramValue& h) {
+  DistReport d;
+  d.count = h.count;
+  d.min = h.min;
+  d.max = h.max;
+  d.mean = h.mean();
+  d.p50 = h.quantile(0.50);
+  d.p95 = h.quantile(0.95);
+  d.p99 = h.quantile(0.99);
+  return d;
+}
+
+namespace {
+
+DistReport dist_or_empty(const MetricsSnapshot& s, std::string_view name) {
+  const HistogramValue* h = s.find_histogram(name);
+  return h != nullptr ? DistReport::from(*h) : DistReport{};
+}
+
+void fill_stage(const MetricsSnapshot& s, StageReport& stage,
+                const std::string& prefix) {
+  stage.calls = s.counter_or(prefix + ".calls");
+  stage.ns = s.counter_or(prefix + ".ns");
+  stage.bytes_in = s.counter_or(prefix + ".bytes_in");
+  stage.bytes_out = s.counter_or(prefix + ".bytes_out");
+  stage.values_out = s.counter_or(prefix + ".values");
+}
+
+void write_stage(JsonWriter& w, const StageReport& stage) {
+  w.key(stage.name).begin_object();
+  w.field("calls", stage.calls);
+  w.field("ns", stage.ns);
+  w.field("bytes_in", stage.bytes_in);
+  w.field("bytes_out", stage.bytes_out);
+  w.field("values_out", stage.values_out);
+  w.end_object();
+}
+
+void write_dist(JsonWriter& w, std::string_view key, const DistReport& d) {
+  w.key(key).begin_object();
+  w.field("count", d.count);
+  w.field("min", d.min);
+  w.field("max", d.max);
+  w.field("mean", d.mean);
+  w.field("p50", d.p50);
+  w.field("p95", d.p95);
+  w.field("p99", d.p99);
+  w.end_object();
+}
+
+}  // namespace
+
+PipelineReport PipelineReport::from_snapshot(
+    const MetricsSnapshot& s) {
+  PipelineReport r;
+  fill_stage(s, r.stage_re, "record.stage.re");
+  fill_stage(s, r.stage_pe, "record.stage.pe");
+  fill_stage(s, r.stage_lp, "record.stage.lp");
+  fill_stage(s, r.stage_deflate, "record.stage.deflate");
+  r.events_matched = s.counter_or("record.events.matched");
+  r.events_unmatched = s.counter_or("record.events.unmatched");
+  r.chunks = s.counter_or("record.chunks");
+  r.frame_bytes_out = s.counter_or("record.frame.bytes_out");
+
+  r.epoch_cuts = s.counter_or("record.epoch.cut_found");
+  r.epoch_deferrals = s.counter_or("record.epoch.cut_deferred");
+  r.epoch_flush_events = dist_or_empty(s, "record.epoch.flush_events");
+  r.epoch_flush_ns = dist_or_empty(s, "record.epoch.flush_ns");
+
+  r.service_jobs = s.counter_or("store.service.jobs");
+  r.service_raw_bytes = s.counter_or("store.service.raw_bytes");
+  r.service_encoded_bytes = s.counter_or("store.service.encoded_bytes");
+  r.service_submit_stalls = s.counter_or("store.service.submit_stalls");
+  r.service_queue_depth = dist_or_empty(s, "store.service.queue_depth");
+  r.service_encode_ns = dist_or_empty(s, "store.service.encode_ns");
+  r.service_commit_wait_ns =
+      dist_or_empty(s, "store.service.commit_wait_ns");
+
+  r.async_enqueued = s.counter_or("tool.async.enqueued");
+  r.async_dequeued = s.counter_or("tool.async.dequeued");
+  r.async_producer_stalls = s.counter_or("tool.async.producer_stalls");
+
+  r.sim_messages = s.counter_or("sim.messages_sent");
+  r.sim_events = s.counter_or("sim.scheduler_events");
+  r.sim_mf_calls = s.counter_or("sim.mf_calls");
+  r.sim_faults = s.counter_or("sim.faults");
+  if (const GaugeValue* vt = s.find_gauge("sim.virtual_time_us"))
+    r.sim_virtual_seconds = static_cast<double>(vt->value) * 1e-6;
+
+  r.writer_frames = s.counter_or("store.container.frames");
+  r.writer_payload_bytes = s.counter_or("store.container.payload_bytes");
+  return r;
+}
+
+bool PipelineReport::reconcile() {
+  reconciled = true;
+  reconcile_note.clear();
+  char note[160];
+
+  const bool have_live = frame_bytes_out > 0;
+  const bool have_container = container_frames > 0;
+  if (have_live && have_container) {
+    if (frame_bytes_out != container_stored_bytes) {
+      reconciled = false;
+      std::snprintf(note, sizeof note,
+                    "encoder emitted %" PRIu64
+                    " framed bytes but the container holds %" PRIu64,
+                    frame_bytes_out, container_stored_bytes);
+      reconcile_note = note;
+    }
+    if (reconciled && chunks != container_frames) {
+      reconciled = false;
+      std::snprintf(note, sizeof note,
+                    "encoder sealed %" PRIu64
+                    " chunks but the container holds %" PRIu64 " frames",
+                    chunks, container_frames);
+      reconcile_note = note;
+    }
+  }
+  // Deflate accounting must agree with itself regardless of source.
+  if (reconciled && have_live &&
+      stage_deflate.bytes_out > frame_bytes_out) {
+    reconciled = false;
+    std::snprintf(note, sizeof note,
+                  "deflate output %" PRIu64
+                  " exceeds total framed bytes %" PRIu64,
+                  stage_deflate.bytes_out, frame_bytes_out);
+    reconcile_note = note;
+  }
+  if (reconciled && have_container &&
+      container_stored_bytes > container_file_bytes &&
+      container_file_bytes > 0) {
+    reconciled = false;
+    std::snprintf(note, sizeof note,
+                  "stored frame bytes %" PRIu64
+                  " exceed the container file size %" PRIu64,
+                  container_stored_bytes, container_file_bytes);
+    reconcile_note = note;
+  }
+  if (reconciled)
+    reconcile_note = have_live && have_container
+                         ? "encoder and container byte totals match"
+                         : "single-source report; internal totals consistent";
+  return reconciled;
+}
+
+std::string PipelineReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("report", "cdc_pipeline");
+
+  w.key("stages").begin_object();
+  write_stage(w, stage_re);
+  write_stage(w, stage_pe);
+  write_stage(w, stage_lp);
+  write_stage(w, stage_deflate);
+  w.end_object();
+
+  w.key("record").begin_object();
+  w.field("events_matched", events_matched);
+  w.field("events_unmatched", events_unmatched);
+  w.field("chunks", chunks);
+  w.field("frame_bytes_out", frame_bytes_out);
+  w.field("epoch_cuts", epoch_cuts);
+  w.field("epoch_deferrals", epoch_deferrals);
+  write_dist(w, "epoch_flush_events", epoch_flush_events);
+  write_dist(w, "epoch_flush_ns", epoch_flush_ns);
+  w.end_object();
+
+  w.key("compression_service").begin_object();
+  w.field("jobs", service_jobs);
+  w.field("raw_bytes", service_raw_bytes);
+  w.field("encoded_bytes", service_encoded_bytes);
+  w.field("submit_stalls", service_submit_stalls);
+  write_dist(w, "queue_depth", service_queue_depth);
+  write_dist(w, "encode_ns", service_encode_ns);
+  write_dist(w, "commit_wait_ns", service_commit_wait_ns);
+  w.end_object();
+
+  w.key("async_recorder").begin_object();
+  w.field("enqueued", async_enqueued);
+  w.field("dequeued", async_dequeued);
+  w.field("producer_stalls", async_producer_stalls);
+  w.end_object();
+
+  w.key("simulator").begin_object();
+  w.field("messages_sent", sim_messages);
+  w.field("scheduler_events", sim_events);
+  w.field("mf_calls", sim_mf_calls);
+  w.field("faults", sim_faults);
+  w.field("virtual_seconds", sim_virtual_seconds);
+  w.end_object();
+
+  w.key("container").begin_object();
+  w.field("file_bytes", container_file_bytes);
+  w.field("frames", container_frames);
+  w.field("stored_bytes", container_stored_bytes);
+  w.field("raw_bytes", container_raw_bytes);
+  w.field("chunk_events", container_chunk_events);
+  w.field("chunk_values", container_chunk_values);
+  w.field("writer_frames", writer_frames);
+  w.field("writer_payload_bytes", writer_payload_bytes);
+  w.field("sealed", container_sealed);
+  w.key("codec_frames").begin_object();
+  for (const auto& [codec, frames] : container_codec_frames)
+    w.field(codec, frames);
+  w.end_object();
+  w.end_object();
+
+  w.key("reconciliation").begin_object();
+  w.field("ok", reconciled);
+  w.field("note", reconcile_note);
+  w.end_object();
+
+  w.end_object();
+  return std::move(w).take();
+}
+
+void PipelineReport::print(std::FILE* out) const {
+  const auto bytes = [](std::uint64_t b) {
+    return format_bytes(static_cast<double>(b));
+  };
+  std::fprintf(out, "== CDC pipeline report ==\n");
+  if (sim_events > 0)
+    std::fprintf(out,
+                 "simulator : %" PRIu64 " events, %" PRIu64
+                 " messages, %" PRIu64 " MF calls, %" PRIu64
+                 " faults, %.6f virtual s\n",
+                 sim_events, sim_messages, sim_mf_calls, sim_faults,
+                 sim_virtual_seconds);
+  if (events_matched > 0) {
+    std::fprintf(out,
+                 "record    : %" PRIu64 " matched + %" PRIu64
+                 " unmatched events -> %" PRIu64 " chunks (%s framed)\n",
+                 events_matched, events_unmatched, chunks,
+                 bytes(frame_bytes_out).c_str());
+    std::fprintf(out,
+                 "epoch     : %" PRIu64 " clean cuts, %" PRIu64
+                 " deferrals; events/flush p50 %.0f p99 %.0f; "
+                 "flush ns p50 %.0f p99 %.0f\n",
+                 epoch_cuts, epoch_deferrals, epoch_flush_events.p50,
+                 epoch_flush_events.p99, epoch_flush_ns.p50,
+                 epoch_flush_ns.p99);
+    const StageReport* stages[] = {&stage_re, &stage_pe, &stage_lp,
+                                   &stage_deflate};
+    for (const StageReport* s : stages) {
+      std::fprintf(out,
+                   "  stage %-24s %8" PRIu64 " calls %10.3f ms",
+                   s->name.c_str(), s->calls,
+                   static_cast<double>(s->ns) * 1e-6);
+      if (s->bytes_in > 0 || s->bytes_out > 0)
+        std::fprintf(out, "  %s -> %s", bytes(s->bytes_in).c_str(),
+                     bytes(s->bytes_out).c_str());
+      if (s->values_out > 0)
+        std::fprintf(out, "  %" PRIu64 " values", s->values_out);
+      std::fprintf(out, "\n");
+    }
+  }
+  if (service_jobs > 0)
+    std::fprintf(out,
+                 "service   : %" PRIu64 " jobs, %s raw -> %s encoded, "
+                 "%" PRIu64 " submit stalls, queue depth p50 %.0f max "
+                 "%" PRIu64 "\n",
+                 service_jobs, bytes(service_raw_bytes).c_str(),
+                 bytes(service_encoded_bytes).c_str(),
+                 service_submit_stalls, service_queue_depth.p50,
+                 service_queue_depth.max);
+  if (async_enqueued > 0)
+    std::fprintf(out,
+                 "async     : %" PRIu64 " enqueued, %" PRIu64
+                 " dequeued, %" PRIu64 " producer stalls\n",
+                 async_enqueued, async_dequeued, async_producer_stalls);
+  if (container_frames > 0) {
+    std::fprintf(out,
+                 "container : %" PRIu64 " frames, %s stored (%s raw "
+                 "chunks), file %s, %ssealed\n",
+                 container_frames, bytes(container_stored_bytes).c_str(),
+                 bytes(container_raw_bytes).c_str(),
+                 bytes(container_file_bytes).c_str(),
+                 container_sealed ? "" : "NOT ");
+    for (const auto& [codec, frames] : container_codec_frames)
+      std::fprintf(out, "  codec %-16s %8" PRIu64 " frames\n",
+                   codec.c_str(), frames);
+    if (container_chunk_events > 0)
+      std::fprintf(out,
+                   "  CDC chunks: %" PRIu64 " matched events, %" PRIu64
+                   " stored values (%.3f values/event)\n",
+                   container_chunk_events, container_chunk_values,
+                   static_cast<double>(container_chunk_values) /
+                       static_cast<double>(container_chunk_events));
+  }
+  std::fprintf(out, "reconcile : %s — %s\n", reconciled ? "OK" : "FAILED",
+               reconcile_note.c_str());
+}
+
+}  // namespace cdc::obs

@@ -1,0 +1,117 @@
+// The per-run pipeline report: one structured answer to "where did the
+// bytes and the time go" for a record/replay run.
+//
+// Two data sources fill it:
+//   * the live metrics snapshot of an instrumented run (stage timings,
+//     epoch flush distribution, compression-service behaviour) — see
+//     PipelineReport::from_snapshot and the metric names in DESIGN.md §8;
+//   * a record container on disk, decoded frame by frame (byte totals per
+//     stage, frame counts per codec) — filled by tool::inspect_pipeline,
+//     which lives above the store layer.
+// When both are present, reconcile() cross-checks them: the bytes the
+// encoder reported writing must equal the bytes the container actually
+// holds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cdc::obs {
+
+/// One codec stage: work in, work out, time spent.
+struct StageReport {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t ns = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  /// Stored-value accounting (the paper's 55 → 23 → 19 arithmetic) where
+  /// bytes are not yet meaningful for a stage.
+  std::uint64_t values_out = 0;
+};
+
+/// Compact histogram summary for the report (latency distributions).
+struct DistReport {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  static DistReport from(const HistogramValue& h);
+};
+
+struct PipelineReport {
+  // --- live section (zero when built from a cold container) -------------
+  /// redundancy elimination → permutation → LP serialize → gzip/DEFLATE.
+  StageReport stage_re{"redundancy_elimination"};
+  StageReport stage_pe{"permutation"};
+  StageReport stage_lp{"lp_serialize"};
+  StageReport stage_deflate{"deflate"};
+  std::uint64_t events_matched = 0;
+  std::uint64_t events_unmatched = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t frame_bytes_out = 0;  ///< framed bytes the encoder emitted
+
+  std::uint64_t epoch_cuts = 0;
+  std::uint64_t epoch_deferrals = 0;  ///< flushes postponed by a dirty cut
+  DistReport epoch_flush_events;      ///< matched events per flushed chunk
+  DistReport epoch_flush_ns;          ///< wall ns per flush call
+
+  std::uint64_t service_jobs = 0;
+  std::uint64_t service_raw_bytes = 0;
+  std::uint64_t service_encoded_bytes = 0;
+  std::uint64_t service_submit_stalls = 0;
+  DistReport service_queue_depth;
+  DistReport service_encode_ns;
+  DistReport service_commit_wait_ns;
+
+  std::uint64_t async_enqueued = 0;
+  std::uint64_t async_dequeued = 0;
+  std::uint64_t async_producer_stalls = 0;
+
+  std::uint64_t sim_messages = 0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_mf_calls = 0;
+  std::uint64_t sim_faults = 0;
+  double sim_virtual_seconds = 0.0;
+
+  std::uint64_t writer_frames = 0;
+  std::uint64_t writer_payload_bytes = 0;
+
+  // --- container section (zero without a container) ----------------------
+  std::uint64_t container_file_bytes = 0;
+  std::uint64_t container_frames = 0;
+  /// Tool-frame bytes (header + compressed payload) summed over frames —
+  /// what must match frame_bytes_out and the index payload accounting.
+  std::uint64_t container_stored_bytes = 0;
+  /// Decompressed chunk payload bytes (the deflate stage's input side).
+  std::uint64_t container_raw_bytes = 0;
+  std::uint64_t container_chunk_events = 0;   ///< matched N over CDC chunks
+  std::uint64_t container_chunk_values = 0;   ///< stored-value accounting
+  std::map<std::string, std::uint64_t> container_codec_frames;
+  bool container_sealed = false;
+
+  // --- reconciliation -----------------------------------------------------
+  bool reconciled = false;
+  std::string reconcile_note;
+
+  /// Fills the live section from a metrics snapshot.
+  static PipelineReport from_snapshot(const MetricsSnapshot& snapshot);
+
+  /// Cross-checks live totals against the container section (call after
+  /// both are filled); sets `reconciled`/`reconcile_note` and returns
+  /// `reconciled`. With no live data it only checks the container's
+  /// internal consistency.
+  bool reconcile();
+
+  [[nodiscard]] std::string to_json() const;
+  void print(std::FILE* out) const;
+};
+
+}  // namespace cdc::obs

@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace cdc::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+std::size_t TraceBuffer::size() const noexcept {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, ring_.size()));
+}
+
+std::uint64_t TraceBuffer::dropped() const noexcept {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  return n > ring_.size() ? n - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  std::vector<TraceEvent> out;
+  if (n <= ring_.size()) {
+    out.assign(ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(n));
+  } else {
+    // Oldest surviving event sits at next_ % capacity.
+    const std::size_t head = static_cast<std::size_t>(n % ring_.size());
+    out.reserve(ring_.size());
+    out.insert(out.end(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+std::string TraceBuffer::export_chrome_json(
+    const TraceExportOptions& options) const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events()) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("ph", std::string_view(&e.phase, 1));
+    // Chrome wants integers for pid/tid; ranks map to pids so Perfetto
+    // groups tracks per simulated process. Rankless events land on pid 0.
+    w.field("pid", e.rank >= 0 ? e.rank : 0);
+    w.field("tid", e.tid);
+    w.field("ts", options.virtual_time ? e.virt_us : e.wall_us);
+    if (e.phase == 'X')
+      w.field("dur", options.virtual_time ? e.dur_virt_us : e.dur_wall_us);
+    if (options.include_args) {
+      w.key("args").begin_object();
+      if (options.virtual_time)
+        w.field("wall_us", e.wall_us);
+      else
+        w.field("vt_us", e.virt_us);
+      if (e.arg_name != nullptr) w.field(e.arg_name, e.arg);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).take();
+}
+
+void install_trace(TraceBuffer* buffer) noexcept {
+  detail::trace_slot().store(buffer, std::memory_order_release);
+}
+
+TraceBuffer* trace_sink() noexcept {
+  return detail::trace_slot().load(std::memory_order_acquire);
+}
+
+void trace_instant(const char* name, std::int32_t rank,
+                   const char* arg_name, std::uint64_t arg) noexcept {
+  if (!tracing()) return;
+  TraceBuffer* sink = trace_sink();
+  if (sink == nullptr) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.rank = rank;
+  e.tid = thread_index();
+  e.wall_us = wall_now_us();
+  e.virt_us = virtual_now() * 1e6;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  sink->emit(e);
+}
+
+TraceSpan::TraceSpan(const char* name, std::int32_t rank,
+                     const char* arg_name, std::uint64_t arg) noexcept {
+  if (!tracing()) return;
+  active_ = true;
+  event_.name = name;
+  event_.phase = 'X';
+  event_.rank = rank;
+  event_.tid = thread_index();
+  event_.wall_us = wall_now_us();
+  event_.virt_us = virtual_now() * 1e6;
+  event_.arg_name = arg_name;
+  event_.arg = arg;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceBuffer* sink = trace_sink();
+  if (sink == nullptr) return;  // uninstalled while the span was open
+  event_.dur_wall_us = wall_now_us() - event_.wall_us;
+  event_.dur_virt_us =
+      std::max(0.0, virtual_now() * 1e6 - event_.virt_us);
+  sink->emit(event_);
+}
+
+}  // namespace cdc::obs

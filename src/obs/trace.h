@@ -1,0 +1,149 @@
+// Virtual-time tracing: a bounded per-run flight-recorder ring of spans
+// and instant events, exportable as Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+// Every event is stamped with BOTH time domains:
+//   * wall time  — microseconds since process start (steady clock);
+//   * virtual time — the simulator's clock as last published through
+//     obs::publish_virtual_now (µs), so message receives, epoch flushes,
+//     codec stage boundaries, and injected faults can be correlated
+//     against the simulated schedule, not just against the host CPU.
+// Export picks either domain for the `ts` axis; virtual-time export of a
+// single-threaded run is bit-deterministic for a fixed CDC_SEED (the other
+// domain rides along in `args` unless suppressed).
+//
+// The ring is a fixed-capacity flight recorder: emission is an atomic
+// index fetch_add plus a slot write (no allocation, no locking), and once
+// full the oldest events are overwritten — a crashed or runaway run keeps
+// its most recent window. Event names must be string literals (or
+// otherwise outlive the buffer); the ring stores only the pointer.
+//
+// Tracing is off unless a buffer is installed:
+//   obs::TraceBuffer ring(1 << 16);
+//   obs::install_trace(&ring);          // emitters now record
+//   ... run ...
+//   obs::install_trace(nullptr);        // quiesce before exporting
+//   std::string json = ring.export_chrome_json({.virtual_time = true});
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace cdc::obs {
+
+struct TraceExportOptions {
+  /// Use virtual time as the trace `ts`/`dur` axis (deterministic for a
+  /// fixed seed); wall time otherwise.
+  bool virtual_time = false;
+  /// Include the other time domain (and numeric args) in `args`. Turn
+  /// off for byte-deterministic output.
+  bool include_args = true;
+};
+
+struct TraceEvent {
+  const char* name = "";       ///< static-lifetime string
+  char phase = 'i';            ///< 'X' complete span, 'i' instant
+  std::int32_t rank = -1;      ///< simulator rank; -1 = no rank (pid 0)
+  std::uint32_t tid = 0;       ///< obs::thread_index() of the emitter
+  double wall_us = 0.0;
+  double virt_us = 0.0;
+  double dur_wall_us = 0.0;    ///< 'X' only
+  double dur_virt_us = 0.0;    ///< 'X' only
+  const char* arg_name = nullptr;  ///< optional single numeric argument
+  std::uint64_t arg = 0;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Lock-free append; overwrites the oldest event when full. Slots are
+  /// written non-atomically — export only after emitters have quiesced.
+  void emit(const TraceEvent& event) noexcept {
+    const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    ring_[static_cast<std::size_t>(i % ring_.size())] = event;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.size();
+  }
+  /// Events currently retained (≤ capacity).
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Events lost to overwrite so far.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear() noexcept { next_.store(0, std::memory_order_relaxed); }
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}); `ts` in µs.
+  [[nodiscard]] std::string export_chrome_json(
+      const TraceExportOptions& options = {}) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Installs (or, with nullptr, removes) the process-global trace sink.
+/// The buffer must outlive its installation.
+void install_trace(TraceBuffer* buffer) noexcept;
+[[nodiscard]] TraceBuffer* trace_sink() noexcept;
+
+/// True when a sink is installed and the obs layer is enabled — emitters
+/// that need to prepare arguments should check this first.
+[[nodiscard]] inline bool tracing() noexcept;
+
+/// Emits an instant event ('i') into the installed sink, if any.
+void trace_instant(const char* name, std::int32_t rank = -1,
+                   const char* arg_name = nullptr,
+                   std::uint64_t arg = 0) noexcept;
+
+/// RAII span: stamps both clocks at construction and emits one 'X' event
+/// at destruction. Inert when tracing was off at construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int32_t rank = -1,
+                     const char* arg_name = nullptr,
+                     std::uint64_t arg = 0) noexcept;
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Updates the span's numeric argument before it closes (e.g. bytes
+  /// produced, known only at the end of the stage).
+  void set_arg(std::uint64_t arg) noexcept { event_.arg = arg; }
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+// --- inline bits ----------------------------------------------------------
+
+namespace detail {
+inline std::atomic<TraceBuffer*>& trace_slot() noexcept {
+  static std::atomic<TraceBuffer*> slot{nullptr};
+  return slot;
+}
+}  // namespace detail
+
+inline bool tracing() noexcept {
+#ifdef CDC_OBS_DISABLED
+  return false;
+#else
+  return enabled() &&
+         detail::trace_slot().load(std::memory_order_acquire) != nullptr;
+#endif
+}
+
+}  // namespace cdc::obs

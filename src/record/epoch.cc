@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace cdc::record {
@@ -72,6 +73,10 @@ std::size_t find_clean_cut(std::span<const ReceiveEvent> events,
     const bool splits_group = cut > 0 && matched[cut - 1]->with_next;
     if (violations == 0 && !splits_group) best = cut;
   }
+  static obs::Counter& cut_found = obs::counter("record.epoch.cut_found");
+  static obs::Counter& cut_deferred =
+      obs::counter("record.epoch.cut_deferred");
+  (best > 0 ? cut_found : cut_deferred).add(1);
   return best;
 }
 

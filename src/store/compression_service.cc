@@ -1,5 +1,6 @@
 #include "store/compression_service.h"
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace cdc::store {
@@ -30,7 +31,17 @@ void CompressionService::submit(const runtime::StreamKey& key,
   // ticket is always held by some worker, never stranded behind blocked
   // ones. It must NOT be the commit mutex — push() blocks on a full
   // queue, and workers need the commit mutex to drain it.
+  static obs::Counter& obs_jobs = obs::counter("store.service.jobs");
+  static obs::Counter& obs_raw = obs::counter("store.service.raw_bytes");
+  static obs::Counter& obs_stalls =
+      obs::counter("store.service.submit_stalls");
+  static obs::Histogram& obs_depth =
+      obs::histogram("store.service.queue_depth");
   const std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (obs::enabled()) {
+    // A full queue means this push is about to block on back-pressure.
+    if (queue_.size() >= queue_.capacity()) obs_stalls.add(1);
+  }
   Job job;
   job.key = key;
   job.raw_size = raw_size_hint;
@@ -40,22 +51,36 @@ void CompressionService::submit(const runtime::StreamKey& key,
   CDC_CHECK_MSG(pushed, "submit after the compression service stopped");
   ++next_ticket_;
   raw_bytes_ += raw_size_hint;
+  obs_jobs.add(1);
+  obs_raw.add(raw_size_hint);
+  if (obs::enabled()) obs_depth.record(queue_.size());
 }
 
 void CompressionService::worker_loop() {
+  static obs::Histogram& obs_encode_ns =
+      obs::histogram("store.service.encode_ns");
   Job job;
   while (queue_.pop(job)) {
+    const obs::Stopwatch sw;
     const std::vector<std::uint8_t> encoded = job.encode();
+    obs_encode_ns.record(sw.ns());
     commit_in_order(job, encoded);
   }
 }
 
 void CompressionService::commit_in_order(
     const Job& job, const std::vector<std::uint8_t>& encoded) {
+  static obs::Histogram& obs_wait_ns =
+      obs::histogram("store.service.commit_wait_ns");
+  static obs::Counter& obs_encoded =
+      obs::counter("store.service.encoded_bytes");
+  const obs::Stopwatch sw;
   std::unique_lock<std::mutex> lock(commit_mutex_);
   commit_cv_.wait(lock, [&] { return next_commit_ == job.ticket; });
+  obs_wait_ns.record(sw.ns());
   store_->append(job.key, encoded);
   encoded_bytes_ += encoded.size();
+  obs_encoded.add(encoded.size());
   ++next_commit_;
   commit_cv_.notify_all();
 }

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "compress/crc32.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/binary.h"
 #include "support/check.h"
 
@@ -55,12 +57,19 @@ void ContainerWriter::append_frame(const runtime::StreamKey& key,
   offset_ += frame.size();
   ++frames_;
   payload_bytes_ += payload.size();
+
+  static obs::Counter& obs_frames = obs::counter("store.container.frames");
+  static obs::Counter& obs_payload =
+      obs::counter("store.container.payload_bytes");
+  obs_frames.add(1);
+  obs_payload.add(payload.size());
 }
 
 void ContainerWriter::seal() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (sealed_) return;
   sealed_ = true;
+  obs::TraceSpan seal_span("container.seal", -1, "frames", frames_);
 
   support::ByteWriter index;
   index.varint(index_.size());

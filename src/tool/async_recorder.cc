@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cdc::tool {
 
 namespace {
@@ -38,12 +41,17 @@ bool AsyncRecorder::try_enqueue(const record::ReceiveEvent& event) {
                 "enqueue after finalize");
   if (!queue_.try_push(event)) return false;
   enqueued_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& obs_enqueued = obs::counter("tool.async.enqueued");
+  obs_enqueued.add(1);
   return true;
 }
 
 void AsyncRecorder::enqueue(const record::ReceiveEvent& event) {
   if (try_enqueue(event)) return;
   stalls_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& obs_stalls =
+      obs::counter("tool.async.producer_stalls");
+  obs_stalls.add(1);
   // Bounded-queue back-pressure: spin with progressive backoff.
   int spins = 0;
   while (!try_enqueue(event)) {
@@ -54,12 +62,14 @@ void AsyncRecorder::enqueue(const record::ReceiveEvent& event) {
 }
 
 void AsyncRecorder::worker_loop(std::stop_token stop) {
+  static obs::Counter& obs_dequeued = obs::counter("tool.async.dequeued");
   record::ReceiveEvent event;
   for (;;) {
     bool drained_any = false;
     while (queue_.try_pop(event)) {
       drained_any = true;
       dequeued_.fetch_add(1, std::memory_order_relaxed);
+      obs_dequeued.add(1);
       if (event.flag) {
         recorder_.on_delivered(event);
       } else {
@@ -76,6 +86,7 @@ void AsyncRecorder::worker_loop(std::stop_token stop) {
 
 void AsyncRecorder::finalize() {
   if (finalized_.exchange(true)) return;
+  obs::TraceSpan drain_span("async.finalize_drain");
   // Wait until the consumer has drained everything we enqueued.
   while (dequeued_.load(std::memory_order_acquire) <
          enqueued_.load(std::memory_order_acquire)) {

@@ -1,15 +1,29 @@
 #include "tool/frame.h"
 
+#include "obs/metrics.h"
+
 namespace cdc::tool {
 
 void write_frame(support::ByteWriter& out, std::uint8_t codec,
                  std::uint64_t meta, std::span<const std::uint8_t> payload,
                  compress::DeflateLevel level) {
+  static obs::Counter& deflate_calls =
+      obs::counter("record.stage.deflate.calls");
+  static obs::Counter& deflate_ns = obs::counter("record.stage.deflate.ns");
+  static obs::Counter& deflate_in =
+      obs::counter("record.stage.deflate.bytes_in");
+  static obs::Counter& deflate_out =
+      obs::counter("record.stage.deflate.bytes_out");
   out.u8(kFrameMagic);
   out.u8(codec);
+  const obs::Stopwatch sw;
   const std::vector<std::uint8_t> compressed =
       compress::deflate_compress(payload, level);
   const bool stored_raw = compressed.size() >= payload.size();
+  deflate_calls.add(1);
+  deflate_ns.add(sw.ns());
+  deflate_in.add(payload.size());
+  deflate_out.add(stored_raw ? payload.size() : compressed.size());
   out.u8(stored_raw ? 1 : 0);
   out.varint(meta);
   out.varint(payload.size());
@@ -23,6 +37,7 @@ void write_frame(support::ByteWriter& out, std::uint8_t codec,
 }
 
 std::vector<std::uint8_t> encode_frame(const FrameJob& job) {
+  static obs::Counter& frame_bytes = obs::counter("record.frame.bytes_out");
   support::ByteWriter out;
   if (job.compress) {
     write_frame(out, job.codec, job.meta, job.payload, job.level);
@@ -37,7 +52,9 @@ std::vector<std::uint8_t> encode_frame(const FrameJob& job) {
     out.varint(job.payload.size());
     out.bytes(job.payload);
   }
-  return std::move(out).take();
+  std::vector<std::uint8_t> framed = std::move(out).take();
+  frame_bytes.add(framed.size());
+  return framed;
 }
 
 std::optional<Frame> read_frame(support::ByteReader& in) {

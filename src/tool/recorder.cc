@@ -1,5 +1,6 @@
 #include "tool/recorder.h"
 
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace cdc::tool {
@@ -94,6 +95,7 @@ void Recorder::on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
 }
 
 void Recorder::finalize() {
+  obs::TraceSpan span("record.finalize", -1, "streams", streams_.size());
   for (auto& [key, rec] : streams_) rec->finalize(*sink_);
 }
 

@@ -1,5 +1,7 @@
 #include "tool/replayer.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace cdc::tool {
@@ -76,17 +78,26 @@ minimpi::SelectResult Replayer::select(
       // first stream to run dry releases EVERY stream to passthrough.
       // Gating the others further would compare free-running Lamport
       // clocks against recorded ones and mis-identify messages.
-      if (options_.partial_record) released_ = true;
+      if (options_.partial_record && !released_) {
+        released_ = true;
+        obs::trace_instant("replay.release_passthrough", rank);
+      }
       return ToolHooks::select(rank, callsite, kind, candidates,
                                total_requests, blocking);
     case StreamReplayer::Decision::Kind::kNoMatch:
       result.action = minimpi::SelectResult::Action::kNoMatch;
       return result;
-    case StreamReplayer::Decision::Kind::kBlock:
+    case StreamReplayer::Decision::Kind::kBlock: {
       // Even Test-family calls wait for the recorded message (§3.6).
+      static obs::Counter& obs_gated = obs::counter("replay.gated_blocks");
+      obs_gated.add(1);
       result.action = minimpi::SelectResult::Action::kBlock;
       return result;
+    }
     case StreamReplayer::Decision::Kind::kDeliver: {
+      static obs::Counter& obs_delivers =
+          obs::counter("replay.ordered_deliveries");
+      obs_delivers.add(decision.messages.size());
       result.action = minimpi::SelectResult::Action::kDeliver;
       result.indices.reserve(decision.messages.size());
       for (const clock::MessageId& id : decision.messages) {

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace cdc::obs {
+namespace {
+
+TEST(JsonWriter, EmitsNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "cdc");
+  w.field("count", 3);
+  w.field("ratio", 0.5);
+  w.field("ok", true);
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.key("empty").begin_object().end_object();
+  w.end_object();
+  const std::string doc = std::move(w).take();
+  EXPECT_TRUE(json_well_formed(doc)) << doc;
+  EXPECT_NE(doc.find("\"name\": \"cdc\""), std::string::npos);
+  EXPECT_NE(doc.find("\"list\": [") , std::string::npos);
+  EXPECT_NE(doc.find("\"empty\": {}"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("k\"ey", "a\\b\n\tc\x01");
+  w.end_object();
+  const std::string doc = std::move(w).take();
+  EXPECT_TRUE(json_well_formed(doc)) << doc;
+  EXPECT_NE(doc.find("k\\\"ey"), std::string::npos);
+  EXPECT_NE(doc.find("a\\\\b\\n\\tc\\u0001"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("inf", std::numeric_limits<double>::infinity());
+  w.field("nan", std::numeric_limits<double>::quiet_NaN());
+  w.end_object();
+  const std::string doc = std::move(w).take();
+  EXPECT_TRUE(json_well_formed(doc)) << doc;
+  EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+}
+
+TEST(JsonWellFormed, AcceptsValidDocuments) {
+  EXPECT_TRUE(json_well_formed("{}"));
+  EXPECT_TRUE(json_well_formed("[]"));
+  EXPECT_TRUE(json_well_formed("  [1, -2.5e3, \"x\", true, null]  "));
+  EXPECT_TRUE(json_well_formed("{\"a\": {\"b\": [0.125, {}]}}"));
+  EXPECT_TRUE(json_well_formed("\"\\u00e9\\n\""));
+}
+
+TEST(JsonWellFormed, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_well_formed(""));
+  EXPECT_FALSE(json_well_formed("{"));
+  EXPECT_FALSE(json_well_formed("{\"a\": }"));
+  EXPECT_FALSE(json_well_formed("[1, 2,]"));
+  EXPECT_FALSE(json_well_formed("{'a': 1}"));
+  EXPECT_FALSE(json_well_formed("{\"a\": 1} trailing"));
+  EXPECT_FALSE(json_well_formed("\"unterminated"));
+  EXPECT_FALSE(json_well_formed("01"));
+  EXPECT_FALSE(json_well_formed("{\"a\" 1}"));
+}
+
+TEST(JsonWellFormed, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(json_well_formed(deep));  // depth cap, not a crash
+  std::string shallow = "[[[[[[[[[[0]]]]]]]]]]";
+  EXPECT_TRUE(json_well_formed(shallow));
+}
+
+}  // namespace
+}  // namespace cdc::obs

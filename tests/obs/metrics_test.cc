@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cdc::obs {
+namespace {
+
+// Recording is a deliberate no-op when the layer is compiled out
+// (-DCDC_OBS=OFF); tests that assert on recorded values skip there.
+#define SKIP_IF_OBS_COMPILED_OUT()                          \
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out — " \
+                                      "recording is a no-op"
+
+TEST(Counter, MergesAcrossThreads) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  Counter counter("test.counter.threads");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, RuntimeDisableStopsRecording) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  Counter counter("test.counter.disable");
+  counter.add(5);
+  set_enabled(false);
+  counter.add(100);
+  set_enabled(true);
+  counter.add(2);
+  EXPECT_EQ(counter.value(), 7u);
+}
+
+TEST(Gauge, ConcurrentUpDownPairsCancel) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  Gauge gauge("test.gauge");
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < 5000; ++i) {
+        gauge.add(3);
+        gauge.sub(3);
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.add(-7);
+  EXPECT_EQ(gauge.value(), -7);
+}
+
+TEST(Histogram, MergeIsExactForCountSumMinMax) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  Histogram histogram("test.histogram.threads");
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&histogram, t] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i)
+        histogram.record(i + static_cast<std::uint64_t>(t));
+    });
+  for (auto& thread : threads) thread.join();
+
+  const HistogramValue merged = histogram.merged();
+  EXPECT_EQ(merged.count, kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t)
+    for (std::uint64_t i = 1; i <= kPerThread; ++i)
+      expected_sum += i + static_cast<std::uint64_t>(t);
+  EXPECT_EQ(merged.sum, expected_sum);
+  EXPECT_EQ(merged.min, 1u);
+  EXPECT_EQ(merged.max, kPerThread + kThreads - 1);
+
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : merged.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, merged.count);
+}
+
+TEST(Histogram, QuantileIsBucketAccurate) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  Histogram histogram("test.histogram.quantile");
+  for (std::uint64_t v = 1; v <= 1024; ++v) histogram.record(v);
+  const HistogramValue merged = histogram.merged();
+  // Log2 buckets bound the error by 2x: the true p50 is 512.
+  const double p50 = merged.quantile(0.50);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_LE(merged.quantile(0.0), merged.quantile(1.0));
+  EXPECT_LE(merged.quantile(1.0), static_cast<double>(merged.max) * 2);
+}
+
+TEST(Histogram, BucketOfBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+  for (std::size_t b = 1; b <= 64; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(b)), b);
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(b)), b);
+  }
+}
+
+TEST(Registry, HandlesAreStableAndSnapshotsSorted) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  Registry& registry = Registry::global();
+  Counter& a = registry.counter("test.registry.a");
+  Counter& a_again = registry.counter("test.registry.a");
+  EXPECT_EQ(&a, &a_again);
+  a.add(3);
+  registry.gauge("test.registry.g").add(-2);
+  registry.histogram("test.registry.h").record(9);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_NE(snapshot.find_counter("test.registry.a"), nullptr);
+  EXPECT_GE(snapshot.find_counter("test.registry.a")->value, 3u);
+  ASSERT_NE(snapshot.find_gauge("test.registry.g"), nullptr);
+  ASSERT_NE(snapshot.find_histogram("test.registry.h"), nullptr);
+  EXPECT_EQ(snapshot.counter_or("test.registry.missing", 42), 42u);
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i)
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+
+  registry.reset_values();
+  EXPECT_EQ(registry.counter("test.registry.a").value(), 0u);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  const Stopwatch stopwatch;
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i)
+    sink = sink + static_cast<std::uint64_t>(i);
+  EXPECT_GT(stopwatch.ns(), 0u);
+}
+
+}  // namespace
+}  // namespace cdc::obs

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "apps/mcb.h"
+#include "minimpi/simulator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "store/compression_service.h"
+#include "store/container_store.h"
+#include "tool/frame_sink.h"
+#include "tool/options.h"
+#include "tool/pipeline_inspect.h"
+#include "tool/recorder.h"
+
+namespace cdc::obs {
+namespace {
+
+// from_snapshot itself always works; what vanishes when the layer is
+// compiled out (-DCDC_OBS=OFF) is the recording feeding it.
+#define SKIP_IF_OBS_COMPILED_OUT()                          \
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out — " \
+                                      "recording is a no-op"
+
+TEST(PipelineReport, FromSnapshotMapsMetricNames) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  Registry& registry = Registry::global();
+  registry.reset_values();
+  set_enabled(true);
+  registry.counter("record.stage.re.calls").add(3);
+  registry.counter("record.stage.re.bytes_in").add(4000);
+  registry.counter("record.stage.re.bytes_out").add(1800);
+  registry.counter("record.stage.re.values").add(225);
+  registry.counter("record.stage.deflate.bytes_out").add(600);
+  registry.counter("record.events.matched").add(100);
+  registry.counter("record.events.unmatched").add(7);
+  registry.counter("record.chunks").add(3);
+  registry.counter("record.frame.bytes_out").add(650);
+  registry.counter("record.epoch.cut_found").add(2);
+  registry.counter("record.epoch.cut_deferred").add(1);
+  registry.histogram("record.epoch.flush_events").record(33);
+  registry.counter("store.service.jobs").add(3);
+  registry.counter("store.service.submit_stalls").add(1);
+  registry.counter("tool.async.enqueued").add(3);
+  registry.counter("sim.messages_sent").add(55);
+  registry.gauge("sim.virtual_time_us").add(2500000);
+  registry.counter("store.container.frames").add(3);
+
+  const PipelineReport report =
+      PipelineReport::from_snapshot(registry.snapshot());
+  EXPECT_EQ(report.stage_re.calls, 3u);
+  EXPECT_EQ(report.stage_re.bytes_in, 4000u);
+  EXPECT_EQ(report.stage_re.bytes_out, 1800u);
+  EXPECT_EQ(report.stage_re.values_out, 225u);
+  EXPECT_EQ(report.stage_deflate.bytes_out, 600u);
+  EXPECT_EQ(report.events_matched, 100u);
+  EXPECT_EQ(report.events_unmatched, 7u);
+  EXPECT_EQ(report.chunks, 3u);
+  EXPECT_EQ(report.frame_bytes_out, 650u);
+  EXPECT_EQ(report.epoch_cuts, 2u);
+  EXPECT_EQ(report.epoch_deferrals, 1u);
+  EXPECT_EQ(report.epoch_flush_events.count, 1u);
+  EXPECT_EQ(report.epoch_flush_events.max, 33u);
+  EXPECT_EQ(report.service_jobs, 3u);
+  EXPECT_EQ(report.service_submit_stalls, 1u);
+  EXPECT_EQ(report.async_enqueued, 3u);
+  EXPECT_EQ(report.sim_messages, 55u);
+  EXPECT_DOUBLE_EQ(report.sim_virtual_seconds, 2.5);
+  EXPECT_EQ(report.writer_frames, 3u);
+  registry.reset_values();
+}
+
+TEST(PipelineReport, ReconcileAcceptsMatchingTotals) {
+  PipelineReport report;
+  report.chunks = 4;
+  report.frame_bytes_out = 1000;
+  report.stage_deflate.bytes_out = 900;
+  report.container_frames = 4;
+  report.container_stored_bytes = 1000;
+  report.container_file_bytes = 1200;
+  EXPECT_TRUE(report.reconcile());
+  EXPECT_EQ(report.reconcile_note,
+            "encoder and container byte totals match");
+}
+
+TEST(PipelineReport, ReconcileRejectsByteMismatch) {
+  PipelineReport report;
+  report.chunks = 4;
+  report.frame_bytes_out = 1000;
+  report.container_frames = 4;
+  report.container_stored_bytes = 999;
+  EXPECT_FALSE(report.reconcile());
+  EXPECT_NE(report.reconcile_note.find("framed bytes"), std::string::npos);
+}
+
+TEST(PipelineReport, ReconcileRejectsFrameCountMismatch) {
+  PipelineReport report;
+  report.chunks = 5;
+  report.frame_bytes_out = 1000;
+  report.container_frames = 4;
+  report.container_stored_bytes = 1000;
+  EXPECT_FALSE(report.reconcile());
+  EXPECT_NE(report.reconcile_note.find("chunks"), std::string::npos);
+}
+
+TEST(PipelineReport, ReconcileRejectsDeflateExceedingFramedBytes) {
+  PipelineReport report;
+  report.frame_bytes_out = 100;
+  report.stage_deflate.bytes_out = 200;
+  EXPECT_FALSE(report.reconcile());
+}
+
+TEST(PipelineReport, ReconcileSingleSourceIsInternalOnly) {
+  PipelineReport container_only;
+  container_only.container_frames = 9;
+  container_only.container_stored_bytes = 512;
+  container_only.container_file_bytes = 600;
+  EXPECT_TRUE(container_only.reconcile());
+  EXPECT_NE(container_only.reconcile_note.find("single-source"),
+            std::string::npos);
+
+  PipelineReport bad_container;
+  bad_container.container_frames = 9;
+  bad_container.container_stored_bytes = 700;
+  bad_container.container_file_bytes = 600;  // frames can't exceed the file
+  EXPECT_FALSE(bad_container.reconcile());
+}
+
+TEST(PipelineReport, ToJsonIsWellFormed) {
+  PipelineReport report;
+  report.chunks = 2;
+  report.frame_bytes_out = 128;
+  report.container_frames = 2;
+  report.container_stored_bytes = 128;
+  report.container_codec_frames["cdc"] = 2;
+  report.reconcile();
+  const std::string json = report.to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"report\": \"cdc_pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"reconciliation\""), std::string::npos);
+}
+
+/// The --stats invariant end to end: an instrumented record run through
+/// the parallel compression service must produce live byte/chunk totals
+/// that reconcile with what the container on disk actually holds.
+TEST(PipelineReport, LiveRunReconcilesAgainstContainer) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  // Other suites in this binary record into the shared global registry;
+  // start this run from zero so the live section is only this run.
+  Registry::global().reset_values();
+  set_enabled(true);
+  const std::string file = "/tmp/cdc_report_test.cdcc";
+  {
+    store::ContainerStore container(file);
+    store::CompressionService::Config service_config;
+    service_config.workers = 2;
+    store::CompressionService service(&container, service_config);
+    tool::AsyncFrameSink sink(&service);
+    tool::ToolOptions options;
+    options.chunk_target = 96;
+    tool::Recorder recorder(4, &container, options, &sink);
+    minimpi::Simulator::Config config;
+    config.num_ranks = 4;
+    config.noise_seed = 21;
+    minimpi::Simulator sim(config, &recorder);
+    apps::McbConfig mcb;
+    mcb.grid_x = 2;
+    mcb.grid_y = 2;
+    mcb.particles_per_rank = 60;
+    apps::run_mcb(sim, mcb);
+    recorder.finalize();
+    service.drain();
+    container.seal();
+  }
+
+  PipelineReport report =
+      PipelineReport::from_snapshot(Registry::global().snapshot());
+  std::string error;
+  ASSERT_TRUE(tool::fill_container_section(file, report, &error)) << error;
+
+  EXPECT_TRUE(report.reconcile()) << report.reconcile_note;
+  EXPECT_GT(report.events_matched, 0u);
+  EXPECT_GT(report.chunks, 0u);
+  EXPECT_EQ(report.chunks, report.container_frames);
+  EXPECT_EQ(report.frame_bytes_out, report.container_stored_bytes);
+  EXPECT_EQ(report.writer_payload_bytes, report.container_stored_bytes);
+  EXPECT_TRUE(report.container_sealed);
+  // The service saw every chunk the encoder sealed, and the async sink
+  // drained everything it accepted.
+  EXPECT_EQ(report.service_jobs, report.chunks);
+  EXPECT_EQ(report.async_enqueued, report.async_dequeued);
+  // Stage flow only shrinks: RE output feeds PE, PE feeds LP.
+  EXPECT_LE(report.stage_pe.bytes_in, report.stage_re.bytes_out);
+  EXPECT_LE(report.stage_lp.bytes_in, report.stage_pe.bytes_out);
+
+  const std::string json = report.to_json();
+  EXPECT_TRUE(json_well_formed(json));
+  std::remove(file.c_str());
+  Registry::global().reset_values();
+}
+
+}  // namespace
+}  // namespace cdc::obs
