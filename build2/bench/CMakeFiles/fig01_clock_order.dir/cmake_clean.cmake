@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_clock_order.dir/fig01_clock_order.cc.o"
+  "CMakeFiles/fig01_clock_order.dir/fig01_clock_order.cc.o.d"
+  "fig01_clock_order"
+  "fig01_clock_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_clock_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

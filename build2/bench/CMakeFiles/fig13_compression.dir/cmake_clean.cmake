@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_compression.dir/fig13_compression.cc.o"
+  "CMakeFiles/fig13_compression.dir/fig13_compression.cc.o.d"
+  "fig13_compression"
+  "fig13_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_permutation.dir/fig14_permutation.cc.o"
+  "CMakeFiles/fig14_permutation.dir/fig14_permutation.cc.o.d"
+  "fig14_permutation"
+  "fig14_permutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_permutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

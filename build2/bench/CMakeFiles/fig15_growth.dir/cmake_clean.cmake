@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_growth.dir/fig15_growth.cc.o"
+  "CMakeFiles/fig15_growth.dir/fig15_growth.cc.o.d"
+  "fig15_growth"
+  "fig15_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

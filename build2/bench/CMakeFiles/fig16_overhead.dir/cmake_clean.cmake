@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_overhead.dir/fig16_overhead.cc.o"
+  "CMakeFiles/fig16_overhead.dir/fig16_overhead.cc.o.d"
+  "fig16_overhead"
+  "fig16_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_hidden_determinism.dir/fig17_hidden_determinism.cc.o"
+  "CMakeFiles/fig17_hidden_determinism.dir/fig17_hidden_determinism.cc.o.d"
+  "fig17_hidden_determinism"
+  "fig17_hidden_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_hidden_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

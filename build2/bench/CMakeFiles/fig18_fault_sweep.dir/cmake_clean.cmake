@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_fault_sweep.dir/fig18_fault_sweep.cc.o"
+  "CMakeFiles/fig18_fault_sweep.dir/fig18_fault_sweep.cc.o.d"
+  "fig18_fault_sweep"
+  "fig18_fault_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_fault_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

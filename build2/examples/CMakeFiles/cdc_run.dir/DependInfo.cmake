@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cdc_run.cpp" "examples/CMakeFiles/cdc_run.dir/cdc_run.cpp.o" "gcc" "examples/CMakeFiles/cdc_run.dir/cdc_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/apps/CMakeFiles/cdc_apps.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tool/CMakeFiles/cdc_tool.dir/DependInfo.cmake"
+  "/root/repo/build2/src/store/CMakeFiles/cdc_store.dir/DependInfo.cmake"
+  "/root/repo/build2/src/record/CMakeFiles/cdc_record.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/cdc_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/runtime/CMakeFiles/cdc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build2/src/minimpi/CMakeFiles/cdc_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cdc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_run.dir/cdc_run.cpp.o"
+  "CMakeFiles/cdc_run.dir/cdc_run.cpp.o.d"
+  "cdc_run"
+  "cdc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_hidden_determinism.dir/jacobi_hidden_determinism.cpp.o"
+  "CMakeFiles/jacobi_hidden_determinism.dir/jacobi_hidden_determinism.cpp.o.d"
+  "jacobi_hidden_determinism"
+  "jacobi_hidden_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_hidden_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_debugging_session.dir/mcb_debugging_session.cpp.o"
+  "CMakeFiles/mcb_debugging_session.dir/mcb_debugging_session.cpp.o.d"
+  "mcb_debugging_session"
+  "mcb_debugging_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_debugging_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

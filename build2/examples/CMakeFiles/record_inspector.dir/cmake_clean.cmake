@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_inspector.dir/record_inspector.cpp.o"
+  "CMakeFiles/record_inspector.dir/record_inspector.cpp.o.d"
+  "record_inspector"
+  "record_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

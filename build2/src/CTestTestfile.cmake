@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("obs")
+subdirs("compress")
+subdirs("clock")
+subdirs("minimpi")
+subdirs("record")
+subdirs("runtime")
+subdirs("store")
+subdirs("tool")
+subdirs("apps")

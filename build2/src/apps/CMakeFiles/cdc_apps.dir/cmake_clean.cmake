@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_apps.dir/jacobi.cc.o"
+  "CMakeFiles/cdc_apps.dir/jacobi.cc.o.d"
+  "CMakeFiles/cdc_apps.dir/mcb.cc.o"
+  "CMakeFiles/cdc_apps.dir/mcb.cc.o.d"
+  "CMakeFiles/cdc_apps.dir/taskfarm.cc.o"
+  "CMakeFiles/cdc_apps.dir/taskfarm.cc.o.d"
+  "libcdc_apps.a"
+  "libcdc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdc_apps.a"
+)

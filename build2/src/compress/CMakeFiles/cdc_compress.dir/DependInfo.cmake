@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/deflate.cc" "src/compress/CMakeFiles/cdc_compress.dir/deflate.cc.o" "gcc" "src/compress/CMakeFiles/cdc_compress.dir/deflate.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/cdc_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/cdc_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/compress/CMakeFiles/cdc_compress.dir/lz77.cc.o" "gcc" "src/compress/CMakeFiles/cdc_compress.dir/lz77.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

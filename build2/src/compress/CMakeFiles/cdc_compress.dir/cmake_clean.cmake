@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_compress.dir/deflate.cc.o"
+  "CMakeFiles/cdc_compress.dir/deflate.cc.o.d"
+  "CMakeFiles/cdc_compress.dir/huffman.cc.o"
+  "CMakeFiles/cdc_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/cdc_compress.dir/lz77.cc.o"
+  "CMakeFiles/cdc_compress.dir/lz77.cc.o.d"
+  "libcdc_compress.a"
+  "libcdc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_fuzz.dir/schedule_fuzzer.cc.o"
+  "CMakeFiles/cdc_fuzz.dir/schedule_fuzzer.cc.o.d"
+  "libcdc_fuzz.a"
+  "libcdc_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_minimpi.dir/simulator.cc.o"
+  "CMakeFiles/cdc_minimpi.dir/simulator.cc.o.d"
+  "libcdc_minimpi.a"
+  "libcdc_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_obs.dir/json.cc.o"
+  "CMakeFiles/cdc_obs.dir/json.cc.o.d"
+  "CMakeFiles/cdc_obs.dir/metrics.cc.o"
+  "CMakeFiles/cdc_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/cdc_obs.dir/report.cc.o"
+  "CMakeFiles/cdc_obs.dir/report.cc.o.d"
+  "CMakeFiles/cdc_obs.dir/trace.cc.o"
+  "CMakeFiles/cdc_obs.dir/trace.cc.o.d"
+  "libcdc_obs.a"
+  "libcdc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

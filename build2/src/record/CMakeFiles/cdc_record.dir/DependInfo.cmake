@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/record/baseline.cc" "src/record/CMakeFiles/cdc_record.dir/baseline.cc.o" "gcc" "src/record/CMakeFiles/cdc_record.dir/baseline.cc.o.d"
+  "/root/repo/src/record/chunk.cc" "src/record/CMakeFiles/cdc_record.dir/chunk.cc.o" "gcc" "src/record/CMakeFiles/cdc_record.dir/chunk.cc.o.d"
+  "/root/repo/src/record/edit_distance.cc" "src/record/CMakeFiles/cdc_record.dir/edit_distance.cc.o" "gcc" "src/record/CMakeFiles/cdc_record.dir/edit_distance.cc.o.d"
+  "/root/repo/src/record/epoch.cc" "src/record/CMakeFiles/cdc_record.dir/epoch.cc.o" "gcc" "src/record/CMakeFiles/cdc_record.dir/epoch.cc.o.d"
+  "/root/repo/src/record/fast_permutation.cc" "src/record/CMakeFiles/cdc_record.dir/fast_permutation.cc.o" "gcc" "src/record/CMakeFiles/cdc_record.dir/fast_permutation.cc.o.d"
+  "/root/repo/src/record/tables.cc" "src/record/CMakeFiles/cdc_record.dir/tables.cc.o" "gcc" "src/record/CMakeFiles/cdc_record.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/obs/CMakeFiles/cdc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

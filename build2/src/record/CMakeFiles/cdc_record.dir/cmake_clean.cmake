@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_record.dir/baseline.cc.o"
+  "CMakeFiles/cdc_record.dir/baseline.cc.o.d"
+  "CMakeFiles/cdc_record.dir/chunk.cc.o"
+  "CMakeFiles/cdc_record.dir/chunk.cc.o.d"
+  "CMakeFiles/cdc_record.dir/edit_distance.cc.o"
+  "CMakeFiles/cdc_record.dir/edit_distance.cc.o.d"
+  "CMakeFiles/cdc_record.dir/epoch.cc.o"
+  "CMakeFiles/cdc_record.dir/epoch.cc.o.d"
+  "CMakeFiles/cdc_record.dir/fast_permutation.cc.o"
+  "CMakeFiles/cdc_record.dir/fast_permutation.cc.o.d"
+  "CMakeFiles/cdc_record.dir/tables.cc.o"
+  "CMakeFiles/cdc_record.dir/tables.cc.o.d"
+  "libcdc_record.a"
+  "libcdc_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

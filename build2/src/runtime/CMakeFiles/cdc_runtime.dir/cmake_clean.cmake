@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_runtime.dir/storage.cc.o"
+  "CMakeFiles/cdc_runtime.dir/storage.cc.o.d"
+  "libcdc_runtime.a"
+  "libcdc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/compression_service.cc" "src/store/CMakeFiles/cdc_store.dir/compression_service.cc.o" "gcc" "src/store/CMakeFiles/cdc_store.dir/compression_service.cc.o.d"
+  "/root/repo/src/store/container_reader.cc" "src/store/CMakeFiles/cdc_store.dir/container_reader.cc.o" "gcc" "src/store/CMakeFiles/cdc_store.dir/container_reader.cc.o.d"
+  "/root/repo/src/store/container_store.cc" "src/store/CMakeFiles/cdc_store.dir/container_store.cc.o" "gcc" "src/store/CMakeFiles/cdc_store.dir/container_store.cc.o.d"
+  "/root/repo/src/store/container_writer.cc" "src/store/CMakeFiles/cdc_store.dir/container_writer.cc.o" "gcc" "src/store/CMakeFiles/cdc_store.dir/container_writer.cc.o.d"
+  "/root/repo/src/store/sharded_store.cc" "src/store/CMakeFiles/cdc_store.dir/sharded_store.cc.o" "gcc" "src/store/CMakeFiles/cdc_store.dir/sharded_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/runtime/CMakeFiles/cdc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/cdc_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cdc_obs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/minimpi/CMakeFiles/cdc_minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_store.dir/compression_service.cc.o"
+  "CMakeFiles/cdc_store.dir/compression_service.cc.o.d"
+  "CMakeFiles/cdc_store.dir/container_reader.cc.o"
+  "CMakeFiles/cdc_store.dir/container_reader.cc.o.d"
+  "CMakeFiles/cdc_store.dir/container_store.cc.o"
+  "CMakeFiles/cdc_store.dir/container_store.cc.o.d"
+  "CMakeFiles/cdc_store.dir/container_writer.cc.o"
+  "CMakeFiles/cdc_store.dir/container_writer.cc.o.d"
+  "CMakeFiles/cdc_store.dir/sharded_store.cc.o"
+  "CMakeFiles/cdc_store.dir/sharded_store.cc.o.d"
+  "libcdc_store.a"
+  "libcdc_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

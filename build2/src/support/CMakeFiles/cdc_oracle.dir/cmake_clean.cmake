@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_oracle.dir/oracle.cc.o"
+  "CMakeFiles/cdc_oracle.dir/oracle.cc.o.d"
+  "libcdc_oracle.a"
+  "libcdc_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tool/async_recorder.cc" "src/tool/CMakeFiles/cdc_tool.dir/async_recorder.cc.o" "gcc" "src/tool/CMakeFiles/cdc_tool.dir/async_recorder.cc.o.d"
+  "/root/repo/src/tool/frame.cc" "src/tool/CMakeFiles/cdc_tool.dir/frame.cc.o" "gcc" "src/tool/CMakeFiles/cdc_tool.dir/frame.cc.o.d"
+  "/root/repo/src/tool/frame_sink.cc" "src/tool/CMakeFiles/cdc_tool.dir/frame_sink.cc.o" "gcc" "src/tool/CMakeFiles/cdc_tool.dir/frame_sink.cc.o.d"
+  "/root/repo/src/tool/pipeline_inspect.cc" "src/tool/CMakeFiles/cdc_tool.dir/pipeline_inspect.cc.o" "gcc" "src/tool/CMakeFiles/cdc_tool.dir/pipeline_inspect.cc.o.d"
+  "/root/repo/src/tool/recorder.cc" "src/tool/CMakeFiles/cdc_tool.dir/recorder.cc.o" "gcc" "src/tool/CMakeFiles/cdc_tool.dir/recorder.cc.o.d"
+  "/root/repo/src/tool/replayer.cc" "src/tool/CMakeFiles/cdc_tool.dir/replayer.cc.o" "gcc" "src/tool/CMakeFiles/cdc_tool.dir/replayer.cc.o.d"
+  "/root/repo/src/tool/stream_recorder.cc" "src/tool/CMakeFiles/cdc_tool.dir/stream_recorder.cc.o" "gcc" "src/tool/CMakeFiles/cdc_tool.dir/stream_recorder.cc.o.d"
+  "/root/repo/src/tool/stream_replayer.cc" "src/tool/CMakeFiles/cdc_tool.dir/stream_replayer.cc.o" "gcc" "src/tool/CMakeFiles/cdc_tool.dir/stream_replayer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/record/CMakeFiles/cdc_record.dir/DependInfo.cmake"
+  "/root/repo/build2/src/store/CMakeFiles/cdc_store.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/cdc_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/runtime/CMakeFiles/cdc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build2/src/minimpi/CMakeFiles/cdc_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cdc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_tool.dir/async_recorder.cc.o"
+  "CMakeFiles/cdc_tool.dir/async_recorder.cc.o.d"
+  "CMakeFiles/cdc_tool.dir/frame.cc.o"
+  "CMakeFiles/cdc_tool.dir/frame.cc.o.d"
+  "CMakeFiles/cdc_tool.dir/frame_sink.cc.o"
+  "CMakeFiles/cdc_tool.dir/frame_sink.cc.o.d"
+  "CMakeFiles/cdc_tool.dir/pipeline_inspect.cc.o"
+  "CMakeFiles/cdc_tool.dir/pipeline_inspect.cc.o.d"
+  "CMakeFiles/cdc_tool.dir/recorder.cc.o"
+  "CMakeFiles/cdc_tool.dir/recorder.cc.o.d"
+  "CMakeFiles/cdc_tool.dir/replayer.cc.o"
+  "CMakeFiles/cdc_tool.dir/replayer.cc.o.d"
+  "CMakeFiles/cdc_tool.dir/stream_recorder.cc.o"
+  "CMakeFiles/cdc_tool.dir/stream_recorder.cc.o.d"
+  "CMakeFiles/cdc_tool.dir/stream_replayer.cc.o"
+  "CMakeFiles/cdc_tool.dir/stream_replayer.cc.o.d"
+  "libcdc_tool.a"
+  "libcdc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

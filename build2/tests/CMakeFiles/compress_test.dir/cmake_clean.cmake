@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_test.dir/compress/crc32_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/crc32_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/deflate_fuzz_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/deflate_fuzz_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/deflate_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/deflate_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/huffman_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/huffman_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/interop_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/interop_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/lz77_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/lz77_test.cc.o.d"
+  "compress_test"
+  "compress_test.pdb"
+  "compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

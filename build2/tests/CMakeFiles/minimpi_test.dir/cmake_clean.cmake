@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_test.dir/minimpi/fault_test.cc.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/fault_test.cc.o.d"
+  "CMakeFiles/minimpi_test.dir/minimpi/rebinding_test.cc.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/rebinding_test.cc.o.d"
+  "CMakeFiles/minimpi_test.dir/minimpi/simulator_test.cc.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/simulator_test.cc.o.d"
+  "minimpi_test"
+  "minimpi_test.pdb"
+  "minimpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/record/baseline_test.cc" "tests/CMakeFiles/record_test.dir/record/baseline_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/baseline_test.cc.o.d"
+  "/root/repo/tests/record/chunk_edge_test.cc" "tests/CMakeFiles/record_test.dir/record/chunk_edge_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/chunk_edge_test.cc.o.d"
+  "/root/repo/tests/record/chunk_test.cc" "tests/CMakeFiles/record_test.dir/record/chunk_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/chunk_test.cc.o.d"
+  "/root/repo/tests/record/edit_distance_test.cc" "tests/CMakeFiles/record_test.dir/record/edit_distance_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/edit_distance_test.cc.o.d"
+  "/root/repo/tests/record/epoch_test.cc" "tests/CMakeFiles/record_test.dir/record/epoch_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/epoch_test.cc.o.d"
+  "/root/repo/tests/record/event_test.cc" "tests/CMakeFiles/record_test.dir/record/event_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/event_test.cc.o.d"
+  "/root/repo/tests/record/fast_permutation_diff_test.cc" "tests/CMakeFiles/record_test.dir/record/fast_permutation_diff_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/fast_permutation_diff_test.cc.o.d"
+  "/root/repo/tests/record/fast_permutation_test.cc" "tests/CMakeFiles/record_test.dir/record/fast_permutation_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/fast_permutation_test.cc.o.d"
+  "/root/repo/tests/record/lp_test.cc" "tests/CMakeFiles/record_test.dir/record/lp_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/lp_test.cc.o.d"
+  "/root/repo/tests/record/property_roundtrip_test.cc" "tests/CMakeFiles/record_test.dir/record/property_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/property_roundtrip_test.cc.o.d"
+  "/root/repo/tests/record/tables_test.cc" "tests/CMakeFiles/record_test.dir/record/tables_test.cc.o" "gcc" "tests/CMakeFiles/record_test.dir/record/tables_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/minimpi/CMakeFiles/cdc_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/cdc_oracle.dir/DependInfo.cmake"
+  "/root/repo/build2/src/apps/CMakeFiles/cdc_apps.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tool/CMakeFiles/cdc_tool.dir/DependInfo.cmake"
+  "/root/repo/build2/src/store/CMakeFiles/cdc_store.dir/DependInfo.cmake"
+  "/root/repo/build2/src/record/CMakeFiles/cdc_record.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/cdc_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/runtime/CMakeFiles/cdc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build2/src/minimpi/CMakeFiles/cdc_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cdc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

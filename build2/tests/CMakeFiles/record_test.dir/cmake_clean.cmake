@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_test.dir/record/baseline_test.cc.o"
+  "CMakeFiles/record_test.dir/record/baseline_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/chunk_edge_test.cc.o"
+  "CMakeFiles/record_test.dir/record/chunk_edge_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/chunk_test.cc.o"
+  "CMakeFiles/record_test.dir/record/chunk_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/edit_distance_test.cc.o"
+  "CMakeFiles/record_test.dir/record/edit_distance_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/epoch_test.cc.o"
+  "CMakeFiles/record_test.dir/record/epoch_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/event_test.cc.o"
+  "CMakeFiles/record_test.dir/record/event_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/fast_permutation_diff_test.cc.o"
+  "CMakeFiles/record_test.dir/record/fast_permutation_diff_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/fast_permutation_test.cc.o"
+  "CMakeFiles/record_test.dir/record/fast_permutation_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/lp_test.cc.o"
+  "CMakeFiles/record_test.dir/record/lp_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/property_roundtrip_test.cc.o"
+  "CMakeFiles/record_test.dir/record/property_roundtrip_test.cc.o.d"
+  "CMakeFiles/record_test.dir/record/tables_test.cc.o"
+  "CMakeFiles/record_test.dir/record/tables_test.cc.o.d"
+  "record_test"
+  "record_test.pdb"
+  "record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

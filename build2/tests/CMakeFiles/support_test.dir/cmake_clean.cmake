@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/binary_test.cc.o"
+  "CMakeFiles/support_test.dir/support/binary_test.cc.o.d"
+  "CMakeFiles/support_test.dir/support/bitstream_test.cc.o"
+  "CMakeFiles/support_test.dir/support/bitstream_test.cc.o.d"
+  "CMakeFiles/support_test.dir/support/oracle_test.cc.o"
+  "CMakeFiles/support_test.dir/support/oracle_test.cc.o.d"
+  "CMakeFiles/support_test.dir/support/rng_test.cc.o"
+  "CMakeFiles/support_test.dir/support/rng_test.cc.o.d"
+  "CMakeFiles/support_test.dir/support/stats_test.cc.o"
+  "CMakeFiles/support_test.dir/support/stats_test.cc.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_test.dir/tool/async_recorder_test.cc.o"
+  "CMakeFiles/tool_test.dir/tool/async_recorder_test.cc.o.d"
+  "CMakeFiles/tool_test.dir/tool/frame_test.cc.o"
+  "CMakeFiles/tool_test.dir/tool/frame_test.cc.o.d"
+  "CMakeFiles/tool_test.dir/tool/hook_chain_test.cc.o"
+  "CMakeFiles/tool_test.dir/tool/hook_chain_test.cc.o.d"
+  "CMakeFiles/tool_test.dir/tool/stream_recorder_test.cc.o"
+  "CMakeFiles/tool_test.dir/tool/stream_recorder_test.cc.o.d"
+  "CMakeFiles/tool_test.dir/tool/stream_replayer_test.cc.o"
+  "CMakeFiles/tool_test.dir/tool/stream_replayer_test.cc.o.d"
+  "tool_test"
+  "tool_test.pdb"
+  "tool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

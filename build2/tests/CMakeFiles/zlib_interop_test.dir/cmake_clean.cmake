@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zlib_interop_test.dir/compress/zlib_roundtrip_test.cc.o"
+  "CMakeFiles/zlib_interop_test.dir/compress/zlib_roundtrip_test.cc.o.d"
+  "zlib_interop_test"
+  "zlib_interop_test.pdb"
+  "zlib_interop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zlib_interop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zlib_interop_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/support_test[1]_include.cmake")
+include("/root/repo/build2/tests/compress_test[1]_include.cmake")
+include("/root/repo/build2/tests/zlib_interop_test[1]_include.cmake")
+include("/root/repo/build2/tests/obs_test[1]_include.cmake")
+include("/root/repo/build2/tests/clock_test[1]_include.cmake")
+include("/root/repo/build2/tests/record_test[1]_include.cmake")
+include("/root/repo/build2/tests/minimpi_test[1]_include.cmake")
+include("/root/repo/build2/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build2/tests/store_test[1]_include.cmake")
+include("/root/repo/build2/tests/tool_test[1]_include.cmake")
+include("/root/repo/build2/tests/apps_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/schedule_fuzz_test[1]_include.cmake")
