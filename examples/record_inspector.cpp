@@ -11,6 +11,9 @@
 //   $ ./record_inspector --container <file>  # inspect a record container
 //   $ ./record_inspector --verify <file>     # CRC-verify a container
 //   $ ./record_inspector --repack <in> <out> # salvage/compact a container
+//   $ ./record_inspector --gaps <file> [quarantine.cdcq]
+//                                            # degraded-replay gap report
+//                                            # (+ cdc_gap_report.json)
 //   $ ./record_inspector --stats             # instrumented demo run:
 //                                            # pipeline report + trace JSON
 //   $ ./record_inspector --stats <file>      # pipeline report of a container
@@ -31,6 +34,7 @@
 #include "store/container_reader.h"
 #include "store/container_store.h"
 #include "support/stats.h"
+#include "tool/degraded.h"
 #include "tool/frame.h"
 #include "tool/frame_sink.h"
 #include "tool/options.h"
@@ -158,6 +162,27 @@ int repack(const std::string& in_path, const std::string& out_path) {
               support::format_bytes(
                   static_cast<double>(result.bytes_out)).c_str());
   return verify_container(out_path);
+}
+
+/// `--gaps <container> [quarantine]`: degraded-replay coverage report —
+/// human summary on stdout, machine-readable cdc_gap_report.json next to
+/// the cwd. Exit 0 when the record is whole, 1 when degraded (so scripts
+/// can branch), 2 on an unreadable file.
+int gaps_container(const std::string& path,
+                   const std::string& quarantine_path) {
+  const tool::GapReport report = tool::inspect_gaps(path, quarantine_path);
+  report.print(stdout);
+  const std::string json = report.to_json();
+  if (!obs::json_well_formed(json)) {
+    std::printf("INTERNAL: gap report JSON is malformed\n");
+    return 2;
+  }
+  if (!obs::JsonWriter::write_file("cdc_gap_report.json", json)) {
+    std::printf("cannot write cdc_gap_report.json\n");
+    return 2;
+  }
+  std::printf("gap report written to cdc_gap_report.json\n");
+  return report.degraded() ? 1 : 0;
 }
 
 int emit_report(obs::PipelineReport& report,
@@ -294,6 +319,8 @@ int main(int argc, char** argv) {
   if (is(1, "--container") && argc == 3) return inspect_container(argv[2]);
   if (is(1, "--verify") && argc == 3) return verify_container(argv[2]);
   if (is(1, "--repack") && argc == 4) return repack(argv[2], argv[3]);
+  if (is(1, "--gaps") && (argc == 3 || argc == 4))
+    return gaps_container(argv[2], argc == 4 ? argv[3] : "");
   if (is(1, "--stats") && argc == 2) return stats_demo();
   if (is(1, "--stats") && argc == 3) return stats_container(argv[2]);
   if (is(1, "--dir") && argc == 3) {
@@ -307,7 +334,8 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     std::printf(
         "usage: %s [--dir <path> | --container <file> | --verify <file> | "
-        "--repack <in> <out> | --stats [container]]\n",
+        "--repack <in> <out> | --gaps <file> [quarantine] | "
+        "--stats [container]]\n",
         argv[0]);
     return 2;
   }

@@ -39,6 +39,7 @@ std::uint64_t hash_id(std::uint64_t seed, std::int64_t id) noexcept {
 struct SharedResult {
   double accumulated = 0.0;
   std::uint64_t completed = 0;
+  std::uint64_t lost = 0;  ///< tasks written off on failed workers
 };
 
 Task master_rank(Comm& comm, TaskFarmConfig cfg, SharedResult* shared) {
@@ -82,6 +83,23 @@ Task master_rank(Comm& comm, TaskFarmConfig cfg, SharedResult* shared) {
       }
     }
     auto res = co_await comm.waitany(wait_set, kFarmResultCallsite);
+    if (res.failed) {
+      // ULFM shrink: write off the task each dead worker held and drop the
+      // worker from the wait set; the farm continues on the survivors. A
+      // timeout naming no culprit means nothing can be attributed — stop.
+      bool shrunk = false;
+      for (const Rank dead : res.failed_ranks) {
+        const int w = static_cast<int>(dead) - 1;
+        if (w < 0 || w >= workers || !active[static_cast<std::size_t>(w)])
+          continue;
+        active[static_cast<std::size_t>(w)] = false;
+        --outstanding;
+        ++shared->lost;
+        shrunk = true;
+      }
+      if (!shrunk) break;
+      continue;
+    }
     const auto& completion = res.completions[0];
     const int w = wait_worker[completion.span_index];
     const auto result = minimpi::from_payload<WorkResult>(completion.payload);
@@ -105,6 +123,7 @@ Task worker_rank(Comm& comm, TaskFarmConfig cfg) {
   for (;;) {
     Request req = comm.irecv(0, kTaskTag);
     auto res = co_await comm.wait(req, kFarmTaskCallsite);
+    if (res.failed) break;  // the master died: no more work is coming
     const auto item =
         minimpi::from_payload<WorkItem>(res.completions[0].payload);
     if (item.stop != 0) break;
@@ -140,6 +159,7 @@ TaskFarmResult run_taskfarm(minimpi::Simulator& sim,
   TaskFarmResult result;
   result.accumulated = shared->accumulated;
   result.completed = shared->completed;
+  result.tasks_lost = shared->lost;
   result.elapsed = stats.end_time;
   result.messages = stats.messages_sent;
   return result;

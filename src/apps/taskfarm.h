@@ -8,6 +8,13 @@
 // different communication idiom: Waitany instead of Testsome, a single
 // hot wildcard-ish callsite at the master, and strictly deterministic
 // workers. Exercises the MF kinds the other apps do not.
+//
+// The farm is failure-aware (the ULFM shrink idiom): when a matching
+// function reports failed ranks, the master writes off the tasks those
+// workers held and keeps farming to the survivors, and a worker whose
+// master died simply stops — so a run with a killed rank still completes,
+// which is what makes this the rank-kill workload for the fuzzer and the
+// degraded-replay bench.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,7 @@ inline constexpr minimpi::CallsiteId kFarmTaskCallsite = 2;
 struct TaskFarmResult {
   double accumulated = 0.0;    ///< order-sensitive FP fold
   std::uint64_t completed = 0;
+  std::uint64_t tasks_lost = 0;  ///< written off on failed workers
   double elapsed = 0.0;
   std::uint64_t messages = 0;
 };

@@ -15,15 +15,26 @@
 //                       the non-overtaking channel) drops it before the MPI
 //                       matching layer, as a real transport would;
 //   * rank stalls     — scheduler-level pauses of one rank's compute/poll
-//                       resumption (GC pause, OS preemption, NUMA fault).
-// All faults perturb *timing only*: MPI semantics (per-channel ordering,
-// exactly-once delivery) are preserved, which is exactly what makes the
-// recorded receive order adversarial yet replayable.
+//                       resumption (GC pause, OS preemption, NUMA fault);
+//   * rank kills      — ULFM-flavoured process failure: the rank stops
+//                       executing at a scheduled virtual time, peers that
+//                       can no longer be satisfied observe a FailedRank
+//                       error on their matching functions, and the
+//                       simulator shrinks around the dead rank instead of
+//                       deadlocking (see Simulator::run()).
+// The timing faults perturb *timing only*: MPI semantics (per-channel
+// ordering, exactly-once delivery) are preserved, which is exactly what
+// makes the recorded receive order adversarial yet replayable. Rank kills
+// additionally truncate the killed rank's event stream — the survival
+// scenario degraded-mode replay (tool/degraded.h) is built for.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace cdc::minimpi {
+
+using Rank = std::int32_t;  // mirrors types.h (kept header-standalone)
 
 /// Fault classes, as reported to ToolHooks::on_fault.
 enum class FaultKind : std::uint8_t {
@@ -31,7 +42,10 @@ enum class FaultKind : std::uint8_t {
   kReorderBurst,  ///< reported once per message inside a burst
   kDuplicate,
   kRankStall,
+  kRankKill,      ///< process failure: the rank never executes again
 };
+
+inline constexpr std::size_t kFaultKindCount = 5;
 
 [[nodiscard]] constexpr const char* fault_kind_name(FaultKind kind) noexcept {
   switch (kind) {
@@ -39,9 +53,19 @@ enum class FaultKind : std::uint8_t {
     case FaultKind::kReorderBurst: return "reorder_burst";
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kRankStall: return "rank_stall";
+    case FaultKind::kRankKill: return "rank_kill";
   }
   return "?";
 }
+
+/// One scheduled process failure: `rank` stops executing at virtual time
+/// `time`. Messages it already has in flight still arrive (the network
+/// outlives the process); everything it would have done after `time` never
+/// happens.
+struct RankKill {
+  Rank rank = -1;
+  double time = 0.0;
+};
 
 /// Seeded fault-injection schedule, part of Simulator::Config. Probabilities
 /// are per injection opportunity (per send for the message classes, per
@@ -73,9 +97,14 @@ struct FaultPlan {
   /// Stall length: uniform in [0.5, 1.5] x mean seconds.
   double stall_mean = 5.0e-5;
 
+  // --- Rank kills (deterministic schedule, not probabilistic: a kill is a
+  // scenario under test, not background noise).
+  std::vector<RankKill> kills;
+
   [[nodiscard]] bool enabled() const noexcept {
     return delay_spike_probability > 0.0 || reorder_burst_probability > 0.0 ||
-           duplicate_probability > 0.0 || stall_probability > 0.0;
+           duplicate_probability > 0.0 || stall_probability > 0.0 ||
+           !kills.empty();
   }
 };
 
@@ -92,6 +121,7 @@ struct FaultStats {
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t stalls = 0;
   double stall_seconds = 0.0;
+  std::uint64_t rank_kills = 0;
 };
 
 }  // namespace cdc::minimpi

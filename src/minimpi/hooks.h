@@ -80,6 +80,17 @@ class ToolHooks {
   /// diagnostic state (the replayer prints per-stream progress).
   virtual void on_deadlock() {}
 
+  /// The event queue drained with matching-function calls still pending and
+  /// re-polling made no progress — the simulator is stalled. The tool may
+  /// change its own state so a blocked call can complete (the replayer
+  /// releases partial-record gating here, bridging gaps left by killed
+  /// ranks or truncated records) and return true to request another poll
+  /// round. Contract: return true only after actually changing state; a
+  /// tool that always returns true livelocks the drain loop. Returning
+  /// false (the default) lets the simulator proceed to failure shrinking
+  /// and, ultimately, the deadlock diagnostic.
+  virtual bool on_stall() { return false; }
+
   /// A transport fault from the simulator's FaultPlan fired. `rank` is the
   /// destination rank for message faults and the stalled rank for stalls.
   /// Purely observational — fault injection never consults the tool.

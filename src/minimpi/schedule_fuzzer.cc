@@ -10,11 +10,15 @@
 
 #include "apps/mcb.h"
 #include "apps/taskfarm.h"
+#include "obs/json.h"
 #include "store/container_reader.h"
 #include "store/container_store.h"
+#include "store/resilient.h"
 #include "support/check.h"
 #include "support/oracle.h"
 #include "tool/crash_store.h"
+#include "tool/degraded.h"
+#include "tool/frame_sink.h"
 #include "tool/recorder.h"
 #include "tool/replayer.h"
 
@@ -104,6 +108,7 @@ FuzzWorkload taskfarm_workload(int num_ranks, int tasks) {
   workload.name = "taskfarm" + std::to_string(num_ranks) + "x" +
                   std::to_string(tasks);
   workload.num_ranks = num_ranks;
+  workload.kill_tolerant = true;  // the farm shrinks around dead workers
   workload.run = [config](minimpi::Simulator& sim) {
     return apps::run_taskfarm(sim, config).accumulated;
   };
@@ -159,9 +164,12 @@ FuzzReport ScheduleFuzzer::run() {
 std::optional<FuzzFailure> ScheduleFuzzer::run_case(FaultClass cls,
                                                     std::uint64_t seed,
                                                     FuzzReport* report) {
-  return cls == FaultClass::kRecorderCrash
-             ? run_crash_case(seed, report)
-             : run_transport_case(cls, seed, report);
+  switch (cls) {
+    case FaultClass::kRecorderCrash: return run_crash_case(seed, report);
+    case FaultClass::kRankKill: return run_kill_case(seed, report);
+    case FaultClass::kIoFault: return run_io_fault_case(seed, report);
+    default: return run_transport_case(cls, seed, report);
+  }
 }
 
 std::optional<FuzzFailure> ScheduleFuzzer::run_transport_case(
@@ -295,6 +303,222 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_crash_case(
   remove_quietly(container_path);
   remove_quietly(repacked_path);
   return result;
+}
+
+std::optional<FuzzFailure> ScheduleFuzzer::run_kill_case(std::uint64_t seed,
+                                                         FuzzReport* report) {
+  FuzzFailure failure{workload_.name, FaultClass::kRankKill, seed, {}};
+  if (report != nullptr) ++report->cases_run;
+  CDC_CHECK_MSG(workload_.kill_tolerant,
+                "kRankKill requires a kill-tolerant workload");
+
+  // Probe run (same noise seed, no faults): learn the run's virtual span
+  // so the seeded kill lands mid-run rather than before the first message
+  // or after the last.
+  double probe_end = 0.0;
+  {
+    minimpi::Simulator probe(
+        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {}));
+    workload_.run(probe);
+    probe_end = probe.stats().end_time;
+  }
+
+  minimpi::FaultPlan plan;
+  plan.seed = mix(seed * 4 + 2);
+  minimpi::RankKill kill;
+  kill.rank = 1 + static_cast<minimpi::Rank>(
+                      mix(seed * 4 + 2) %
+                      static_cast<std::uint64_t>(workload_.num_ranks - 1));
+  kill.time = probe_end * (0.10 + 0.80 * static_cast<double>(
+                                             mix(seed * 4 + 5) % 1000) /
+                                      1000.0);
+  plan.kills.push_back(kill);
+
+  // Record the killed run into a sealed on-disk container: the recorder
+  // survives the process failure (the survivors' streams are complete;
+  // the victim's end at its death).
+  const std::string container_path = scratch_path("kill", seed);
+  support::Trace recorded_trace;
+  std::uint64_t kills_fired = 0;
+  {
+    store::ContainerStore container(container_path);
+    tool::Recorder recorder(workload_.num_ranks, &container,
+                            tool_options(options_.chunk_target));
+    support::OrderProbe record_probe(&recorder);
+    minimpi::Simulator record_sim(
+        sim_config(workload_.num_ranks, mix(seed * 4 + 1), plan),
+        &record_probe);
+    workload_.run(record_sim);
+    recorder.finalize();
+    container.seal();
+    recorded_trace = record_probe.trace();
+    kills_fired = record_sim.fault_stats().rank_kills;
+    if (report != nullptr) report->faults_injected += kills_fired;
+  }
+
+  // The gap report is this case's CI artifact; a recorder that survived
+  // to seal() must leave a frame-complete container (the degradation is
+  // semantic — the victim's streams just end early).
+  const tool::GapReport gaps = tool::inspect_gaps(container_path);
+  if (!options_.gap_report_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.gap_report_dir, ec);
+    const std::string name = "gaps_" + workload_.name + "_" +
+                             std::to_string(seed) + ".json";
+    obs::JsonWriter::write_file(
+        (std::filesystem::path(options_.gap_report_dir) / name).string(),
+        gaps.to_json());
+  }
+
+  std::optional<FuzzFailure> result;
+  if (!gaps.container_sealed || gaps.frame_coverage() < 1.0) {
+    failure.detail = "sealed post-kill container is frame-damaged: " +
+                     (gaps.container_errors.empty()
+                          ? "coverage < 1"
+                          : gaps.container_errors.front());
+    result = failure;
+  } else if (kills_fired != 1) {
+    // The victim finished before its kill time: deterministic per seed and
+    // legitimate (nothing degraded to check), but only a late kill
+    // fraction should ever get there.
+    if (report != nullptr) ++report->cases_passed;
+  } else {
+    // Degraded replay: a fault-free run gated by the truncated record;
+    // once the victim's streams run dry the replayer releases survivors
+    // to passthrough, and the oracle checks the gated prefix.
+    const auto replay_store = store::ContainerStore::open(container_path);
+    tool::Replayer replayer(workload_.num_ranks, replay_store.get(),
+                            tool_options(options_.chunk_target,
+                                         /*partial_record=*/true));
+    support::OrderProbe replay_probe(&replayer);
+    minimpi::Simulator replay_sim(
+        sim_config(workload_.num_ranks, mix(seed * 4 + 3), {}),
+        &replay_probe);
+    workload_.run(replay_sim);
+
+    const support::OracleReport oracle = support::check_prefix(
+        recorded_trace, replay_probe.trace(), prefix_lengths(replayer));
+    if (report != nullptr) report->events_checked += oracle.events_compared;
+    if (!oracle.ok) {
+      failure.detail = oracle.summary();
+      result = failure;
+    } else if (oracle.events_compared == 0 && !replayer.released()) {
+      failure.detail = "a killed run was recorded but the replay gated "
+                       "nothing";
+      result = failure;
+    } else if (report != nullptr) {
+      ++report->cases_passed;
+    }
+  }
+  remove_quietly(container_path);
+  return result;
+}
+
+std::optional<FuzzFailure> ScheduleFuzzer::run_io_fault_case(
+    std::uint64_t seed, FuzzReport* report) {
+  FuzzFailure failure{workload_.name, FaultClass::kIoFault, seed, {}};
+  if (report != nullptr) ++report->cases_run;
+
+  // Reference: the same seeded run recorded with no storage faults.
+  runtime::MemoryStore clean;
+  support::Trace recorded_trace;
+  double recorded_value = 0.0;
+  {
+    tool::Recorder recorder(workload_.num_ranks, &clean,
+                            tool_options(options_.chunk_target));
+    support::OrderProbe probe(&recorder);
+    minimpi::Simulator sim(
+        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {}), &probe);
+    recorded_value = workload_.run(sim);
+    recorder.finalize();
+    recorded_trace = probe.trace();
+  }
+
+  // The same run again, with seeded transient I/O faults injected between
+  // the frame sink and the store — every one must be absorbed by the
+  // bounded-backoff retries, leaving the record bit-identical.
+  runtime::MemoryStore base;
+  store::IoFaultPlan fault_plan;
+  fault_plan.seed = mix(seed * 4 + 2);
+  fault_plan.eio_every_n = 7;
+  fault_plan.eio_probability = 0.25;
+  fault_plan.failures_per_fault =
+      1 + static_cast<std::uint32_t>(mix(seed * 4 + 4) % 3);
+  fault_plan.short_write_probability = 0.5;
+  fault_plan.fsync_failure_every_n = 2;
+  store::IoFaultStore faulty(&base, fault_plan);
+  store::RetryPolicy policy;
+  policy.jitter_seed = mix(seed * 4 + 5);
+  tool::RetryingFrameSink sink(&faulty, policy);
+  std::uint64_t checkpoint_failures = 0;
+  {
+    tool::Recorder recorder(workload_.num_ranks, &sink.store(),
+                            tool_options(options_.chunk_target), &sink);
+    support::OrderProbe probe(&recorder);
+    minimpi::Simulator sim(
+        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {}), &probe);
+    workload_.run(sim);
+    recorder.finalize();
+    checkpoint_failures = recorder.checkpoint_failures();
+  }
+  if (report != nullptr)
+    report->faults_injected += faulty.stats().transient_throws +
+                               faulty.stats().fsync_failures;
+
+  if (sink.stats().quarantined != 0) {
+    failure.detail = "transient faults quarantined " +
+                     std::to_string(sink.stats().quarantined) + " frame(s)";
+    return failure;
+  }
+  if (checkpoint_failures != 0) {
+    failure.detail = "checkpoint sync failed through the retrying store";
+    return failure;
+  }
+  const double backoff_bound =
+      policy.max_total_backoff_ms() *
+      static_cast<double>(faulty.stats().appends);
+  if (sink.stats().backoff_ms_total > backoff_bound) {
+    failure.detail = "backoff exceeded its bound: " +
+                     std::to_string(sink.stats().backoff_ms_total) + "ms > " +
+                     std::to_string(backoff_bound) + "ms";
+    return failure;
+  }
+  // Bit-identical to the fault-free record, stream by stream.
+  const auto clean_keys = clean.keys();
+  if (clean_keys != base.keys()) {
+    failure.detail = "faulted record has different streams";
+    return failure;
+  }
+  for (const runtime::StreamKey& key : clean_keys) {
+    if (clean.read(key) != base.read(key)) {
+      failure.detail = "stream (rank=" + std::to_string(key.rank) +
+                       ", callsite=" + std::to_string(key.callsite) +
+                       ") is not bit-identical after retried faults";
+      return failure;
+    }
+  }
+
+  // And the surviving record replays with full equivalence.
+  tool::Replayer replayer(workload_.num_ranks, &base,
+                          tool_options(options_.chunk_target));
+  support::OrderProbe replay_probe(&replayer);
+  minimpi::Simulator replay_sim(
+      sim_config(workload_.num_ranks, mix(seed * 4 + 3), {}), &replay_probe);
+  const double replayed_value = workload_.run(replay_sim);
+
+  const support::OracleReport oracle =
+      support::check_equivalence(recorded_trace, replay_probe.trace());
+  if (report != nullptr) report->events_checked += oracle.events_compared;
+  if (!oracle.ok) {
+    failure.detail = oracle.summary();
+    return failure;
+  }
+  if (recorded_value != replayed_value) {
+    failure.detail = "order-sensitive result diverged after retried faults";
+    return failure;
+  }
+  if (report != nullptr) ++report->cases_passed;
+  return std::nullopt;
 }
 
 // --- Crash-at-every-frame-boundary sweep -----------------------------------

@@ -30,7 +30,11 @@ namespace cdc::fuzz {
 
 /// One fault class per fuzz case. kAll layers every transport fault;
 /// kRecorderCrash is the storage-failure case (no transport faults — the
-/// crash is the adversary).
+/// crash is the adversary). kRankKill and kIoFault are the
+/// survive-and-resume classes: a process failure mid-run (requires a
+/// kill-tolerant workload; the record is then degraded-replayed and
+/// prefix-checked) and transient storage I/O errors absorbed by the
+/// retrying frame sink (the record must come out bit-identical).
 enum class FaultClass : std::uint8_t {
   kNone,
   kDelaySpike,
@@ -39,13 +43,24 @@ enum class FaultClass : std::uint8_t {
   kRankStall,
   kAll,
   kRecorderCrash,
+  kRankKill,
+  kIoFault,
 };
 
-inline constexpr std::array<FaultClass, 7> kAllFaultClasses = {
+/// Every class every workload supports (kRankKill is excluded: it needs
+/// FuzzWorkload::kill_tolerant — see kFailureFaultClasses).
+inline constexpr std::array<FaultClass, 8> kAllFaultClasses = {
     FaultClass::kNone,      FaultClass::kDelaySpike,
     FaultClass::kReorderBurst, FaultClass::kDuplicate,
     FaultClass::kRankStall, FaultClass::kAll,
-    FaultClass::kRecorderCrash,
+    FaultClass::kRecorderCrash, FaultClass::kIoFault,
+};
+
+/// The survive-and-resume slice (CI's degraded-replay fuzz job): process
+/// failure + storage failure.
+inline constexpr std::array<FaultClass, 2> kFailureFaultClasses = {
+    FaultClass::kRankKill,
+    FaultClass::kIoFault,
 };
 
 [[nodiscard]] constexpr const char* fault_class_name(FaultClass cls) noexcept {
@@ -57,6 +72,8 @@ inline constexpr std::array<FaultClass, 7> kAllFaultClasses = {
     case FaultClass::kRankStall: return "rank_stall";
     case FaultClass::kAll: return "all";
     case FaultClass::kRecorderCrash: return "recorder_crash";
+    case FaultClass::kRankKill: return "rank_kill";
+    case FaultClass::kIoFault: return "io_fault";
   }
   return "?";
 }
@@ -71,6 +88,10 @@ inline constexpr std::array<FaultClass, 7> kAllFaultClasses = {
 struct FuzzWorkload {
   std::string name;
   int num_ranks = 1;
+  /// True when the application shrinks around killed ranks (taskfarm).
+  /// kRankKill cases require it; MCB's global completion count cannot
+  /// survive losing in-flight particles, so it stays false there.
+  bool kill_tolerant = false;
   std::function<double(minimpi::Simulator&)> run;
 };
 
@@ -90,6 +111,11 @@ struct FuzzOptions {
   /// Directory for recorder-crash container files; empty = the system
   /// temp directory.
   std::string scratch_dir;
+  /// When non-empty, every kRankKill case writes its machine-readable gap
+  /// report (tool::GapReport JSON) here as
+  /// `gaps_<workload>_<seed>.json` — the CI fuzz job uploads these as
+  /// artifacts.
+  std::string gap_report_dir;
 };
 
 struct FuzzFailure {
@@ -131,6 +157,10 @@ class ScheduleFuzzer {
                                                 FuzzReport* report);
   std::optional<FuzzFailure> run_crash_case(std::uint64_t seed,
                                             FuzzReport* report);
+  std::optional<FuzzFailure> run_kill_case(std::uint64_t seed,
+                                           FuzzReport* report);
+  std::optional<FuzzFailure> run_io_fault_case(std::uint64_t seed,
+                                               FuzzReport* report);
   [[nodiscard]] std::string scratch_path(const char* tag,
                                          std::uint64_t seed) const;
 

@@ -59,10 +59,15 @@ void MFAwaiter::await_suspend(std::coroutine_handle<> handle) {
   ctx.mf = this;
   ctx.mf_continuation = handle;
   ctx.mf_poll_scheduled = true;
+  ++ctx.mf_epoch;
   double call_cost = sim->config_.mpi_call_cost;
   if (sim->hooks_ != &sim->default_hooks_)
     call_cost += sim->config_.tool_call_cost;
   sim->schedule(ctx.time + call_cost, Simulator::EventType::kPoll, rank);
+  if (sim->config_.mf_timeout > 0.0)
+    sim->schedule(ctx.time + call_cost + sim->config_.mf_timeout,
+                  Simulator::EventType::kTimeout, rank, nullptr,
+                  ctx.mf_epoch);
 }
 
 void BarrierAwaiter::await_suspend(std::coroutine_handle<> handle) {
@@ -179,8 +184,10 @@ void Simulator::set_program(Rank rank, const Program& program) {
 void Simulator::schedule(double time, EventType type, Rank rank,
                          std::coroutine_handle<> handle,
                          std::uint64_t message_index) {
-  // Rank stalls pause a rank's resume/poll, never a network delivery.
-  if (type != EventType::kDeliver) time = maybe_stall(time, rank);
+  // Rank stalls pause a rank's resume/poll — never a network delivery,
+  // and never the fault-plan timers (kills, MF timeouts).
+  if (type == EventType::kResume || type == EventType::kPoll)
+    time = maybe_stall(time, rank);
   events_.push(Event{time, next_seq_++, type, rank, handle, message_index});
 }
 
@@ -606,15 +613,21 @@ void Simulator::check_rank_done(Rank rank) {
 }
 
 void Simulator::complete_barrier_if_ready() {
-  if (barrier_waiting_ != size()) return;
+  // Collectives complete over the survivors (ULFM shrink semantics):
+  // failed ranks neither participate nor are waited for.
+  if (live_count() == 0 || barrier_waiting_ != live_count()) return;
   barrier_waiting_ = 0;
-  const double hops = std::ceil(std::log2(std::max(2, size())));
+  const double hops = std::ceil(std::log2(std::max(2, live_count())));
   double release = 0.0;
-  for (const auto& ctx : ranks_) release = std::max(release, ctx.time);
+  for (const auto& ctx : ranks_)
+    if (!ctx.failed) release = std::max(release, ctx.time);
   release += hops * config_.collective_hop_cost;
   for (int r = 0; r < size(); ++r) {
     auto& ctx = ranks_[static_cast<std::size_t>(r)];
-    CDC_CHECK(ctx.in_barrier);
+    if (!ctx.in_barrier) {
+      CDC_CHECK(ctx.failed);
+      continue;
+    }
     ctx.in_barrier = false;
     schedule(release, EventType::kResume, r, ctx.collective_continuation);
     ctx.collective_continuation = nullptr;
@@ -622,31 +635,186 @@ void Simulator::complete_barrier_if_ready() {
 }
 
 void Simulator::complete_allreduce_if_ready() {
-  if (allreduce_waiting_ != size()) return;
+  if (live_count() == 0 || allreduce_waiting_ != live_count()) return;
   allreduce_waiting_ = 0;
 
   // Elementwise sum in strict rank order: bit-reproducible regardless of
-  // arrival timing.
-  const std::size_t width = allreduce_inputs_[0].size();
+  // arrival timing. Failed ranks' contributions are excluded — the
+  // survivor-communicator semantics of a post-shrink allreduce.
+  std::size_t width = 0;
+  for (int r = 0; r < size(); ++r)
+    if (ranks_[static_cast<std::size_t>(r)].allreduce != nullptr) {
+      width = allreduce_inputs_[static_cast<std::size_t>(r)].size();
+      break;
+    }
   std::vector<double> sum(width, 0.0);
-  for (const auto& input : allreduce_inputs_) {
+  for (int r = 0; r < size(); ++r) {
+    if (ranks_[static_cast<std::size_t>(r)].allreduce == nullptr) continue;
+    const auto& input = allreduce_inputs_[static_cast<std::size_t>(r)];
     CDC_CHECK_MSG(input.size() == width,
                   "allreduce contributions differ in length");
     for (std::size_t i = 0; i < width; ++i) sum[i] += input[i];
   }
 
-  const double hops = 2.0 * std::ceil(std::log2(std::max(2, size())));
+  const double hops = 2.0 * std::ceil(std::log2(std::max(2, live_count())));
   double release = 0.0;
-  for (const auto& ctx : ranks_) release = std::max(release, ctx.time);
+  for (const auto& ctx : ranks_)
+    if (!ctx.failed) release = std::max(release, ctx.time);
   release += hops * config_.collective_hop_cost;
   for (int r = 0; r < size(); ++r) {
     auto& ctx = ranks_[static_cast<std::size_t>(r)];
-    CDC_CHECK(ctx.allreduce != nullptr);
+    if (ctx.allreduce == nullptr) {
+      CDC_CHECK(ctx.failed);
+      continue;
+    }
     ctx.allreduce->result = sum;
     ctx.allreduce = nullptr;
     allreduce_inputs_[static_cast<std::size_t>(r)].clear();
     schedule(release, EventType::kResume, r, ctx.collective_continuation);
     ctx.collective_continuation = nullptr;
+  }
+}
+
+void Simulator::kill_rank(Rank rank) {
+  auto& ctx = ranks_[static_cast<std::size_t>(rank)];
+  if (ctx.failed || ctx.finished) return;  // nothing left to kill
+  ctx.failed = true;
+  ++failed_count_;
+  ++fault_stats_.rank_kills;
+  ++stats_.ranks_failed;
+  obs::trace_instant("fault.rank_kill", rank);
+  hooks_->on_fault(FaultKind::kRankKill, rank);
+
+  // The dead process abandons whatever it was blocked in. Its coroutine is
+  // simply never resumed again (the frame is reclaimed with the Task); its
+  // pending requests and unexpected queue are frozen as-is.
+  ctx.mf_active = false;
+  ctx.mf = nullptr;
+  ctx.mf_continuation = nullptr;
+  ctx.mf_poll_scheduled = false;
+  if (ctx.in_barrier) {
+    ctx.in_barrier = false;
+    ctx.collective_continuation = nullptr;
+    --barrier_waiting_;
+  }
+  if (ctx.allreduce != nullptr) {
+    ctx.allreduce = nullptr;
+    ctx.collective_continuation = nullptr;
+    allreduce_inputs_[static_cast<std::size_t>(rank)].clear();
+    --allreduce_waiting_;
+  }
+  // Dropping a participant may make a collective complete over survivors.
+  complete_barrier_if_ready();
+  complete_allreduce_if_ready();
+}
+
+void Simulator::fail_mf(Rank rank, bool timed_out,
+                        std::vector<Rank> failed_ranks) {
+  auto& ctx = ranks_[static_cast<std::size_t>(rank)];
+  CDC_CHECK(ctx.mf_active);
+  MFAwaiter& mf = *ctx.mf;
+  std::sort(failed_ranks.begin(), failed_ranks.end());
+  failed_ranks.erase(std::unique(failed_ranks.begin(), failed_ranks.end()),
+                     failed_ranks.end());
+  mf.result.flag = false;
+  mf.result.failed = true;
+  mf.result.timed_out = timed_out;
+  mf.result.failed_ranks = std::move(failed_ranks);
+  ++stats_.mf_failures;
+  obs::trace_instant(timed_out ? "mf.timeout" : "mf.proc_failed", rank);
+
+  ctx.mf_active = false;
+  ctx.mf = nullptr;
+  const std::coroutine_handle<> continuation = ctx.mf_continuation;
+  ctx.mf_continuation = nullptr;
+  continuation.resume();
+  check_rank_done(rank);
+}
+
+bool Simulator::shrink_failed_waits() {
+  // Called at the terminal drain: the event queue is empty and re-polling
+  // made no progress, so no in-flight message can satisfy anything. A
+  // pending receive whose sender died (or — opt-in — finished) will never
+  // match; fail the covering MF call so the application can shrink its
+  // wait set and carry on instead of deadlocking.
+  bool any_failed = false;
+  for (int r = 0; r < size(); ++r) {
+    auto& ctx = ranks_[static_cast<std::size_t>(r)];
+    if (ctx.finished || ctx.failed || !ctx.mf_active) continue;
+    std::vector<Rank> implicated;
+    bool wildcard = false;
+    for (const std::uint64_t id : ctx.mf->request_ids) {
+      const auto& req = ctx.requests[id];
+      if (req.kind != RequestState::Kind::kRecv || req.delivered ||
+          req.matched)
+        continue;
+      if (req.source_spec == kAnySource) {
+        wildcard = true;
+        continue;
+      }
+      const auto& src = ranks_[static_cast<std::size_t>(req.source_spec)];
+      if (src.failed ||
+          (config_.fail_unsatisfiable_waits && src.finished))
+        implicated.push_back(req.source_spec);
+    }
+    if (wildcard) {
+      // ULFM: an ANY_SOURCE wait is implicated whenever any rank failed
+      // (MPI_ERR_PROC_FAILED_PENDING) — and, with the opt-in, when every
+      // other rank has finished and can never send again.
+      for (int s = 0; s < size(); ++s)
+        if (ranks_[static_cast<std::size_t>(s)].failed)
+          implicated.push_back(s);
+      if (implicated.empty() && config_.fail_unsatisfiable_waits) {
+        bool all_done = true;
+        for (int s = 0; s < size(); ++s) {
+          if (s == r) continue;
+          if (!ranks_[static_cast<std::size_t>(s)].finished) all_done = false;
+        }
+        if (all_done)
+          for (int s = 0; s < size(); ++s)
+            if (s != r) implicated.push_back(s);
+      }
+    }
+    if (implicated.empty()) continue;
+    fail_mf(r, /*timed_out=*/false, std::move(implicated));
+    any_failed = true;
+  }
+  return any_failed;
+}
+
+void Simulator::describe_stuck_ranks() const {
+  for (int r = 0; r < size(); ++r) {
+    const auto& ctx = ranks_[static_cast<std::size_t>(r)];
+    if (ctx.finished || ctx.failed) continue;
+    if (ctx.mf_active) {
+      std::fprintf(stderr,
+                   "minimpi: deadlock — rank %d blocked in %s at callsite "
+                   "%u (%zu reqs, %zu unexpected)\n",
+                   r, mf_kind_name(ctx.mf->kind), ctx.mf->callsite,
+                   ctx.mf->request_ids.size(), ctx.unexpected.size());
+      for (const std::uint64_t id : ctx.mf->request_ids) {
+        const auto& req = ctx.requests[id];
+        if (req.kind != RequestState::Kind::kRecv || req.delivered) continue;
+        const char* state = "live";
+        if (req.source_spec != kAnySource) {
+          const auto& src =
+              ranks_[static_cast<std::size_t>(req.source_spec)];
+          state = src.failed ? "FAILED" : (src.finished ? "finished"
+                                                        : "live");
+        }
+        std::fprintf(stderr,
+                     "minimpi:   awaiting source %d tag %d (%s%s)\n",
+                     req.source_spec, req.tag_spec,
+                     req.source_spec == kAnySource ? "any-source, " : "",
+                     req.source_spec == kAnySource
+                         ? (failed_count_ > 0 ? "some senders FAILED"
+                                              : "senders live")
+                         : state);
+      }
+    } else {
+      std::fprintf(stderr, "minimpi: deadlock — rank %d blocked (%s)\n", r,
+                   ctx.in_barrier ? "barrier" : "allreduce/unknown");
+    }
   }
 }
 
@@ -657,6 +825,12 @@ Simulator::Stats Simulator::run() {
     auto& ctx = ranks_[static_cast<std::size_t>(r)];
     CDC_CHECK_MSG(ctx.task.valid(), "rank has no program installed");
     schedule(0.0, EventType::kResume, r, ctx.task.handle());
+  }
+  for (const RankKill& kill : config_.faults.kills) {
+    CDC_CHECK_MSG(kill.rank >= 0 && kill.rank < size(),
+                  "fault plan kills a rank outside the communicator");
+    CDC_CHECK_MSG(kill.time >= 0.0, "rank kill scheduled before t=0");
+    schedule(kill.time, EventType::kKill, kill.rank);
   }
 
   // Outer loop: drain the event queue; when it empties with matching-
@@ -681,6 +855,7 @@ Simulator::Stats Simulator::run() {
 
       switch (ev.type) {
         case EventType::kResume:
+          if (ranks_[static_cast<std::size_t>(ev.rank)].failed) break;
           resume_rank(ev.rank, ev.handle, ev.time);
           break;
         case EventType::kDeliver: {
@@ -702,29 +877,62 @@ Simulator::Stats Simulator::run() {
             break;
           }
           delivered = msg.transport_seq;
+          // A dead destination consumes the arrival (keeping channel
+          // bookkeeping — and the duplicate accounting — exact) but the
+          // process is no longer there to match it.
+          if (ranks_[static_cast<std::size_t>(ev.rank)].failed) break;
           try_match_arrival(ev.rank, std::move(msg));
           break;
         }
         case EventType::kPoll:
+          if (ranks_[static_cast<std::size_t>(ev.rank)].failed) break;
           ranks_[static_cast<std::size_t>(ev.rank)].time =
               std::max(ranks_[static_cast<std::size_t>(ev.rank)].time,
                        ev.time);
           poll_mf(ev.rank);
           break;
+        case EventType::kKill:
+          kill_rank(ev.rank);
+          break;
+        case EventType::kTimeout: {
+          auto& ctx = ranks_[static_cast<std::size_t>(ev.rank)];
+          if (ctx.failed || ctx.finished || !ctx.mf_active) break;
+          if (ctx.mf_epoch != ev.message_index) break;  // stale timer
+          ++stats_.mf_timeouts;
+          fail_mf(ev.rank, /*timed_out=*/true, {});
+          break;
+        }
       }
     }
 
     bool any_pending_mf = false;
     for (const auto& ctx : ranks_)
-      any_pending_mf = any_pending_mf || (!ctx.finished && ctx.mf_active);
+      any_pending_mf =
+          any_pending_mf || (!ctx.finished && !ctx.failed && ctx.mf_active);
     if (!any_pending_mf) break;
     const std::uint64_t progress =
         stats_.receive_events_delivered + stats_.unmatched_tests;
-    if (progress == last_progress) break;  // re-poll changed nothing: stuck
-    last_progress = progress;
+    if (progress == last_progress) {
+      // Re-polling changed nothing: the pending calls are truly stuck.
+      // Escalate in two stages before declaring deadlock. (1) Let the
+      // tool change its own state (the replayer releases partial-record
+      // gating here, bridging gaps left by killed ranks or truncated
+      // records); its contract is to return true only after an actual
+      // state change, so this cannot livelock. (2) Shrink: fail every
+      // wait whose senders died (ULFM) — each shrink round fails at
+      // least one MF call, so this is bounded too.
+      if (!hooks_->on_stall() && !shrink_failed_waits())
+        break;  // genuinely stuck: fall through to the deadlock report
+      // State changed; treat the next drain round as fresh progress (the
+      // failed calls' continuations may have scheduled new events).
+      last_progress = std::numeric_limits<std::uint64_t>::max();
+    } else {
+      last_progress = progress;
+    }
     for (int r = 0; r < size(); ++r) {
       auto& ctx = ranks_[static_cast<std::size_t>(r)];
-      if (!ctx.finished && ctx.mf_active && !ctx.mf_poll_scheduled) {
+      if (!ctx.finished && !ctx.failed && ctx.mf_active &&
+          !ctx.mf_poll_scheduled) {
         ctx.mf_poll_scheduled = true;
         schedule(now_, EventType::kPoll, r);
       }
@@ -737,23 +945,11 @@ Simulator::Stats Simulator::run() {
   bool deadlocked = false;
   for (int r = 0; r < size(); ++r) {
     const auto& ctx = ranks_[static_cast<std::size_t>(r)];
-    if (!ctx.finished) {
-      deadlocked = true;
-      if (ctx.mf_active) {
-        std::fprintf(stderr,
-                     "minimpi: deadlock — rank %d blocked in %s at callsite "
-                     "%u (%zu reqs, %zu unexpected)\n",
-                     r, mf_kind_name(ctx.mf->kind), ctx.mf->callsite,
-                     ctx.mf->request_ids.size(), ctx.unexpected.size());
-      } else {
-        std::fprintf(stderr,
-                     "minimpi: deadlock — rank %d blocked (%s)\n", r,
-                     ctx.in_barrier ? "barrier" : "allreduce/unknown");
-      }
-    }
+    if (!ctx.finished && !ctx.failed) deadlocked = true;
     stats_.end_time = std::max(stats_.end_time, ctx.time);
   }
   if (deadlocked) {
+    describe_stuck_ranks();
     hooks_->on_deadlock();
     CDC_CHECK_MSG(false, "simulation deadlocked");
   }
@@ -768,7 +964,11 @@ Simulator::Stats Simulator::run() {
     obs::counter("sim.unmatched_tests").add(stats_.unmatched_tests);
     obs::counter("sim.faults")
         .add(fault_stats_.stalls + fault_stats_.delay_spikes +
-             fault_stats_.burst_messages + fault_stats_.duplicates_injected);
+             fault_stats_.burst_messages + fault_stats_.duplicates_injected +
+             fault_stats_.rank_kills);
+    obs::counter("sim.ranks_failed").add(stats_.ranks_failed);
+    obs::counter("sim.mf_failures").add(stats_.mf_failures);
+    obs::counter("sim.mf_timeouts").add(stats_.mf_timeouts);
     obs::gauge("sim.virtual_time_us")
         .add(static_cast<std::int64_t>(stats_.end_time * 1e6));
     obs::publish_virtual_now(stats_.end_time);

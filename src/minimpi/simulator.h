@@ -167,6 +167,16 @@ class Simulator {
     /// 1.18% end-to-end for 8-byte piggyback data).
     double piggyback_send_cost = 0.0;
     std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
+    /// Matching-function timeout in virtual seconds (0 = wait forever, the
+    /// MPI default). A pending MF call still unsatisfied this long after it
+    /// was issued fails with MFResult::timed_out instead of blocking the
+    /// simulation — the escape hatch for survivor ranks whose peers died.
+    double mf_timeout = 0.0;
+    /// When true, a wait whose remaining senders have all *finished* (not
+    /// just failed) also fails with MFResult::failed at the terminal drain
+    /// instead of deadlocking; failed_ranks then names those finished
+    /// ranks. Off by default: an untooled MPI run deadlocks there.
+    bool fail_unsatisfiable_waits = false;
     /// Seeded transport-fault schedule (see fault.h). Disabled by default;
     /// a disabled plan draws nothing from the fault RNG, so the run is
     /// bit-identical to one without the field.
@@ -179,6 +189,9 @@ class Simulator {
     std::uint64_t mf_calls = 0;
     std::uint64_t unmatched_tests = 0;
     std::uint64_t scheduler_events = 0;
+    std::uint64_t mf_failures = 0;  ///< MF calls failed (ULFM-style)
+    std::uint64_t mf_timeouts = 0;  ///< subset of mf_failures: timer expiry
+    std::uint64_t ranks_failed = 0;  ///< ranks killed by the fault plan
     double end_time = 0.0;  ///< virtual seconds when the last rank finished
   };
 
@@ -209,6 +222,11 @@ class Simulator {
   [[nodiscard]] Comm& comm(Rank rank) {
     CDC_CHECK(rank >= 0 && rank < size());
     return *ranks_[static_cast<std::size_t>(rank)].comm;
+  }
+  /// True once the fault plan killed this rank (ULFM process failure).
+  [[nodiscard]] bool rank_failed(Rank rank) const {
+    CDC_CHECK(rank >= 0 && rank < size());
+    return ranks_[static_cast<std::size_t>(rank)].failed;
   }
 
  private:
@@ -243,7 +261,13 @@ class Simulator {
     Message message;
   };
 
-  enum class EventType : std::uint8_t { kResume, kDeliver, kPoll };
+  enum class EventType : std::uint8_t {
+    kResume,
+    kDeliver,
+    kPoll,
+    kKill,     ///< fault-plan rank kill fires
+    kTimeout,  ///< a pending MF call's timeout expired
+  };
 
   struct Event {
     double time = 0.0;
@@ -251,7 +275,9 @@ class Simulator {
     EventType type = EventType::kResume;
     Rank rank = -1;
     std::coroutine_handle<> handle;  // kResume only
-    std::uint64_t message_index = 0;  // kDeliver only (into in_flight_)
+    /// kDeliver: index into in_flight_. kTimeout: the rank's mf_epoch the
+    /// timer was armed for (a stale timer is ignored).
+    std::uint64_t message_index = 0;
   };
 
   struct EventLater {
@@ -266,6 +292,13 @@ class Simulator {
     Program program;  ///< owns the coroutine's closure for the rank's lifetime
     Task task;
     bool finished = false;
+    /// Killed by the fault plan: the coroutine is never resumed again, its
+    /// pending events are dropped, and peers waiting on it observe
+    /// MFResult::failed at the terminal drain (see shrink_failed_waits).
+    bool failed = false;
+    /// Increments each time an MF call becomes pending; lets a kTimeout
+    /// event recognise that the call it was armed for already completed.
+    std::uint64_t mf_epoch = 0;
     std::unique_ptr<Comm> comm;
 
     std::vector<RequestState> requests;
@@ -304,6 +337,23 @@ class Simulator {
   void check_rank_done(Rank rank);
   void complete_barrier_if_ready();
   void complete_allreduce_if_ready();
+  /// Marks `rank` dead: drops it from pending collectives, forgets its
+  /// pending MF call, and never resumes its coroutine again.
+  void kill_rank(Rank rank);
+  /// Fails the rank's pending MF call (ULFM MPI_ERR_PROC_FAILED analogue /
+  /// timeout) and resumes the application with MFResult::failed set.
+  /// Pending requests stay posted; the app drops dead-rank requests from
+  /// its next wait set.
+  void fail_mf(Rank rank, bool timed_out, std::vector<Rank> failed_ranks);
+  /// Terminal-drain shrink: fails every pending MF call that can no longer
+  /// be satisfied because implicated senders died (or, with
+  /// fail_unsatisfiable_waits, finished). Returns true if any call failed.
+  bool shrink_failed_waits();
+  /// Prints the per-rank stuck diagnostic ahead of the deadlock abort.
+  void describe_stuck_ranks() const;
+  [[nodiscard]] int live_count() const noexcept {
+    return size() - failed_count_;
+  }
 
   Request post_isend(Rank src, Rank dst, int tag,
                      std::span<const std::uint8_t> data);
@@ -330,6 +380,7 @@ class Simulator {
   std::uint64_t next_message_index_ = 0;
   int barrier_waiting_ = 0;
   int allreduce_waiting_ = 0;
+  int failed_count_ = 0;
   std::vector<std::vector<double>> allreduce_inputs_;
   Stats stats_;
   bool running_ = false;

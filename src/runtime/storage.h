@@ -11,6 +11,7 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,18 @@ struct StreamKey {
   minimpi::CallsiteId callsite = 0;
 
   friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+};
+
+/// A recoverable storage I/O failure (EIO, short write, fsync error).
+/// Contract: a store that throws this from append()/sync() committed
+/// *nothing* of the failed operation — retrying the identical call is
+/// safe. Unrecoverable conditions (bad path, permissions) keep the loud
+/// CDC_CHECK abort; IoError is reserved for faults worth retrying.
+/// Thrown by fault-injecting stores (store/resilient.h) and caught by
+/// RetryingStore; the stock backends below never throw it.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class RecordStore {
@@ -38,6 +51,11 @@ class RecordStore {
 
   /// Bytes attributable to one rank (per-process record size).
   [[nodiscard]] virtual std::uint64_t rank_bytes(minimpi::Rank rank) const = 0;
+
+  /// Durability barrier (fsync analogue): on return, every byte appended so
+  /// far survives a crash of the writer. May throw IoError on injected
+  /// fsync failure. No-op for stores that are already durable per append.
+  virtual void sync() {}
 };
 
 /// Ramdisk-style in-memory store. Thread-safe (the asynchronous recording

@@ -41,11 +41,11 @@ std::unique_ptr<ContainerReader> ContainerReader::open(
   }
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
-  if (bytes.size() < kContainerHeaderSize + kContainerFooterSize) {
-    if (error != nullptr)
-      *error = "'" + path + "' is too small to be a record container";
-    return nullptr;
-  }
+  // Any readable file opens — even one truncated below the header+footer
+  // minimum (an empty container, a crash during the very first write).
+  // Damage is reported through header/index diagnostics so the salvage
+  // path can still return the (possibly empty) record instead of failing
+  // closed.
   auto reader = std::unique_ptr<ContainerReader>(new ContainerReader());
   reader->path_ = path;
   reader->bytes_ = std::move(bytes);
@@ -55,12 +55,22 @@ std::unique_ptr<ContainerReader> ContainerReader::open(
 
 void ContainerReader::parse_footer_and_index() {
   // Header.
-  header_ok_ = std::memcmp(bytes_.data(), kContainerMagic, 4) == 0 &&
+  header_ok_ = bytes_.size() >= kContainerHeaderSize &&
+               std::memcmp(bytes_.data(), kContainerMagic, 4) == 0 &&
                bytes_[4] == kContainerVersion && bytes_[5] == 0 &&
                bytes_[6] == 0 && bytes_[7] == 0;
-  if (!header_ok_) header_error_ = "bad container header (magic/version)";
+  if (!header_ok_)
+    header_error_ = bytes_.size() < kContainerHeaderSize
+                        ? "file smaller than the container header"
+                        : "bad container header (magic/version)";
 
-  // Fixed-size footer at EOF.
+  // Fixed-size footer at EOF. A file too small to hold one is a container
+  // truncated before (or inside) its footer: no index, data region is
+  // whatever frames survive a sequential scan.
+  if (bytes_.size() < kContainerHeaderSize + kContainerFooterSize) {
+    index_error_ = "file too small for an index footer (truncated?)";
+    return;
+  }
   const std::span<const std::uint8_t> all(bytes_);
   const std::size_t footer_at = bytes_.size() - kContainerFooterSize;
   support::ByteReader footer(all.subspan(footer_at, kContainerFooterSize));

@@ -22,12 +22,22 @@ namespace cdc::store {
 class ContainerReader {
  public:
   /// Loads `path` fully into memory. Returns nullptr (and sets *error)
-  /// only when the file cannot be read or is smaller than header+footer.
+  /// only when the file cannot be read; any readable file — including one
+  /// truncated below the header+footer minimum — opens, with the damage
+  /// reported through header_ok()/index_ok() and their diagnostics.
   static std::unique_ptr<ContainerReader> open(const std::string& path,
                                                std::string* error = nullptr);
 
   /// True when the footer and index parsed and CRC-checked clean.
   [[nodiscard]] bool index_ok() const noexcept { return index_ok_; }
+  /// Diagnostic when index_ok() is false; empty otherwise.
+  [[nodiscard]] const std::string& index_error() const noexcept {
+    return index_error_;
+  }
+  [[nodiscard]] bool header_ok() const noexcept { return header_ok_; }
+  [[nodiscard]] const std::string& header_error() const noexcept {
+    return header_error_;
+  }
 
   /// Streams recorded in the index (index order). When the index is
   /// damaged, falls back to the streams found by a sequential scan.

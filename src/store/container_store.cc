@@ -57,6 +57,10 @@ std::uint64_t ContainerStore::rank_bytes(minimpi::Rank rank) const {
   return memory_.rank_bytes(rank);
 }
 
+void ContainerStore::sync() {
+  if (writer_ != nullptr) writer_->flush();
+}
+
 void ContainerStore::seal() {
   if (writer_ != nullptr) writer_->seal();
 }

@@ -45,6 +45,11 @@ class ContainerStore final : public runtime::RecordStore {
   [[nodiscard]] std::uint64_t total_bytes() const override;
   [[nodiscard]] std::uint64_t rank_bytes(minimpi::Rank rank) const override;
 
+  /// Durability barrier: flushes the container file so frames appended so
+  /// far survive a recorder crash (epoch checkpoints). No-op in replay
+  /// mode or once sealed.
+  void sync() override;
+
   /// Finishes the container (index + footer). Idempotent; recording mode
   /// only. The destructor seals too, so this is for callers that want to
   /// reopen the file while the store is still alive.

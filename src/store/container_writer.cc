@@ -65,6 +65,13 @@ void ContainerWriter::append_frame(const runtime::StreamKey& key,
   obs_payload.add(payload.size());
 }
 
+void ContainerWriter::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sealed_) return;
+  out_.flush();
+  CDC_CHECK_MSG(out_.good(), "container flush failed");
+}
+
 void ContainerWriter::seal() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (sealed_) return;

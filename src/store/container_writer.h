@@ -33,6 +33,11 @@ class ContainerWriter {
   void append_frame(const runtime::StreamKey& key,
                     std::span<const std::uint8_t> payload);
 
+  /// Durability barrier: pushes every appended frame down to the OS so a
+  /// crash of the recorder after this call loses no frame appended before
+  /// it (the epoch-checkpoint primitive). No-op once sealed.
+  void flush();
+
   /// Writes the index and footer and closes the file. Idempotent; no
   /// frames may be appended afterwards.
   void seal();

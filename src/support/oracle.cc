@@ -143,6 +143,12 @@ void OrderProbe::on_deadlock() {
   if (inner_ != nullptr) inner_->on_deadlock();
 }
 
+bool OrderProbe::on_stall() {
+  // Semantics-affecting: forwarded verbatim so probing a replayer does not
+  // change when (or whether) it releases partial-record gating.
+  return inner_ != nullptr && inner_->on_stall();
+}
+
 void OrderProbe::on_fault(minimpi::FaultKind kind, minimpi::Rank rank) {
   ++fault_counts_[static_cast<std::size_t>(kind)];
   if (inner_ != nullptr) inner_->on_fault(kind, rank);

@@ -63,6 +63,7 @@ class OrderProbe : public minimpi::ToolHooks {
                   minimpi::MFKind kind,
                   std::span<const minimpi::Completion> events) override;
   void on_deadlock() override;
+  bool on_stall() override;
   void on_fault(minimpi::FaultKind kind, minimpi::Rank rank) override;
 
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
@@ -74,7 +75,7 @@ class OrderProbe : public minimpi::ToolHooks {
  private:
   minimpi::ToolHooks* inner_;
   Trace trace_;
-  std::array<std::uint64_t, 4> fault_counts_{};
+  std::array<std::uint64_t, minimpi::kFaultKindCount> fault_counts_{};
 };
 
 /// Outcome of one oracle comparison. `mismatches` holds human-readable

@@ -25,4 +25,13 @@ void AsyncFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
                    [job = std::move(job)] { return encode_frame(job); });
 }
 
+RetryingFrameSink::RetryingFrameSink(runtime::RecordStore* store,
+                                     const store::RetryPolicy& policy,
+                                     std::string quarantine_path)
+    : retrying_(store, policy, std::move(quarantine_path)) {}
+
+void RetryingFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
+  retrying_.append(key, encode_frame(job));
+}
+
 }  // namespace cdc::tool

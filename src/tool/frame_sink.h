@@ -9,9 +9,18 @@
 //   AsyncFrameSink  — hand the raw payload to a store::CompressionService
 //     worker pool; frames are committed to the store in submission order,
 //     so the stored bytes are identical to the inline path.
+//   RetryingFrameSink — encode inline, but append through a
+//     store::RetryingStore: transient I/O errors are retried with bounded
+//     exponential backoff, and a frame that exhausts its retries is
+//     quarantined (in memory + the `.cdcq` sidecar) instead of aborting
+//     the recorder. The survive-and-resume path for flaky node-local
+//     storage.
 #pragma once
 
+#include <string>
+
 #include "runtime/storage.h"
+#include "store/resilient.h"
 #include "tool/frame.h"
 
 namespace cdc::store {
@@ -47,6 +56,33 @@ class AsyncFrameSink final : public FrameSink {
 
  private:
   store::CompressionService* service_;
+};
+
+/// Encodes on the calling thread and appends through an internal
+/// store::RetryingStore wrapped around `store`: runtime::IoError appends
+/// are retried under `policy`, and exhausted frames are quarantined to
+/// `quarantine_path` (when non-empty) instead of aborting. submit() never
+/// throws for I/O reasons — recording always completes.
+class RetryingFrameSink final : public FrameSink {
+ public:
+  explicit RetryingFrameSink(runtime::RecordStore* store,
+                             const store::RetryPolicy& policy = {},
+                             std::string quarantine_path = {});
+  void submit(const runtime::StreamKey& key, FrameJob job) override;
+
+  /// The retrying decorator itself — hand this to a Recorder as its store
+  /// so checkpoint sync() calls get the same retry treatment.
+  [[nodiscard]] store::RetryingStore& store() noexcept { return retrying_; }
+  [[nodiscard]] const store::RetryStats& stats() const noexcept {
+    return retrying_.stats();
+  }
+  [[nodiscard]] const std::vector<store::QuarantinedFrame>& quarantined()
+      const noexcept {
+    return retrying_.quarantined();
+  }
+
+ private:
+  store::RetryingStore retrying_;
 };
 
 }  // namespace cdc::tool

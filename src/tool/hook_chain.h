@@ -70,6 +70,11 @@ class HookChain : public minimpi::ToolHooks {
     for (minimpi::ToolHooks* observer : observers_) observer->on_deadlock();
   }
 
+  bool on_stall() override {
+    // Semantics-affecting (may unblock the run): primary only.
+    return primary_ != nullptr && primary_->on_stall();
+  }
+
   void on_fault(minimpi::FaultKind kind, minimpi::Rank rank) override {
     if (primary_ != nullptr) primary_->on_fault(kind, rank);
     for (minimpi::ToolHooks* observer : observers_)

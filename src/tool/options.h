@@ -44,6 +44,15 @@ struct ToolOptions {
   /// which greatly increases observed/reference order similarity for
   /// polling applications like MCB.
   bool tick_on_unmatched_test = true;
+  /// Epoch-checkpoint interval: after every `checkpoint_interval` chunk
+  /// flushes the recorder issues a store durability barrier
+  /// (RecordStore::sync), so a killed recorder loses at most the chunks of
+  /// one checkpoint window — one epoch, at the default of 1 — instead of
+  /// everything since the last OS writeback. 0 disables checkpoints (the
+  /// seed behaviour). With an asynchronous sink the barrier covers every
+  /// frame the compression service has committed so far (best effort);
+  /// the inline path gets the exact ≤ interval guarantee.
+  std::uint32_t checkpoint_interval = 1;
   /// Replay a *partial* record — e.g. one salvaged from a crashed
   /// recorder's container (store/container_reader.h repack). The record is
   /// a prefix of the original run, not a causally consistent cut, so the

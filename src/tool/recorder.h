@@ -46,6 +46,12 @@ class Recorder : public minimpi::ToolHooks {
   /// Flushes every stream; call once after Simulator::run() returns.
   void finalize();
 
+  /// Checkpoint syncs that threw IoError (see ToolOptions::
+  /// checkpoint_interval; 0 with a retrying or fault-free store).
+  [[nodiscard]] std::uint64_t checkpoint_failures() const noexcept {
+    return checkpoint_failures_;
+  }
+
   // --- Introspection for the evaluation harnesses.
   struct Totals {
     std::uint64_t matched_events = 0;
@@ -76,6 +82,8 @@ class Recorder : public minimpi::ToolHooks {
 
  private:
   StreamRecorder& stream(minimpi::Rank rank, minimpi::CallsiteId callsite);
+  /// Issues a store durability barrier once enough chunks have flushed.
+  void checkpoint(std::uint64_t new_chunks);
 
   ToolOptions options_;
   runtime::RecordStore* store_;
@@ -85,6 +93,8 @@ class Recorder : public minimpi::ToolHooks {
   std::map<runtime::StreamKey, std::unique_ptr<StreamRecorder>> streams_;
   std::vector<std::uint64_t> clock_trace_;
   std::vector<std::uint64_t> digests_;
+  std::uint64_t chunks_since_checkpoint_ = 0;
+  std::uint64_t checkpoint_failures_ = 0;
 };
 
 }  // namespace cdc::tool

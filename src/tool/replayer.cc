@@ -153,6 +153,17 @@ void Replayer::on_deadlock() {
     if (!rep->exhausted()) rep->dump_state();
 }
 
+bool Replayer::on_stall() {
+  if (!options_.partial_record || released_) return false;
+  // The recorded next message of some stream will never arrive (killed
+  // sender / truncated record). Every gated prefix delivered so far is
+  // verified; release the rest to passthrough so survivors finish.
+  released_ = true;
+  obs::counter("replay.stall_releases").add(1);
+  obs::trace_instant("replay.stall_release", -1);
+  return true;
+}
+
 Replayer::Totals Replayer::totals() const {
   Totals totals;
   for (const auto& [key, rep] : streams_) {

@@ -39,6 +39,12 @@ class Replayer : public minimpi::ToolHooks {
                   minimpi::MFKind kind,
                   std::span<const minimpi::Completion> events) override;
   void on_deadlock() override;
+  /// Degraded-mode gap bridging: when the simulator stalls (a recorded
+  /// next message that will never arrive — its sender was killed, or the
+  /// record is truncated mid-epoch), a partial-record replayer releases
+  /// all gating so the surviving ranks run to completion in passthrough.
+  /// Returns true exactly once; full replay keeps the deadlock abort.
+  bool on_stall() override;
 
   struct Totals {
     std::uint64_t replayed_events = 0;

@@ -1,0 +1,112 @@
+// The survive-and-resume fuzz slice: rank kills and storage I/O faults
+// (fuzz::kFailureFaultClasses) through record → survive → degraded
+// replay, oracle-checked per case.
+//
+// Suite names carry the `fuzz_` prefix so the nightly seed-matrix job
+// (`ctest -R fuzz`) and the dedicated degraded-replay CI job
+// (`ctest -R fuzz_degraded`) pick them up. Env contract, as everywhere:
+//   CDC_FUZZ_BASE_SEED=<seed> CDC_FUZZ_SEEDS=<n>
+// plus CDC_GAP_REPORT_DIR=<dir> to keep each kill case's machine-readable
+// gap report (the CI job uploads that directory as an artifact).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "minimpi/schedule_fuzzer.h"
+#include "obs/json.h"
+
+namespace cdc {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+fuzz::FuzzOptions degraded_options(std::uint32_t default_seeds) {
+  fuzz::FuzzOptions options;
+  options.base_seed = env_u64("CDC_FUZZ_BASE_SEED", 1);
+  options.num_seeds = static_cast<std::uint32_t>(
+      env_u64("CDC_FUZZ_SEEDS", default_seeds));
+  options.classes.assign(fuzz::kFailureFaultClasses.begin(),
+                         fuzz::kFailureFaultClasses.end());
+  if (const char* dir = std::getenv("CDC_GAP_REPORT_DIR"); dir != nullptr)
+    options.gap_report_dir = dir;
+  return options;
+}
+
+TEST(fuzz_degraded, TaskfarmSurvivesKillAndIoFaultClasses) {
+  // The CI slice: 8 seeds x {rank_kill, io_fault}. Every case must
+  // complete without an abort and verify against the oracle — prefix
+  // equivalence for kills, full bit-identity for retried I/O faults.
+  const fuzz::FuzzOptions options = degraded_options(8);
+  fuzz::ScheduleFuzzer fuzzer(fuzz::taskfarm_workload(), options);
+  const fuzz::FuzzReport report = fuzzer.run();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.cases_run,
+            static_cast<std::uint64_t>(options.num_seeds) *
+                fuzz::kFailureFaultClasses.size());
+  EXPECT_EQ(report.cases_passed, report.cases_run);
+  EXPECT_GT(report.events_checked, 0u);
+  EXPECT_GT(report.faults_injected, 0u);
+}
+
+TEST(fuzz_degraded, McbSurvivesIoFaults) {
+  // MCB is not kill-tolerant (its completion count cannot shrink), but
+  // its storage path must absorb I/O faults just the same.
+  fuzz::FuzzOptions options = degraded_options(2);
+  options.classes = {fuzz::FaultClass::kIoFault};
+  fuzz::ScheduleFuzzer fuzzer(fuzz::mcb_workload(), options);
+  const fuzz::FuzzReport report = fuzzer.run();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.cases_passed, report.cases_run);
+}
+
+TEST(fuzz_degraded, KillCaseWritesAWellFormedGapReport) {
+  const std::uint64_t seed = env_u64("CDC_FUZZ_BASE_SEED", 1);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cdc_gap_reports_" + std::to_string(::getpid()));
+  fuzz::FuzzOptions options;
+  options.base_seed = seed;
+  options.gap_report_dir = dir.string();
+  fuzz::ScheduleFuzzer fuzzer(fuzz::taskfarm_workload(), options);
+  fuzz::FuzzReport report;
+  EXPECT_EQ(fuzzer.run_case(fuzz::FaultClass::kRankKill, seed, &report),
+            std::nullopt);
+
+  const fuzz::FuzzWorkload workload = fuzz::taskfarm_workload();
+  const auto path =
+      dir / ("gaps_" + workload.name + "_" + std::to_string(seed) + ".json");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing gap report " << path;
+  std::ostringstream doc;
+  doc << in.rdbuf();
+  EXPECT_TRUE(obs::json_well_formed(doc.str()));
+  EXPECT_NE(doc.str().find("\"coverage\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(fuzz_degraded, FailureCaseKeyIsBitReproducible) {
+  // The reproduction contract extends to the failure classes: the same
+  // (workload, class, seed) kills the same rank at the same time and
+  // faults the same appends.
+  const std::uint64_t seed = env_u64("CDC_FUZZ_BASE_SEED", 1) + 29;
+  for (const fuzz::FaultClass cls : fuzz::kFailureFaultClasses) {
+    fuzz::FuzzReport a, b;
+    for (fuzz::FuzzReport* report : {&a, &b}) {
+      fuzz::ScheduleFuzzer fuzzer(fuzz::taskfarm_workload());
+      EXPECT_EQ(fuzzer.run_case(cls, seed, report), std::nullopt)
+          << fuzz::fault_class_name(cls);
+    }
+    EXPECT_EQ(a.events_checked, b.events_checked)
+        << fuzz::fault_class_name(cls);
+    EXPECT_EQ(a.faults_injected, b.faults_injected)
+        << fuzz::fault_class_name(cls);
+  }
+}
+
+}  // namespace
+}  // namespace cdc

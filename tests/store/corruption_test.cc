@@ -185,5 +185,57 @@ TEST_F(CorruptionTest, ReadStreamAbortsOnCorruptFrame) {
   EXPECT_DEATH((void)damaged->read_stream({0, 1}), "");
 }
 
+TEST_F(CorruptionTest, EmptyContainerSalvagesToAnEmptyRecord) {
+  // Regression: a recorder killed before its very first write leaves a
+  // zero-byte container. Salvage must yield an empty record with a
+  // diagnostic, not a failure (and certainly not an abort).
+  const std::string empty_path = path("empty.cdcc");
+  write_file(empty_path, {});
+
+  std::string error;
+  const auto reader = ContainerReader::open(empty_path, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  EXPECT_FALSE(reader->header_ok());
+  EXPECT_FALSE(reader->header_error().empty());
+  EXPECT_TRUE(reader->scan_good_frames().empty());
+  EXPECT_TRUE(reader->keys().empty());
+
+  const RepackResult repack =
+      repack_container(empty_path, path("empty_repacked.cdcc"));
+  EXPECT_EQ(repack.frames_kept, 0u);
+  EXPECT_EQ(repack.frames_dropped, 0u);
+}
+
+TEST_F(CorruptionTest, TruncatedIndexFooterStillSalvagesEveryFrame) {
+  // Regression: a crash while the seal's index footer was being written
+  // loses the index but not one byte of frame data — the sequential scan
+  // must recover all five frames and repack them into a sealed container.
+  const std::string clean_path = path("clean.cdcc");
+  build_sample(clean_path);
+  std::vector<std::uint8_t> bytes = read_file(clean_path);
+  ASSERT_GT(bytes.size(), 6u);
+  bytes.resize(bytes.size() - 6);  // rip through the fixed-size footer
+  const std::string torn_path = path("torn.cdcc");
+  write_file(torn_path, bytes);
+
+  const auto reader = ContainerReader::open(torn_path);
+  ASSERT_NE(reader, nullptr);
+  EXPECT_TRUE(reader->header_ok());
+  EXPECT_FALSE(reader->index_ok());
+  EXPECT_FALSE(reader->index_error().empty());
+  EXPECT_EQ(reader->scan_good_frames().size(), 5u);
+
+  const std::string repacked_path = path("torn_repacked.cdcc");
+  const RepackResult repack = repack_container(torn_path, repacked_path);
+  EXPECT_TRUE(repack.ok) << repack.error;
+  EXPECT_EQ(repack.frames_kept, 5u);
+  EXPECT_EQ(repack.frames_dropped, 0u);
+  const auto repacked = ContainerReader::open(repacked_path);
+  ASSERT_NE(repacked, nullptr);
+  EXPECT_TRUE(repacked->header_ok());
+  EXPECT_TRUE(repacked->index_ok());
+  EXPECT_TRUE(repacked->verify().ok);
+}
+
 }  // namespace
 }  // namespace cdc::store
