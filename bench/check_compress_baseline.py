@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate: compare BENCH_compress.json against the committed
+compressed-size baseline.
+
+The fig13_compression bench DEFLATE-compresses a deterministic seeded
+corpus, so per-level `compressed_bytes` depends only on the code, not the
+machine. This script fails (exit 1) when the default level's compressed
+size regresses by more than the baseline's tolerance (ratio loss — speed
+is too machine-dependent to gate on). Other levels are reported, and only
+warn, so an intentional retuning of fast/best shows up in the log without
+blocking.
+
+Usage: check_compress_baseline.py <BENCH_compress.json> [baseline.json]
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    bench_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "compress_baseline.json")
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    if bench.get("corpus_bytes") != baseline.get("corpus_bytes") or \
+       bench.get("corpus_seed") != baseline.get("corpus_seed"):
+        print(f"FAIL: corpus mismatch — bench ran "
+              f"{bench.get('corpus_bytes')} bytes seed "
+              f"{bench.get('corpus_seed')}, baseline expects "
+              f"{baseline.get('corpus_bytes')} bytes seed "
+              f"{baseline.get('corpus_seed')}; regenerate the baseline")
+        return 1
+
+    tolerance = float(baseline.get("tolerance", 0.02))
+    measured = {row["level"]: int(row["compressed_bytes"])
+                for row in bench.get("levels", [])}
+    failed = False
+    for level, expected in baseline["levels"].items():
+        if level not in measured:
+            print(f"FAIL: level '{level}' missing from {bench_path}")
+            failed = True
+            continue
+        actual = measured[level]
+        delta = (actual - expected) / expected
+        verdict = "ok"
+        if delta > tolerance:
+            verdict = "REGRESSED" if level == "default" else "warn"
+            failed |= level == "default"
+        print(f"{level:>8}: {actual} bytes vs baseline {expected} "
+              f"({delta:+.3%}, tolerance {tolerance:.0%}) {verdict}")
+    if failed:
+        print("FAIL: default-level compressed size regressed beyond "
+              "tolerance; if intentional, update "
+              "bench/compress_baseline.json")
+        return 1
+    print("compressed-size baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

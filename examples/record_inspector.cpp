@@ -17,6 +17,10 @@
 //   $ ./record_inspector --stats             # instrumented demo run:
 //                                            # pipeline report + trace JSON
 //   $ ./record_inspector --stats <file>      # pipeline report of a container
+//
+// The recording modes (the default demo and bare `--stats`) accept
+//   --level <stored|fast|default|best>
+// anywhere on the command line to pick the DEFLATE effort level.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -217,8 +221,11 @@ int stats_container(const std::string& path) {
 /// `--stats`: record an instrumented demo MCB run (metrics + trace ring +
 /// parallel compression service into a container), then reconcile the
 /// live stage/byte accounting against the container on disk.
-int stats_demo() {
-  std::printf("== instrumented demo MCB run (record + container) ==\n\n");
+int stats_demo(compress::DeflateLevel level) {
+  std::printf("== instrumented demo MCB run (record + container, "
+              "deflate level %.*s) ==\n\n",
+              static_cast<int>(compress::to_string(level).size()),
+              compress::to_string(level).data());
   const std::string file = "/tmp/cdc_record_stats.cdcc";
   obs::Registry::global().reset_values();
   obs::TraceBuffer ring(1 << 16);
@@ -227,10 +234,12 @@ int stats_demo() {
     store::ContainerStore container(file);
     store::CompressionService::Config service_config;
     service_config.workers = 2;
+    service_config.level = level;
     store::CompressionService service(&container, service_config);
     tool::AsyncFrameSink sink(&service);
     tool::ToolOptions options;
     options.chunk_target = 128;
+    options.level = level;
     tool::Recorder recorder(9, &container, options, &sink);
     minimpi::Simulator::Config config;
     config.num_ranks = 9;
@@ -271,17 +280,22 @@ int stats_demo() {
   return emit_report(report, "cdc_pipeline_report.json");
 }
 
-int demo() {
-  std::printf("== recording a demo MCB run into a record container ==\n\n");
+int demo(compress::DeflateLevel level) {
+  std::printf("== recording a demo MCB run into a record container "
+              "(deflate level %.*s) ==\n\n",
+              static_cast<int>(compress::to_string(level).size()),
+              compress::to_string(level).data());
   const std::string file = "/tmp/cdc_record_demo.cdcc";
   {
     store::ContainerStore container(file);
     store::CompressionService::Config service_config;
     service_config.workers = 2;
+    service_config.level = level;
     store::CompressionService service(&container, service_config);
     tool::AsyncFrameSink sink(&service);
     tool::ToolOptions options;
     options.chunk_target = 128;
+    options.level = level;
     tool::Recorder recorder(9, &container, options, &sink);
     minimpi::Simulator::Config config;
     config.num_ranks = 9;
@@ -313,6 +327,26 @@ int demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pull an optional `--level <name>` pair out of argv (it applies to the
+  // recording modes); everything else keeps its relative order for the
+  // positional dispatch below.
+  cdc::compress::DeflateLevel level = cdc::compress::DeflateLevel::kDefault;
+  for (int i = 1; i + 1 < argc;) {
+    if (std::strcmp(argv[i], "--level") == 0) {
+      const auto parsed =
+          cdc::compress::deflate_level_from_name(argv[i + 1]);
+      if (!parsed) {
+        std::printf("unknown --level '%s' (stored|fast|default|best)\n",
+                    argv[i + 1]);
+        return 2;
+      }
+      level = *parsed;
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+    } else {
+      ++i;
+    }
+  }
   const auto is = [&](int i, const char* flag) {
     return i < argc && std::strcmp(argv[i], flag) == 0;
   };
@@ -321,7 +355,7 @@ int main(int argc, char** argv) {
   if (is(1, "--repack") && argc == 4) return repack(argv[2], argv[3]);
   if (is(1, "--gaps") && (argc == 3 || argc == 4))
     return gaps_container(argv[2], argc == 4 ? argv[3] : "");
-  if (is(1, "--stats") && argc == 2) return stats_demo();
+  if (is(1, "--stats") && argc == 2) return stats_demo(level);
   if (is(1, "--stats") && argc == 3) return stats_container(argv[2]);
   if (is(1, "--dir") && argc == 3) {
     runtime::FileStore store(argv[2]);
@@ -335,9 +369,9 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: %s [--dir <path> | --container <file> | --verify <file> | "
         "--repack <in> <out> | --gaps <file> [quarantine] | "
-        "--stats [container]]\n",
+        "--stats [container]] [--level <stored|fast|default|best>]\n",
         argv[0]);
     return 2;
   }
-  return demo();
+  return demo(level);
 }

@@ -51,22 +51,64 @@ constexpr std::array<LengthCode, 30> kDistCodes = {{
 constexpr std::array<std::uint8_t, kNumCodeLen> kCodeLenOrder = {
     16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
 
-int length_to_code(int length) noexcept {
-  // Codes are monotone in base length; linear scan over 29 entries.
+constexpr int length_to_code_scan(int length) noexcept {
   for (int c = 28; c >= 0; --c)
     if (length >= kLengthCodes[static_cast<std::size_t>(c)].base) return c;
   return 0;
 }
 
-int dist_to_code(int distance) noexcept {
+constexpr int dist_to_code_scan(int distance) noexcept {
   for (int c = 29; c >= 0; --c)
     if (distance >= kDistCodes[static_cast<std::size_t>(c)].base) return c;
   return 0;
 }
 
+// --- Fast symbol maps ----------------------------------------------------
+// Direct-indexed replacements for the reverse linear scans above; built at
+// compile time from the same alphabet tables they replace.
+
+constexpr std::array<std::uint8_t, kMaxMatch + 1> make_length_to_code() {
+  std::array<std::uint8_t, kMaxMatch + 1> t{};
+  for (int len = kMinMatch; len <= kMaxMatch; ++len)
+    t[static_cast<std::size_t>(len)] =
+        static_cast<std::uint8_t>(length_to_code_scan(len));
+  return t;
+}
+
+inline constexpr auto kLengthToCode = make_length_to_code();
+
+// zlib-style split table: distances 1..256 index the low half directly;
+// 257..32768 index the high half by (distance - 1) >> 7, which is exact
+// because every distance-code base above 256 is 1 mod 128.
+constexpr std::array<std::uint8_t, 512> make_dist_to_code() {
+  std::array<std::uint8_t, 512> t{};
+  for (int d = 1; d <= kWindowSize; ++d) {
+    const auto code = static_cast<std::uint8_t>(dist_to_code_scan(d));
+    if (d <= 256) {
+      t[static_cast<std::size_t>(d - 1)] = code;
+    } else {
+      t[static_cast<std::size_t>(256 + ((d - 1) >> 7))] = code;
+    }
+  }
+  return t;
+}
+
+inline constexpr auto kDistToCode = make_dist_to_code();
+
+int length_code(int length) noexcept {
+  return kLengthToCode[static_cast<std::size_t>(length)];
+}
+
+int dist_code(int distance) noexcept {
+  return distance <= 256
+             ? kDistToCode[static_cast<std::size_t>(distance - 1)]
+             : kDistToCode[static_cast<std::size_t>(256 +
+                                                    ((distance - 1) >> 7))];
+}
+
 // Fixed Huffman code lengths (§3.2.6).
-std::vector<std::uint8_t> fixed_litlen_lengths() {
-  std::vector<std::uint8_t> lens(kNumLitLen);
+constexpr std::array<std::uint8_t, kNumLitLen> make_fixed_litlen_lengths() {
+  std::array<std::uint8_t, kNumLitLen> lens{};
   for (int s = 0; s <= 143; ++s) lens[static_cast<std::size_t>(s)] = 8;
   for (int s = 144; s <= 255; ++s) lens[static_cast<std::size_t>(s)] = 9;
   for (int s = 256; s <= 279; ++s) lens[static_cast<std::size_t>(s)] = 7;
@@ -74,22 +116,15 @@ std::vector<std::uint8_t> fixed_litlen_lengths() {
   return lens;
 }
 
-std::vector<std::uint8_t> fixed_dist_lengths() {
-  return std::vector<std::uint8_t>(32, 5);
+inline constexpr auto kFixedLitLenLengths = make_fixed_litlen_lengths();
+
+constexpr std::array<std::uint8_t, 32> make_fixed_dist_lengths() {
+  std::array<std::uint8_t, 32> lens{};
+  lens.fill(5);
+  return lens;
 }
 
-Lz77Params params_for(DeflateLevel level) {
-  switch (level) {
-    case DeflateLevel::kFast:
-      return {.max_chain = 16, .nice_length = 32, .lazy = false};
-    case DeflateLevel::kBest:
-      return {.max_chain = 1024, .nice_length = 258, .lazy = true};
-    case DeflateLevel::kStored:
-    case DeflateLevel::kDefault:
-      break;
-  }
-  return {};
-}
+inline constexpr auto kFixedDistLengths = make_fixed_dist_lengths();
 
 // --- Encoder ------------------------------------------------------------
 
@@ -147,15 +182,15 @@ struct BlockPlan {
 /// Computes the dynamic-block plan and the dynamic/fixed bit costs for one
 /// token block.
 BlockPlan plan_block(std::span<const Lz77Token> tokens) {
-  std::vector<std::uint64_t> lit_freq(kNumLitLen, 0);
-  std::vector<std::uint64_t> dist_freq(kNumDist, 0);
+  std::array<std::uint64_t, kNumLitLen> lit_freq{};
+  std::array<std::uint64_t, kNumDist> dist_freq{};
   std::size_t extra_bits = 0;
   for (const Lz77Token& t : tokens) {
     if (t.is_literal()) {
       ++lit_freq[t.literal];
     } else {
-      const int lc = length_to_code(t.length);
-      const int dc = dist_to_code(t.distance);
+      const int lc = length_code(t.length);
+      const int dc = dist_code(t.distance);
       ++lit_freq[static_cast<std::size_t>(257 + lc)];
       ++dist_freq[static_cast<std::size_t>(dc)];
       extra_bits += kLengthCodes[static_cast<std::size_t>(lc)].extra;
@@ -185,7 +220,7 @@ BlockPlan plan_block(std::span<const Lz77Token> tokens) {
                      plan.dist_lengths.end());
   plan.cl_tokens = rle_code_lengths(all_lengths);
 
-  std::vector<std::uint64_t> cl_freq(kNumCodeLen, 0);
+  std::array<std::uint64_t, kNumCodeLen> cl_freq{};
   for (const ClToken& t : plan.cl_tokens) ++cl_freq[t.symbol];
   plan.cl_lengths = package_merge_lengths(cl_freq, 7);
 
@@ -200,50 +235,80 @@ BlockPlan plan_block(std::span<const Lz77Token> tokens) {
     if (t.symbol == 18) plan.header_bits += 7;
   }
 
-  const auto fixed_lit = fixed_litlen_lengths();
-  const auto fixed_dist = fixed_dist_lengths();
   for (std::size_t s = 0; s < lit_freq.size(); ++s) {
     plan.body_bits_dynamic +=
         lit_freq[s] * (s < plan.litlen_lengths.size()
                            ? plan.litlen_lengths[s]
                            : 0);
-    plan.body_bits_fixed += lit_freq[s] * fixed_lit[s];
+    plan.body_bits_fixed += lit_freq[s] * kFixedLitLenLengths[s];
   }
   for (std::size_t s = 0; s < dist_freq.size(); ++s) {
     plan.body_bits_dynamic +=
         dist_freq[s] *
         (s < plan.dist_lengths.size() ? plan.dist_lengths[s] : 0);
-    plan.body_bits_fixed += dist_freq[s] * fixed_dist[s];
+    plan.body_bits_fixed += dist_freq[s] * kFixedDistLengths[s];
   }
   plan.body_bits_dynamic += extra_bits;
   plan.body_bits_fixed += extra_bits;
   return plan;
 }
 
+/// A Huffman code ready for BitWriter::put_bits: bit-reversed (DEFLATE
+/// emits codes MSB-first, the writer packs LSB-first) with its length.
+struct EmitCode {
+  std::uint16_t bits = 0;
+  std::uint8_t len = 0;
+};
+
+std::uint32_t reverse_code(std::uint32_t code, int length) noexcept {
+  std::uint32_t reversed = 0;
+  for (int i = 0; i < length; ++i)
+    reversed |= ((code >> i) & 1u) << (length - 1 - i);
+  return reversed;
+}
+
+template <std::size_t N>
+void build_emit_codes(std::span<const std::uint8_t> lengths,
+                      std::array<EmitCode, N>& out) {
+  const std::vector<std::uint32_t> codes = canonical_codes(lengths);
+  out.fill(EmitCode{});
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] == 0) continue;
+    out[s].bits = static_cast<std::uint16_t>(
+        reverse_code(codes[s], lengths[s]));
+    out[s].len = lengths[s];
+  }
+}
+
 void emit_tokens(BitWriter& bw, std::span<const Lz77Token> tokens,
-                 std::span<const std::uint8_t> lit_lengths,
-                 std::span<const std::uint32_t> lit_codes,
-                 std::span<const std::uint8_t> dist_lengths,
-                 std::span<const std::uint32_t> dist_codes) {
+                 const std::array<EmitCode, kNumLitLen>& lit,
+                 const std::array<EmitCode, 32>& dist) {
   for (const Lz77Token& t : tokens) {
     if (t.is_literal()) {
-      bw.write_huffman(lit_codes[t.literal], lit_lengths[t.literal]);
-    } else {
-      const int lc = length_to_code(t.length);
-      const auto lsym = static_cast<std::size_t>(257 + lc);
-      bw.write_huffman(lit_codes[lsym], lit_lengths[lsym]);
-      const LengthCode& le = kLengthCodes[static_cast<std::size_t>(lc)];
-      if (le.extra > 0)
-        bw.write(static_cast<std::uint32_t>(t.length - le.base), le.extra);
-      const int dc = dist_to_code(t.distance);
-      bw.write_huffman(dist_codes[static_cast<std::size_t>(dc)],
-                       dist_lengths[static_cast<std::size_t>(dc)]);
-      const LengthCode& de = kDistCodes[static_cast<std::size_t>(dc)];
-      if (de.extra > 0)
-        bw.write(static_cast<std::uint32_t>(t.distance - de.base), de.extra);
+      const EmitCode& e = lit[t.literal];
+      bw.put_bits(e.bits, e.len);
+      continue;
     }
+    // Pack length code + length extra + distance code + distance extra
+    // into a single accumulator write (at most 15+5+15+13 = 48 bits).
+    const int lc = length_code(t.length);
+    const LengthCode& le = kLengthCodes[static_cast<std::size_t>(lc)];
+    const EmitCode& el = lit[static_cast<std::size_t>(257 + lc)];
+    std::uint64_t bits = el.bits;
+    int count = el.len;
+    bits |= static_cast<std::uint64_t>(t.length - le.base) << count;
+    count += le.extra;
+
+    const int dc = dist_code(t.distance);
+    const LengthCode& de = kDistCodes[static_cast<std::size_t>(dc)];
+    const EmitCode& ed = dist[static_cast<std::size_t>(dc)];
+    bits |= static_cast<std::uint64_t>(ed.bits) << count;
+    count += ed.len;
+    bits |= static_cast<std::uint64_t>(t.distance - de.base) << count;
+    count += de.extra;
+    bw.put_bits(bits, count);
   }
-  bw.write_huffman(lit_codes[kEndOfBlock], lit_lengths[kEndOfBlock]);
+  bw.put_bits(lit[kEndOfBlock].bits, lit[kEndOfBlock].len);
 }
 
 void emit_stored_block(BitWriter& bw, std::span<const std::uint8_t> raw,
@@ -261,7 +326,7 @@ void emit_stored_block(BitWriter& bw, std::span<const std::uint8_t> raw,
     const std::uint16_t nlen = ~len;
     bw.append_byte(static_cast<std::uint8_t>(nlen));
     bw.append_byte(static_cast<std::uint8_t>(nlen >> 8));
-    for (std::size_t i = 0; i < take; ++i) bw.append_byte(raw[off + i]);
+    bw.append_bytes(raw.subspan(off, take));
     off += take;
   } while (off < raw.size());
 }
@@ -285,23 +350,37 @@ void emit_dynamic_header(BitWriter& bw, const BlockPlan& plan) {
   }
 }
 
-}  // namespace
+/// Per-thread codec scratch: the LZ77 chain workspace plus the token
+/// buffer, both recycled across calls so steady-state compression does
+/// not allocate. Holds capacity only — never data that could leak between
+/// inputs (see the determinism contract in deflate.h).
+struct DeflateScratch {
+  Lz77Workspace workspace;
+  std::vector<Lz77Token> tokens;
+};
 
-std::vector<std::uint8_t> deflate_compress(
-    std::span<const std::uint8_t> input, DeflateLevel level) {
-  BitWriter bw;
-  if (input.empty()) {
-    // A single empty stored block.
+DeflateScratch& deflate_scratch() {
+  thread_local DeflateScratch scratch;
+  return scratch;
+}
+
+/// Emits the complete DEFLATE stream for `input` into `bw` (which may
+/// already hold container header bytes, e.g. gzip's).
+void deflate_into(BitWriter& bw, std::span<const std::uint8_t> input,
+                  DeflateLevel level) {
+  if (input.empty() || level == DeflateLevel::kStored) {
+    // A single (possibly empty) run of stored blocks.
     emit_stored_block(bw, input, /*final_block=*/true);
-    return std::move(bw).finish();
-  }
-  if (level == DeflateLevel::kStored) {
-    emit_stored_block(bw, input, /*final_block=*/true);
-    return std::move(bw).finish();
+    return;
   }
 
-  const std::vector<Lz77Token> tokens =
-      lz77_tokenize(input, params_for(level));
+  DeflateScratch& scratch = deflate_scratch();
+  std::vector<Lz77Token>& tokens = scratch.tokens;
+  lz77_tokenize_into(scratch.workspace, input, lz77_params_for(level),
+                     tokens);
+
+  std::array<EmitCode, kNumLitLen> lit_emit;
+  std::array<EmitCode, 32> dist_emit;
 
   // Chunk the token stream into blocks so that each block gets Huffman
   // tables fit to its local statistics.
@@ -331,38 +410,89 @@ std::vector<std::uint8_t> deflate_compress(
     } else if (fixed_bits <= dynamic_bits) {
       bw.write(final_block ? 1u : 0u, 1);
       bw.write(1u, 2);  // BTYPE = 01 fixed
-      const auto lit_lengths = fixed_litlen_lengths();
-      const auto dist_lengths = fixed_dist_lengths();
-      emit_tokens(bw, block, lit_lengths, canonical_codes(lit_lengths),
-                  dist_lengths, canonical_codes(dist_lengths));
+      build_emit_codes(kFixedLitLenLengths, lit_emit);
+      build_emit_codes(kFixedDistLengths, dist_emit);
+      emit_tokens(bw, block, lit_emit, dist_emit);
     } else {
       bw.write(final_block ? 1u : 0u, 1);
       bw.write(2u, 2);  // BTYPE = 10 dynamic
       emit_dynamic_header(bw, plan);
-      emit_tokens(bw, block, plan.litlen_lengths,
-                  canonical_codes(plan.litlen_lengths), plan.dist_lengths,
-                  canonical_codes(plan.dist_lengths));
+      build_emit_codes(plan.litlen_lengths, lit_emit);
+      build_emit_codes(plan.dist_lengths, dist_emit);
+      emit_tokens(bw, block, lit_emit, dist_emit);
     }
 
     tok_begin = tok_end;
     byte_begin = byte_end;
     if (final_block) break;
   }
+}
+
+}  // namespace
+
+Lz77Params lz77_params_for(DeflateLevel level) noexcept {
+  switch (level) {
+    case DeflateLevel::kFast:
+      return {.max_chain = 32, .good_length = 8, .nice_length = 128,
+              .lazy = true};
+    case DeflateLevel::kBest:
+      return {.max_chain = 1024, .good_length = 32, .nice_length = 258,
+              .lazy = true};
+    case DeflateLevel::kStored:
+    case DeflateLevel::kDefault:
+      break;
+  }
+  return {};
+}
+
+std::string_view to_string(DeflateLevel level) noexcept {
+  switch (level) {
+    case DeflateLevel::kStored: return "stored";
+    case DeflateLevel::kFast: return "fast";
+    case DeflateLevel::kDefault: return "default";
+    case DeflateLevel::kBest: return "best";
+  }
+  return "unknown";
+}
+
+std::optional<DeflateLevel> deflate_level_from_name(
+    std::string_view name) noexcept {
+  if (name == "stored") return DeflateLevel::kStored;
+  if (name == "fast") return DeflateLevel::kFast;
+  if (name == "default") return DeflateLevel::kDefault;
+  if (name == "best") return DeflateLevel::kBest;
+  return std::nullopt;
+}
+
+namespace detail {
+
+int length_to_code(int length) noexcept { return length_code(length); }
+
+int dist_to_code(int distance) noexcept { return dist_code(distance); }
+
+int length_to_code_reference(int length) noexcept {
+  return length_to_code_scan(length);
+}
+
+int dist_to_code_reference(int distance) noexcept {
+  return dist_to_code_scan(distance);
+}
+
+}  // namespace detail
+
+std::vector<std::uint8_t> deflate_compress(
+    std::span<const std::uint8_t> input, DeflateLevel level,
+    std::vector<std::uint8_t> reuse) {
+  BitWriter bw(std::move(reuse));
+  deflate_into(bw, input, level);
   return std::move(bw).finish();
 }
 
 namespace {
 
-/// Decodes one Huffman symbol bit-serially. Returns -1 on malformed input.
+/// Decodes one Huffman symbol; -1 on malformed input.
 int decode_symbol(BitReader& br, HuffmanDecoder& dec) {
-  dec.reset();
-  for (;;) {
-    std::uint32_t bit = 0;
-    if (!br.try_read_bit(bit)) return -1;
-    const int sym = dec.feed(bit);
-    if (sym >= 0) return sym;
-    if (sym == -2) return -1;
-  }
+  return dec.decode(br);
 }
 
 bool inflate_block_body(BitReader& br, HuffmanDecoder& lit_dec,
@@ -480,8 +610,8 @@ std::optional<std::vector<std::uint8_t>> deflate_decompress(
       if (!br.try_read_aligned_bytes(len, raw)) return std::nullopt;
       out.insert(out.end(), raw.begin(), raw.end());
     } else if (btype == 1) {
-      HuffmanDecoder lit_dec(fixed_litlen_lengths());
-      HuffmanDecoder dist_dec(fixed_dist_lengths());
+      HuffmanDecoder lit_dec(kFixedLitLenLengths);
+      HuffmanDecoder dist_dec(kFixedDistLengths);
       if (!inflate_block_body(br, lit_dec, dist_dec, out))
         return std::nullopt;
     } else if (btype == 2) {
@@ -500,8 +630,9 @@ std::optional<std::vector<std::uint8_t>> deflate_decompress(
 // --- gzip container (RFC 1952) -------------------------------------------
 
 std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
-                                        DeflateLevel level) {
-  std::vector<std::uint8_t> out = {
+                                        DeflateLevel level,
+                                        std::vector<std::uint8_t> reuse) {
+  static constexpr std::array<std::uint8_t, 10> kHeader = {
       0x1f, 0x8b,  // magic
       0x08,        // CM = deflate
       0x00,        // FLG
@@ -509,15 +640,17 @@ std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
       0x00,        // XFL
       0xff,        // OS = unknown
   };
-  const std::vector<std::uint8_t> body = deflate_compress(input, level);
-  out.insert(out.end(), body.begin(), body.end());
+  BitWriter bw(std::move(reuse));
+  bw.append_bytes(kHeader);
+  deflate_into(bw, input, level);
+  bw.align_to_byte();
   const std::uint32_t crc = crc32(input);
   const auto isize = static_cast<std::uint32_t>(input.size());
   for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    bw.append_byte(static_cast<std::uint8_t>(crc >> (8 * i)));
   for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(isize >> (8 * i)));
-  return out;
+    bw.append_byte(static_cast<std::uint8_t>(isize >> (8 * i)));
+  return std::move(bw).finish();
 }
 
 std::optional<std::vector<std::uint8_t>> gzip_decompress(

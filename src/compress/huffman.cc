@@ -149,8 +149,29 @@ bool HuffmanDecoder::init(std::span<const std::uint8_t> lengths) {
     symbols_[offset_[len] + fill[len]] = static_cast<std::uint16_t>(s);
     ++fill[len];
   }
+  build_fast_table();
   ok_ = true;
   return true;
+}
+
+void HuffmanDecoder::build_fast_table() noexcept {
+  fast_.fill(0);
+  for (int len = 1; len <= kFastBits; ++len) {
+    for (std::uint32_t j = 0; j < count_[len]; ++j) {
+      // DEFLATE streams codes MSB-first but the bit reader yields bits
+      // LSB-first, so the table is indexed by the reversed code,
+      // replicated over every value of the don't-care high bits.
+      const std::uint32_t code = first_code_[len] + j;
+      std::uint32_t rev = 0;
+      for (int b = 0; b < len; ++b)
+        rev |= ((code >> b) & 1u) << (len - 1 - b);
+      const std::uint16_t sym = symbols_[offset_[len] + j];
+      const auto entry = static_cast<std::uint16_t>(
+          (static_cast<std::uint32_t>(sym) << 4) | static_cast<std::uint32_t>(len));
+      for (std::size_t i = rev; i < kFastSize; i += std::size_t{1} << len)
+        fast_[i] = entry;
+    }
+  }
 }
 
 }  // namespace cdc::compress

@@ -5,9 +5,12 @@
 // RFC 1951 §3.2.2.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "support/bitstream.h"
 
 namespace cdc::compress {
 
@@ -23,14 +26,19 @@ std::vector<std::uint8_t> package_merge_lengths(
 std::vector<std::uint32_t> canonical_codes(
     std::span<const std::uint8_t> lengths);
 
-/// Bit-serial canonical Huffman decoder: feed one bit at a time; returns
-/// the decoded symbol or -1 while the code is still incomplete.
+/// Canonical Huffman decoder. decode() resolves almost every symbol with
+/// one table lookup over the next kFastBits bits (codes longer than that
+/// fall back to the bit-serial feed() path, kept public for tests).
 /// Construction fails (ok() == false) on oversubscribed or (for multi-
 /// symbol alphabets) incomplete length sets, which is how the DEFLATE
 /// decoder rejects corrupt dynamic headers.
 class HuffmanDecoder {
  public:
   static constexpr int kMaxBits = 15;
+  /// Width of the primary decode table. DEFLATE's dynamic tables rarely
+  /// assign lengths beyond 9 bits to symbols that actually occur, so the
+  /// fast path covers nearly every decoded symbol.
+  static constexpr int kFastBits = 9;
 
   HuffmanDecoder() = default;
   explicit HuffmanDecoder(std::span<const std::uint8_t> lengths) {
@@ -46,6 +54,31 @@ class HuffmanDecoder {
   void reset() noexcept {
     code_ = 0;
     length_ = 0;
+  }
+
+  /// Decodes one symbol from `br`: peek kFastBits, one table lookup,
+  /// consume only the code's real length. Returns -1 on malformed or
+  /// truncated input.
+  int decode(support::BitReader& br) noexcept {
+    std::uint32_t bits = 0;
+    const int have = br.peek_padded(kFastBits, bits);
+    const std::uint16_t entry = fast_[bits];
+    if (entry != 0) {
+      const int len = entry & 0xfu;
+      if (len > have) return -1;  // code runs past the end of the stream
+      br.consume(len);
+      return static_cast<int>(entry >> 4);
+    }
+    // The peeked bits are a prefix of a code longer than kFastBits (or
+    // the input is corrupt): decode bit-serially from the same position.
+    reset();
+    for (;;) {
+      std::uint32_t bit = 0;
+      if (!br.try_read_bit(bit)) return -1;
+      const int sym = feed(bit);
+      if (sym >= 0) return sym;
+      if (sym == -2) return -1;
+    }
   }
 
   /// Consumes one bit; returns the symbol when complete, -1 when more bits
@@ -65,6 +98,10 @@ class HuffmanDecoder {
   }
 
  private:
+  static constexpr std::size_t kFastSize = std::size_t{1} << kFastBits;
+
+  void build_fast_table() noexcept;
+
   bool ok_ = false;
   std::uint32_t code_ = 0;
   int length_ = 0;
@@ -72,6 +109,9 @@ class HuffmanDecoder {
   std::uint32_t count_[kMaxBits + 1] = {};
   std::uint32_t offset_[kMaxBits + 1] = {};
   std::vector<std::uint16_t> symbols_;
+  // Indexed by the next kFastBits of the stream (LSB-first as read);
+  // entry = (symbol << 4) | code_length, 0 = long code or invalid prefix.
+  std::array<std::uint16_t, kFastSize> fast_ = {};
 };
 
 }  // namespace cdc::compress

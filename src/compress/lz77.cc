@@ -1,6 +1,9 @@
 #include "compress/lz77.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
 
 #include "support/check.h"
 
@@ -11,6 +14,11 @@ namespace {
 constexpr std::uint32_t kHashBits = 15;
 constexpr std::uint32_t kHashSize = 1u << kHashBits;
 
+// Greedy mode skips inserting the interior of matches longer than this —
+// positions inside a long run rarely seed better matches and the skip is
+// most of deflate-fast's speed on low-entropy record data.
+constexpr int kMaxInsertLength = 32;
+
 std::uint32_t hash3(const std::uint8_t* p) noexcept {
   // Multiplicative hash of a 3-byte prefix.
   const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
@@ -19,109 +27,203 @@ std::uint32_t hash3(const std::uint8_t* p) noexcept {
   return (v * 0x9e3779b1u) >> (32 - kHashBits);
 }
 
-struct Matcher {
-  explicit Matcher(std::span<const std::uint8_t> input)
-      : data(input.data()),
-        size(input.size()),
-        head(kHashSize, -1),
-        prev(input.size(), -1) {}
-
-  void insert(std::size_t pos) noexcept {
-    if (pos + kMinMatch > size) return;
-    const std::uint32_t h = hash3(data + pos);
-    prev[pos] = head[h];
-    head[h] = static_cast<std::ptrdiff_t>(pos);
-  }
-
-  /// Longest match for the string at `pos`, probing at most
-  /// `params.max_chain` chain entries within the window.
-  Lz77Token best_match(std::size_t pos, const Lz77Params& params) const
-      noexcept {
-    Lz77Token best;
-    best.literal = data[pos];
-    if (pos + kMinMatch > size) return best;
-
-    const std::size_t limit =
-        pos >= kWindowSize ? pos - kWindowSize : 0;
-    const std::size_t max_len =
-        std::min<std::size_t>(kMaxMatch, size - pos);
-    std::ptrdiff_t cand = head[hash3(data + pos)];
-    int chain = params.max_chain;
-
-    while (cand >= 0 && static_cast<std::size_t>(cand) >= limit &&
-           chain-- > 0) {
-      const std::size_t c = static_cast<std::size_t>(cand);
-      if (c < pos) {
-        // Quick reject on the byte one past the current best.
-        const std::size_t probe = best.length;
-        if (probe == 0 || (probe < max_len &&
-                           data[c + probe] == data[pos + probe])) {
-          std::size_t len = 0;
-          while (len < max_len && data[c + len] == data[pos + len]) ++len;
-          if (len >= kMinMatch && len > best.length) {
-            best.length = static_cast<std::uint16_t>(len);
-            best.distance = static_cast<std::uint16_t>(pos - c);
-            if (len >= static_cast<std::size_t>(params.nice_length)) break;
-          }
-        }
-      }
-      cand = prev[c];
+/// Length of the common prefix of a and b, capped at max_len. Compares
+/// eight bytes per iteration where the byte order lets countr_zero find
+/// the first differing byte.
+int match_length(const std::uint8_t* a, const std::uint8_t* b,
+                 int max_len) noexcept {
+  int len = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + 8 <= max_len) {
+      std::uint64_t va;
+      std::uint64_t vb;
+      std::memcpy(&va, a + len, 8);
+      std::memcpy(&vb, b + len, 8);
+      const std::uint64_t diff = va ^ vb;
+      if (diff != 0) return len + (std::countr_zero(diff) >> 3);
+      len += 8;
     }
-    return best;
   }
+  while (len < max_len && a[len] == b[len]) ++len;
+  return len;
+}
 
-  const std::uint8_t* data;
-  std::size_t size;
-  std::vector<std::ptrdiff_t> head;
-  std::vector<std::ptrdiff_t> prev;
+struct Match {
+  int length = 0;
+  std::int32_t distance = 0;
 };
 
-}  // namespace
+/// A view over the workspace arrays plus the input; all state that must
+/// persist across calls lives in Lz77Workspace.
+struct MatchFinder {
+  const std::uint8_t* data;
+  std::int32_t size;
+  std::int32_t* head;
+  std::uint32_t* head_gen;
+  std::int32_t* prev;
+  std::uint32_t gen;
 
-std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
-                                     const Lz77Params& params) {
-  std::vector<Lz77Token> tokens;
-  if (input.empty()) return tokens;
-  tokens.reserve(input.size() / 4);
+  void insert(std::int32_t pos) noexcept {
+    if (pos + kMinMatch > size) return;
+    const std::uint32_t h = hash3(data + pos);
+    prev[pos] = head_gen[h] == gen ? head[h] : -1;
+    head[h] = pos;
+    head_gen[h] = gen;
+  }
 
-  Matcher matcher(input);
-  std::size_t pos = 0;
-  while (pos < input.size()) {
-    Lz77Token cur = matcher.best_match(pos, params);
-    if (params.lazy && cur.length >= kMinMatch &&
-        cur.length < static_cast<std::uint16_t>(params.nice_length) &&
-        pos + 1 < input.size()) {
-      // One-step lazy evaluation: if the next position has a strictly
-      // longer match, emit a literal here instead.
-      matcher.insert(pos);
-      const Lz77Token next = matcher.best_match(pos + 1, params);
-      if (next.length > cur.length) {
-        Lz77Token lit;
-        lit.literal = input[pos];
-        tokens.push_back(lit);
-        ++pos;
-        continue;  // `pos` already inserted; next loop re-evaluates there
+  /// Longest match for the string at `pos`, probing at most `max_chain`
+  /// candidates. Only positions inserted this generation are reachable,
+  /// so results are independent of prior inputs seen by the workspace.
+  Match best_match(std::int32_t pos, int max_chain, int nice) const noexcept {
+    Match best;
+    const int max_len = std::min<std::int32_t>(kMaxMatch, size - pos);
+    if (max_len < kMinMatch) return best;
+
+    const std::int32_t limit = pos > kWindowSize ? pos - kWindowSize : 0;
+    const std::uint32_t h = hash3(data + pos);
+    std::int32_t cand = head_gen[h] == gen ? head[h] : -1;
+    int best_len = kMinMatch - 1;
+
+    while (cand >= limit && max_chain-- > 0) {
+      // Quick reject on the byte one past the current best; cand < pos
+      // and best_len < max_len keep both probes in bounds.
+      if (data[cand + best_len] == data[pos + best_len]) {
+        const int len = match_length(data + cand, data + pos, max_len);
+        if (len > best_len) {
+          best_len = len;
+          best.distance = pos - cand;
+          if (len >= nice || len >= max_len) break;
+        }
       }
-      // Keep the current match; finish inserting its covered positions.
-      for (std::size_t i = 1; i < cur.length; ++i)
-        matcher.insert(pos + i);
-      tokens.push_back(cur);
-      pos += cur.length;
-      continue;
+      cand = prev[cand];
     }
+    if (best_len >= kMinMatch) best.length = best_len;
+    return best;
+  }
+};
 
-    if (cur.length >= kMinMatch) {
-      for (std::size_t i = 0; i < cur.length; ++i) matcher.insert(pos + i);
-      tokens.push_back(cur);
-      pos += cur.length;
+void push_literal(std::vector<Lz77Token>& out, std::uint8_t byte) {
+  Lz77Token t;
+  t.literal = byte;
+  out.push_back(t);
+}
+
+void push_match(std::vector<Lz77Token>& out, int length, std::int32_t dist) {
+  Lz77Token t;
+  t.length = static_cast<std::uint16_t>(length);
+  t.distance = static_cast<std::uint16_t>(dist);
+  out.push_back(t);
+}
+
+void tokenize_greedy(MatchFinder& f, const Lz77Params& params,
+                     std::vector<Lz77Token>& out) {
+  std::int32_t pos = 0;
+  while (pos < f.size) {
+    const Match m = f.best_match(pos, params.max_chain, params.nice_length);
+    f.insert(pos);
+    if (m.length >= kMinMatch) {
+      push_match(out, m.length, m.distance);
+      const std::int32_t next = pos + m.length;
+      if (m.length <= kMaxInsertLength)
+        for (std::int32_t i = pos + 1; i < next; ++i) f.insert(i);
+      pos = next;
     } else {
-      Lz77Token lit;
-      lit.literal = input[pos];
-      matcher.insert(pos);
-      tokens.push_back(lit);
+      push_literal(out, f.data[pos]);
       ++pos;
     }
   }
+}
+
+// zlib deflate_slow-style lazy matching: hold the match found at pos-1
+// and emit it only if pos does not find a strictly longer one; a held
+// match >= good_length shrinks the chain budget, >= nice_length skips
+// the search entirely.
+void tokenize_lazy(MatchFinder& f, const Lz77Params& params,
+                   std::vector<Lz77Token>& out) {
+  std::int32_t pos = 0;
+  Match held;  // match found at pos-1 (length == 0 means none held)
+  while (pos < f.size) {
+    Match cur;
+    if (held.length < params.nice_length) {
+      int chain = params.max_chain;
+      if (held.length >= params.good_length) chain >>= 2;
+      cur = f.best_match(pos, chain, params.nice_length);
+    }
+    f.insert(pos);
+
+    if (held.length >= kMinMatch && held.length >= cur.length) {
+      push_match(out, held.length, held.distance);
+      // The match starts at pos-1; positions <= pos are already in the
+      // chains, so insert the rest of its cover before skipping ahead.
+      const std::int32_t next = pos - 1 + held.length;
+      for (std::int32_t i = pos + 1; i < next; ++i) f.insert(i);
+      pos = next;
+      held = Match{};
+      continue;
+    }
+
+    if (held.length >= kMinMatch) {
+      // Current match is strictly longer: the held position degrades to
+      // a literal and the current match becomes the held one.
+      push_literal(out, f.data[pos - 1]);
+    } else if (cur.length < kMinMatch) {
+      push_literal(out, f.data[pos]);
+    }
+    held = cur;
+    ++pos;
+  }
+  if (held.length >= kMinMatch) {
+    // Tail: the loop ended with a match still held at pos-1.
+    push_match(out, held.length, held.distance);
+  }
+}
+
+}  // namespace
+
+void Lz77Workspace::begin(std::size_t input_size) {
+  if (head_.empty()) {
+    head_.assign(kHashSize, -1);
+    head_gen_.assign(kHashSize, 0);
+  }
+  if (prev_.size() < input_size) prev_.resize(input_size);
+  if (++generation_ == 0) {
+    // Stamp space exhausted after 2^32 - 1 uses: one full clear, then
+    // restart at generation 1 so stamp 0 stays "never written".
+    std::fill(head_gen_.begin(), head_gen_.end(), 0u);
+    generation_ = 1;
+  }
+}
+
+void lz77_tokenize_into(Lz77Workspace& workspace,
+                        std::span<const std::uint8_t> input,
+                        const Lz77Params& params,
+                        std::vector<Lz77Token>& out) {
+  out.clear();
+  if (input.empty()) return;
+  CDC_CHECK(input.size() <=
+            static_cast<std::size_t>(
+                std::numeric_limits<std::int32_t>::max() - kMaxMatch));
+  workspace.begin(input.size());
+
+  MatchFinder finder{input.data(),
+                     static_cast<std::int32_t>(input.size()),
+                     workspace.head_.data(),
+                     workspace.head_gen_.data(),
+                     workspace.prev_.data(),
+                     workspace.generation_};
+  if (params.lazy) {
+    tokenize_lazy(finder, params, out);
+  } else {
+    tokenize_greedy(finder, params, out);
+  }
+}
+
+std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
+                                     const Lz77Params& params) {
+  thread_local Lz77Workspace workspace;
+  std::vector<Lz77Token> tokens;
+  tokens.reserve(input.size() / 4);
+  lz77_tokenize_into(workspace, input, params, tokens);
   return tokens;
 }
 

@@ -1,5 +1,12 @@
 // LZ77 tokenization over a 32 KiB sliding window with hash-chain match
 // search and one-step lazy matching — the front half of DEFLATE.
+//
+// The match finder's state (head/prev hash chains) lives in an explicit
+// Lz77Workspace so the hot path never allocates: workers keep one
+// workspace per thread and recycle it across calls. Reset is O(1) via
+// generation stamps on the hash heads — stale chain entries from earlier
+// inputs are simply never followed — so tokenization is a pure function
+// of (input, params) regardless of what the workspace processed before.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,7 @@ struct Lz77Token {
 
 struct Lz77Params {
   int max_chain = 128;     ///< hash-chain positions probed per match search
+  int good_length = 32;    ///< quarter the chain budget beyond this match
   int nice_length = 128;   ///< stop searching once a match this long is found
   bool lazy = true;        ///< one-step lazy matching
 };
@@ -29,8 +37,47 @@ constexpr int kMinMatch = 3;
 constexpr int kMaxMatch = 258;
 constexpr int kWindowSize = 32768;
 
-/// Greedy/lazy tokenization of `input`. The token stream, when expanded in
-/// order, reproduces `input` exactly (property-tested).
+/// Recyclable match-finder state. Reusing one workspace across calls
+/// avoids the ~160 KiB head/prev (re)allocation per compress call the
+/// seed paid; results are identical to a fresh workspace.
+class Lz77Workspace {
+ public:
+  Lz77Workspace() = default;
+
+  Lz77Workspace(const Lz77Workspace&) = delete;
+  Lz77Workspace& operator=(const Lz77Workspace&) = delete;
+
+  /// Bytes currently retained by the chain arrays (tests/benches).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return head_.capacity() * sizeof(std::int32_t) +
+           head_gen_.capacity() * sizeof(std::uint32_t) +
+           prev_.capacity() * sizeof(std::int32_t);
+  }
+
+ private:
+  friend void lz77_tokenize_into(Lz77Workspace&,
+                                 std::span<const std::uint8_t>,
+                                 const Lz77Params&,
+                                 std::vector<Lz77Token>&);
+
+  void begin(std::size_t input_size);
+
+  std::vector<std::int32_t> head_;      ///< kHashSize, lazily sized
+  std::vector<std::uint32_t> head_gen_; ///< generation stamp per head slot
+  std::vector<std::int32_t> prev_;      ///< >= input_size, grown as needed
+  std::uint32_t generation_ = 0;
+};
+
+/// Tokenizes `input` into `out` (cleared first) using `workspace` for the
+/// match-finder state. The token stream, when expanded in order,
+/// reproduces `input` exactly (property-tested); the same (input, params)
+/// produce the same tokens on any thread and any workspace history.
+void lz77_tokenize_into(Lz77Workspace& workspace,
+                        std::span<const std::uint8_t> input,
+                        const Lz77Params& params,
+                        std::vector<Lz77Token>& out);
+
+/// Convenience wrapper over a thread-local workspace.
 std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
                                      const Lz77Params& params = {});
 

@@ -60,6 +60,18 @@ void write_dist(JsonWriter& w, std::string_view key, const DistReport& d) {
 
 }  // namespace
 
+double PipelineReport::deflate_mb_per_s() const noexcept {
+  if (stage_deflate.ns == 0) return 0.0;
+  return static_cast<double>(stage_deflate.bytes_in) * 1e3 /
+         static_cast<double>(stage_deflate.ns);
+}
+
+double PipelineReport::pool_hit_rate() const noexcept {
+  const std::uint64_t total = pool_hits + pool_misses;
+  if (total == 0) return 0.0;
+  return static_cast<double>(pool_hits) / static_cast<double>(total);
+}
+
 PipelineReport PipelineReport::from_snapshot(
     const MetricsSnapshot& s) {
   PipelineReport r;
@@ -85,6 +97,10 @@ PipelineReport PipelineReport::from_snapshot(
   r.service_encode_ns = dist_or_empty(s, "store.service.encode_ns");
   r.service_commit_wait_ns =
       dist_or_empty(s, "store.service.commit_wait_ns");
+
+  r.pool_hits = s.counter_or("store.pool.hits");
+  r.pool_misses = s.counter_or("store.pool.misses");
+  r.pool_recycled_bytes = s.counter_or("store.pool.recycled_bytes");
 
   r.async_enqueued = s.counter_or("tool.async.enqueued");
   r.async_dequeued = s.counter_or("tool.async.dequeued");
@@ -182,9 +198,16 @@ std::string PipelineReport::to_json() const {
   w.field("raw_bytes", service_raw_bytes);
   w.field("encoded_bytes", service_encoded_bytes);
   w.field("submit_stalls", service_submit_stalls);
+  w.field("deflate_mb_per_s", deflate_mb_per_s());
   write_dist(w, "queue_depth", service_queue_depth);
   write_dist(w, "encode_ns", service_encode_ns);
   write_dist(w, "commit_wait_ns", service_commit_wait_ns);
+  w.key("buffer_pool").begin_object();
+  w.field("hits", pool_hits);
+  w.field("misses", pool_misses);
+  w.field("recycled_bytes", pool_recycled_bytes);
+  w.field("hit_rate", pool_hit_rate());
+  w.end_object();
   w.end_object();
 
   w.key("async_recorder").begin_object();
@@ -263,9 +286,17 @@ void PipelineReport::print(std::FILE* out) const {
                      bytes(s->bytes_out).c_str());
       if (s->values_out > 0)
         std::fprintf(out, "  %" PRIu64 " values", s->values_out);
+      if (s == &stage_deflate && s->ns > 0)
+        std::fprintf(out, "  %.1f MB/s", deflate_mb_per_s());
       std::fprintf(out, "\n");
     }
   }
+  if (pool_hits + pool_misses > 0)
+    std::fprintf(out,
+                 "buffers   : %" PRIu64 " pool hits / %" PRIu64
+                 " misses (%.1f%% reuse), %s recycled\n",
+                 pool_hits, pool_misses, 100.0 * pool_hit_rate(),
+                 bytes(pool_recycled_bytes).c_str());
   if (service_jobs > 0)
     std::fprintf(out,
                  "service   : %" PRIu64 " jobs, %s raw -> %s encoded, "

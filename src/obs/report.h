@@ -71,6 +71,13 @@ struct PipelineReport {
   DistReport service_encode_ns;
   DistReport service_commit_wait_ns;
 
+  /// Output-buffer recycling (store.pool.* — the CompressionService's
+  /// BufferPool and the inline/retrying sinks' scratch buffers report
+  /// under the same names, so this is the whole pipeline's reuse rate).
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t pool_recycled_bytes = 0;
+
   std::uint64_t async_enqueued = 0;
   std::uint64_t async_dequeued = 0;
   std::uint64_t async_producer_stalls = 0;
@@ -100,6 +107,14 @@ struct PipelineReport {
   // --- reconciliation -----------------------------------------------------
   bool reconciled = false;
   std::string reconcile_note;
+
+  /// DEFLATE stage throughput in MB/s (raw bytes in over stage wall time);
+  /// 0 when the stage recorded no time.
+  [[nodiscard]] double deflate_mb_per_s() const noexcept;
+
+  /// Fraction of frame encodes that reused a recycled output buffer,
+  /// in [0, 1]; 0 when nothing was encoded.
+  [[nodiscard]] double pool_hit_rate() const noexcept;
 
   /// Fills the live section from a metrics snapshot.
   static PipelineReport from_snapshot(const MetricsSnapshot& snapshot);

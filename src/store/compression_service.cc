@@ -10,7 +10,10 @@ CompressionService::CompressionService(runtime::RecordStore* store)
 
 CompressionService::CompressionService(runtime::RecordStore* store,
                                        const Config& config)
-    : store_(store), queue_(config.queue_capacity) {
+    : store_(store),
+      queue_(config.queue_capacity),
+      level_(config.level),
+      pool_(config.pool_buffers) {
   CDC_CHECK(store != nullptr);
   CDC_CHECK_MSG(config.workers >= 1,
                 "compression service needs at least one worker");
@@ -26,6 +29,21 @@ CompressionService::~CompressionService() {
 
 void CompressionService::submit(const runtime::StreamKey& key,
                                 std::size_t raw_size_hint, Encoder encode) {
+  submit_job(key, raw_size_hint,
+             [encode = std::move(encode)](std::vector<std::uint8_t>) {
+               return encode();
+             });
+}
+
+void CompressionService::submit(const runtime::StreamKey& key,
+                                std::size_t raw_size_hint,
+                                EncoderInto encode) {
+  submit_job(key, raw_size_hint, std::move(encode));
+}
+
+void CompressionService::submit_job(const runtime::StreamKey& key,
+                                    std::size_t raw_size_hint,
+                                    EncoderInto encode) {
   // submit_mutex_ makes ticket order equal queue order, which in-order
   // commit relies on: FIFO pops then guarantee the lowest outstanding
   // ticket is always held by some worker, never stranded behind blocked
@@ -59,12 +77,25 @@ void CompressionService::submit(const runtime::StreamKey& key,
 void CompressionService::worker_loop() {
   static obs::Histogram& obs_encode_ns =
       obs::histogram("store.service.encode_ns");
+  static obs::Counter& obs_pool_hits = obs::counter("store.pool.hits");
+  static obs::Counter& obs_pool_misses = obs::counter("store.pool.misses");
+  static obs::Counter& obs_pool_recycled =
+      obs::counter("store.pool.recycled_bytes");
   Job job;
+  std::vector<std::uint8_t> buf;
   while (queue_.pop(job)) {
+    if (pool_.acquire(buf)) {
+      obs_pool_hits.add(1);
+      obs_pool_recycled.add(buf.capacity());
+    } else {
+      obs_pool_misses.add(1);
+    }
     const obs::Stopwatch sw;
-    const std::vector<std::uint8_t> encoded = job.encode();
+    std::vector<std::uint8_t> encoded = job.encode(std::move(buf));
     obs_encode_ns.record(sw.ns());
     commit_in_order(job, encoded);
+    // The store copied the bytes; the capacity goes back to the pool.
+    pool_.release(std::move(encoded));
   }
 }
 
@@ -107,6 +138,7 @@ CompressionService::Stats CompressionService::stats() const {
     stats.encoded_bytes = encoded_bytes_;
   }
   stats.workers = workers_.size();
+  stats.pool = pool_.stats();
   return stats;
 }
 

@@ -20,8 +20,10 @@
 #include <thread>
 #include <vector>
 
+#include "compress/deflate.h"
 #include "runtime/storage.h"
 #include "store/mpmc_queue.h"
+#include "support/buffer_pool.h"
 
 namespace cdc::store {
 
@@ -31,9 +33,20 @@ class CompressionService {
   /// worker thread; must be self-contained (owns its input payload).
   using Encoder = std::function<std::vector<std::uint8_t>()>;
 
+  /// Pool-aware encoder: `reuse` donates recycled capacity (contents
+  /// discarded) and the returned vector goes back to the pool after the
+  /// commit, so steady-state encoding is allocation-free.
+  using EncoderInto =
+      std::function<std::vector<std::uint8_t>(std::vector<std::uint8_t>)>;
+
   struct Config {
     std::size_t workers = 2;
     std::size_t queue_capacity = 128;  ///< back-pressure bound, in jobs
+    /// Compression level the service's owner stamps onto submitted jobs
+    /// (the service itself is codec-agnostic; this is the plumbing knob
+    /// recorders and benches read back via level()).
+    compress::DeflateLevel level = compress::DeflateLevel::kDefault;
+    std::size_t pool_buffers = 16;  ///< output buffers retained for reuse
   };
 
   explicit CompressionService(runtime::RecordStore* store);
@@ -51,6 +64,15 @@ class CompressionService {
   void submit(const runtime::StreamKey& key, std::size_t raw_size_hint,
               Encoder encode);
 
+  /// Pool-aware variant: the worker hands `encode` a recycled output
+  /// buffer and returns the encoded result to the pool after commit.
+  void submit(const runtime::StreamKey& key, std::size_t raw_size_hint,
+              EncoderInto encode);
+
+  [[nodiscard]] compress::DeflateLevel level() const noexcept {
+    return level_;
+  }
+
   /// Blocks until every job submitted so far has been committed to the
   /// store. Safe to call repeatedly and to keep submitting afterwards.
   void drain();
@@ -60,6 +82,7 @@ class CompressionService {
     std::uint64_t raw_bytes = 0;      ///< sum of size hints
     std::uint64_t encoded_bytes = 0;  ///< framed bytes committed
     std::size_t workers = 0;
+    support::BufferPool::Stats pool;  ///< output-buffer recycling
   };
   [[nodiscard]] Stats stats() const;
 
@@ -68,8 +91,11 @@ class CompressionService {
     std::uint64_t ticket = 0;
     runtime::StreamKey key;
     std::size_t raw_size = 0;
-    Encoder encode;
+    EncoderInto encode;
   };
+
+  void submit_job(const runtime::StreamKey& key, std::size_t raw_size_hint,
+                  EncoderInto encode);
 
   void worker_loop();
   void commit_in_order(const Job& job,
@@ -77,6 +103,8 @@ class CompressionService {
 
   runtime::RecordStore* store_;
   BoundedMpmcQueue<Job> queue_;
+  const compress::DeflateLevel level_;
+  support::BufferPool pool_;
 
   // Ticketed in-order commit: submit() hands out tickets under
   // submit_mutex_ (so queue order == ticket order), workers encode out of

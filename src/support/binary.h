@@ -33,6 +33,12 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Adopts `buf` (cleared, capacity kept) as the output buffer — the
+  /// allocation-reuse seam for pooled frame encoding.
+  explicit ByteWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
   void u16(std::uint16_t v) {

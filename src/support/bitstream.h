@@ -1,6 +1,12 @@
 // LSB-first bit streams as used by DEFLATE (RFC 1951 §3.1.1): bits are
 // packed into bytes starting from the least-significant bit; Huffman codes
 // are written most-significant-code-bit first via write_huffman.
+//
+// The writer keeps up to 64 pending bits in a register and flushes whole
+// bytes in batches (put_bits), so the encoder's hot loop pays one branch
+// per symbol instead of one per output byte. The reader exposes
+// peek/consume so table-driven Huffman decoders can look at the next N
+// bits without committing to a length.
 #pragma once
 
 #include <cstdint>
@@ -13,29 +19,43 @@ namespace cdc::support {
 
 class BitWriter {
  public:
+  BitWriter() = default;
+
+  /// Adopts `buf` (cleared, capacity kept) as the output buffer — the
+  /// allocation-reuse seam for pooled/thread-local codec workspaces.
+  explicit BitWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   /// Writes the low `count` bits of `bits`, LSB first. count <= 32.
   void write(std::uint32_t bits, int count) {
     CDC_DCHECK(count >= 0 && count <= 32);
-    acc_ |= static_cast<std::uint64_t>(bits & mask(count)) << used_;
+    put_bits(bits & mask(count), count);
+  }
+
+  /// Fast path: `bits` must already fit in `count` bits (no masking).
+  /// count <= 57. Flushes pending whole bytes at most once per call.
+  void put_bits(std::uint64_t bits, int count) {
+    CDC_DCHECK(count >= 0 && count <= 57);
+    CDC_DCHECK(count == 57 || (bits >> count) == 0);
+    if (used_ + count > 64) flush_whole_bytes();
+    acc_ |= bits << used_;
     used_ += count;
-    while (used_ >= 8) {
-      buf_.push_back(static_cast<std::uint8_t>(acc_));
-      acc_ >>= 8;
-      used_ -= 8;
-    }
   }
 
   /// Writes a Huffman code: code bits are emitted from the MSB of the
-  /// `length`-bit code first, matching DEFLATE's convention.
+  /// `length`-bit code first, matching DEFLATE's convention. Encoders on
+  /// the hot path should pre-reverse codes once and use put_bits instead.
   void write_huffman(std::uint32_t code, int length) {
     std::uint32_t reversed = 0;
     for (int i = 0; i < length; ++i)
       reversed |= ((code >> i) & 1u) << (length - 1 - i);
-    write(reversed, length);
+    put_bits(reversed, length);
   }
 
   /// Pads to a byte boundary with zero bits.
   void align_to_byte() {
+    flush_whole_bytes();
     if (used_ > 0) {
       buf_.push_back(static_cast<std::uint8_t>(acc_));
       acc_ = 0;
@@ -58,7 +78,21 @@ class BitWriter {
     buf_.push_back(b);
   }
 
+  /// Bulk byte append (stored blocks); only legal on a byte boundary.
+  void append_bytes(std::span<const std::uint8_t> bytes) {
+    CDC_DCHECK(used_ == 0);
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
  private:
+  void flush_whole_bytes() {
+    while (used_ >= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ >>= 8;
+      used_ -= 8;
+    }
+  }
+
   static constexpr std::uint32_t mask(int count) noexcept {
     return count == 32 ? ~0u : (1u << count) - 1u;
   }
@@ -75,20 +109,44 @@ class BitReader {
 
   /// Reads `count` bits LSB-first. Returns false on underrun.
   [[nodiscard]] bool try_read(int count, std::uint32_t& out) noexcept {
-    while (used_ < count) {
-      if (pos_ >= data_.size()) return false;
-      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << used_;
-      used_ += 8;
-    }
-    out = static_cast<std::uint32_t>(acc_) & mask(count);
-    acc_ >>= count;
-    used_ -= count;
+    if (!try_peek(count, out)) return false;
+    consume(count);
     return true;
   }
 
   /// Reads a single bit; false on underrun.
   [[nodiscard]] bool try_read_bit(std::uint32_t& out) noexcept {
     return try_read(1, out);
+  }
+
+  /// Peeks the next `count` bits without consuming them; false when fewer
+  /// than `count` bits remain in the stream. count <= 32.
+  [[nodiscard]] bool try_peek(int count, std::uint32_t& out) noexcept {
+    while (used_ < count) {
+      if (pos_ >= data_.size()) return false;
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << used_;
+      used_ += 8;
+    }
+    out = static_cast<std::uint32_t>(acc_) & mask(count);
+    return true;
+  }
+
+  /// Peeks up to `count` bits, zero-padded past end of stream; returns
+  /// how many real bits `out` holds (may be < count near the end).
+  [[nodiscard]] int peek_padded(int count, std::uint32_t& out) noexcept {
+    while (used_ < count && pos_ < data_.size()) {
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << used_;
+      used_ += 8;
+    }
+    out = static_cast<std::uint32_t>(acc_) & mask(count);
+    return used_ < count ? used_ : count;
+  }
+
+  /// Discards `count` previously peeked bits.
+  void consume(int count) noexcept {
+    CDC_DCHECK(count <= used_);
+    acc_ >>= count;
+    used_ -= count;
   }
 
   /// Discards bits up to the next byte boundary.

@@ -15,6 +15,9 @@ std::unique_ptr<store::CompressionService> make_service(
   store::CompressionService::Config service_config;
   service_config.workers = config.compression_workers;
   service_config.queue_capacity = config.compression_queue_capacity;
+  // One source of truth for the level: jobs are stamped from the same
+  // ToolOptions, so inline and service paths stay bit-identical.
+  service_config.level = config.options.level;
   return std::make_unique<store::CompressionService>(store, service_config);
 }
 

@@ -16,9 +16,13 @@ void write_frame(support::ByteWriter& out, std::uint8_t codec,
       obs::counter("record.stage.deflate.bytes_out");
   out.u8(kFrameMagic);
   out.u8(codec);
+  // The compressed body is staged in a thread-local scratch buffer whose
+  // capacity is reclaimed after the copy into `out` — the second half of
+  // the allocation-free steady state (the first is `out` itself).
+  thread_local std::vector<std::uint8_t> body_scratch;
   const obs::Stopwatch sw;
-  const std::vector<std::uint8_t> compressed =
-      compress::deflate_compress(payload, level);
+  std::vector<std::uint8_t> compressed =
+      compress::deflate_compress(payload, level, std::move(body_scratch));
   const bool stored_raw = compressed.size() >= payload.size();
   deflate_calls.add(1);
   deflate_ns.add(sw.ns());
@@ -34,11 +38,17 @@ void write_frame(support::ByteWriter& out, std::uint8_t codec,
     out.varint(compressed.size());
     out.bytes(compressed);
   }
+  body_scratch = std::move(compressed);
 }
 
 std::vector<std::uint8_t> encode_frame(const FrameJob& job) {
+  return encode_frame_into(job, {});
+}
+
+std::vector<std::uint8_t> encode_frame_into(
+    const FrameJob& job, std::vector<std::uint8_t> reuse) {
   static obs::Counter& frame_bytes = obs::counter("record.frame.bytes_out");
-  support::ByteWriter out;
+  support::ByteWriter out(std::move(reuse));
   if (job.compress) {
     write_frame(out, job.codec, job.meta, job.payload, job.level);
   } else {

@@ -43,6 +43,12 @@ struct FrameJob {
 /// parallel compression service commit bit-identical streams.
 std::vector<std::uint8_t> encode_frame(const FrameJob& job);
 
+/// encode_frame with a recycled output buffer: `reuse` donates capacity
+/// (contents discarded). The bytes produced are identical to
+/// encode_frame's — reuse affects allocations only.
+std::vector<std::uint8_t> encode_frame_into(const FrameJob& job,
+                                            std::vector<std::uint8_t> reuse);
+
 /// Appends one frame to `out`, compressing the payload with DEFLATE.
 void write_frame(support::ByteWriter& out, std::uint8_t codec,
                  std::uint64_t meta, std::span<const std::uint8_t> payload,

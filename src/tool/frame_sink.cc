@@ -1,9 +1,30 @@
 #include "tool/frame_sink.h"
 
+#include "obs/metrics.h"
 #include "store/compression_service.h"
 #include "support/check.h"
 
 namespace cdc::tool {
+
+namespace {
+
+/// Counts a sink-local scratch reuse under the same obs names the
+/// CompressionService pool uses, so record_inspector --stats sees one
+/// consolidated pool hit-rate regardless of which path encoded.
+void count_scratch_reuse(const std::vector<std::uint8_t>& scratch) {
+  static obs::Counter& pool_hits = obs::counter("store.pool.hits");
+  static obs::Counter& pool_misses = obs::counter("store.pool.misses");
+  static obs::Counter& pool_recycled =
+      obs::counter("store.pool.recycled_bytes");
+  if (scratch.capacity() > 0) {
+    pool_hits.add(1);
+    pool_recycled.add(scratch.capacity());
+  } else {
+    pool_misses.add(1);
+  }
+}
+
+}  // namespace
 
 InlineFrameSink::InlineFrameSink(runtime::RecordStore* store)
     : store_(store) {
@@ -11,7 +32,11 @@ InlineFrameSink::InlineFrameSink(runtime::RecordStore* store)
 }
 
 void InlineFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
-  store_->append(key, encode_frame(job));
+  count_scratch_reuse(scratch_);
+  std::vector<std::uint8_t> encoded =
+      encode_frame_into(job, std::move(scratch_));
+  store_->append(key, encoded);
+  scratch_ = std::move(encoded);  // the store copied; keep the capacity
 }
 
 AsyncFrameSink::AsyncFrameSink(store::CompressionService* service)
@@ -21,8 +46,12 @@ AsyncFrameSink::AsyncFrameSink(store::CompressionService* service)
 
 void AsyncFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
   const std::size_t raw_size = job.payload.size();
-  service_->submit(key, raw_size,
-                   [job = std::move(job)] { return encode_frame(job); });
+  service_->submit(
+      key, raw_size,
+      store::CompressionService::EncoderInto(
+          [job = std::move(job)](std::vector<std::uint8_t> reuse) {
+            return encode_frame_into(job, std::move(reuse));
+          }));
 }
 
 RetryingFrameSink::RetryingFrameSink(runtime::RecordStore* store,
@@ -31,7 +60,11 @@ RetryingFrameSink::RetryingFrameSink(runtime::RecordStore* store,
     : retrying_(store, policy, std::move(quarantine_path)) {}
 
 void RetryingFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
-  retrying_.append(key, encode_frame(job));
+  count_scratch_reuse(scratch_);
+  std::vector<std::uint8_t> encoded =
+      encode_frame_into(job, std::move(scratch_));
+  retrying_.append(key, encoded);
+  scratch_ = std::move(encoded);  // appended or quarantined by copy
 }
 
 }  // namespace cdc::tool

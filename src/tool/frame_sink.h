@@ -18,6 +18,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "runtime/storage.h"
 #include "store/resilient.h"
@@ -38,7 +39,9 @@ class FrameSink {
   virtual void submit(const runtime::StreamKey& key, FrameJob job) = 0;
 };
 
-/// Encodes on the calling thread, appends immediately.
+/// Encodes on the calling thread, appends immediately. Keeps one output
+/// buffer and recycles its capacity across submits (sinks are used from
+/// a single flushing thread), so steady-state encoding is allocation-free.
 class InlineFrameSink final : public FrameSink {
  public:
   explicit InlineFrameSink(runtime::RecordStore* store);
@@ -46,6 +49,7 @@ class InlineFrameSink final : public FrameSink {
 
  private:
   runtime::RecordStore* store_;
+  std::vector<std::uint8_t> scratch_;  ///< recycled frame-output buffer
 };
 
 /// Queues the job on a compression service's worker pool.
@@ -83,6 +87,7 @@ class RetryingFrameSink final : public FrameSink {
 
  private:
   store::RetryingStore retrying_;
+  std::vector<std::uint8_t> scratch_;  ///< recycled frame-output buffer
 };
 
 }  // namespace cdc::tool

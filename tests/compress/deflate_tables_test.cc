@@ -1,0 +1,49 @@
+// Exhaustive check of the encoder's constexpr symbol maps against the
+// seed's reverse linear scans. The fast maps index precomputed tables
+// (length directly, distance through a log2-style two-part bucket), so
+// every representable input is cheap to sweep — and any off-by-one at a
+// code-range boundary would silently emit wrong DEFLATE symbols.
+#include "compress/deflate.h"
+
+#include <gtest/gtest.h>
+
+namespace cdc::compress {
+namespace {
+
+TEST(DeflateTables, LengthMapMatchesReferenceExhaustively) {
+  for (int length = 3; length <= 258; ++length) {
+    EXPECT_EQ(detail::length_to_code(length),
+              detail::length_to_code_reference(length))
+        << "length " << length;
+  }
+}
+
+TEST(DeflateTables, DistanceMapMatchesReferenceExhaustively) {
+  for (int distance = 1; distance <= 32768; ++distance) {
+    ASSERT_EQ(detail::dist_to_code(distance),
+              detail::dist_to_code_reference(distance))
+        << "distance " << distance;
+  }
+}
+
+// RFC 1951 pins a handful of exact assignments; spot-check them so a bug
+// shared by map and reference (both derive from the same base tables)
+// cannot slip through the equivalence sweep. Both maps return 0-based
+// indices: length code i is litlen symbol 257 + i.
+TEST(DeflateTables, KnownCodeAssignments) {
+  EXPECT_EQ(detail::length_to_code(3), 0);     // symbol 257
+  EXPECT_EQ(detail::length_to_code(10), 7);    // symbol 264
+  EXPECT_EQ(detail::length_to_code(11), 8);    // first length with extra bits
+  EXPECT_EQ(detail::length_to_code(257), 27);  // symbol 284
+  EXPECT_EQ(detail::length_to_code(258), 28);  // dedicated max-length code
+
+  EXPECT_EQ(detail::dist_to_code(1), 0);
+  EXPECT_EQ(detail::dist_to_code(4), 3);
+  EXPECT_EQ(detail::dist_to_code(5), 4);  // first distance with extra bits
+  EXPECT_EQ(detail::dist_to_code(24576), 28);
+  EXPECT_EQ(detail::dist_to_code(24577), 29);  // last code's base
+  EXPECT_EQ(detail::dist_to_code(32768), 29);
+}
+
+}  // namespace
+}  // namespace cdc::compress

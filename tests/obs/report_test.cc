@@ -43,6 +43,11 @@ TEST(PipelineReport, FromSnapshotMapsMetricNames) {
   registry.histogram("record.epoch.flush_events").record(33);
   registry.counter("store.service.jobs").add(3);
   registry.counter("store.service.submit_stalls").add(1);
+  registry.counter("record.stage.deflate.bytes_in").add(4096);
+  registry.counter("record.stage.deflate.ns").add(2048);
+  registry.counter("store.pool.hits").add(30);
+  registry.counter("store.pool.misses").add(10);
+  registry.counter("store.pool.recycled_bytes").add(7777);
   registry.counter("tool.async.enqueued").add(3);
   registry.counter("sim.messages_sent").add(55);
   registry.gauge("sim.virtual_time_us").add(2500000);
@@ -65,6 +70,12 @@ TEST(PipelineReport, FromSnapshotMapsMetricNames) {
   EXPECT_EQ(report.epoch_flush_events.max, 33u);
   EXPECT_EQ(report.service_jobs, 3u);
   EXPECT_EQ(report.service_submit_stalls, 1u);
+  EXPECT_EQ(report.pool_hits, 30u);
+  EXPECT_EQ(report.pool_misses, 10u);
+  EXPECT_EQ(report.pool_recycled_bytes, 7777u);
+  EXPECT_DOUBLE_EQ(report.pool_hit_rate(), 0.75);
+  // 4096 bytes in 2048 ns = 2 bytes/ns = 2000 MB/s.
+  EXPECT_DOUBLE_EQ(report.deflate_mb_per_s(), 2000.0);
   EXPECT_EQ(report.async_enqueued, 3u);
   EXPECT_EQ(report.sim_messages, 55u);
   EXPECT_DOUBLE_EQ(report.sim_virtual_seconds, 2.5);

@@ -126,5 +126,36 @@ TEST(AsyncFrameSink, ProducesBitIdenticalStreamsToInline) {
   EXPECT_EQ(service.stats().encoded_bytes, inline_store.total_bytes());
 }
 
+TEST(CompressionService, PoolMakesSteadyStateFrameEncodingAllocationFree) {
+  // 1000 small frames through the worker pool: after each worker's first
+  // job allocates an output buffer, every later encode must reuse pooled
+  // capacity — the pool counters are the allocation audit. A regression
+  // that drops buffers instead of recycling them shows up as misses.
+  runtime::MemoryStore store;
+  CompressionService::Config config;
+  config.workers = 4;
+  CompressionService service(&store, config);
+  tool::AsyncFrameSink sink(&service);
+
+  constexpr std::uint64_t kJobs = 1000;
+  for (std::uint64_t i = 0; i < kJobs; ++i) {
+    tool::FrameJob job;
+    job.meta = i;
+    job.payload.assign(96, static_cast<std::uint8_t>(i % 5));
+    sink.submit(key(0), std::move(job));
+  }
+  service.drain();
+
+  const auto pool = service.stats().pool;
+  EXPECT_EQ(pool.hits + pool.misses, kJobs);
+  // Each worker holds at most one buffer at a time and the pool retains
+  // more buffers than there are workers, so only a worker's very first
+  // acquire can find the freelist empty.
+  EXPECT_LE(pool.misses, static_cast<std::uint64_t>(config.workers));
+  EXPECT_GE(pool.hits, kJobs - config.workers);
+  EXPECT_GT(pool.recycled_bytes, 0u);
+  EXPECT_EQ(pool.dropped, 0u);
+}
+
 }  // namespace
 }  // namespace cdc::store

@@ -1,0 +1,95 @@
+#include "support/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cdc::support {
+namespace {
+
+TEST(BufferPool, FirstAcquireMissesThenRecyclesCapacity) {
+  BufferPool pool(4);
+  std::vector<std::uint8_t> buf;
+  EXPECT_FALSE(pool.acquire(buf));
+  EXPECT_TRUE(buf.empty());
+
+  buf.resize(4096);
+  const std::size_t capacity = buf.capacity();
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.idle_buffers(), 1u);
+
+  std::vector<std::uint8_t> again;
+  EXPECT_TRUE(pool.acquire(again));
+  EXPECT_TRUE(again.empty());             // contents discarded...
+  EXPECT_GE(again.capacity(), capacity);  // ...capacity kept
+
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.recycled_bytes, capacity);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(BufferPool, ReleaseBeyondCapIsDroppedNotRetained) {
+  BufferPool pool(2);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::uint8_t> buf(64);
+    pool.release(std::move(buf));
+  }
+  EXPECT_EQ(pool.idle_buffers(), 2u);
+  EXPECT_EQ(pool.stats().dropped, 3u);
+}
+
+TEST(BufferPool, MissLeavesStaleCallerBufferEmpty) {
+  BufferPool pool(1);
+  std::vector<std::uint8_t> buf(1000, 0xFF);
+  EXPECT_FALSE(pool.acquire(buf));  // pool empty: caller buffer reset
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(BufferPool, SteadyStateLoopAllocatesOnlyOnce) {
+  BufferPool pool(4);
+  std::uint64_t total_capacity_churn = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<std::uint8_t> buf;
+    pool.acquire(buf);
+    const std::size_t before = buf.capacity();
+    buf.resize(2048);  // allocates on the first pass only
+    if (buf.capacity() != before) ++total_capacity_churn;
+    pool.release(std::move(buf));
+  }
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 999u);
+  EXPECT_EQ(total_capacity_churn, 1u) << "steady state reallocated";
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseKeepsCountsConsistent) {
+  BufferPool pool(8);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 500;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kIterations; ++i) {
+          std::vector<std::uint8_t> buf;
+          pool.acquire(buf);
+          buf.resize(128);
+          pool.release(std::move(buf));
+        }
+      });
+    }
+  }
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  // At most one fresh buffer per thread can be in flight at once, and the
+  // pool retains up to 8, so misses are bounded by the thread count.
+  EXPECT_LE(stats.misses, static_cast<std::uint64_t>(kThreads));
+  EXPECT_LE(pool.idle_buffers(), 8u);
+}
+
+}  // namespace
+}  // namespace cdc::support
