@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate: compare BENCH_corpus.json against the committed
+corpus-dedup baseline.
+
+The fig21_corpus_dedup bench records a deterministic seeded MCB family
+through CorpusStore, so its ratios depend only on the code, not the
+machine. This script fails (exit 1) when either gated ratio drops more
+than the baseline's tolerance below its committed value:
+
+  * vs_gzip           — the ISSUE 6 acceptance number: the CDC corpus
+                        container vs the sum of independent gzip records
+  * rows_dedup_ratio  — raw bytes vs stored bytes of the rows corpus,
+                        where the corpus machinery is the only compressor
+
+Improvements (ratios above baseline) only print, so a retuning that makes
+the corpus smaller shows up in the log without blocking.
+
+Usage: check_corpus_baseline.py <BENCH_corpus.json> [baseline.json]
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    bench_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "corpus_baseline.json")
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    for key in ("ranks", "members", "base_seed"):
+        if bench.get(key) != baseline.get(key):
+            print(f"FAIL: config mismatch — bench ran {key}="
+                  f"{bench.get(key)}, baseline expects {baseline.get(key)}; "
+                  f"regenerate the baseline")
+            return 1
+
+    tolerance = float(baseline.get("tolerance", 0.02))
+    measured = {
+        "vs_gzip": float(bench.get("vs_gzip", 0.0)),
+        "rows_dedup_ratio": float(
+            bench.get("rows_corpus", {}).get("dedup_ratio", 0.0)),
+    }
+    failed = False
+    for metric, actual in measured.items():
+        expected = float(baseline[metric])
+        delta = (actual - expected) / expected
+        verdict = "ok"
+        if delta < -tolerance:
+            verdict = "REGRESSED"
+            failed = True
+        print(f"{metric:>18}: {actual:.4f} vs baseline {expected:.4f} "
+              f"({delta:+.3%}, tolerance {tolerance:.0%}) {verdict}")
+    if failed:
+        print("FAIL: corpus dedup ratio regressed beyond tolerance; if "
+              "intentional, update bench/corpus_baseline.json")
+        return 1
+    print("corpus-dedup baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

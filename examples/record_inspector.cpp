@@ -17,16 +17,23 @@
 //   $ ./record_inspector --stats             # instrumented demo run:
 //                                            # pipeline report + trace JSON
 //   $ ./record_inspector --stats <file>      # pipeline report of a container
+//   $ ./record_inspector --corpus <file>     # corpus container stats:
+//                                            # families, dedup ratio,
+//                                            # chunk histogram
 //
 // The recording modes (the default demo and bare `--stats`) accept
 //   --level <stored|fast|default|best>
 // anywhere on the command line to pick the DEFLATE effort level.
+// Unknown flags are rejected with the usage text and exit code 2.
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/mcb.h"
+#include "corpus/corpus.h"
 #include "minimpi/simulator.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -280,6 +287,83 @@ int stats_demo(compress::DeflateLevel level) {
   return emit_report(report, "cdc_pipeline_report.json");
 }
 
+/// `--corpus <file>`: corpus container stats — families, members, dedup
+/// ratio, per-encoding stream counts, and a log2 chunk-size histogram.
+/// Exit 0 for a healthy corpus, 1 when salvage left unreadable members,
+/// 2 when the file cannot be opened as a corpus.
+int corpus_stats(const std::string& path) {
+  std::string error;
+  const auto reader = corpus::CorpusReader::open(path, &error);
+  if (reader == nullptr) {
+    std::printf("cannot open corpus %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  const corpus::CorpusStats& stats = reader->stats();
+  std::printf("corpus %s: %llu members in %llu families, %llu streams\n",
+              path.c_str(), static_cast<unsigned long long>(stats.members),
+              static_cast<unsigned long long>(stats.families),
+              static_cast<unsigned long long>(stats.streams));
+  std::printf("  %s raw -> %s stored in %s on disk (dedup %.2fx)\n",
+              support::format_bytes(
+                  static_cast<double>(stats.raw_bytes)).c_str(),
+              support::format_bytes(
+                  static_cast<double>(stats.stored_bytes)).c_str(),
+              support::format_bytes(
+                  static_cast<double>(reader->file_bytes())).c_str(),
+              stats.dedup_ratio());
+  std::printf("  streams by encoding:");
+  const corpus::MemberEncoding encodings[] = {
+      corpus::MemberEncoding::kChunks, corpus::MemberEncoding::kDeltaOnepass,
+      corpus::MemberEncoding::kDeltaCorrecting,
+      corpus::MemberEncoding::kSelfGzip, corpus::MemberEncoding::kRaw};
+  for (const auto encoding : encodings) {
+    const std::uint64_t n =
+        stats.by_encoding[static_cast<std::size_t>(encoding)];
+    if (n > 0)
+      std::printf(" %.*s=%llu",
+                  static_cast<int>(corpus::to_string(encoding).size()),
+                  corpus::to_string(encoding).data(),
+                  static_cast<unsigned long long>(n));
+  }
+  std::printf("\n");
+
+  const std::vector<std::size_t> sizes = reader->chunk_sizes();
+  if (!sizes.empty()) {
+    std::printf("  chunk table: %llu chunks, %s unique content\n",
+                static_cast<unsigned long long>(stats.chunk_count),
+                support::format_bytes(
+                    static_cast<double>(stats.chunk_bytes)).c_str());
+    // Log2 size histogram, the usual CDC sanity view: the mass should sit
+    // between min_size and max_size with a mode near avg_size.
+    std::map<int, std::uint64_t> buckets;
+    for (const std::size_t size : sizes) {
+      int bucket = 0;
+      for (std::size_t v = size; v > 1; v >>= 1) ++bucket;
+      ++buckets[bucket];
+    }
+    for (const auto& [bucket, count] : buckets) {
+      const std::size_t lo = bucket == 0 ? 0 : (std::size_t{1} << bucket);
+      std::printf("    [%6zu, %6zu): %6llu chunks\n", lo,
+                  std::size_t{1} << (bucket + 1),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+
+  int unreadable = 0;
+  for (const corpus::CorpusReader::Member& member : reader->members()) {
+    std::printf("  member %3u %s%s family=%s%s%s\n", member.ordinal,
+                member.name.empty() ? "(unnamed)" : member.name.c_str(),
+                member.is_reference ? " [reference]" : "",
+                member.family.c_str(),
+                member.readable ? "" : " UNREADABLE: ",
+                member.readable ? "" : member.damage.c_str());
+    if (!member.readable) ++unreadable;
+  }
+  if (unreadable > 0)
+    std::printf("  %d member(s) unreadable after salvage\n", unreadable);
+  return unreadable > 0 ? 1 : 0;
+}
+
 int demo(compress::DeflateLevel level) {
   std::printf("== recording a demo MCB run into a record container "
               "(deflate level %.*s) ==\n\n",
@@ -324,6 +408,26 @@ int demo(compress::DeflateLevel level) {
   return verify_container(file);
 }
 
+int usage(const char* prog, int code) {
+  std::printf(
+      "usage: %s [mode] [--level <stored|fast|default|best>]\n"
+      "modes:\n"
+      "  (none)                 record and dissect a demo MCB run\n"
+      "  --dir <path>           inspect a FileStore record directory\n"
+      "  --container <file>     inspect a record container\n"
+      "  --verify <file>        CRC-verify a container\n"
+      "  --repack <in> <out>    salvage/compact a container\n"
+      "  --gaps <file> [quarantine]\n"
+      "                         degraded-replay gap report (+ JSON)\n"
+      "  --stats [container]    pipeline report (demo run, or of a file)\n"
+      "  --corpus <file>        corpus stats: families, dedup ratio,\n"
+      "                         chunk histogram, member health\n"
+      "  --help                 this text\n"
+      "--level applies to the recording modes (demo and bare --stats).\n",
+      prog);
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -331,8 +435,12 @@ int main(int argc, char** argv) {
   // recording modes); everything else keeps its relative order for the
   // positional dispatch below.
   cdc::compress::DeflateLevel level = cdc::compress::DeflateLevel::kDefault;
-  for (int i = 1; i + 1 < argc;) {
+  for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--level") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--level needs a value (stored|fast|default|best)\n");
+        return 2;
+      }
       const auto parsed =
           cdc::compress::deflate_level_from_name(argv[i + 1]);
       if (!parsed) {
@@ -347,9 +455,25 @@ int main(int argc, char** argv) {
       ++i;
     }
   }
+  // Every flag must be one the dispatch below understands: an unknown
+  // flag is an error, not something to silently ignore.
+  static const char* const known_flags[] = {
+      "--dir",  "--container", "--verify", "--repack",
+      "--gaps", "--stats",     "--corpus", "--help"};
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') continue;
+    bool known = false;
+    for (const char* flag : known_flags)
+      known = known || std::strcmp(argv[i], flag) == 0;
+    if (!known) {
+      std::printf("unknown flag '%s'\n", argv[i]);
+      return usage(argv[0], 2);
+    }
+  }
   const auto is = [&](int i, const char* flag) {
     return i < argc && std::strcmp(argv[i], flag) == 0;
   };
+  if (is(1, "--help")) return usage(argv[0], 0);
   if (is(1, "--container") && argc == 3) return inspect_container(argv[2]);
   if (is(1, "--verify") && argc == 3) return verify_container(argv[2]);
   if (is(1, "--repack") && argc == 4) return repack(argv[2], argv[3]);
@@ -357,6 +481,7 @@ int main(int argc, char** argv) {
     return gaps_container(argv[2], argc == 4 ? argv[3] : "");
   if (is(1, "--stats") && argc == 2) return stats_demo(level);
   if (is(1, "--stats") && argc == 3) return stats_container(argv[2]);
+  if (is(1, "--corpus") && argc == 3) return corpus_stats(argv[2]);
   if (is(1, "--dir") && argc == 3) {
     runtime::FileStore store(argv[2]);
     // FileStore discovers nothing on its own; rebuild keys from names is
@@ -365,13 +490,6 @@ int main(int argc, char** argv) {
     inspect(store);
     return 0;
   }
-  if (argc > 1) {
-    std::printf(
-        "usage: %s [--dir <path> | --container <file> | --verify <file> | "
-        "--repack <in> <out> | --gaps <file> [quarantine] | "
-        "--stats [container]] [--level <stored|fast|default|best>]\n",
-        argv[0]);
-    return 2;
-  }
+  if (argc > 1) return usage(argv[0], 2);
   return demo(level);
 }

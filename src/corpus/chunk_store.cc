@@ -1,0 +1,94 @@
+#include "corpus/chunk_store.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cdc::corpus {
+
+namespace {
+
+/// Second, independent base for the strong hash (first is kKarpRabinBase).
+constexpr std::uint64_t kSecondBase = 1000003;
+
+}  // namespace
+
+ChunkId chunk_id(std::span<const std::uint8_t> bytes) noexcept {
+  // Length folded in so a chunk and its zero-padded extension differ even
+  // when the polynomial hashes agree on the shared prefix.
+  ChunkId id;
+  id.hi = kr_add(kr_hash(bytes, kKarpRabinBase),
+                 kr_mul(bytes.size() + 1, 0x1234567887654321ull &
+                                              kKarpRabinPrime));
+  id.lo = kr_add(kr_hash(bytes, kSecondBase), bytes.size());
+  return id;
+}
+
+std::optional<std::uint32_t> ChunkStore::lookup(
+    std::span<const std::uint8_t> bytes, const ChunkId& id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  for (const std::uint32_t ordinal : it->second) {
+    const Entry& entry = chunks_[ordinal];
+    if (entry.bytes.size() == bytes.size() &&
+        std::equal(bytes.begin(), bytes.end(), entry.bytes.begin()))
+      return ordinal;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t ChunkStore::insert_unique(std::span<const std::uint8_t> bytes,
+                                        const ChunkId& id) {
+  const auto ordinal = static_cast<std::uint32_t>(chunks_.size());
+  Entry entry;
+  entry.id = id;
+  entry.bytes.assign(bytes.begin(), bytes.end());
+  chunks_.push_back(std::move(entry));
+  by_id_[id].push_back(ordinal);
+  stored_bytes_ += bytes.size();
+  return ordinal;
+}
+
+ChunkStore::InternResult ChunkStore::intern(
+    std::span<const std::uint8_t> bytes) {
+  presented_bytes_ += bytes.size();
+  const ChunkId id = chunk_id(bytes);
+  InternResult result;
+  if (const auto hit = lookup(bytes, id)) {
+    result.ordinal = *hit;
+    result.inserted = false;
+  } else {
+    result.ordinal = insert_unique(bytes, id);
+    result.inserted = true;
+  }
+  ++chunks_[result.ordinal].refs;
+  return result;
+}
+
+std::uint32_t ChunkStore::adopt(std::span<const std::uint8_t> bytes) {
+  const ChunkId id = chunk_id(bytes);
+  if (const auto hit = lookup(bytes, id)) return *hit;
+  return insert_unique(bytes, id);
+}
+
+void ChunkStore::add_reference(std::uint32_t ordinal) {
+  CDC_CHECK_MSG(ordinal < chunks_.size(), "chunk ordinal out of range");
+  ++chunks_[ordinal].refs;
+}
+
+std::span<const std::uint8_t> ChunkStore::chunk(std::uint32_t ordinal) const {
+  CDC_CHECK_MSG(ordinal < chunks_.size(), "chunk ordinal out of range");
+  return chunks_[ordinal].bytes;
+}
+
+const ChunkId& ChunkStore::id(std::uint32_t ordinal) const {
+  CDC_CHECK_MSG(ordinal < chunks_.size(), "chunk ordinal out of range");
+  return chunks_[ordinal].id;
+}
+
+std::uint64_t ChunkStore::ref_count(std::uint32_t ordinal) const {
+  CDC_CHECK_MSG(ordinal < chunks_.size(), "chunk ordinal out of range");
+  return chunks_[ordinal].refs;
+}
+
+}  // namespace cdc::corpus

@@ -1,0 +1,78 @@
+#include "corpus/chunker.h"
+
+#include <bit>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace cdc::corpus {
+
+namespace {
+
+/// Seed-derived polynomial base: odd, in [257, 2^16), so the hash mixes
+/// well and differently seeded chunkers disagree on boundaries.
+std::uint64_t base_for(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  return (rng.bounded(65279) + 257) | 1;
+}
+
+}  // namespace
+
+std::vector<std::size_t> chunk_boundaries(
+    std::span<const std::uint8_t> bytes, const ChunkerConfig& config) {
+  CDC_CHECK_MSG(std::has_single_bit(config.avg_size),
+                "chunker avg_size must be a power of two");
+  CDC_CHECK_MSG(config.min_size > 0 && config.min_size <= config.avg_size &&
+                    config.avg_size <= config.max_size,
+                "chunker requires 0 < min <= avg <= max");
+  CDC_CHECK_MSG(config.window <= config.min_size,
+                "chunker window must fit inside min_size");
+
+  std::vector<std::size_t> cuts;
+  if (bytes.empty()) return cuts;
+
+  const std::uint64_t base = base_for(config.seed);
+  const std::uint64_t mask = config.avg_size - 1;
+  // The boundary pattern the masked window hash must hit. Derived from the
+  // seed (second RNG draw, so it is independent of the base above).
+  support::Xoshiro256 rng(config.seed ^ 0x6a09e667f3bcc909ull);
+  const std::uint64_t magic = rng() & mask;
+
+  KarpRabinWindow window(config.window, base);
+  std::size_t chunk_start = 0;
+  std::size_t filled = 0;  ///< bytes of the current chunk fed to `window`
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t in_chunk = i - chunk_start + 1;
+    if (filled < config.window) {
+      window.push(bytes[i]);
+      ++filled;
+    } else {
+      window.roll(bytes[i - config.window], bytes[i]);
+    }
+    const bool content_cut = in_chunk >= config.min_size &&
+                             filled >= config.window &&
+                             (window.hash() & mask) == magic;
+    if (content_cut || in_chunk >= config.max_size) {
+      cuts.push_back(i + 1);
+      chunk_start = i + 1;
+      window.reset();
+      filled = 0;
+    }
+  }
+  if (cuts.empty() || cuts.back() != bytes.size())
+    cuts.push_back(bytes.size());
+  return cuts;
+}
+
+std::vector<std::span<const std::uint8_t>> chunk_spans(
+    std::span<const std::uint8_t> bytes, const ChunkerConfig& config) {
+  std::vector<std::span<const std::uint8_t>> out;
+  std::size_t start = 0;
+  for (const std::size_t cut : chunk_boundaries(bytes, config)) {
+    out.push_back(bytes.subspan(start, cut - start));
+    start = cut;
+  }
+  return out;
+}
+
+}  // namespace cdc::corpus

@@ -91,6 +91,18 @@ struct PipelineReport {
   std::uint64_t writer_frames = 0;
   std::uint64_t writer_payload_bytes = 0;
 
+  // --- corpus section (zero when no corpus store ran) --------------------
+  std::uint64_t corpus_members = 0;
+  std::uint64_t corpus_streams = 0;
+  std::uint64_t corpus_raw_bytes = 0;     ///< member payloads before dedup
+  std::uint64_t corpus_stored_bytes = 0;  ///< corpus frame bytes written
+  std::uint64_t corpus_chunks_inserted = 0;
+  std::uint64_t corpus_chunk_hits = 0;
+  std::uint64_t corpus_chunk_hit_bytes = 0;
+  std::uint64_t corpus_pool_hits = 0;
+  std::uint64_t corpus_pool_misses = 0;
+  std::uint64_t corpus_pool_recycled_bytes = 0;
+
   // --- container section (zero without a container) ----------------------
   std::uint64_t container_file_bytes = 0;
   std::uint64_t container_frames = 0;
@@ -115,6 +127,13 @@ struct PipelineReport {
   /// Fraction of frame encodes that reused a recycled output buffer,
   /// in [0, 1]; 0 when nothing was encoded.
   [[nodiscard]] double pool_hit_rate() const noexcept;
+
+  /// Corpus dedup ratio: member raw bytes over corpus stored bytes (the
+  /// "dedup" column); 0 when no corpus ingest ran.
+  [[nodiscard]] double corpus_dedup_ratio() const noexcept;
+
+  /// Corpus scratch-pool reuse rate in [0, 1].
+  [[nodiscard]] double corpus_pool_hit_rate() const noexcept;
 
   /// Fills the live section from a metrics snapshot.
   static PipelineReport from_snapshot(const MetricsSnapshot& snapshot);

@@ -234,6 +234,25 @@ std::vector<std::uint8_t> ContainerReader::read_stream(
   return out;
 }
 
+std::vector<std::span<const std::uint8_t>> ContainerReader::frame_payloads(
+    const runtime::StreamKey& key) const {
+  CDC_CHECK_MSG(index_ok_,
+                "container index unreadable — run verify/repack first");
+  const StreamIndexEntry* entry = find(key);
+  if (entry == nullptr) return {};
+  std::vector<std::span<const std::uint8_t>> out;
+  out.reserve(entry->frame_offsets.size());
+  for (const std::uint64_t offset : entry->frame_offsets) {
+    const ParsedFrame frame = parse_frame_at(offset, data_end_);
+    CDC_CHECK_MSG(frame.parsed && frame.crc_ok,
+                  "container frame corrupt — refusing to replay from it");
+    CDC_CHECK_MSG(frame.key == key, "container frame belongs to another "
+                                    "stream — index is inconsistent");
+    out.push_back(frame.payload);
+  }
+  return out;
+}
+
 VerifyReport ContainerReader::verify() const {
   VerifyReport report;
   if (!header_ok_) {

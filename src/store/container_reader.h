@@ -52,6 +52,14 @@ class ContainerReader {
   [[nodiscard]] std::vector<std::uint8_t> read_stream(
       const runtime::StreamKey& key) const;
 
+  /// The same frames as read_stream, but one span per frame (aliasing the
+  /// reader's buffer) instead of concatenated — the seam for formats that
+  /// give each frame its own meaning (the corpus layer stores one chunk or
+  /// one member manifest per frame). Same trust contract as read_stream:
+  /// requires index_ok(), aborts on CRC mismatch.
+  [[nodiscard]] std::vector<std::span<const std::uint8_t>> frame_payloads(
+      const runtime::StreamKey& key) const;
+
   /// Full verification sweep: header, every frame (parse + CRC), index
   /// CRC, footer, and index/data cross-checks. Every byte of the file is
   /// covered by at least one check, so any single-byte corruption is

@@ -1,0 +1,164 @@
+// Content-defined chunking properties: deterministic cuts, enforced
+// [min, max] bounds, seed sensitivity, and — the property dedup rests
+// on — boundary resynchronization after a prefix edit.
+//
+// fuzz_chunker suites are selected by the nightly `ctest -R fuzz` job and
+// honour CDC_FUZZ_BASE_SEED / CDC_FUZZ_SEEDS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "corpus/chunker.h"
+#include "support/rng.h"
+
+namespace cdc::corpus {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.bounded(256));
+  return bytes;
+}
+
+// Checks the boundary contract: ascending cuts ending at size, every
+// chunk but the last in [min, max], the last in (0, max].
+void expect_valid_boundaries(const std::vector<std::size_t>& cuts,
+                             std::size_t size, const ChunkerConfig& config,
+                             std::uint64_t seed) {
+  ASSERT_FALSE(cuts.empty()) << "seed=" << seed;
+  EXPECT_EQ(cuts.back(), size) << "seed=" << seed;
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    ASSERT_GT(cuts[i], prev) << "seed=" << seed << " cut " << i;
+    const std::size_t len = cuts[i] - prev;
+    EXPECT_LE(len, config.max_size) << "seed=" << seed << " chunk " << i;
+    if (i + 1 < cuts.size()) {
+      EXPECT_GE(len, config.min_size) << "seed=" << seed << " chunk " << i;
+    }
+    prev = cuts[i];
+  }
+}
+
+TEST(Chunker, EmptyInputHasNoChunks) {
+  EXPECT_TRUE(chunk_boundaries({}, ChunkerConfig{}).empty());
+  EXPECT_TRUE(chunk_spans({}, ChunkerConfig{}).empty());
+}
+
+TEST(Chunker, ShortInputIsOneChunk) {
+  const std::vector<std::uint8_t> bytes = random_bytes(50, 3);
+  const auto cuts = chunk_boundaries(bytes, ChunkerConfig{});
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], bytes.size());
+}
+
+TEST(Chunker, CutsAreDeterministic) {
+  const std::vector<std::uint8_t> bytes = random_bytes(64 * 1024, 11);
+  const ChunkerConfig config;
+  EXPECT_EQ(chunk_boundaries(bytes, config), chunk_boundaries(bytes, config));
+}
+
+TEST(Chunker, SpansReassembleTheInput) {
+  const std::vector<std::uint8_t> bytes = random_bytes(20000, 5);
+  std::vector<std::uint8_t> glued;
+  for (const auto& span : chunk_spans(bytes, ChunkerConfig{}))
+    glued.insert(glued.end(), span.begin(), span.end());
+  EXPECT_EQ(glued, bytes);
+}
+
+TEST(fuzz_chunker, BoundsHoldForRandomAndRepetitiveInputs) {
+  // The acceptance sweep: >= 64 seeds, random and low-entropy content,
+  // every chunk inside [min, max].
+  const std::uint64_t base_seed = env_u64("CDC_FUZZ_BASE_SEED", 1);
+  const std::uint64_t num_seeds = env_u64("CDC_FUZZ_SEEDS", 64);
+  for (std::uint64_t s = 0; s < num_seeds; ++s) {
+    const std::uint64_t seed = base_seed + s;
+    support::Xoshiro256 rng(seed);
+    ChunkerConfig config;
+    config.seed = seed;
+    const std::size_t size = 4096 + rng.bounded(60000);
+
+    std::vector<std::uint8_t> bytes = random_bytes(size, seed ^ 0xabcd);
+    expect_valid_boundaries(chunk_boundaries(bytes, config), bytes.size(),
+                            config, seed);
+
+    // Low-entropy adversary: long constant runs never match a boundary
+    // pattern naturally, so only the max_size forcing keeps bounds.
+    std::fill(bytes.begin() + bytes.size() / 4,
+              bytes.begin() + bytes.size() / 2,
+              static_cast<std::uint8_t>(seed & 0xff));
+    expect_valid_boundaries(chunk_boundaries(bytes, config), bytes.size(),
+                            config, seed);
+  }
+}
+
+TEST(fuzz_chunker, BoundariesResyncAfterAPrefixInsert) {
+  // THE content-defined property: inserting bytes at the front shifts
+  // every byte position, yet after at most a few chunks the cut points
+  // land on the same content again — so most chunks of the edited stream
+  // dedup against the original's.
+  const std::uint64_t base_seed = env_u64("CDC_FUZZ_BASE_SEED", 1);
+  const std::uint64_t num_seeds = env_u64("CDC_FUZZ_SEEDS", 64);
+  std::uint64_t resynced = 0;
+  for (std::uint64_t s = 0; s < num_seeds; ++s) {
+    const std::uint64_t seed = base_seed + s;
+    ChunkerConfig config;
+    config.seed = seed;
+    const std::vector<std::uint8_t> original = random_bytes(48 * 1024, seed);
+
+    support::Xoshiro256 rng(seed ^ 0x51ed);
+    std::vector<std::uint8_t> edited =
+        random_bytes(1 + rng.bounded(300), seed + 1);  // the inserted prefix
+    edited.insert(edited.end(), original.begin(), original.end());
+
+    const auto a = chunk_boundaries(original, config);
+    const auto b = chunk_boundaries(edited, config);
+    const std::size_t shift = edited.size() - original.size();
+
+    // Count trailing cuts of the edited stream that are original cuts
+    // shifted by the insert length — identical content positions.
+    std::size_t common = 0;
+    while (common < a.size() && common < b.size() &&
+           a[a.size() - 1 - common] + shift == b[b.size() - 1 - common])
+      ++common;
+    ASSERT_GE(a.size(), 6u) << "seed=" << seed;  // enough chunks to resync in
+    if (common + 4 >= a.size()) ++resynced;  // resynced within ~4 chunks
+    EXPECT_GE(common, 1u) << "seed=" << seed << " never resynchronized";
+  }
+  // The overwhelming majority of seeds must resync almost immediately.
+  EXPECT_GE(resynced * 10, num_seeds * 9)
+      << resynced << "/" << num_seeds << " resynced within 4 chunks";
+}
+
+TEST(Chunker, DifferentSeedsCutDifferently) {
+  const std::vector<std::uint8_t> bytes = random_bytes(64 * 1024, 17);
+  ChunkerConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(chunk_boundaries(bytes, a), chunk_boundaries(bytes, b));
+}
+
+TEST(Chunker, AverageChunkSizeTracksTheConfiguredAverage) {
+  // Statistical sanity, not a tight bound: random input should cut near
+  // avg_size, well inside [min, max].
+  ChunkerConfig config;
+  config.min_size = 128;
+  config.avg_size = 1024;
+  config.max_size = 8192;  // roomy max: observe the content-defined rate
+  const std::vector<std::uint8_t> bytes = random_bytes(512 * 1024, 23);
+  const auto cuts = chunk_boundaries(bytes, config);
+  const double mean =
+      static_cast<double>(bytes.size()) / static_cast<double>(cuts.size());
+  EXPECT_GT(mean, 256.0);
+  EXPECT_LT(mean, 4096.0);
+}
+
+}  // namespace
+}  // namespace cdc::corpus

@@ -1,0 +1,281 @@
+// Differential compression round-trips: onepass and correcting encoders
+// (JACM 49(3), 2002) against both apply paths — fresh-buffer and the
+// TKDE'03 in-place reconstruction — plus malformed-delta rejection.
+//
+// fuzz_delta suites run under the nightly `ctest -R fuzz` matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "corpus/delta.h"
+#include "support/rng.h"
+
+namespace cdc::corpus {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.bounded(256));
+  return bytes;
+}
+
+constexpr DeltaAlgorithm kBoth[] = {DeltaAlgorithm::kOnepass,
+                                    DeltaAlgorithm::kCorrecting};
+
+// Encodes version against reference and checks BOTH reconstruction paths
+// produce the version bit-for-bit. Returns the serialized delta size.
+std::size_t expect_roundtrip(const std::vector<std::uint8_t>& reference,
+                             const std::vector<std::uint8_t>& version,
+                             DeltaAlgorithm algorithm,
+                             DeltaStats* stats = nullptr) {
+  const std::vector<std::uint8_t> delta =
+      encode_delta(reference, version, algorithm, {}, stats);
+
+  const auto fresh = apply_delta(reference, delta);
+  EXPECT_TRUE(fresh.has_value()) << to_string(algorithm);
+  if (fresh) {
+    EXPECT_EQ(*fresh, version) << to_string(algorithm);
+  }
+
+  std::vector<std::uint8_t> buffer = reference;  // in-place: ref -> version
+  EXPECT_TRUE(apply_delta_in_place(buffer, delta)) << to_string(algorithm);
+  EXPECT_EQ(buffer, version) << to_string(algorithm) << " (in place)";
+  return delta.size();
+}
+
+TEST(Delta, IdenticalInputsCollapseToCopies) {
+  const std::vector<std::uint8_t> bytes = random_bytes(8 * 1024, 1);
+  for (const DeltaAlgorithm algorithm : kBoth) {
+    DeltaStats stats;
+    const std::size_t size = expect_roundtrip(bytes, bytes, algorithm, &stats);
+    EXPECT_EQ(stats.copied_bytes, bytes.size()) << to_string(algorithm);
+    EXPECT_EQ(stats.literal_bytes, 0u) << to_string(algorithm);
+    EXPECT_LT(size, 64u) << to_string(algorithm);  // header + one copy
+  }
+}
+
+TEST(Delta, EdgeShapesRoundTrip) {
+  const std::vector<std::uint8_t> some = random_bytes(4096, 2);
+  const std::vector<std::uint8_t> empty;
+  for (const DeltaAlgorithm algorithm : kBoth) {
+    expect_roundtrip(empty, some, algorithm);   // all literals
+    expect_roundtrip(some, empty, algorithm);   // version shrinks to nothing
+    expect_roundtrip(empty, empty, algorithm);
+    expect_roundtrip(some, {some.begin(), some.begin() + 100}, algorithm);
+    std::vector<std::uint8_t> grown = some;     // version longer than ref
+    const std::vector<std::uint8_t> tail = random_bytes(2048, 3);
+    grown.insert(grown.end(), tail.begin(), tail.end());
+    expect_roundtrip(some, grown, algorithm);
+  }
+}
+
+TEST(Delta, InsertionKeepsMostBytesAsCopies) {
+  const std::vector<std::uint8_t> reference = random_bytes(32 * 1024, 4);
+  std::vector<std::uint8_t> version = reference;
+  const std::vector<std::uint8_t> insert = random_bytes(200, 5);
+  version.insert(version.begin() + 10000, insert.begin(), insert.end());
+  for (const DeltaAlgorithm algorithm : kBoth) {
+    DeltaStats stats;
+    const std::size_t size =
+        expect_roundtrip(reference, version, algorithm, &stats);
+    EXPECT_GT(stats.copied_bytes, reference.size() * 9 / 10)
+        << to_string(algorithm);
+    EXPECT_LT(size, version.size() / 10) << to_string(algorithm);
+  }
+}
+
+TEST(Delta, SwappedHalvesForceAnInPlaceCycle) {
+  // version = B | A where reference = A | B: each copy reads the region
+  // the other writes, an irreducible 2-cycle the in-place ordering must
+  // break by materializing one copy as a literal (TKDE'03 §4). Onepass
+  // cannot match B at all (its rp <= vp constraint), so only correcting
+  // produces the two-copy cycle.
+  const std::size_t half = 4096;
+  const std::vector<std::uint8_t> reference = random_bytes(2 * half, 6);
+  std::vector<std::uint8_t> version;
+  version.insert(version.end(), reference.begin() + half, reference.end());
+  version.insert(version.end(), reference.begin(), reference.begin() + half);
+  for (const DeltaAlgorithm algorithm : kBoth)
+    expect_roundtrip(reference, version, algorithm);
+  DeltaStats stats;
+  expect_roundtrip(reference, version, DeltaAlgorithm::kCorrecting, &stats);
+  EXPECT_GE(stats.cycles_broken, 1u);
+}
+
+TEST(Delta, CorrectingRecoversAMatchOnepassCommitsPast) {
+  // The corrective step's reason to exist: content that appears EARLIER
+  // in the version than in the reference. Onepass only matches footprints
+  // at reference offsets it has already passed (rp <= vp), so a block
+  // moved toward the front defeats it; correcting checkpoints the whole
+  // reference up front and recovers it. The moved block is the LARGE
+  // piece: the two recovered copies form an in-place cycle, and the break
+  // must sacrifice the cheap one, keeping the big copy correcting found.
+  const std::vector<std::uint8_t> head = random_bytes(8 * 1024, 7);
+  const std::vector<std::uint8_t> moved = random_bytes(24 * 1024, 8);
+  std::vector<std::uint8_t> reference = head;
+  reference.insert(reference.end(), moved.begin(), moved.end());
+  std::vector<std::uint8_t> version = moved;  // block moved to the front
+  version.insert(version.end(), head.begin(), head.end());
+
+  DeltaStats onepass, correcting;
+  expect_roundtrip(reference, version, DeltaAlgorithm::kOnepass, &onepass);
+  expect_roundtrip(reference, version, DeltaAlgorithm::kCorrecting,
+                   &correcting);
+  EXPECT_GT(correcting.copied_bytes, onepass.copied_bytes);
+  EXPECT_GE(correcting.cycles_broken, 1u);
+}
+
+TEST(Delta, HeaderRecordsAlgorithmAndSizes) {
+  const std::vector<std::uint8_t> reference = random_bytes(1000, 9);
+  const std::vector<std::uint8_t> version = random_bytes(1500, 10);
+  const std::vector<std::uint8_t> delta =
+      encode_delta(reference, version, DeltaAlgorithm::kCorrecting);
+  const auto header = read_delta_header(delta);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->algorithm,
+            static_cast<std::uint8_t>(DeltaAlgorithm::kCorrecting));
+  EXPECT_EQ(header->ref_len, reference.size());
+  EXPECT_EQ(header->ver_len, version.size());
+}
+
+TEST(Delta, MalformedDeltasAreRejectedNotFatal) {
+  const std::vector<std::uint8_t> reference = random_bytes(2048, 11);
+  std::vector<std::uint8_t> version = reference;
+  version[100] ^= 0xff;
+  const std::vector<std::uint8_t> good =
+      encode_delta(reference, version, DeltaAlgorithm::kOnepass);
+  ASSERT_TRUE(apply_delta(reference, good).has_value());
+
+  auto rejects = [&](std::vector<std::uint8_t> bad, const char* what) {
+    EXPECT_FALSE(apply_delta(reference, bad).has_value()) << what;
+    std::vector<std::uint8_t> buffer = reference;
+    EXPECT_FALSE(apply_delta_in_place(buffer, bad)) << what;
+  };
+
+  rejects({}, "empty");
+  rejects({'X'}, "bad magic");
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[0] = 'E';
+    rejects(std::move(bad), "wrong magic byte");
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[1] = 99;  // unknown format version
+    rejects(std::move(bad), "unknown version");
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad.resize(bad.size() / 2);  // truncated mid-command
+    rejects(std::move(bad), "truncated");
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad.push_back(0x7f);  // bytes after the end marker
+    rejects(std::move(bad), "trailing garbage");
+  }
+  {
+    // A copy that reads past the reference: serialize it by hand.
+    DeltaCommand copy;
+    copy.kind = DeltaCommand::Kind::kCopy;
+    copy.write_off = 0;
+    copy.read_off = reference.size();  // out of bounds
+    copy.length = 64;
+    const std::vector<DeltaCommand> commands{copy};
+    rejects(serialize_delta(commands, reference.size(), 64,
+                            DeltaAlgorithm::kOnepass),
+            "copy past reference end");
+  }
+  {
+    // A write past the declared version length.
+    DeltaCommand add;
+    add.kind = DeltaCommand::Kind::kAdd;
+    add.write_off = 100;
+    add.length = 8;
+    add.bytes = random_bytes(8, 12);
+    const std::vector<DeltaCommand> commands{add};
+    rejects(serialize_delta(commands, reference.size(), 10,
+                            DeltaAlgorithm::kOnepass),
+            "write past version end");
+  }
+}
+
+TEST(Delta, InPlaceRequiresTheReferenceSizedBuffer) {
+  const std::vector<std::uint8_t> reference = random_bytes(1024, 13);
+  const std::vector<std::uint8_t> version = random_bytes(900, 14);
+  const std::vector<std::uint8_t> delta =
+      encode_delta(reference, version, DeltaAlgorithm::kCorrecting);
+  std::vector<std::uint8_t> wrong = reference;
+  wrong.pop_back();  // size != ref_len: cannot be the reference
+  EXPECT_FALSE(apply_delta_in_place(wrong, delta));
+}
+
+TEST(fuzz_delta, RandomEditScriptsRoundTripBothAlgorithms) {
+  // Property sweep: random references mutated by random edit scripts
+  // (overwrites, inserts, deletes, block moves); both algorithms, both
+  // apply paths, every seed.
+  const std::uint64_t base_seed = env_u64("CDC_FUZZ_BASE_SEED", 1);
+  const std::uint64_t num_seeds = env_u64("CDC_FUZZ_SEEDS", 64);
+  for (std::uint64_t s = 0; s < num_seeds; ++s) {
+    const std::uint64_t seed = base_seed + s;
+    support::Xoshiro256 rng(seed * 0x2545f4914f6cdd1dull + 3);
+    std::vector<std::uint8_t> reference =
+        random_bytes(512 + rng.bounded(24 * 1024), seed);
+    std::vector<std::uint8_t> version = reference;
+    const std::uint64_t edits = 1 + rng.bounded(8);
+    for (std::uint64_t e = 0; e < edits && !version.empty(); ++e) {
+      const std::size_t at = rng.bounded(version.size());
+      switch (rng.bounded(4)) {
+        case 0:  // overwrite a byte
+          version[at] = static_cast<std::uint8_t>(rng.bounded(256));
+          break;
+        case 1: {  // insert a small random run
+          const auto run = random_bytes(1 + rng.bounded(300), seed ^ e);
+          version.insert(version.begin() + static_cast<std::ptrdiff_t>(at),
+                         run.begin(), run.end());
+          break;
+        }
+        case 2: {  // delete a span
+          const std::size_t n = std::min<std::size_t>(
+              1 + rng.bounded(300), version.size() - at);
+          version.erase(version.begin() + static_cast<std::ptrdiff_t>(at),
+                        version.begin() + static_cast<std::ptrdiff_t>(at + n));
+          break;
+        }
+        default: {  // rotate: moves blocks, exercising correction + cycles
+          std::rotate(version.begin(),
+                      version.begin() + static_cast<std::ptrdiff_t>(at),
+                      version.end());
+          break;
+        }
+      }
+    }
+    for (const DeltaAlgorithm algorithm : kBoth) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " algorithm=" << to_string(algorithm));
+      expect_roundtrip(reference, version, algorithm);
+    }
+  }
+}
+
+TEST(fuzz_delta, DeltaIsDeterministic) {
+  const std::uint64_t seed = env_u64("CDC_FUZZ_BASE_SEED", 1);
+  const std::vector<std::uint8_t> reference = random_bytes(16 * 1024, seed);
+  std::vector<std::uint8_t> version = reference;
+  version.erase(version.begin() + 5000, version.begin() + 6000);
+  for (const DeltaAlgorithm algorithm : kBoth)
+    EXPECT_EQ(encode_delta(reference, version, algorithm),
+              encode_delta(reference, version, algorithm))
+        << to_string(algorithm);
+}
+
+}  // namespace
+}  // namespace cdc::corpus
