@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate: compare BENCH_decode.json against the committed
+decode baseline.
+
+The fig22_decode_seek bench measures the batched inflate loop against the
+deflate encoder on the same deterministic corpus, from min-of-reps timings
+on the same machine. Absolute MB/s is machine-dependent, so the gated
+quantity is the *relative* decode throughput `inflate_vs_deflate`
+(inflate MB/s over deflate MB/s at the same level) — the ratio cancels
+most machine variance, and losing the decode fast path (e.g. regressing
+to a bit-serial loop) collapses it by an order of magnitude. The gate
+fails (exit 1) when:
+  * any level failed to round-trip (`decoded_ok` false),
+  * the default level's ratio drops more than the baseline's tolerance
+    below the committed value (other levels only warn), or
+  * the epoch-index seek spread (slowest/fastest window start) exceeds
+    the baseline bound — seek cost must not depend on window position.
+
+Usage: check_decode_baseline.py <BENCH_decode.json> [baseline.json]
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    bench_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "decode_baseline.json")
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    if bench.get("corpus_bytes") != baseline.get("corpus_bytes") or \
+       bench.get("corpus_seed") != baseline.get("corpus_seed"):
+        print(f"FAIL: corpus mismatch — bench ran "
+              f"{bench.get('corpus_bytes')} bytes seed "
+              f"{bench.get('corpus_seed')}, baseline expects "
+              f"{baseline.get('corpus_bytes')} bytes seed "
+              f"{baseline.get('corpus_seed')}; regenerate the baseline")
+        return 1
+
+    tolerance = float(baseline.get("tolerance", 0.05))
+    measured = {row["level"]: row for row in bench.get("levels", [])}
+    failed = False
+    for level, expected in baseline["levels"].items():
+        if level not in measured:
+            print(f"FAIL: level '{level}' missing from {bench_path}")
+            failed = True
+            continue
+        row = measured[level]
+        if not row.get("decoded_ok", False):
+            print(f"FAIL: level '{level}' did not round-trip")
+            failed = True
+            continue
+        actual = float(row["inflate_vs_deflate"])
+        delta = (actual - expected) / expected
+        verdict = "ok"
+        if delta < -tolerance:
+            verdict = "REGRESSED" if level == "default" else "warn"
+            failed |= level == "default"
+        print(f"{level:>8}: inflate/deflate {actual:.2f}x vs baseline "
+              f"{expected:.2f}x ({delta:+.3%}, tolerance {tolerance:.0%}) "
+              f"{verdict}")
+
+    spread = float(bench.get("seek", {}).get("seek_spread", 0.0))
+    max_spread = float(baseline.get("max_seek_spread", 2.0))
+    if spread <= 0.0 or spread > max_spread:
+        print(f"FAIL: seek spread {spread:.2f}x exceeds {max_spread:.2f}x — "
+              f"window-read cost depends on where the window starts")
+        failed = True
+    else:
+        print(f"    seek: spread {spread:.2f}x across window starts "
+              f"(bound {max_spread:.2f}x) ok")
+
+    if failed:
+        print("FAIL: decode throughput or seek behaviour regressed; if "
+              "intentional, update bench/decode_baseline.json")
+        return 1
+    print("decode baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,9 @@
 //   --level <stored|fast|default|best>
 // anywhere on the command line to pick the DEFLATE effort level.
 // Unknown flags are rejected with the usage text and exit code 2.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -44,6 +46,8 @@
 #include "store/compression_service.h"
 #include "store/container_reader.h"
 #include "store/container_store.h"
+#include "store/decompression_service.h"
+#include "support/oracle.h"
 #include "support/stats.h"
 #include "tool/degraded.h"
 #include "tool/frame.h"
@@ -51,6 +55,7 @@
 #include "tool/options.h"
 #include "tool/pipeline_inspect.h"
 #include "tool/recorder.h"
+#include "tool/replayer.h"
 
 namespace {
 
@@ -261,6 +266,29 @@ int stats_demo(compress::DeflateLevel level) {
     service.drain();
     container.seal();
   }
+  // Replay the sealed container so the decode side of the report is live
+  // too: read_frame's inflate stage fills record.stage.inflate.* and the
+  // report prints decode MB/s next to the encoder's deflate MB/s.
+  {
+    const auto replay_store = store::ContainerStore::open(file);
+    tool::ToolOptions options;
+    options.chunk_target = 128;
+    options.level = level;
+    tool::Replayer replayer(9, replay_store.get(), options);
+    minimpi::Simulator::Config config;
+    config.num_ranks = 9;
+    config.noise_seed = 7;  // replay pins the order under different noise
+    minimpi::Simulator sim(config, &replayer);
+    apps::McbConfig mcb;
+    mcb.grid_x = 3;
+    mcb.grid_y = 3;
+    mcb.particles_per_rank = 120;
+    apps::run_mcb(sim, mcb);
+    if (!replayer.fully_replayed()) {
+      std::printf("INTERNAL: demo replay left unconsumed record\n");
+      return 1;
+    }
+  }
   obs::install_trace(nullptr);  // quiesce before export
 
   obs::PipelineReport report =
@@ -285,6 +313,184 @@ int stats_demo(compress::DeflateLevel level) {
               "(load in Perfetto / chrome://tracing)\n\n",
               ring.size(), static_cast<unsigned long long>(ring.dropped()));
   return emit_report(report, "cdc_pipeline_report.json");
+}
+
+/// `--window LO:HI`: windowed-replay demo. Records the demo MCB run into
+/// an epoch-indexed container, full-replays it, then replays only epochs
+/// [LO, HI) — every stream's bytes come from the epoch-index seek, so the
+/// windowed run reads O(window) bytes, not O(record). Each stream's
+/// verified window slice is oracle-checked event-for-event against the
+/// same interval of the full replay. Exit 0 when every slice matches.
+int window_demo(compress::DeflateLevel level, std::uint64_t lo,
+                std::uint64_t hi) {
+  std::printf("== windowed replay of epochs [%llu, %llu) of a demo MCB "
+              "run ==\n\n",
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi));
+  const std::string file = "/tmp/cdc_record_window.cdcc";
+  apps::McbConfig mcb;
+  mcb.grid_x = 3;
+  mcb.grid_y = 3;
+  mcb.particles_per_rank = 120;
+  tool::ToolOptions options;
+  options.chunk_target = 128;
+  options.level = level;
+  {
+    store::ContainerStore container(file);
+    store::CompressionService::Config service_config;
+    service_config.workers = 2;
+    service_config.level = level;
+    store::CompressionService service(&container, service_config);
+    tool::AsyncFrameSink sink(&service);
+    tool::Recorder recorder(9, &container, options, &sink);
+    minimpi::Simulator::Config config;
+    config.num_ranks = 9;
+    config.noise_seed = 4;
+    minimpi::Simulator sim(config, &recorder);
+    apps::run_mcb(sim, mcb);
+    recorder.finalize();
+    service.drain();
+    container.seal();
+  }
+
+  const auto store = store::ContainerStore::open(file);
+  if (store->reader() == nullptr || !store->reader()->epoch_index_ok()) {
+    std::printf("FAILED: sealed container has no usable epoch index\n");
+    return 1;
+  }
+
+  // Full replay: the reference trace the window slices are checked against.
+  tool::Replayer full(9, store.get(), options);
+  support::OrderProbe full_probe(&full);
+  {
+    minimpi::Simulator::Config config;
+    config.num_ranks = 9;
+    config.noise_seed = 7;
+    minimpi::Simulator sim(config, &full_probe);
+    apps::run_mcb(sim, mcb);
+  }
+  if (!full.fully_replayed()) {
+    std::printf("FAILED: full replay left unconsumed record\n");
+    return 1;
+  }
+  std::uint64_t epochs = 0;
+  for (const auto& [key, stats] : full.stream_totals())
+    epochs = std::max(epochs, stats.chunks);
+  if (lo >= epochs || hi <= lo) {
+    std::printf("window [%llu, %llu) is empty or past the record "
+                "(deepest stream has %llu epochs)\n",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(epochs));
+    return 2;
+  }
+  if (hi > epochs) hi = epochs;
+
+  // How much of the record the seek actually touches — and a parallel
+  // decode of the window through the DecompressionService (the replay
+  // side's twin of the recording CompressionService).
+  std::uint64_t window_stored = 0;
+  std::uint64_t window_raw = 0;
+  store::DecompressionService::Config decode_config;
+  decode_config.workers = 2;
+  store::DecompressionService decode(decode_config);
+  for (const runtime::StreamKey& key : store->keys()) {
+    std::vector<std::uint8_t> bytes = store->read_prefix(key, hi);
+    window_stored += bytes.size();
+    decode.submit(
+        key,
+        [bytes = std::move(bytes)](std::vector<std::uint8_t> reuse) {
+          reuse.clear();
+          support::ByteReader reader(bytes);
+          while (auto frame = tool::read_frame(reader))
+            reuse.insert(reuse.end(), frame->payload.begin(),
+                         frame->payload.end());
+          return reuse;
+        },
+        [&window_raw](const runtime::StreamKey&,
+                      std::span<const std::uint8_t> raw) {
+          window_raw += raw.size();
+        });
+  }
+  decode.drain();
+  const std::uint64_t total_stored = store->total_bytes();
+  std::printf("record  : %zu streams, %llu epochs deep, %s framed\n",
+              store->keys().size(),
+              static_cast<unsigned long long>(epochs),
+              support::format_bytes(
+                  static_cast<double>(total_stored)).c_str());
+  std::printf("seek    : epochs [0, %llu) cover %s (%.1f%% of the record); "
+              "%llu decode jobs on %zu workers -> %s raw\n",
+              static_cast<unsigned long long>(hi),
+              support::format_bytes(
+                  static_cast<double>(window_stored)).c_str(),
+              total_stored > 0 ? 100.0 * static_cast<double>(window_stored) /
+                                     static_cast<double>(total_stored)
+                               : 0.0,
+              static_cast<unsigned long long>(decode.stats().jobs),
+              decode.stats().workers,
+              support::format_bytes(static_cast<double>(window_raw)).c_str());
+
+  // Windowed replay under yet another schedule; the stream bytes must come
+  // from the epoch-index seek, so the fallback counter must not move.
+  obs::Counter& fallbacks = obs::counter("store.container.epoch_fallbacks");
+  const std::uint64_t fallbacks_before = fallbacks.value();
+  tool::Replayer window(9, store.get(), options);
+  window.replay_window(lo, hi);
+  support::OrderProbe window_probe(&window);
+  {
+    minimpi::Simulator::Config config;
+    config.num_ranks = 9;
+    config.noise_seed = 11;
+    minimpi::Simulator sim(config, &window_probe);
+    apps::run_mcb(sim, mcb);
+  }
+  if (fallbacks.value() != fallbacks_before) {
+    std::printf("FAILED: windowed replay fell back to a sequential read\n");
+    return 1;
+  }
+
+  // Slice both traces to each stream's verified [begin, end) and compare.
+  support::Trace full_slice;
+  support::Trace window_slice;
+  std::size_t sliced_streams = 0;
+  for (const auto& [key, slice] : window.window_slices()) {
+    if (slice.end == slice.begin) continue;
+    const auto full_it = full_probe.trace().find(key);
+    const auto window_it = window_probe.trace().find(key);
+    if (full_it == full_probe.trace().end() ||
+        window_it == window_probe.trace().end() ||
+        full_it->second.size() < slice.end ||
+        window_it->second.size() < slice.end) {
+      std::printf("FAILED: slice [%llu, %llu) runs past the trace of "
+                  "stream (rank=%d, callsite=%u)\n",
+                  static_cast<unsigned long long>(slice.begin),
+                  static_cast<unsigned long long>(slice.end), key.rank,
+                  key.callsite);
+      return 1;
+    }
+    full_slice[key].assign(
+        full_it->second.begin() + static_cast<std::ptrdiff_t>(slice.begin),
+        full_it->second.begin() + static_cast<std::ptrdiff_t>(slice.end));
+    window_slice[key].assign(
+        window_it->second.begin() + static_cast<std::ptrdiff_t>(slice.begin),
+        window_it->second.begin() + static_cast<std::ptrdiff_t>(slice.end));
+    ++sliced_streams;
+  }
+  const support::OracleReport oracle =
+      support::check_equivalence(full_slice, window_slice);
+  if (!oracle.ok || oracle.events_compared == 0) {
+    std::printf("FAILED: %s\n",
+                oracle.ok ? "window verified zero events"
+                          : oracle.summary().c_str());
+    return 1;
+  }
+  std::printf("verified: %llu events across %zu stream slices match the "
+              "full replay\n",
+              static_cast<unsigned long long>(oracle.events_compared),
+              sliced_streams);
+  std::printf("\nwindow container left at %s\n", file.c_str());
+  return 0;
 }
 
 /// `--corpus <file>`: corpus container stats — families, members, dedup
@@ -420,6 +626,9 @@ int usage(const char* prog, int code) {
       "  --gaps <file> [quarantine]\n"
       "                         degraded-replay gap report (+ JSON)\n"
       "  --stats [container]    pipeline report (demo run, or of a file)\n"
+      "  --window <LO:HI>       windowed-replay demo: replay only epochs\n"
+      "                         [LO, HI) via the epoch-index seek and\n"
+      "                         oracle-check the slices vs a full replay\n"
       "  --corpus <file>        corpus stats: families, dedup ratio,\n"
       "                         chunk histogram, member health\n"
       "  --help                 this text\n"
@@ -459,7 +668,7 @@ int main(int argc, char** argv) {
   // flag is an error, not something to silently ignore.
   static const char* const known_flags[] = {
       "--dir",  "--container", "--verify", "--repack",
-      "--gaps", "--stats",     "--corpus", "--help"};
+      "--gaps", "--stats",     "--corpus", "--window", "--help"};
   for (int i = 1; i < argc; ++i) {
     if (argv[i][0] != '-') continue;
     bool known = false;
@@ -482,6 +691,21 @@ int main(int argc, char** argv) {
   if (is(1, "--stats") && argc == 2) return stats_demo(level);
   if (is(1, "--stats") && argc == 3) return stats_container(argv[2]);
   if (is(1, "--corpus") && argc == 3) return corpus_stats(argv[2]);
+  if (is(1, "--window") && argc == 3) {
+    char* colon = nullptr;
+    const unsigned long long lo = std::strtoull(argv[2], &colon, 10);
+    if (colon == argv[2] || *colon != ':') {
+      std::printf("--window needs LO:HI (e.g. --window 2:5)\n");
+      return 2;
+    }
+    char* end = nullptr;
+    const unsigned long long hi = std::strtoull(colon + 1, &end, 10);
+    if (end == colon + 1 || *end != '\0') {
+      std::printf("--window needs LO:HI (e.g. --window 2:5)\n");
+      return 2;
+    }
+    return window_demo(level, lo, hi);
+  }
   if (is(1, "--dir") && argc == 3) {
     runtime::FileStore store(argv[2]);
     // FileStore discovers nothing on its own; rebuild keys from names is

@@ -46,7 +46,18 @@ std::vector<std::uint8_t> deflate_compress(
 
 /// Decompresses a raw DEFLATE stream. Returns std::nullopt on malformed
 /// input (never aborts: record files may be truncated or corrupt).
+/// Batched decoder: 64-bit refill loop over the two-level Huffman tables
+/// plus overlap-aware 8-byte match copies — the read-side twin of the
+/// encoder's put_bits fast path. `reuse` donates its capacity for the
+/// output (contents discarded), making steady-state decode allocation-free.
 std::optional<std::vector<std::uint8_t>> deflate_decompress(
+    std::span<const std::uint8_t> compressed,
+    std::vector<std::uint8_t> reuse = {});
+
+/// The seed's bit-serial decoder, kept as the oracle the differential
+/// decode battery checks the batched decoder against: identical bytes on
+/// accept, identical rejection on truncated or corrupt streams.
+std::optional<std::vector<std::uint8_t>> deflate_decompress_reference(
     std::span<const std::uint8_t> compressed);
 
 /// Compresses into a gzip member (header + DEFLATE + CRC32 + ISIZE).
@@ -57,8 +68,10 @@ std::vector<std::uint8_t> gzip_compress(
     std::vector<std::uint8_t> reuse = {});
 
 /// Decompresses a single gzip member, verifying CRC32 and ISIZE.
+/// `reuse` donates output capacity as in deflate_decompress.
 std::optional<std::vector<std::uint8_t>> gzip_decompress(
-    std::span<const std::uint8_t> compressed);
+    std::span<const std::uint8_t> compressed,
+    std::vector<std::uint8_t> reuse = {});
 
 namespace detail {
 

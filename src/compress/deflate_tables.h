@@ -1,0 +1,65 @@
+// RFC 1951 alphabet tables shared by the encoder (deflate.cc) and the
+// batched decoder (inflate.cc). Internal to the compress layer — the
+// public surface stays in deflate.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cdc::compress::tables {
+
+inline constexpr int kNumLitLen = 288;   // literal/length alphabet size
+inline constexpr int kNumDist = 30;      // distance alphabet size
+inline constexpr int kNumCodeLen = 19;   // code-length alphabet size
+inline constexpr int kEndOfBlock = 256;
+
+struct LengthCode {
+  std::uint16_t base;
+  std::uint8_t extra;
+};
+
+// Length codes 257..285 (§3.2.5).
+inline constexpr std::array<LengthCode, 29> kLengthCodes = {{
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},
+    {9, 0},   {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1},
+    {19, 2},  {23, 2},  {27, 2},  {31, 2},  {35, 3},  {43, 3},
+    {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+}};
+
+// Distance codes 0..29 (§3.2.5).
+inline constexpr std::array<LengthCode, 30> kDistCodes = {{
+    {1, 0},      {2, 0},      {3, 0},     {4, 0},     {5, 1},
+    {7, 1},      {9, 2},      {13, 2},    {17, 3},    {25, 3},
+    {33, 4},     {49, 4},     {65, 5},    {97, 5},    {129, 6},
+    {193, 6},    {257, 7},    {385, 7},   {513, 8},   {769, 8},
+    {1025, 9},   {1537, 9},   {2049, 10}, {3073, 10}, {4097, 11},
+    {6145, 11},  {8193, 12},  {12289, 12},{16385, 13},{24577, 13},
+}};
+
+// Order in which code-length code lengths appear in the header (§3.2.7).
+inline constexpr std::array<std::uint8_t, kNumCodeLen> kCodeLenOrder = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+// Fixed Huffman code lengths (§3.2.6).
+inline constexpr std::array<std::uint8_t, kNumLitLen>
+make_fixed_litlen_lengths() {
+  std::array<std::uint8_t, kNumLitLen> lens{};
+  for (int s = 0; s <= 143; ++s) lens[static_cast<std::size_t>(s)] = 8;
+  for (int s = 144; s <= 255; ++s) lens[static_cast<std::size_t>(s)] = 9;
+  for (int s = 256; s <= 279; ++s) lens[static_cast<std::size_t>(s)] = 7;
+  for (int s = 280; s <= 287; ++s) lens[static_cast<std::size_t>(s)] = 8;
+  return lens;
+}
+
+inline constexpr auto kFixedLitLenLengths = make_fixed_litlen_lengths();
+
+inline constexpr std::array<std::uint8_t, 32> make_fixed_dist_lengths() {
+  std::array<std::uint8_t, 32> lens{};
+  lens.fill(5);
+  return lens;
+}
+
+inline constexpr auto kFixedDistLengths = make_fixed_dist_lengths();
+
+}  // namespace cdc::compress::tables

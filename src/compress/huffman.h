@@ -81,6 +81,36 @@ class HuffmanDecoder {
     }
   }
 
+  /// Primary-table entry for the low kFastBits of `bits` (bits in
+  /// LSB-first stream order, as a 64-bit accumulator holds them):
+  /// (symbol << 4) | code_length, 0 = long code or invalid prefix. The
+  /// seam for accumulator-based decoders that bypass BitReader; only
+  /// meaningful while ok().
+  [[nodiscard]] std::uint16_t fast_entry(std::uint64_t bits) const noexcept {
+    return fast_[static_cast<std::size_t>(bits) & (kFastSize - 1)];
+  }
+
+  /// Bit-serial decode from the low `avail` bits of `bits` (LSB-first
+  /// stream order) — the slow path behind fast_entry() == 0. On success
+  /// returns the symbol and sets `used` to the code length; returns -1
+  /// when the code runs past `avail` bits (truncated input), -2 when no
+  /// code matches within kMaxBits (corrupt input).
+  [[nodiscard]] int decode_bits(std::uint64_t bits, int avail,
+                                int& used) const noexcept {
+    std::uint32_t code = 0;
+    for (int len = 1; len <= kMaxBits; ++len) {
+      if (len > avail) return -1;
+      code = (code << 1) |
+             static_cast<std::uint32_t>((bits >> (len - 1)) & 1u);
+      const std::uint32_t first = first_code_[len];
+      if (code >= first && code - first < count_[len]) {
+        used = len;
+        return symbols_[offset_[len] + (code - first)];
+      }
+    }
+    return -2;
+  }
+
   /// Consumes one bit; returns the symbol when complete, -1 when more bits
   /// are needed, -2 on an invalid code.
   int feed(std::uint32_t bit) noexcept {

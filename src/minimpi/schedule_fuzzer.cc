@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdint>
 #include <filesystem>
@@ -11,6 +12,7 @@
 #include "apps/mcb.h"
 #include "apps/taskfarm.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "store/container_reader.h"
 #include "store/container_store.h"
 #include "store/resilient.h"
@@ -168,6 +170,7 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_case(FaultClass cls,
     case FaultClass::kRecorderCrash: return run_crash_case(seed, report);
     case FaultClass::kRankKill: return run_kill_case(seed, report);
     case FaultClass::kIoFault: return run_io_fault_case(seed, report);
+    case FaultClass::kWindow: return run_window_case(seed, report);
     default: return run_transport_case(cls, seed, report);
   }
 }
@@ -517,6 +520,148 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_io_fault_case(
     failure.detail = "order-sensitive result diverged after retried faults";
     return failure;
   }
+  if (report != nullptr) ++report->cases_passed;
+  return std::nullopt;
+}
+
+std::optional<FuzzFailure> ScheduleFuzzer::run_window_case(
+    std::uint64_t seed, FuzzReport* report) {
+  FuzzFailure failure{workload_.name, FaultClass::kWindow, seed, {}};
+  if (report != nullptr) ++report->cases_run;
+  // The transport adversary cycles deterministically with the seed, so a
+  // 16-seed sweep covers every transport class at least twice.
+  static constexpr std::array<FaultClass, 6> kTransport = {
+      FaultClass::kNone,      FaultClass::kDelaySpike,
+      FaultClass::kReorderBurst, FaultClass::kDuplicate,
+      FaultClass::kRankStall, FaultClass::kAll,
+  };
+  const FaultClass transport = kTransport[seed % kTransport.size()];
+  const std::string container_path = scratch_path("window", seed);
+
+  // Record under the case's fault schedule into a sealed, epoch-indexed
+  // container on disk.
+  {
+    store::ContainerStore container(container_path);
+    tool::Recorder recorder(workload_.num_ranks, &container,
+                            tool_options(options_.chunk_target));
+    support::OrderProbe record_probe(&recorder);
+    minimpi::Simulator record_sim(
+        sim_config(workload_.num_ranks, mix(seed * 8 + 1),
+                   plan_for(transport, mix(seed * 8 + 2))),
+        &record_probe);
+    workload_.run(record_sim);
+    recorder.finalize();
+    container.seal();
+    if (report != nullptr)
+      report->faults_injected += fired_faults(record_sim.fault_stats());
+  }
+  const auto cleanup = [&] { remove_quietly(container_path); };
+
+  const auto store = store::ContainerStore::open(container_path);
+  if (store->reader() == nullptr || !store->reader()->epoch_index_ok()) {
+    failure.detail = "sealed container has no usable epoch index";
+    cleanup();
+    return failure;
+  }
+
+  // Full replay under a different schedule: the reference trace every
+  // window slice is checked against.
+  tool::Replayer full(workload_.num_ranks, store.get(),
+                      tool_options(options_.chunk_target));
+  support::OrderProbe full_probe(&full);
+  minimpi::Simulator full_sim(
+      sim_config(workload_.num_ranks, mix(seed * 8 + 3),
+                 plan_for(transport, mix(seed * 8 + 4))),
+      &full_probe);
+  workload_.run(full_sim);
+  if (report != nullptr)
+    report->faults_injected += fired_faults(full_sim.fault_stats());
+  if (!full.fully_replayed()) {
+    failure.detail = "full replay finished with unconsumed record";
+    cleanup();
+    return failure;
+  }
+
+  // A seed-derived epoch window inside the record's deepest stream.
+  std::uint64_t epochs = 0;
+  for (const auto& [key, stats] : full.stream_totals())
+    epochs = std::max(epochs, stats.chunks);
+  if (epochs == 0) {
+    failure.detail = "record holds no epochs to window";
+    cleanup();
+    return failure;
+  }
+  const std::uint64_t lo = mix(seed * 8 + 5) % epochs;
+  const std::uint64_t hi = lo + 1 + mix(seed * 8 + 6) % (epochs - lo);
+
+  // Windowed replay under a third schedule. The stream bytes must come
+  // from the epoch-index seek — a sequential-read fallback is a failure.
+  obs::Counter& fallbacks = obs::counter("store.container.epoch_fallbacks");
+  const std::uint64_t fallbacks_before = fallbacks.value();
+  tool::Replayer window(workload_.num_ranks, store.get(),
+                        tool_options(options_.chunk_target));
+  window.replay_window(lo, hi);
+  support::OrderProbe window_probe(&window);
+  minimpi::Simulator window_sim(
+      sim_config(workload_.num_ranks, mix(seed * 8 + 7),
+                 plan_for(transport, mix(seed * 8 + 9))),
+      &window_probe);
+  workload_.run(window_sim);
+  if (report != nullptr)
+    report->faults_injected += fired_faults(window_sim.fault_stats());
+  if (fallbacks.value() != fallbacks_before) {
+    failure.detail = "windowed replay fell back to a sequential read";
+    cleanup();
+    return failure;
+  }
+
+  // Slice both traces to each stream's verified [begin, end) and compare
+  // event-for-event: windowed replay must surface exactly the interval the
+  // full replay surfaced.
+  support::Trace full_slice;
+  support::Trace window_slice;
+  for (const auto& [key, slice] : window.window_slices()) {
+    const auto full_it = full_probe.trace().find(key);
+    const auto window_it = window_probe.trace().find(key);
+    if (slice.end > slice.begin &&
+        (full_it == full_probe.trace().end() ||
+         window_it == window_probe.trace().end() ||
+         full_it->second.size() < slice.end ||
+         window_it->second.size() < slice.end)) {
+      failure.detail = "window slice [" + std::to_string(slice.begin) + ", " +
+                       std::to_string(slice.end) +
+                       ") runs past a trace of stream (rank=" +
+                       std::to_string(key.rank) +
+                       ", callsite=" + std::to_string(key.callsite) + ")";
+      cleanup();
+      return failure;
+    }
+    if (slice.end == slice.begin) continue;
+    full_slice[key].assign(
+        full_it->second.begin() + static_cast<std::ptrdiff_t>(slice.begin),
+        full_it->second.begin() + static_cast<std::ptrdiff_t>(slice.end));
+    window_slice[key].assign(
+        window_it->second.begin() + static_cast<std::ptrdiff_t>(slice.begin),
+        window_it->second.begin() + static_cast<std::ptrdiff_t>(slice.end));
+  }
+  const support::OracleReport oracle =
+      support::check_equivalence(full_slice, window_slice);
+  if (report != nullptr) report->events_checked += oracle.events_compared;
+  if (!oracle.ok) {
+    failure.detail = "window [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "): " + oracle.summary();
+    cleanup();
+    return failure;
+  }
+  // Non-vacuity: the stream that triggered the release covered its whole
+  // window, so a window over a non-empty record verifies real events.
+  if (oracle.events_compared == 0) {
+    failure.detail = "window [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + ") verified zero events";
+    cleanup();
+    return failure;
+  }
+  cleanup();
   if (report != nullptr) ++report->cases_passed;
   return std::nullopt;
 }

@@ -45,10 +45,12 @@ enum class FaultClass : std::uint8_t {
   kRecorderCrash,
   kRankKill,
   kIoFault,
+  kWindow,
 };
 
 /// Every class every workload supports (kRankKill is excluded: it needs
-/// FuzzWorkload::kill_tolerant — see kFailureFaultClasses).
+/// FuzzWorkload::kill_tolerant — see kFailureFaultClasses; kWindow is the
+/// nightly windowed-replay class and runs in its own fuzz_window suite).
 inline constexpr std::array<FaultClass, 8> kAllFaultClasses = {
     FaultClass::kNone,      FaultClass::kDelaySpike,
     FaultClass::kReorderBurst, FaultClass::kDuplicate,
@@ -63,6 +65,17 @@ inline constexpr std::array<FaultClass, 2> kFailureFaultClasses = {
     FaultClass::kIoFault,
 };
 
+/// The windowed-replay class (nightly `fuzz_window` suite): each case
+/// records under a seed-derived transport fault class into an
+/// epoch-indexed container, full-replays it, then replays a seed-derived
+/// epoch window [lo, hi) and checks every verified window slice against
+/// the same interval of the full-replay trace (support/oracle.h
+/// check_equivalence on the slices). The seek must come from the epoch
+/// index — a fallback to a sequential read fails the case.
+inline constexpr std::array<FaultClass, 1> kWindowFaultClasses = {
+    FaultClass::kWindow,
+};
+
 [[nodiscard]] constexpr const char* fault_class_name(FaultClass cls) noexcept {
   switch (cls) {
     case FaultClass::kNone: return "none";
@@ -74,6 +87,7 @@ inline constexpr std::array<FaultClass, 2> kFailureFaultClasses = {
     case FaultClass::kRecorderCrash: return "recorder_crash";
     case FaultClass::kRankKill: return "rank_kill";
     case FaultClass::kIoFault: return "io_fault";
+    case FaultClass::kWindow: return "window";
   }
   return "?";
 }
@@ -161,6 +175,8 @@ class ScheduleFuzzer {
                                            FuzzReport* report);
   std::optional<FuzzFailure> run_io_fault_case(std::uint64_t seed,
                                                FuzzReport* report);
+  std::optional<FuzzFailure> run_window_case(std::uint64_t seed,
+                                             FuzzReport* report);
   [[nodiscard]] std::string scratch_path(const char* tag,
                                          std::uint64_t seed) const;
 

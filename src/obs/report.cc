@@ -66,6 +66,12 @@ double PipelineReport::deflate_mb_per_s() const noexcept {
          static_cast<double>(stage_deflate.ns);
 }
 
+double PipelineReport::inflate_mb_per_s() const noexcept {
+  if (stage_inflate.ns == 0) return 0.0;
+  return static_cast<double>(stage_inflate.bytes_out) * 1e3 /
+         static_cast<double>(stage_inflate.ns);
+}
+
 double PipelineReport::pool_hit_rate() const noexcept {
   const std::uint64_t total = pool_hits + pool_misses;
   if (total == 0) return 0.0;
@@ -127,6 +133,17 @@ PipelineReport PipelineReport::from_snapshot(
 
   r.writer_frames = s.counter_or("store.container.frames");
   r.writer_payload_bytes = s.counter_or("store.container.payload_bytes");
+
+  fill_stage(s, r.stage_inflate, "record.stage.inflate");
+  r.decode_jobs = s.counter_or("store.decode.jobs");
+  r.decode_bytes = s.counter_or("store.decode.decoded_bytes");
+  r.decode_submit_stalls = s.counter_or("store.decode.submit_stalls");
+  r.decode_queue_depth = dist_or_empty(s, "store.decode.queue_depth");
+  r.decode_ns = dist_or_empty(s, "store.decode.decode_ns");
+  r.decode_commit_wait_ns =
+      dist_or_empty(s, "store.decode.commit_wait_ns");
+  r.epoch_streams = s.counter_or("store.container.epoch_streams");
+  r.epoch_fallbacks = s.counter_or("store.container.epoch_fallbacks");
 
   r.corpus_members = s.counter_or("corpus.members");
   r.corpus_streams = s.counter_or("corpus.streams");
@@ -203,6 +220,7 @@ std::string PipelineReport::to_json() const {
   write_stage(w, stage_pe);
   write_stage(w, stage_lp);
   write_stage(w, stage_deflate);
+  write_stage(w, stage_inflate);
   w.end_object();
 
   w.key("record").begin_object();
@@ -231,6 +249,18 @@ std::string PipelineReport::to_json() const {
   w.field("recycled_bytes", pool_recycled_bytes);
   w.field("hit_rate", pool_hit_rate());
   w.end_object();
+  w.end_object();
+
+  w.key("decode").begin_object();
+  w.field("jobs", decode_jobs);
+  w.field("decoded_bytes", decode_bytes);
+  w.field("submit_stalls", decode_submit_stalls);
+  w.field("inflate_mb_per_s", inflate_mb_per_s());
+  w.field("epoch_streams", epoch_streams);
+  w.field("epoch_fallbacks", epoch_fallbacks);
+  write_dist(w, "queue_depth", decode_queue_depth);
+  write_dist(w, "decode_ns", decode_ns);
+  write_dist(w, "commit_wait_ns", decode_commit_wait_ns);
   w.end_object();
 
   w.key("async_recorder").begin_object();
@@ -346,6 +376,27 @@ void PipelineReport::print(std::FILE* out) const {
                  bytes(service_encoded_bytes).c_str(),
                  service_submit_stalls, service_queue_depth.p50,
                  service_queue_depth.max);
+  if (stage_inflate.calls > 0)
+    std::fprintf(out,
+                 "  stage %-24s %8" PRIu64 " calls %10.3f ms  %s -> %s"
+                 "  %.1f MB/s\n",
+                 stage_inflate.name.c_str(), stage_inflate.calls,
+                 static_cast<double>(stage_inflate.ns) * 1e-6,
+                 bytes(stage_inflate.bytes_in).c_str(),
+                 bytes(stage_inflate.bytes_out).c_str(),
+                 inflate_mb_per_s());
+  if (decode_jobs > 0)
+    std::fprintf(out,
+                 "decode    : %" PRIu64 " jobs, %s decoded, %" PRIu64
+                 " submit stalls, queue depth p50 %.0f max %" PRIu64 "\n",
+                 decode_jobs, bytes(decode_bytes).c_str(),
+                 decode_submit_stalls, decode_queue_depth.p50,
+                 decode_queue_depth.max);
+  if (epoch_streams > 0 || epoch_fallbacks > 0)
+    std::fprintf(out,
+                 "epoch idx : %" PRIu64 " streams indexed, %" PRIu64
+                 " windowed-read fallbacks\n",
+                 epoch_streams, epoch_fallbacks);
   if (async_enqueued > 0)
     std::fprintf(out,
                  "async     : %" PRIu64 " enqueued, %" PRIu64

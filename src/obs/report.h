@@ -91,6 +91,21 @@ struct PipelineReport {
   std::uint64_t writer_frames = 0;
   std::uint64_t writer_payload_bytes = 0;
 
+  // --- decode section (zero for record-only runs) -------------------------
+  /// DEFLATE decode (tool::read_frame) — the mirror of stage_deflate.
+  StageReport stage_inflate{"inflate"};
+  std::uint64_t decode_jobs = 0;  ///< DecompressionService jobs committed
+  std::uint64_t decode_bytes = 0;
+  std::uint64_t decode_submit_stalls = 0;
+  DistReport decode_queue_depth;
+  DistReport decode_ns;
+  DistReport decode_commit_wait_ns;
+  /// Epoch-index bookkeeping: streams indexed at seal time, and windowed
+  /// reads that had to fall back to a sequential scan (damaged or absent
+  /// index) — a nonzero fallback count on a fresh container is a bug.
+  std::uint64_t epoch_streams = 0;
+  std::uint64_t epoch_fallbacks = 0;
+
   // --- corpus section (zero when no corpus store ran) --------------------
   std::uint64_t corpus_members = 0;
   std::uint64_t corpus_streams = 0;
@@ -123,6 +138,11 @@ struct PipelineReport {
   /// DEFLATE stage throughput in MB/s (raw bytes in over stage wall time);
   /// 0 when the stage recorded no time.
   [[nodiscard]] double deflate_mb_per_s() const noexcept;
+
+  /// Inflate stage throughput in MB/s measured on the raw (decompressed)
+  /// side, so it is directly comparable to deflate_mb_per_s(); 0 when the
+  /// stage recorded no time.
+  [[nodiscard]] double inflate_mb_per_s() const noexcept;
 
   /// Fraction of frame encodes that reused a recycled output buffer,
   /// in [0, 1]; 0 when nothing was encoded.

@@ -26,6 +26,18 @@ struct StreamKey {
   friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
 };
 
+/// Per-epoch replay metadata riding along with one appended chunk: how
+/// many events the chunk holds. Epoch-aware stores (the container) persist
+/// this in a seekable index so windowed replay can slice a stream at epoch
+/// boundaries without decoding it from the start; every other store
+/// ignores it.
+struct EpochMeta {
+  std::uint64_t matched = 0;    ///< delivered (gated) events in the epoch
+  std::uint64_t unmatched = 0;  ///< recorded unmatched tests in the epoch
+
+  friend bool operator==(const EpochMeta&, const EpochMeta&) = default;
+};
+
 /// A recoverable storage I/O failure (EIO, short write, fsync error).
 /// Contract: a store that throws this from append()/sync() committed
 /// *nothing* of the failed operation — retrying the identical call is
@@ -51,6 +63,25 @@ class RecordStore {
 
   /// Bytes attributable to one rank (per-process record size).
   [[nodiscard]] virtual std::uint64_t rank_bytes(minimpi::Rank rank) const = 0;
+
+  /// append() plus the epoch metadata of the chunk the bytes carry. The
+  /// default forwards to append() — only epoch-aware stores (and the
+  /// decorators in front of them) override. Same contract as append(),
+  /// including the IoError nothing-committed guarantee.
+  virtual void append_epoch(const StreamKey& key,
+                            std::span<const std::uint8_t> bytes,
+                            const EpochMeta& /*meta*/) {
+    append(key, bytes);
+  }
+
+  /// The frames of epochs [0, epoch_hi) of one stream — a seekable backend
+  /// (the epoch-indexed container) serves exactly those bytes without
+  /// touching the rest of the stream; the default reads everything, which
+  /// is always correct (the replayer stops decoding at its chunk limit).
+  [[nodiscard]] virtual std::vector<std::uint8_t> read_prefix(
+      const StreamKey& key, std::uint64_t /*epoch_hi*/) const {
+    return read(key);
+  }
 
   /// Durability barrier (fsync analogue): on return, every byte appended so
   /// far survives a crash of the writer. May throw IoError on injected

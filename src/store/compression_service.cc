@@ -28,22 +28,26 @@ CompressionService::~CompressionService() {
 }
 
 void CompressionService::submit(const runtime::StreamKey& key,
-                                std::size_t raw_size_hint, Encoder encode) {
+                                std::size_t raw_size_hint, Encoder encode,
+                                std::optional<runtime::EpochMeta> epoch) {
   submit_job(key, raw_size_hint,
              [encode = std::move(encode)](std::vector<std::uint8_t>) {
                return encode();
-             });
+             },
+             epoch);
 }
 
 void CompressionService::submit(const runtime::StreamKey& key,
                                 std::size_t raw_size_hint,
-                                EncoderInto encode) {
-  submit_job(key, raw_size_hint, std::move(encode));
+                                EncoderInto encode,
+                                std::optional<runtime::EpochMeta> epoch) {
+  submit_job(key, raw_size_hint, std::move(encode), epoch);
 }
 
 void CompressionService::submit_job(const runtime::StreamKey& key,
                                     std::size_t raw_size_hint,
-                                    EncoderInto encode) {
+                                    EncoderInto encode,
+                                    std::optional<runtime::EpochMeta> epoch) {
   // submit_mutex_ makes ticket order equal queue order, which in-order
   // commit relies on: FIFO pops then guarantee the lowest outstanding
   // ticket is always held by some worker, never stranded behind blocked
@@ -64,6 +68,7 @@ void CompressionService::submit_job(const runtime::StreamKey& key,
   job.key = key;
   job.raw_size = raw_size_hint;
   job.encode = std::move(encode);
+  job.epoch = epoch;
   job.ticket = next_ticket_;
   const bool pushed = queue_.push(std::move(job));
   CDC_CHECK_MSG(pushed, "submit after the compression service stopped");
@@ -109,7 +114,10 @@ void CompressionService::commit_in_order(
   std::unique_lock<std::mutex> lock(commit_mutex_);
   commit_cv_.wait(lock, [&] { return next_commit_ == job.ticket; });
   obs_wait_ns.record(sw.ns());
-  store_->append(job.key, encoded);
+  if (job.epoch.has_value())
+    store_->append_epoch(job.key, encoded, *job.epoch);
+  else
+    store_->append(job.key, encoded);
   encoded_bytes_ += encoded.size();
   obs_encoded.add(encoded.size());
   ++next_commit_;

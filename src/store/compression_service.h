@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -60,14 +61,18 @@ class CompressionService {
 
   /// Enqueues one encode job for `key`. Blocks when `queue_capacity`
   /// jobs are already outstanding. `raw_size_hint` is the uncompressed
-  /// payload size, used only for throughput accounting.
+  /// payload size, used only for throughput accounting. `epoch` is the
+  /// chunk's epoch metadata, committed via RecordStore::append_epoch when
+  /// present so epoch-aware stores index the frame.
   void submit(const runtime::StreamKey& key, std::size_t raw_size_hint,
-              Encoder encode);
+              Encoder encode,
+              std::optional<runtime::EpochMeta> epoch = std::nullopt);
 
   /// Pool-aware variant: the worker hands `encode` a recycled output
   /// buffer and returns the encoded result to the pool after commit.
   void submit(const runtime::StreamKey& key, std::size_t raw_size_hint,
-              EncoderInto encode);
+              EncoderInto encode,
+              std::optional<runtime::EpochMeta> epoch = std::nullopt);
 
   [[nodiscard]] compress::DeflateLevel level() const noexcept {
     return level_;
@@ -92,10 +97,12 @@ class CompressionService {
     runtime::StreamKey key;
     std::size_t raw_size = 0;
     EncoderInto encode;
+    std::optional<runtime::EpochMeta> epoch;
   };
 
   void submit_job(const runtime::StreamKey& key, std::size_t raw_size_hint,
-                  EncoderInto encode);
+                  EncoderInto encode,
+                  std::optional<runtime::EpochMeta> epoch);
 
   void worker_loop();
   void commit_in_order(const Job& job,

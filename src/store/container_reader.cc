@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "compress/crc32.h"
+#include "obs/metrics.h"
 #include "store/container_writer.h"
 #include "support/binary.h"
 #include "support/check.h"
@@ -136,6 +137,122 @@ void ContainerReader::parse_footer_and_index() {
     return;
   }
   index_ok_ = true;
+  parse_epoch_section(index_at);
+}
+
+void ContainerReader::parse_epoch_section(std::size_t index_at) {
+  // The section sits immediately before the stream index, self-located by
+  // its own fixed-size footer. No magic there = old container; fine.
+  if (index_at < kContainerHeaderSize + kEpochFooterSize) return;
+  const std::size_t footer_at = index_at - kEpochFooterSize;
+  if (std::memcmp(bytes_.data() + footer_at + 12, kEpochFooterMagic, 8) != 0)
+    return;
+  epoch_present_ = true;
+
+  // On any damage below: keep the container usable by re-deriving the end
+  // of the frame region from the last indexed frame (frames are
+  // self-sizing and CRC-protected, so this is safe), then report the
+  // damage instead of trusting a possibly-wrong epoch length.
+  const auto recover_data_end = [&] {
+    data_end_ = footer_at;
+    std::uint64_t last = 0;
+    for (const auto& [key, entry] : index_)
+      if (!entry.frame_offsets.empty())
+        last = std::max(last, entry.frame_offsets.back());
+    if (last != 0) {
+      const ParsedFrame frame = parse_frame_at(last, footer_at);
+      if (frame.parsed && frame.crc_ok) data_end_ = last + frame.frame_size;
+    }
+  };
+
+  const std::span<const std::uint8_t> all(bytes_);
+  support::ByteReader footer(all.subspan(footer_at, kEpochFooterSize));
+  const std::uint32_t epoch_crc = footer.u32();
+  const std::uint64_t epoch_len = footer.u64();
+  if (epoch_len > footer_at - kContainerHeaderSize) {
+    epoch_error_ = "epoch index length exceeds file";
+    recover_data_end();
+    return;
+  }
+  const std::size_t epoch_at =
+      footer_at - static_cast<std::size_t>(epoch_len);
+  const auto epoch_bytes =
+      all.subspan(epoch_at, static_cast<std::size_t>(epoch_len));
+  if (compress::crc32(epoch_bytes) != epoch_crc) {
+    epoch_error_ = "epoch index crc mismatch";
+    recover_data_end();
+    return;
+  }
+
+  support::ByteReader in(epoch_bytes);
+  std::map<runtime::StreamKey, StreamEpochIndex> parsed;
+  std::uint64_t stream_count = 0;
+  bool ok = in.try_varint(stream_count);
+  for (std::uint64_t s = 0; ok && s < stream_count; ++s) {
+    std::int64_t rank = 0;
+    std::uint64_t callsite = 0;
+    std::uint64_t epoch_count = 0;
+    if (!in.try_svarint(rank) || !in.try_varint(callsite) ||
+        !in.try_varint(epoch_count)) {
+      ok = false;
+      break;
+    }
+    StreamEpochIndex entry;
+    entry.key =
+        runtime::StreamKey{static_cast<minimpi::Rank>(rank),
+                           static_cast<minimpi::CallsiteId>(callsite)};
+    entry.epochs.reserve(static_cast<std::size_t>(epoch_count));
+    std::uint64_t offset = 0;
+    for (std::uint64_t e = 0; e < epoch_count; ++e) {
+      EpochRecord record;
+      std::uint64_t delta = 0;
+      if (!in.try_varint(delta) || !in.try_varint(record.matched) ||
+          !in.try_varint(record.unmatched)) {
+        ok = false;
+        break;
+      }
+      offset += delta;
+      record.frame_offset = offset;
+      entry.epochs.push_back(record);
+    }
+    if (ok) parsed.emplace(entry.key, std::move(entry));
+  }
+  if (!ok || !in.exhausted()) {
+    epoch_error_ = "truncated epoch index";
+    recover_data_end();
+    return;
+  }
+
+  // Cross-check against the stream index: epoch e must live in frame e.
+  // A mismatch means one of the two indexes is lying; the frame CRCs will
+  // arbitrate at read time, but the epoch map cannot be used for seeking.
+  for (const auto& [key, entry] : parsed) {
+    const StreamIndexEntry* stream = find(key);
+    if (stream == nullptr ||
+        stream->frame_offsets.size() != entry.epochs.size()) {
+      epoch_error_ = "epoch index disagrees with stream index";
+      recover_data_end();
+      return;
+    }
+    for (std::size_t e = 0; e < entry.epochs.size(); ++e) {
+      if (entry.epochs[e].frame_offset != stream->frame_offsets[e]) {
+        epoch_error_ = "epoch index frame offset mismatch";
+        recover_data_end();
+        return;
+      }
+    }
+  }
+
+  epochs_ = std::move(parsed);
+  epoch_ok_ = true;
+  data_end_ = epoch_at;
+}
+
+const StreamEpochIndex* ContainerReader::find_epochs(
+    const runtime::StreamKey& key) const {
+  if (!epoch_ok_) return nullptr;
+  const auto it = epochs_.find(key);
+  return it != epochs_.end() ? &it->second : nullptr;
 }
 
 ContainerReader::ParsedFrame ContainerReader::parse_frame_at(
@@ -234,6 +351,38 @@ std::vector<std::uint8_t> ContainerReader::read_stream(
   return out;
 }
 
+ContainerReader::WindowRead ContainerReader::read_stream_window(
+    const runtime::StreamKey& key, std::uint64_t epoch_lo,
+    std::uint64_t epoch_hi) const {
+  CDC_CHECK_MSG(index_ok_,
+                "container index unreadable — run verify/repack first");
+  WindowRead window;
+  const StreamEpochIndex* epochs = find_epochs(key);
+  if (epochs == nullptr) {
+    // Damaged or absent epoch index: loud sequential fallback. The caller
+    // gets the whole stream and decodes from epoch 0 — slower, never wrong.
+    obs::counter("store.container.epoch_fallbacks").add(1);
+    window.bytes = read_stream(key);
+    return window;
+  }
+  const std::uint64_t n = epochs->epochs.size();
+  const std::uint64_t lo = std::min(epoch_lo, n);
+  const std::uint64_t hi = std::min(epoch_hi, n);
+  window.seeked = true;
+  window.first_epoch = lo;
+  for (std::uint64_t e = lo; e < hi; ++e) {
+    const ParsedFrame frame =
+        parse_frame_at(epochs->epochs[e].frame_offset, data_end_);
+    CDC_CHECK_MSG(frame.parsed && frame.crc_ok,
+                  "container frame corrupt — refusing to replay from it");
+    CDC_CHECK_MSG(frame.key == key, "container frame belongs to another "
+                                    "stream — index is inconsistent");
+    window.bytes.insert(window.bytes.end(), frame.payload.begin(),
+                        frame.payload.end());
+  }
+  return window;
+}
+
 std::vector<std::span<const std::uint8_t>> ContainerReader::frame_payloads(
     const runtime::StreamKey& key) const {
   CDC_CHECK_MSG(index_ok_,
@@ -259,6 +408,8 @@ VerifyReport ContainerReader::verify() const {
     report.container_errors.push_back(header_error_);
   }
   if (!index_ok_) report.container_errors.push_back(index_error_);
+  if (epoch_present_ && !epoch_ok_)
+    report.container_errors.push_back("epoch index: " + epoch_error_);
 
   // Identity fallback for frames whose own header bytes are mangled.
   std::map<std::uint64_t, std::pair<runtime::StreamKey, std::uint64_t>>

@@ -52,6 +52,43 @@ class ContainerReader {
   [[nodiscard]] std::vector<std::uint8_t> read_stream(
       const runtime::StreamKey& key) const;
 
+  /// True when the container carries an epoch-index section (new-format
+  /// containers whose appenders supplied EpochMeta). Old containers simply
+  /// lack it — absence is not damage.
+  [[nodiscard]] bool epoch_index_present() const noexcept {
+    return epoch_present_;
+  }
+  /// True when the epoch section parsed, CRC-checked, and cross-validated
+  /// against the stream index. False either because the section is absent
+  /// or because it is damaged (see epoch_index_error()); both degrade
+  /// windowed reads to a sequential fallback, never to wrong bytes.
+  [[nodiscard]] bool epoch_index_ok() const noexcept { return epoch_ok_; }
+  [[nodiscard]] const std::string& epoch_index_error() const noexcept {
+    return epoch_error_;
+  }
+
+  /// The epoch index of one stream, or nullptr when the stream has none
+  /// (absent/damaged section, or the stream's frames lacked metadata).
+  [[nodiscard]] const StreamEpochIndex* find_epochs(
+      const runtime::StreamKey& key) const;
+
+  /// Result of a windowed stream read.
+  struct WindowRead {
+    std::vector<std::uint8_t> bytes;  ///< concatenated frame payloads
+    std::uint64_t first_epoch = 0;    ///< epoch of the first returned frame
+    bool seeked = false;  ///< epoch index served the window (O(window) I/O)
+  };
+
+  /// Payload bytes of epochs [epoch_lo, epoch_hi) of one stream, seeking
+  /// via the epoch index. When the index cannot serve the stream, falls
+  /// back to the whole stream (first_epoch = 0, seeked = false) and bumps
+  /// store.container.epoch_fallbacks — the caller decodes sequentially
+  /// from the start instead of getting wrong bytes. Same trust contract as
+  /// read_stream: requires index_ok(), aborts on frame CRC mismatch.
+  [[nodiscard]] WindowRead read_stream_window(const runtime::StreamKey& key,
+                                              std::uint64_t epoch_lo,
+                                              std::uint64_t epoch_hi) const;
+
   /// The same frames as read_stream, but one span per frame (aliasing the
   /// reader's buffer) instead of concatenated — the seam for formats that
   /// give each frame its own meaning (the corpus layer stores one chunk or
@@ -102,6 +139,9 @@ class ContainerReader {
 
   ContainerReader() = default;
   void parse_footer_and_index();
+  /// Parses and validates the optional epoch section ending at `index_at`;
+  /// adjusts data_end_ either way (best effort on damage).
+  void parse_epoch_section(std::size_t index_at);
   [[nodiscard]] ParsedFrame parse_frame_at(std::uint64_t offset,
                                            std::uint64_t limit) const;
   [[nodiscard]] std::vector<std::uint64_t> sorted_index_offsets() const;
@@ -113,6 +153,10 @@ class ContainerReader {
   bool index_ok_ = false;
   std::string index_error_;
   std::map<runtime::StreamKey, StreamIndexEntry> index_;
+  bool epoch_present_ = false;
+  bool epoch_ok_ = false;
+  std::string epoch_error_;
+  std::map<runtime::StreamKey, StreamEpochIndex> epochs_;
   std::uint64_t data_end_ = 0;  ///< first byte past the data region
 };
 

@@ -19,7 +19,7 @@ ContainerStore::ContainerStore(std::string path, std::size_t shard_count,
 std::unique_ptr<ContainerStore> ContainerStore::open(
     const std::string& path, std::size_t shard_count) {
   std::string error;
-  const auto reader = ContainerReader::open(path, &error);
+  auto reader = ContainerReader::open(path, &error);
   if (reader == nullptr)
     std::fprintf(stderr, "store: %s\n", error.c_str());
   CDC_CHECK_MSG(reader != nullptr, "cannot open record container");
@@ -29,6 +29,8 @@ std::unique_ptr<ContainerStore> ContainerStore::open(
       new ContainerStore(path, shard_count, /*read_only=*/true));
   for (const runtime::StreamKey& key : reader->keys())
     store->memory_.append(key, reader->read_stream(key));
+  // Keep the reader: windowed replay seeks through its epoch index.
+  store->reader_ = std::move(reader);
   return store;
 }
 
@@ -40,9 +42,24 @@ void ContainerStore::append(const runtime::StreamKey& key,
   writer_->append_frame(key, bytes);
 }
 
+void ContainerStore::append_epoch(const runtime::StreamKey& key,
+                                  std::span<const std::uint8_t> bytes,
+                                  const runtime::EpochMeta& meta) {
+  CDC_CHECK_MSG(writer_ != nullptr,
+                "append to a container store opened read-only");
+  memory_.append(key, bytes);
+  writer_->append_frame(key, bytes, meta);
+}
+
 std::vector<std::uint8_t> ContainerStore::read(
     const runtime::StreamKey& key) const {
   return memory_.read(key);
+}
+
+std::vector<std::uint8_t> ContainerStore::read_prefix(
+    const runtime::StreamKey& key, std::uint64_t epoch_hi) const {
+  if (reader_ == nullptr) return read(key);
+  return reader_->read_stream_window(key, 0, epoch_hi).bytes;
 }
 
 std::vector<runtime::StreamKey> ContainerStore::keys() const {

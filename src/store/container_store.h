@@ -39,8 +39,19 @@ class ContainerStore final : public runtime::RecordStore {
 
   void append(const runtime::StreamKey& key,
               std::span<const std::uint8_t> bytes) override;
+  /// append() plus the chunk's epoch metadata, persisted in the
+  /// container's epoch index for windowed (random-access) replay.
+  void append_epoch(const runtime::StreamKey& key,
+                    std::span<const std::uint8_t> bytes,
+                    const runtime::EpochMeta& meta) override;
   [[nodiscard]] std::vector<std::uint8_t> read(
       const runtime::StreamKey& key) const override;
+  /// In replay mode with a healthy epoch index, serves epochs [0, epoch_hi)
+  /// by seeking the container — O(window) bytes read and decoded instead of
+  /// O(stream). Falls back to read() otherwise (recording mode, no index,
+  /// or a damaged index — the `store.container.epoch_fallbacks` counter).
+  [[nodiscard]] std::vector<std::uint8_t> read_prefix(
+      const runtime::StreamKey& key, std::uint64_t epoch_hi) const override;
   [[nodiscard]] std::vector<runtime::StreamKey> keys() const override;
   [[nodiscard]] std::uint64_t total_bytes() const override;
   [[nodiscard]] std::uint64_t rank_bytes(minimpi::Rank rank) const override;
@@ -63,12 +74,20 @@ class ContainerStore final : public runtime::RecordStore {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// The underlying container reader — non-null only in replay mode. The
+  /// seam for windowed replay: epoch index lookups and
+  /// read_stream_window() seeks without re-opening the file.
+  [[nodiscard]] const ContainerReader* reader() const noexcept {
+    return reader_.get();
+  }
+
  private:
   ContainerStore(std::string path, std::size_t shard_count, bool read_only);
 
   std::string path_;
   ShardedStore memory_;
   std::unique_ptr<ContainerWriter> writer_;  ///< null in replay mode
+  std::unique_ptr<ContainerReader> reader_;  ///< null in recording mode
 };
 
 /// The crash-recovery path in one call: repack whatever intact frames the

@@ -32,8 +32,28 @@ ContainerWriter::~ContainerWriter() { seal(); }
 void ContainerWriter::append_frame(const runtime::StreamKey& key,
                                    std::span<const std::uint8_t> payload) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  append_frame_locked(key, payload, nullptr);
+}
+
+void ContainerWriter::append_frame(const runtime::StreamKey& key,
+                                   std::span<const std::uint8_t> payload,
+                                   const runtime::EpochMeta& meta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append_frame_locked(key, payload, &meta);
+}
+
+void ContainerWriter::append_frame_locked(
+    const runtime::StreamKey& key, std::span<const std::uint8_t> payload,
+    const runtime::EpochMeta* meta) {
   CDC_CHECK_MSG(!sealed_, "append_frame on a sealed container");
   IndexEntry& entry = index_[key];
+  if (meta == nullptr) {
+    entry.epochs_complete = false;
+    entry.epochs.clear();  // a partial epoch map is useless; drop it
+  } else if (entry.epochs_complete) {
+    entry.epochs.push_back(EpochRecord{offset_, meta->matched,
+                                       meta->unmatched});
+  }
 
   // Frame body: every field after the magic byte, covered by the CRC.
   support::ByteWriter body;
@@ -77,6 +97,40 @@ void ContainerWriter::seal() {
   if (sealed_) return;
   sealed_ = true;
   obs::TraceSpan seal_span("container.seal", -1, "frames", frames_);
+
+  // Epoch index: only streams whose every frame carried metadata. Written
+  // before the stream index so old readers — which locate the stream index
+  // from the fixed footer alone — skip it without noticing.
+  std::size_t epoch_streams = 0;
+  for (const auto& [key, entry] : index_)
+    if (entry.epochs_complete && !entry.epochs.empty()) ++epoch_streams;
+  if (epoch_streams > 0) {
+    support::ByteWriter epochs;
+    epochs.varint(epoch_streams);
+    for (const auto& [key, entry] : index_) {
+      if (!entry.epochs_complete || entry.epochs.empty()) continue;
+      epochs.svarint(key.rank);
+      epochs.varint(key.callsite);
+      epochs.varint(entry.epochs.size());
+      std::uint64_t previous = 0;
+      for (const EpochRecord& epoch : entry.epochs) {
+        epochs.varint(epoch.frame_offset - previous);
+        previous = epoch.frame_offset;
+        epochs.varint(epoch.matched);
+        epochs.varint(epoch.unmatched);
+      }
+    }
+    support::ByteWriter epoch_footer;
+    epoch_footer.u32(compress::crc32(epochs.view()));
+    epoch_footer.u64(epochs.size());
+    for (const std::uint8_t byte : kEpochFooterMagic) epoch_footer.u8(byte);
+    out_.write(reinterpret_cast<const char*>(epochs.view().data()),
+               static_cast<std::streamsize>(epochs.size()));
+    out_.write(reinterpret_cast<const char*>(epoch_footer.view().data()),
+               static_cast<std::streamsize>(epoch_footer.size()));
+    CDC_CHECK_MSG(out_.good(), "container epoch index write failed");
+    obs::counter("store.container.epoch_streams").add(epoch_streams);
+  }
 
   support::ByteWriter index;
   index.varint(index_.size());

@@ -33,6 +33,14 @@ class ContainerWriter {
   void append_frame(const runtime::StreamKey& key,
                     std::span<const std::uint8_t> payload);
 
+  /// append_frame plus the epoch metadata of the chunk the payload holds.
+  /// seal() emits an epoch-index entry for a stream only when EVERY one of
+  /// its frames carried metadata — a mixed stream has no usable epoch map,
+  /// so it degrades to sequential decode rather than a wrong one.
+  void append_frame(const runtime::StreamKey& key,
+                    std::span<const std::uint8_t> payload,
+                    const runtime::EpochMeta& meta);
+
   /// Durability barrier: pushes every appended frame down to the OS so a
   /// crash of the recorder after this call loses no frame appended before
   /// it (the epoch-checkpoint primitive). No-op once sealed.
@@ -62,7 +70,13 @@ class ContainerWriter {
   struct IndexEntry {
     std::vector<std::uint64_t> offsets;
     std::uint64_t payload_bytes = 0;
+    std::vector<EpochRecord> epochs;  ///< one per frame, when complete
+    bool epochs_complete = true;      ///< every frame carried EpochMeta
   };
+
+  void append_frame_locked(const runtime::StreamKey& key,
+                           std::span<const std::uint8_t> payload,
+                           const runtime::EpochMeta* meta);
 
   std::string path_;
   mutable std::mutex mutex_;

@@ -1,0 +1,103 @@
+#include "store/decompression_service.h"
+
+#include "obs/metrics.h"
+#include "support/check.h"
+
+namespace cdc::store {
+
+DecompressionService::DecompressionService()
+    : DecompressionService(Config{}) {}
+
+DecompressionService::DecompressionService(const Config& config)
+    : queue_(config.queue_capacity), pool_(config.pool_buffers) {
+  CDC_CHECK_MSG(config.workers >= 1,
+                "decompression service needs at least one worker");
+  workers_.reserve(config.workers);
+  for (std::size_t i = 0; i < config.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+DecompressionService::~DecompressionService() {
+  queue_.close();
+  workers_.clear();  // joins
+}
+
+void DecompressionService::submit(const runtime::StreamKey& key,
+                                  Decoder decode, Consumer consume) {
+  static obs::Counter& obs_jobs = obs::counter("store.decode.jobs");
+  static obs::Counter& obs_stalls =
+      obs::counter("store.decode.submit_stalls");
+  static obs::Histogram& obs_depth =
+      obs::histogram("store.decode.queue_depth");
+  const std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (obs::enabled()) {
+    if (queue_.size() >= queue_.capacity()) obs_stalls.add(1);
+  }
+  Job job;
+  job.key = key;
+  job.decode = std::move(decode);
+  job.consume = std::move(consume);
+  job.ticket = next_ticket_;
+  const bool pushed = queue_.push(std::move(job));
+  CDC_CHECK_MSG(pushed, "submit after the decompression service stopped");
+  ++next_ticket_;
+  obs_jobs.add(1);
+  if (obs::enabled()) obs_depth.record(queue_.size());
+}
+
+void DecompressionService::worker_loop() {
+  static obs::Histogram& obs_decode_ns =
+      obs::histogram("store.decode.decode_ns");
+  static obs::Histogram& obs_wait_ns =
+      obs::histogram("store.decode.commit_wait_ns");
+  static obs::Counter& obs_decoded =
+      obs::counter("store.decode.decoded_bytes");
+  Job job;
+  std::vector<std::uint8_t> buf;
+  while (queue_.pop(job)) {
+    pool_.acquire(buf);
+    const obs::Stopwatch sw;
+    std::vector<std::uint8_t> decoded = job.decode(std::move(buf));
+    obs_decode_ns.record(sw.ns());
+
+    const obs::Stopwatch wait_sw;
+    {
+      std::unique_lock<std::mutex> lock(commit_mutex_);
+      commit_cv_.wait(lock, [&] { return next_commit_ == job.ticket; });
+      obs_wait_ns.record(wait_sw.ns());
+      decoded_bytes_ += decoded.size();
+      obs_decoded.add(decoded.size());
+      job.consume(job.key, decoded);
+      ++next_commit_;
+      commit_cv_.notify_all();
+    }
+    // The consumer copied what it keeps; the capacity goes back to the
+    // pool, so steady-state decode is allocation-free.
+    pool_.release(std::move(decoded));
+    buf.clear();
+  }
+}
+
+void DecompressionService::drain() {
+  std::uint64_t submitted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(submit_mutex_);
+    submitted = next_ticket_;
+  }
+  std::unique_lock<std::mutex> lock(commit_mutex_);
+  commit_cv_.wait(lock, [&] { return next_commit_ >= submitted; });
+}
+
+DecompressionService::Stats DecompressionService::stats() const {
+  Stats stats;
+  {
+    const std::lock_guard<std::mutex> lock(commit_mutex_);
+    stats.jobs = next_commit_;
+    stats.decoded_bytes = decoded_bytes_;
+  }
+  stats.workers = workers_.size();
+  stats.pool = pool_.stats();
+  return stats;
+}
+
+}  // namespace cdc::store

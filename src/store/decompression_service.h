@@ -1,0 +1,107 @@
+// Parallel frame-decode service — the replay-side twin of
+// CompressionService.
+//
+// Replay and inspection decode one DEFLATE stream per (rank, callsite)
+// record stream; the streams are independent, so the decode work fans out
+// over a worker pool exactly like encoding does. The same ticketed
+// two-phase commit delivers results *in submission order* to a consumer
+// callback, so a caller that submits stream windows in a deterministic
+// order observes a deterministic result order regardless of which worker
+// finished first — the property the windowed-replay oracle relies on.
+//
+// Jobs are opaque decode closures for the same reason the encode service's
+// are: the tool layer hands it read_frame/chunk-parse thunks, the benches
+// hand it raw inflate calls, and the service stays codec-agnostic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "runtime/storage.h"
+#include "store/mpmc_queue.h"
+#include "support/buffer_pool.h"
+
+namespace cdc::store {
+
+class DecompressionService {
+ public:
+  /// Produces the decoded bytes for one job. Runs on a worker thread; must
+  /// be self-contained (owns its input). `reuse` donates recycled capacity
+  /// (contents discarded) from the service's buffer pool.
+  using Decoder =
+      std::function<std::vector<std::uint8_t>(std::vector<std::uint8_t>)>;
+
+  /// Receives one job's decoded bytes, in submission order, on whichever
+  /// worker thread committed the job. Consumers for different jobs never
+  /// run concurrently (the ticket gate admits one at a time), so a
+  /// consumer may touch shared state without its own lock. The span is
+  /// valid only for the duration of the call — the service recycles the
+  /// buffer's capacity afterwards (copy what must outlive it).
+  using Consumer = std::function<void(const runtime::StreamKey& key,
+                                      std::span<const std::uint8_t> decoded)>;
+
+  struct Config {
+    std::size_t workers = 2;
+    std::size_t queue_capacity = 128;  ///< back-pressure bound, in jobs
+    std::size_t pool_buffers = 16;     ///< output buffers retained for reuse
+  };
+
+  DecompressionService();
+  explicit DecompressionService(const Config& config);
+
+  /// Drains outstanding jobs and stops the workers.
+  ~DecompressionService();
+
+  DecompressionService(const DecompressionService&) = delete;
+  DecompressionService& operator=(const DecompressionService&) = delete;
+
+  /// Enqueues one decode job. Blocks when `queue_capacity` jobs are
+  /// already outstanding.
+  void submit(const runtime::StreamKey& key, Decoder decode,
+              Consumer consume);
+
+  /// Blocks until every job submitted so far has been consumed. Safe to
+  /// call repeatedly and to keep submitting afterwards.
+  void drain();
+
+  struct Stats {
+    std::uint64_t jobs = 0;
+    std::uint64_t decoded_bytes = 0;  ///< bytes handed to consumers
+    std::size_t workers = 0;
+    support::BufferPool::Stats pool;  ///< output-buffer recycling
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Job {
+    std::uint64_t ticket = 0;
+    runtime::StreamKey key;
+    Decoder decode;
+    Consumer consume;
+  };
+
+  void worker_loop();
+
+  BoundedMpmcQueue<Job> queue_;
+  support::BufferPool pool_;
+
+  // Same two-mutex discipline as CompressionService: submit_mutex_ makes
+  // ticket order equal queue order; workers decode out of order and the
+  // commit gate admits consumers strictly by ticket.
+  mutable std::mutex submit_mutex_;
+  std::uint64_t next_ticket_ = 0;
+
+  mutable std::mutex commit_mutex_;
+  std::condition_variable commit_cv_;
+  std::uint64_t next_commit_ = 0;
+  std::uint64_t decoded_bytes_ = 0;
+
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace cdc::store

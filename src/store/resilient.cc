@@ -56,6 +56,26 @@ IoFaultStore::IoFaultStore(runtime::RecordStore* inner,
 
 void IoFaultStore::append(const runtime::StreamKey& key,
                           std::span<const std::uint8_t> bytes) {
+  append_impl(key, bytes, nullptr);
+}
+
+void IoFaultStore::append_epoch(const runtime::StreamKey& key,
+                                std::span<const std::uint8_t> bytes,
+                                const runtime::EpochMeta& meta) {
+  append_impl(key, bytes, &meta);
+}
+
+void IoFaultStore::append_impl(const runtime::StreamKey& key,
+                               std::span<const std::uint8_t> bytes,
+                               const runtime::EpochMeta* meta) {
+  // One commit point either flavour, so the fault/retry bookkeeping — and
+  // the determinism contract — cannot diverge between the two entry paths.
+  const auto commit = [&] {
+    if (meta != nullptr)
+      inner_->append_epoch(key, bytes, *meta);
+    else
+      inner_->append(key, bytes);
+  };
   std::lock_guard<std::mutex> lock(mutex_);
   const Fingerprint fp{key, bytes.size(), compress::crc32(bytes)};
   if (auto it = pending_.find(fp); it != pending_.end()) {
@@ -70,7 +90,7 @@ void IoFaultStore::append(const runtime::StreamKey& key,
       throw runtime::IoError("injected transient EIO (retry)");
     }
     pending_.erase(it);
-    inner_->append(key, bytes);
+    commit();
     return;
   }
 
@@ -84,7 +104,7 @@ void IoFaultStore::append(const runtime::StreamKey& key,
       rng_.uniform() < plan_.eio_probability)
     fault = true;
   if (!fault) {
-    inner_->append(key, bytes);
+    commit();
     return;
   }
 
@@ -169,13 +189,28 @@ void RetryingStore::backoff(std::uint32_t i) {
 
 void RetryingStore::append(const runtime::StreamKey& key,
                            std::span<const std::uint8_t> bytes) {
+  append_impl(key, bytes, nullptr);
+}
+
+void RetryingStore::append_epoch(const runtime::StreamKey& key,
+                                 std::span<const std::uint8_t> bytes,
+                                 const runtime::EpochMeta& meta) {
+  append_impl(key, bytes, &meta);
+}
+
+void RetryingStore::append_impl(const runtime::StreamKey& key,
+                                std::span<const std::uint8_t> bytes,
+                                const runtime::EpochMeta* meta) {
   std::lock_guard<std::mutex> lock(mutex_);
   static obs::Counter& obs_retries = obs::counter("store.retry.retries");
   static obs::Counter& obs_recoveries = obs::counter("store.retry.recoveries");
   for (std::uint32_t attempt = 0; attempt <= policy_.max_retries; ++attempt) {
     ++stats_.attempts;
     try {
-      inner_->append(key, bytes);
+      if (meta != nullptr)
+        inner_->append_epoch(key, bytes, *meta);
+      else
+        inner_->append(key, bytes);
       ++appended_[key];
       if (attempt > 0) {
         ++stats_.recoveries;

@@ -88,6 +88,9 @@ class IoFaultStore final : public runtime::RecordStore {
 
   void append(const runtime::StreamKey& key,
               std::span<const std::uint8_t> bytes) override;
+  void append_epoch(const runtime::StreamKey& key,
+                    std::span<const std::uint8_t> bytes,
+                    const runtime::EpochMeta& meta) override;
   [[nodiscard]] std::vector<std::uint8_t> read(
       const runtime::StreamKey& key) const override;
   [[nodiscard]] std::vector<runtime::StreamKey> keys() const override;
@@ -98,6 +101,10 @@ class IoFaultStore final : public runtime::RecordStore {
   [[nodiscard]] const IoFaultStats& stats() const noexcept { return stats_; }
 
  private:
+  void append_impl(const runtime::StreamKey& key,
+                   std::span<const std::uint8_t> bytes,
+                   const runtime::EpochMeta* meta);
+
   struct Fingerprint {
     runtime::StreamKey key;
     std::uint64_t size = 0;
@@ -176,6 +183,9 @@ class RetryingStore final : public runtime::RecordStore {
 
   void append(const runtime::StreamKey& key,
               std::span<const std::uint8_t> bytes) override;
+  void append_epoch(const runtime::StreamKey& key,
+                    std::span<const std::uint8_t> bytes,
+                    const runtime::EpochMeta& meta) override;
   [[nodiscard]] std::vector<std::uint8_t> read(
       const runtime::StreamKey& key) const override;
   [[nodiscard]] std::vector<runtime::StreamKey> keys() const override;
@@ -190,6 +200,9 @@ class RetryingStore final : public runtime::RecordStore {
   }
 
  private:
+  void append_impl(const runtime::StreamKey& key,
+                   std::span<const std::uint8_t> bytes,
+                   const runtime::EpochMeta* meta);
   void quarantine(const runtime::StreamKey& key,
                   std::span<const std::uint8_t> bytes);
   /// Charges (and optionally sleeps) the backoff for 0-based retry `i`.

@@ -87,8 +87,23 @@ std::optional<Frame> read_frame(support::ByteReader& in) {
     frame.payload.assign(body.begin(), body.end());
     return frame;
   }
+  // Decode-side twin of write_frame's deflate stage counters: same four
+  // fields under record.stage.inflate so record_inspector --stats can show
+  // both directions of the entropy stage.
+  static obs::Counter& inflate_calls =
+      obs::counter("record.stage.inflate.calls");
+  static obs::Counter& inflate_ns = obs::counter("record.stage.inflate.ns");
+  static obs::Counter& inflate_in =
+      obs::counter("record.stage.inflate.bytes_in");
+  static obs::Counter& inflate_out =
+      obs::counter("record.stage.inflate.bytes_out");
+  const obs::Stopwatch sw;
   auto decoded = compress::deflate_decompress(body);
+  inflate_calls.add(1);
+  inflate_ns.add(sw.ns());
+  inflate_in.add(body.size());
   if (!decoded || decoded->size() != raw_len) return std::nullopt;
+  inflate_out.add(decoded->size());
   frame.payload = std::move(*decoded);
   return frame;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "compress/deflate.h"
+#include "runtime/storage.h"
 #include "support/binary.h"
 
 namespace cdc::tool {
@@ -36,6 +37,10 @@ struct FrameJob {
   bool compress = true;
   compress::DeflateLevel level = compress::DeflateLevel::kDefault;
   std::vector<std::uint8_t> payload;  ///< raw (uncompressed) chunk bytes
+  /// Epoch metadata of the chunk, when the flusher knows it. Rides through
+  /// every sink to RecordStore::append_epoch so epoch-aware stores build
+  /// the container's random-access epoch index; plain stores ignore it.
+  std::optional<runtime::EpochMeta> epoch;
 };
 
 /// Encodes one job into its on-storage frame bytes. Deterministic: the

@@ -35,7 +35,10 @@ void InlineFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
   count_scratch_reuse(scratch_);
   std::vector<std::uint8_t> encoded =
       encode_frame_into(job, std::move(scratch_));
-  store_->append(key, encoded);
+  if (job.epoch.has_value())
+    store_->append_epoch(key, encoded, *job.epoch);
+  else
+    store_->append(key, encoded);
   scratch_ = std::move(encoded);  // the store copied; keep the capacity
 }
 
@@ -46,12 +49,14 @@ AsyncFrameSink::AsyncFrameSink(store::CompressionService* service)
 
 void AsyncFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
   const std::size_t raw_size = job.payload.size();
+  const std::optional<runtime::EpochMeta> epoch = job.epoch;
   service_->submit(
       key, raw_size,
       store::CompressionService::EncoderInto(
           [job = std::move(job)](std::vector<std::uint8_t> reuse) {
             return encode_frame_into(job, std::move(reuse));
-          }));
+          }),
+      epoch);
 }
 
 RetryingFrameSink::RetryingFrameSink(runtime::RecordStore* store,
@@ -63,7 +68,10 @@ void RetryingFrameSink::submit(const runtime::StreamKey& key, FrameJob job) {
   count_scratch_reuse(scratch_);
   std::vector<std::uint8_t> encoded =
       encode_frame_into(job, std::move(scratch_));
-  retrying_.append(key, encoded);
+  if (job.epoch.has_value())
+    retrying_.append_epoch(key, encoded, *job.epoch);
+  else
+    retrying_.append(key, encoded);
   scratch_ = std::move(encoded);  // appended or quarantined by copy
 }
 

@@ -1,5 +1,7 @@
 #include "tool/replayer.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
@@ -45,12 +47,43 @@ StreamReplayer& Replayer::stream(minimpi::Rank rank,
       rank, options_.identify_callsites ? callsite : 0};
   auto it = streams_.find(key);
   if (it == streams_.end()) {
+    // Windowed replay reads only epochs [0, hi): an epoch-indexed store
+    // seeks and never touches the bytes past the window.
+    auto bytes = windowed_ ? store_->read_prefix(key, window_hi_)
+                           : store_->read(key);
     it = streams_
              .emplace(key, std::make_unique<StreamReplayer>(
-                               key, store_->read(key)))
+                               key, std::move(bytes), window_hi_))
              .first;
   }
   return *it->second;
+}
+
+void Replayer::replay_window(std::uint64_t epoch_lo,
+                             std::uint64_t epoch_hi) {
+  CDC_CHECK_MSG(streams_.empty(),
+                "replay_window must be configured before the run starts");
+  CDC_CHECK_MSG(epoch_lo < epoch_hi, "empty replay window");
+  windowed_ = true;
+  window_lo_ = epoch_lo;
+  window_hi_ = epoch_hi;
+  // A truncated record is a partial record: the first stream to hit its
+  // window boundary must release the rest (see select()), so windowed
+  // replay implies the partial-record machinery.
+  options_.partial_record = true;
+}
+
+std::map<runtime::StreamKey, Replayer::WindowSlice> Replayer::window_slices()
+    const {
+  CDC_CHECK_MSG(windowed_, "window_slices without replay_window");
+  std::map<runtime::StreamKey, WindowSlice> slices;
+  for (const auto& [key, rep] : streams_) {
+    WindowSlice slice;
+    slice.end = rep->confirmed_events();
+    slice.begin = std::min(rep->events_loaded_before(window_lo_), slice.end);
+    slices.emplace(key, slice);
+  }
+  return slices;
 }
 
 std::uint64_t Replayer::on_send(minimpi::Rank sender) {

@@ -46,6 +46,30 @@ class Replayer : public minimpi::ToolHooks {
   /// Returns true exactly once; full replay keeps the deadlock abort.
   bool on_stall() override;
 
+  /// Configures windowed replay of epochs [epoch_lo, epoch_hi). Must be
+  /// called before the run starts (before any hook fires). Every stream's
+  /// record is truncated at its epoch_hi-th chunk; when the first stream
+  /// exhausts its window, the partial-record release machinery frees the
+  /// whole run to passthrough (gating past a truncation point is unsound —
+  /// see select()). The run still executes the application from the start;
+  /// what the window buys is that no stream decodes frames past epoch_hi —
+  /// with an epoch-indexed container the bytes past the window need not
+  /// even be read — and window_slices() afterwards names the verified
+  /// [lo, hi) portion of each stream's trace.
+  void replay_window(std::uint64_t epoch_lo, std::uint64_t epoch_hi);
+
+  /// The half-open event-index range of one stream's trace that windowed
+  /// replay verified against the record (events [begin, end) of the trace
+  /// are the recorded order). begin corresponds to epoch_lo; end is capped
+  /// by the global release — the stream that triggered it covers its full
+  /// window, later streams a prefix of theirs.
+  struct WindowSlice {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  [[nodiscard]] std::map<runtime::StreamKey, WindowSlice> window_slices()
+      const;
+
   struct Totals {
     std::uint64_t replayed_events = 0;
     std::uint64_t replayed_unmatched = 0;
@@ -79,6 +103,9 @@ class Replayer : public minimpi::ToolHooks {
   std::map<runtime::StreamKey, std::unique_ptr<StreamReplayer>> streams_;
   std::vector<std::uint64_t> digests_;
   bool released_ = false;  ///< partial-record global release fired
+  std::uint64_t window_lo_ = 0;
+  std::uint64_t window_hi_ = StreamReplayer::kNoChunkLimit;
+  bool windowed_ = false;
 };
 
 }  // namespace cdc::tool

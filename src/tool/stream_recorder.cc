@@ -114,6 +114,8 @@ void StreamRecorder::flush(FrameSink& sink, std::size_t max_matched,
     FrameJob job;
     job.codec = static_cast<std::uint8_t>(options_.codec);
     job.level = options_.level;
+    job.epoch = runtime::EpochMeta{cut_matched,
+                                   events.size() - cut_matched};
     switch (options_.codec) {
       case RecordCodec::kBaselineRaw:
       case RecordCodec::kBaselineGzip: {

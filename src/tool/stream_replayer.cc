@@ -10,14 +10,21 @@
 namespace cdc::tool {
 
 StreamReplayer::StreamReplayer(runtime::StreamKey key,
-                               std::vector<std::uint8_t> bytes)
-    : key_(key), bytes_(std::move(bytes)) {
+                               std::vector<std::uint8_t> bytes,
+                               std::uint64_t max_chunks)
+    : key_(key), bytes_(std::move(bytes)), max_chunks_(max_chunks) {
   frames_done_ = bytes_.empty();
   load_next_chunk_if_needed();
 }
 
 void StreamReplayer::load_next_chunk_if_needed() {
   while (chunk_done_ && !frames_done_) {
+    if (stats_.chunks >= max_chunks_) {
+      // Window boundary: the record continues, but the replay's view of it
+      // ends here — identical to a record that stops at this epoch.
+      frames_done_ = true;
+      break;
+    }
     if (cursor_ == bytes_.size()) {
       frames_done_ = true;
       break;
@@ -45,6 +52,10 @@ void StreamReplayer::load_next_chunk_if_needed() {
     for (const auto& entry : chunk_.epoch)
       epoch_.emplace(entry.sender, entry.clock);
     ++stats_.chunks;
+    std::uint64_t chunk_events = chunk_.num_matched;
+    for (const record::UnmatchedRun& run : chunk_.unmatched)
+      chunk_events += run.count;
+    chunk_events_.push_back(chunk_events);
 
     // Reference index -> (sender, per-sender occurrence).
     CDC_CHECK_MSG(chunk_.ref_senders.size() == chunk_.num_matched,

@@ -43,7 +43,15 @@ class StreamReplayer {
     std::vector<clock::MessageId> messages;
   };
 
-  StreamReplayer(runtime::StreamKey key, std::vector<std::uint8_t> bytes);
+  /// No chunk limit: replay the record to its end.
+  static constexpr std::uint64_t kNoChunkLimit = ~std::uint64_t{0};
+
+  /// `max_chunks` truncates the record at a chunk (= epoch) boundary: the
+  /// replayer gates the first `max_chunks` chunks and then reports
+  /// exhaustion, exactly as if the record ended there — the seam windowed
+  /// replay uses to stop gating at epoch `hi` without decoding beyond it.
+  StreamReplayer(runtime::StreamKey key, std::vector<std::uint8_t> bytes,
+                 std::uint64_t max_chunks = kNoChunkLimit);
 
   /// Reports a matched-but-undelivered message observed at an MF poll.
   /// Idempotent across polls (per-sender sightings arrive in clock order).
@@ -71,6 +79,22 @@ class StreamReplayer {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Application-visible events (deliveries + unmatched tests) in the
+  /// first min(`chunk`, chunks loaded so far) chunks — the event-index
+  /// origin of a replay window. Counts decoded chunk headers, so it is
+  /// exact for every chunk the replayer has reached.
+  [[nodiscard]] std::uint64_t events_loaded_before(std::uint64_t chunk) const {
+    std::uint64_t total = 0;
+    for (std::uint64_t c = 0; c < chunk && c < chunk_events_.size(); ++c)
+      total += chunk_events_[c];
+    return total;
+  }
+  /// Events confirmed against the record so far (the verified prefix of
+  /// the stream's trace, in trace order).
+  [[nodiscard]] std::uint64_t confirmed_events() const noexcept {
+    return stats_.replayed_events + stats_.replayed_unmatched;
+  }
+
   /// Writes a short progress diagnostic to stderr (deadlock dumps).
   void dump_state() const;
 
@@ -85,6 +109,9 @@ class StreamReplayer {
   std::vector<std::uint8_t> bytes_;
   std::size_t cursor_ = 0;  ///< parse position within bytes_
   bool frames_done_ = false;
+  std::uint64_t max_chunks_ = kNoChunkLimit;
+  /// Trace events (matched + unmatched) per loaded chunk.
+  std::vector<std::uint64_t> chunk_events_;
 
   // Current chunk.
   record::CdcChunk chunk_;

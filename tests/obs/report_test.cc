@@ -52,6 +52,16 @@ TEST(PipelineReport, FromSnapshotMapsMetricNames) {
   registry.counter("sim.messages_sent").add(55);
   registry.gauge("sim.virtual_time_us").add(2500000);
   registry.counter("store.container.frames").add(3);
+  registry.counter("record.stage.inflate.calls").add(3);
+  registry.counter("record.stage.inflate.bytes_in").add(600);
+  registry.counter("record.stage.inflate.bytes_out").add(4096);
+  registry.counter("record.stage.inflate.ns").add(1024);
+  registry.counter("store.decode.jobs").add(3);
+  registry.counter("store.decode.decoded_bytes").add(4096);
+  registry.counter("store.decode.submit_stalls").add(2);
+  registry.histogram("store.decode.queue_depth").record(5);
+  registry.counter("store.container.epoch_streams").add(4);
+  registry.counter("store.container.epoch_fallbacks").add(1);
 
   const PipelineReport report =
       PipelineReport::from_snapshot(registry.snapshot());
@@ -80,6 +90,17 @@ TEST(PipelineReport, FromSnapshotMapsMetricNames) {
   EXPECT_EQ(report.sim_messages, 55u);
   EXPECT_DOUBLE_EQ(report.sim_virtual_seconds, 2.5);
   EXPECT_EQ(report.writer_frames, 3u);
+  EXPECT_EQ(report.stage_inflate.calls, 3u);
+  EXPECT_EQ(report.stage_inflate.bytes_in, 600u);
+  EXPECT_EQ(report.stage_inflate.bytes_out, 4096u);
+  // Measured on the raw side: 4096 bytes out in 1024 ns = 4000 MB/s.
+  EXPECT_DOUBLE_EQ(report.inflate_mb_per_s(), 4000.0);
+  EXPECT_EQ(report.decode_jobs, 3u);
+  EXPECT_EQ(report.decode_bytes, 4096u);
+  EXPECT_EQ(report.decode_submit_stalls, 2u);
+  EXPECT_EQ(report.decode_queue_depth.count, 1u);
+  EXPECT_EQ(report.epoch_streams, 4u);
+  EXPECT_EQ(report.epoch_fallbacks, 1u);
   registry.reset_values();
 }
 
@@ -151,6 +172,8 @@ TEST(PipelineReport, ToJsonIsWellFormed) {
   EXPECT_TRUE(json_well_formed(json)) << json;
   EXPECT_NE(json.find("\"report\": \"cdc_pipeline\""), std::string::npos);
   EXPECT_NE(json.find("\"reconciliation\""), std::string::npos);
+  EXPECT_NE(json.find("\"decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"inflate\""), std::string::npos);
 }
 
 /// The --stats invariant end to end: an instrumented record run through
