@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI service-load gate: compare BENCH_service.json against the committed
+service baseline.
+
+The fig23_service_load bench runs two phases of a seeded many-client load
+against an in-process record server: a clean phase (every client must
+seal, backpressure must engage) and a faulted phase (slow clients,
+mid-stream disconnects, duplicate uploads, garbage bytes, oversized
+frames). Every surviving record is byte-compared against a local rebuild
+from the seed.
+
+Correctness is gated strictly — these fields are deterministic and any
+regression is a real bug:
+  * clean phase: every client sealed and verified, zero unexpected
+    failures, zero verify failures;
+  * faulted phase: zero unexpected failures, zero verify failures, and
+    the fault plan actually fired (expected_failures > 0);
+  * the server engaged backpressure at least once (when the baseline
+    requires it) — otherwise the slow-reader suspension path went
+    untested.
+
+Throughput is gated only against generous floors (absolute numbers are
+machine-dependent); the floor exists to catch pathological serialization,
+not to benchmark CI hardware.
+
+Usage: check_service_baseline.py <BENCH_service.json> [baseline.json]
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    bench_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "service_baseline.json")
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+    clean = bench.get("clean", {})
+    faulted = bench.get("faulted", {})
+    server = bench.get("server", {})
+
+    clients = bench.get("clients", 0)
+    if clients < baseline.get("min_clients", 0):
+        failures.append(
+            f"ran {clients} clients, baseline requires "
+            f">= {baseline['min_clients']}")
+
+    # --- strict correctness ------------------------------------------------
+    if clean.get("unexpected_failures", 1) != 0:
+        failures.append(
+            f"clean phase had {clean.get('unexpected_failures')} "
+            f"unexpected client failures")
+    if clean.get("verify_failures", 1) != 0:
+        failures.append(
+            f"clean phase had {clean.get('verify_failures')} "
+            f"oracle verify failures")
+    if clean.get("sealed", 0) != clients:
+        failures.append(
+            f"clean phase sealed {clean.get('sealed')} of {clients} records")
+    if clean.get("verified", 0) != clean.get("sealed", -1):
+        failures.append(
+            f"clean phase verified {clean.get('verified')} of "
+            f"{clean.get('sealed')} sealed records")
+
+    if faulted.get("unexpected_failures", 1) != 0:
+        failures.append(
+            f"faulted phase had {faulted.get('unexpected_failures')} "
+            f"unexpected client failures")
+    if faulted.get("verify_failures", 1) != 0:
+        failures.append(
+            f"faulted phase had {faulted.get('verify_failures')} "
+            f"oracle verify failures")
+    if faulted.get("expected_failures", 0) <= 0:
+        failures.append("faulted phase: the fault plan never fired")
+    if faulted.get("verified", 0) != faulted.get("sealed", -1):
+        failures.append(
+            f"faulted phase verified {faulted.get('verified')} of "
+            f"{faulted.get('sealed')} sealed records")
+
+    if baseline.get("require_backpressure", False) and \
+       server.get("backpressure_suspensions", 0) <= 0:
+        failures.append("backpressure never engaged "
+                        "(backpressure_suspensions == 0)")
+
+    # --- generous throughput floors ---------------------------------------
+    floor = baseline.get("min_clean_frames_per_s", 0.0)
+    if clean.get("frames_per_s", 0.0) < floor:
+        failures.append(
+            f"clean throughput {clean.get('frames_per_s'):.0f} frames/s "
+            f"below floor {floor:.0f}")
+    floor = baseline.get("min_clean_mb_per_s", 0.0)
+    if clean.get("mb_per_s", 0.0) < floor:
+        failures.append(
+            f"clean throughput {clean.get('mb_per_s'):.2f} MB/s "
+            f"below floor {floor:.2f}")
+    ceiling = baseline.get("max_ack_p99_ms")
+    if ceiling is not None and clean.get("ack_p99_ms", 0.0) > ceiling:
+        failures.append(
+            f"clean ack p99 {clean.get('ack_p99_ms'):.1f} ms above "
+            f"ceiling {ceiling:.1f} ms")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+
+    print(f"OK: {clients} clients — clean "
+          f"{clean.get('frames_per_s', 0):.0f} frames/s, "
+          f"{clean.get('verified')} verified; faulted "
+          f"{faulted.get('sealed')} sealed / "
+          f"{faulted.get('expected_failures')} planned failures, "
+          f"all oracle-verified; "
+          f"{server.get('backpressure_suspensions')} suspensions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

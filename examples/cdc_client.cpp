@@ -1,0 +1,281 @@
+// cdc_client — command-line client for the record/replay service.
+//
+// Subcommands (all need --host/--port/--token):
+//   put REC FILE.cdcc   upload a local sealed container as record REC
+//                       (frames are re-framed at the negotiated level)
+//   window REC LO:HI    fetch epochs [LO, HI) of every stream; prints one
+//                       line per stream: key, first_epoch, seeked, bytes
+//   inspect REC KIND    print the verify | pipeline | gaps JSON report
+//   load                run the seeded load generator against the server
+//                       (see --clients/--seed/--faults below)
+//
+// Exit codes: 0 success, 1 server/protocol error, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/client.h"
+#include "net/load_gen.h"
+#include "store/container_reader.h"
+#include "tool/frame.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --host H --port P --token T [--level L] COMMAND...\n"
+      "  put REC FILE.cdcc        upload a sealed container as record REC\n"
+      "  window REC LO:HI         fetch epoch window [LO, HI)\n"
+      "  inspect REC verify|pipeline|gaps\n"
+      "  load [--clients N] [--seed S] [--batches N] [--frames N]\n"
+      "       [--payload BYTES] [--faults slow,disc,dup,garbage,oversized]\n"
+      "       [--tenant NAME --server-root DIR]\n"
+      "                           (with both set, surviving records are\n"
+      "                           byte-verified against a local rebuild)\n",
+      argv0);
+}
+
+bool parse_window(const std::string& spec, std::uint64_t& lo,
+                  std::uint64_t& hi) {
+  char* end = nullptr;
+  lo = std::strtoull(spec.c_str(), &end, 10);
+  if (end == spec.c_str() || *end != ':') return false;
+  const char* hi_at = end + 1;
+  hi = std::strtoull(hi_at, &end, 10);
+  return end != hi_at && *end == '\0' && lo < hi;
+}
+
+int cmd_put(const cdc::net::Client::Options& base, const std::string& record,
+            const std::string& path) {
+  std::string error;
+  auto reader = cdc::store::ContainerReader::open(path, &error);
+  if (reader == nullptr || !reader->index_ok()) {
+    std::fprintf(stderr, "cdc_client: cannot read %s: %s\n", path.c_str(),
+                 reader == nullptr ? error.c_str()
+                                   : reader->index_error().c_str());
+    return 1;
+  }
+  cdc::net::Client::Options options = base;
+  options.record = record;
+  options.intent = cdc::net::Intent::kIngest;
+  auto client = cdc::net::Client::connect(options, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "cdc_client: %s\n", error.c_str());
+    return 1;
+  }
+  cdc::net::NetFrameSink sink(client.get());
+  for (const cdc::runtime::StreamKey& key : reader->keys()) {
+    // read_stream concatenates decoded payloads; ship each stream as one
+    // job and let the server re-frame it at the negotiated level (a
+    // recompressing mirror).
+    const std::vector<std::uint8_t> raw = reader->read_stream(key);
+    cdc::tool::FrameJob job;
+    job.codec = 0x01;
+    job.payload = raw;
+    sink.submit(key, std::move(job));
+  }
+  cdc::net::Sealed sealed;
+  if (!sink.flush() || !client->seal(&sealed)) {
+    std::fprintf(stderr, "cdc_client: %s\n", client->last_error().c_str());
+    return 1;
+  }
+  client->bye();
+  std::printf("sealed %s: %llu streams, %llu frames, %llu bytes\n",
+              record.c_str(), static_cast<unsigned long long>(sealed.streams),
+              static_cast<unsigned long long>(sealed.frames),
+              static_cast<unsigned long long>(sealed.container_bytes));
+  return 0;
+}
+
+int cmd_window(const cdc::net::Client::Options& base,
+               const std::string& record, const std::string& spec) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  if (!parse_window(spec, lo, hi)) {
+    std::fprintf(stderr, "cdc_client: bad window '%s' (need LO:HI, LO < HI)\n",
+                 spec.c_str());
+    return 2;
+  }
+  cdc::net::Client::Options options = base;
+  options.record = record;
+  options.intent = cdc::net::Intent::kReplay;
+  std::string error;
+  auto client = cdc::net::Client::connect(options, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "cdc_client: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<cdc::net::WindowStream> streams;
+  cdc::net::WindowDone done;
+  if (!client->replay_window(lo, hi, &streams, &done)) {
+    std::fprintf(stderr, "cdc_client: %s\n", client->last_error().c_str());
+    return 1;
+  }
+  client->bye();
+  for (const cdc::net::WindowStream& ws : streams)
+    std::printf("rank %lld callsite %llu first_epoch %llu seeked %d "
+                "bytes %zu\n",
+                static_cast<long long>(ws.key.rank),
+                static_cast<unsigned long long>(ws.key.callsite),
+                static_cast<unsigned long long>(ws.first_epoch),
+                ws.seeked ? 1 : 0, ws.bytes.size());
+  std::printf("done: %llu streams, all_seeked %d\n",
+              static_cast<unsigned long long>(done.streams),
+              done.all_seeked ? 1 : 0);
+  return 0;
+}
+
+int cmd_inspect(const cdc::net::Client::Options& base,
+                const std::string& record, const std::string& kind_name) {
+  cdc::net::InspectKind kind;
+  if (kind_name == "verify") kind = cdc::net::InspectKind::kVerify;
+  else if (kind_name == "pipeline") kind = cdc::net::InspectKind::kPipeline;
+  else if (kind_name == "gaps") kind = cdc::net::InspectKind::kGaps;
+  else {
+    std::fprintf(stderr, "cdc_client: bad inspect kind '%s'\n",
+                 kind_name.c_str());
+    return 2;
+  }
+  cdc::net::Client::Options options = base;
+  options.record = record;
+  options.intent = cdc::net::Intent::kReplay;
+  std::string error;
+  auto client = cdc::net::Client::connect(options, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "cdc_client: %s\n", error.c_str());
+    return 1;
+  }
+  std::string json;
+  if (!client->inspect(kind, &json)) {
+    std::fprintf(stderr, "cdc_client: %s\n", client->last_error().c_str());
+    return 1;
+  }
+  client->bye();
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}
+
+// Consumes flags from argv starting at `i`, stopping at the first
+// non-flag argument (the subcommand) or the end. Returns false on a
+// malformed flag. Called twice: once before the subcommand and once
+// after it, so `load --clients 24` and `--clients 24 load` both work.
+bool parse_flags(int argc, char** argv, int& i,
+                 cdc::net::Client::Options& base,
+                 cdc::net::LoadConfig& load) {
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      base.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      base.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--token") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      base.token = v;
+    } else if (arg == "--level") {
+      const char* v = next();
+      const auto level = v == nullptr
+                             ? std::nullopt
+                             : cdc::compress::deflate_level_from_name(v);
+      if (!level.has_value()) return false;
+      base.level = *level;
+    } else if (arg == "--clients") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      load.clients = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      load.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--batches") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      load.shape.batches = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--frames") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      load.shape.frames_per_batch = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--payload") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      load.shape.payload_bytes = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      load.tenant = v;
+    } else if (arg == "--server-root") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      load.server_root = v;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr ||
+          std::sscanf(v, "%u,%u,%u,%u,%u", &load.faults.slow_pct,
+                      &load.faults.disconnect_pct, &load.faults.duplicate_pct,
+                      &load.faults.garbage_pct,
+                      &load.faults.oversized_pct) != 5) {
+        return false;
+      }
+    } else {
+      break;  // first non-flag: the subcommand
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdc::net::Client::Options base;
+  cdc::net::LoadConfig load;
+  int i = 1;
+  if (!parse_flags(argc, argv, i, base, load) || i >= argc ||
+      base.port == 0 || base.token.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  const std::string command = argv[i++];
+  if (command == "put" && i + 1 < argc)
+    return cmd_put(base, argv[i], argv[i + 1]);
+  if (command == "window" && i + 1 < argc)
+    return cmd_window(base, argv[i], argv[i + 1]);
+  if (command == "inspect" && i + 1 < argc)
+    return cmd_inspect(base, argv[i], argv[i + 1]);
+  if (command == "load") {
+    // load is the only subcommand with trailing flags; a second pass
+    // picks them up and anything left over is a usage error.
+    if (!parse_flags(argc, argv, i, base, load) || i != argc) {
+      usage(argv[0]);
+      return 2;
+    }
+    load.host = base.host;
+    load.port = base.port;
+    load.token = base.token;
+    load.level = base.level;
+    const cdc::net::LoadReport report = cdc::net::run_load(load);
+    std::printf(
+        "load: %zu clients, %zu sealed, %zu expected failures, "
+        "%zu unexpected, %.0f frames/s, %.2f MB/s, "
+        "ack p50/p95/p99 %.2f/%.2f/%.2f ms\n",
+        report.clients, report.sealed, report.expected_failures,
+        report.unexpected_failures, report.frames_per_s, report.mb_per_s,
+        report.ack_p50_ms, report.ack_p95_ms, report.ack_p99_ms);
+    if (!load.server_root.empty())
+      std::printf("load: %zu verified against local rebuild, %zu failures\n",
+                  report.verified, report.verify_failures);
+    for (const std::string& e : report.errors)
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    return report.ok() ? 0 : 1;
+  }
+  usage(argv[0]);
+  return 2;
+}

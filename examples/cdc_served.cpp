@@ -1,0 +1,177 @@
+// cdc_served — the multi-tenant record/replay service daemon.
+//
+// Serves the DESIGN.md §13 wire protocol over TCP: authenticated tenants
+// stream record frames in (PUT_FRAMES → sealed containers under the
+// storage root) and read windows back out (REPLAY_WINDOW / INSPECT).
+//
+// Usage:
+//   cdc_served --root DIR --tenant NAME:TOKEN[:MAX_MB[:MAX_RECORDS]] ...
+//              [--host H] [--port P] [--sink inline|service|retrying]
+//              [--workers N] [--queue-batches N] [--max-level LEVEL]
+//              [--ingest-delay-us N] [--duration-s N]
+//
+// With --port 0 (the default) an ephemeral port is chosen and printed as
+// `LISTENING <port>` on stdout — the handshake the tests and the load
+// bench use to find the server. Runs until SIGINT/SIGTERM, or for
+// --duration-s seconds when given.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "compress/deflate.h"
+#include "net/server.h"
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --root DIR --tenant NAME:TOKEN[:MAX_MB[:MAX_RECORDS]]...\n"
+      "          [--host H] [--port P] [--sink inline|service|retrying]\n"
+      "          [--workers N] [--queue-batches N] [--max-level LEVEL]\n"
+      "          [--ingest-delay-us N] [--duration-s N]\n",
+      argv0);
+}
+
+bool parse_tenant(const std::string& spec, cdc::net::TenantConfig& out) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  out.name = spec.substr(0, c1);
+  const std::size_t c2 = spec.find(':', c1 + 1);
+  out.token = spec.substr(c1 + 1, c2 == std::string::npos
+                                      ? std::string::npos
+                                      : c2 - c1 - 1);
+  if (out.token.empty()) return false;
+  if (c2 != std::string::npos) {
+    char* end = nullptr;
+    const std::size_t c3 = spec.find(':', c2 + 1);
+    const std::string mb = spec.substr(
+        c2 + 1, c3 == std::string::npos ? std::string::npos : c3 - c2 - 1);
+    out.max_bytes = std::strtoull(mb.c_str(), &end, 10) << 20;
+    if (end == mb.c_str() || *end != '\0') return false;
+    if (c3 != std::string::npos) {
+      const std::string recs = spec.substr(c3 + 1);
+      out.max_records =
+          static_cast<std::uint32_t>(std::strtoul(recs.c_str(), &end, 10));
+      if (end == recs.c_str() || *end != '\0') return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdc::net::ServerConfig config;
+  long duration_s = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      config.root_dir = v;
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      cdc::net::TenantConfig tenant;
+      if (v == nullptr || !parse_tenant(v, tenant)) {
+        std::fprintf(stderr, "bad --tenant spec\n");
+        return 2;
+      }
+      config.tenants.push_back(std::move(tenant));
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      config.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      config.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--sink") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      if (std::strcmp(v, "inline") == 0)
+        config.sink_mode = cdc::net::SinkMode::kInline;
+      else if (std::strcmp(v, "service") == 0)
+        config.sink_mode = cdc::net::SinkMode::kService;
+      else if (std::strcmp(v, "retrying") == 0)
+        config.sink_mode = cdc::net::SinkMode::kRetrying;
+      else { std::fprintf(stderr, "bad --sink\n"); return 2; }
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      config.service_workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--queue-batches") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      config.ingest_queue_batches = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--max-level") {
+      const char* v = next();
+      const auto level =
+          v == nullptr ? std::nullopt : cdc::compress::deflate_level_from_name(v);
+      if (!level.has_value()) {
+        std::fprintf(stderr, "bad --max-level\n");
+        return 2;
+      }
+      config.max_level = *level;
+    } else if (arg == "--ingest-delay-us") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      config.ingest_delay_us = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--duration-s") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      duration_s = std::atol(v);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (config.root_dir.empty() || config.tenants.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  cdc::net::Server server(std::move(config));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cdc_served: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration_s >= 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(duration_s))
+      break;
+  }
+  server.stop();
+  const cdc::net::Server::Stats stats = server.stats();
+  std::printf(
+      "cdc_served: %llu conns, %llu sealed, %llu aborted, %llu frames, "
+      "%llu bytes, %llu errors, %llu suspensions\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.sessions_sealed),
+      static_cast<unsigned long long>(stats.sessions_aborted),
+      static_cast<unsigned long long>(stats.frames_ingested),
+      static_cast<unsigned long long>(stats.bytes_ingested),
+      static_cast<unsigned long long>(stats.errors_sent),
+      static_cast<unsigned long long>(stats.backpressure_suspensions));
+  return 0;
+}

@@ -704,6 +704,12 @@ int main(int argc, char** argv) {
       std::printf("--window needs LO:HI (e.g. --window 2:5)\n");
       return 2;
     }
+    // A half-open window needs LO < HI: 60:40 (reversed) and 5:5 (empty)
+    // are operator errors, not runs with nothing to do.
+    if (lo >= hi) {
+      std::printf("--window needs LO < HI, got %llu:%llu\n", lo, hi);
+      return 2;
+    }
     return window_demo(level, lo, hi);
   }
   if (is(1, "--dir") && argc == 3) {

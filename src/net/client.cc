@@ -1,0 +1,277 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace cdc::net {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::unique_ptr<Client> Client::connect(const Options& options,
+                                        std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return nullptr;
+  }
+  if (options.timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.timeout_ms / 1000;
+    tv.tv_usec = (options.timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0) {
+    if (error != nullptr)
+      *error = "connect " + options.host + ":" +
+               std::to_string(options.port) + ": " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+
+  auto client = std::unique_ptr<Client>(new Client(options, fd));
+  client->parser_ = WireParser(options.limits);
+
+  Hello hello;
+  hello.version = kProtocolVersion;
+  hello.token = options.token;
+  hello.record = options.record;
+  hello.intent = options.intent;
+  hello.level = options.level;
+  Message msg;
+  if (!client->send_all(encode_hello(hello)) ||
+      !client->read_message(&msg) || client->is_error(msg) ||
+      !decode_welcome(msg, client->welcome_)) {
+    if (error != nullptr)
+      *error = client->failed_ ? client->last_error_
+                               : "malformed WELCOME";
+    return nullptr;
+  }
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::send_all(std::span<const std::uint8_t> bytes) {
+  if (failed_ || fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return fail(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::send_raw(std::span<const std::uint8_t> bytes) {
+  return send_all(bytes);
+}
+
+bool Client::read_message(Message* out) {
+  if (failed_ || fd_ < 0) return false;
+  while (true) {
+    const WireParser::Status status = parser_.next(out);
+    if (status == WireParser::Status::kMessage) return true;
+    if (status == WireParser::Status::kMalformed)
+      return fail("protocol error: " + parser_.error());
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) return fail("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(std::string("recv: ") + std::strerror(errno));
+    }
+    parser_.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+bool Client::is_error(const Message& msg) {
+  if (msg.type != MsgType::kError) return false;
+  ErrCode code = ErrCode::kInternal;
+  std::string text;
+  if (!decode_error(msg, code, text)) {
+    (void)fail("undecodable server ERROR");
+    return true;
+  }
+  (void)fail("server: " + text, code);
+  return true;
+}
+
+bool Client::fail(std::string why, ErrCode code) {
+  failed_ = true;
+  last_error_ = std::move(why);
+  last_code_ = code;
+  return false;
+}
+
+void Client::note_ack(const PutAck& ack) {
+  const std::uint64_t now = steady_ns();
+  for (std::size_t i = 0; i < inflight_.size(); ++i) {
+    if (inflight_[i].seq != ack.seq) continue;
+    latency_ns_.push_back(now - inflight_[i].sent_ns);
+    inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(i));
+    break;
+  }
+  frames_acked_ = ack.frames_ingested;
+  bytes_acked_ = ack.bytes_ingested;
+}
+
+bool Client::put(std::vector<WireFrame> frames) {
+  if (failed_) return false;
+  // Drain acks until the window has room — this is where server
+  // backpressure (suspended reads → full send buffer → blocked acks)
+  // becomes client-visible blocking.
+  Message msg;
+  while (inflight_.size() >= options_.max_inflight) {
+    if (!read_message(&msg)) return false;
+    if (is_error(msg)) return false;
+    PutAck ack;
+    if (msg.type != MsgType::kPutAck || !decode_put_ack(msg, ack))
+      return fail("expected PUT_ACK");
+    note_ack(ack);
+  }
+  FrameBatch batch;
+  batch.seq = ++next_seq_;
+  batch.frames = std::move(frames);
+  const std::vector<std::uint8_t> bytes =
+      encode_put_frames(batch, welcome_.level);
+  inflight_.push_back(Inflight{batch.seq, steady_ns()});
+  return send_all(bytes);
+}
+
+bool Client::seal(Sealed* out) {
+  if (failed_) return false;
+  if (!send_all(encode_simple(MsgType::kSeal))) return false;
+  Message msg;
+  while (true) {
+    if (!read_message(&msg)) return false;
+    if (is_error(msg)) return false;
+    if (msg.type == MsgType::kPutAck) {
+      PutAck ack;
+      if (!decode_put_ack(msg, ack)) return fail("malformed PUT_ACK");
+      note_ack(ack);
+      continue;
+    }
+    if (msg.type == MsgType::kSealed) {
+      Sealed sealed;
+      if (!decode_sealed(msg, sealed)) return fail("malformed SEALED");
+      if (out != nullptr) *out = sealed;
+      return true;
+    }
+    return fail("unexpected message while sealing");
+  }
+}
+
+bool Client::replay_window(std::uint64_t epoch_lo, std::uint64_t epoch_hi,
+                           std::vector<WindowStream>* streams,
+                           WindowDone* done) {
+  if (failed_) return false;
+  ReplayWindowReq req;
+  req.epoch_lo = epoch_lo;
+  req.epoch_hi = epoch_hi;
+  if (!send_all(encode_replay_window(req))) return false;
+  Message msg;
+  while (true) {
+    if (!read_message(&msg)) return false;
+    if (is_error(msg)) return false;
+    if (msg.type == MsgType::kWindowStream) {
+      WindowStream ws;
+      if (!decode_window_stream(msg, ws))
+        return fail("malformed WINDOW_STREAM");
+      if (streams != nullptr) streams->push_back(std::move(ws));
+      continue;
+    }
+    if (msg.type == MsgType::kWindowDone) {
+      WindowDone wd;
+      if (!decode_window_done(msg, wd)) return fail("malformed WINDOW_DONE");
+      if (done != nullptr) *done = wd;
+      return true;
+    }
+    return fail("unexpected message in replay");
+  }
+}
+
+bool Client::inspect(InspectKind kind, std::string* json) {
+  if (failed_) return false;
+  if (!send_all(encode_inspect(kind))) return false;
+  Message msg;
+  if (!read_message(&msg)) return false;
+  if (is_error(msg)) return false;
+  if (msg.type != MsgType::kReport) return fail("expected REPORT");
+  if (json != nullptr)
+    json->assign(msg.body.begin(), msg.body.end());
+  return true;
+}
+
+void Client::bye() {
+  if (fd_ < 0) return;
+  if (!failed_) (void)send_all(encode_simple(MsgType::kBye));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+// --- NetFrameSink --------------------------------------------------------
+
+NetFrameSink::NetFrameSink(Client* client, std::size_t max_batch_frames,
+                           std::size_t max_batch_bytes)
+    : client_(client),
+      max_batch_frames_(max_batch_frames),
+      max_batch_bytes_(max_batch_bytes) {}
+
+void NetFrameSink::submit(const runtime::StreamKey& key, tool::FrameJob job) {
+  if (!ok_) return;
+  WireFrame frame;
+  frame.key = key;
+  frame.codec = job.codec;
+  frame.meta = job.meta;
+  frame.compress = job.compress;
+  frame.epoch = job.epoch;
+  frame.payload = std::move(job.payload);
+  pending_bytes_ += frame.payload.size();
+  pending_.push_back(std::move(frame));
+  if (pending_.size() >= max_batch_frames_ ||
+      pending_bytes_ >= max_batch_bytes_)
+    ok_ = flush();
+}
+
+bool NetFrameSink::flush() {
+  if (!ok_) return false;
+  if (pending_.empty()) return true;
+  std::vector<WireFrame> batch;
+  batch.swap(pending_);
+  pending_bytes_ = 0;
+  ++batches_sent_;
+  ok_ = client_->put(std::move(batch));
+  return ok_;
+}
+
+}  // namespace cdc::net

@@ -1,0 +1,168 @@
+// Blocking client for the record/replay service (the library behind the
+// `cdc_client` CLI and the fig23 load generator).
+//
+// A Client owns one TCP connection and one protocol session: connect()
+// dials, speaks HELLO, and returns an authenticated session whose
+// negotiated parameters (compression level, limits) are in welcome().
+// Ingest uses a bounded ack window — put() blocks once `max_inflight`
+// batches are unacknowledged, so a client can never outrun the server's
+// backpressure by more than the window — and records a submit→ack latency
+// sample per batch for the bench's percentile report.
+//
+// NetFrameSink adapts the connection to the tool::FrameSink seam: the same
+// recorder/harness code that writes a local container through an
+// InlineFrameSink streams to the service instead, batch boundaries and
+// all. Since encode_frame() is deterministic for a given (job, level), a
+// record uploaded this way is byte-identical to the container the same
+// jobs would have produced locally — the integration suite's oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "tool/frame_sink.h"
+
+namespace cdc::net {
+
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string token;
+    std::string record;
+    Intent intent = Intent::kIngest;
+    compress::DeflateLevel level = compress::DeflateLevel::kDefault;
+    /// Unacked PUT_FRAMES batches allowed in flight before put() blocks.
+    std::size_t max_inflight = 4;
+    Limits limits;
+    /// recv/connect timeout; 0 = block forever.
+    std::uint32_t timeout_ms = 30000;
+  };
+
+  /// Dials, sends HELLO, and waits for WELCOME. Returns nullptr with
+  /// *error set on connection failure or an ERROR reply (the server's
+  /// diagnostic is included verbatim).
+  static std::unique_ptr<Client> connect(const Options& options,
+                                         std::string* error);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] const Welcome& welcome() const noexcept { return welcome_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Sends one batch (seq assigned internally), first draining acks until
+  /// the in-flight window has room. False on any session failure; see
+  /// last_error().
+  [[nodiscard]] bool put(std::vector<WireFrame> frames);
+
+  /// Drains every outstanding ack, sends SEAL, and waits for SEALED.
+  [[nodiscard]] bool seal(Sealed* out = nullptr);
+
+  /// Requests epochs [lo, hi) of every stream. Fills `streams` (in server
+  /// order) and `done`. Replay-intent sessions only.
+  [[nodiscard]] bool replay_window(std::uint64_t epoch_lo,
+                                   std::uint64_t epoch_hi,
+                                   std::vector<WindowStream>* streams,
+                                   WindowDone* done);
+
+  /// Fetches one INSPECT report as a JSON document.
+  [[nodiscard]] bool inspect(InspectKind kind, std::string* json);
+
+  /// Best-effort BYE + close. Further calls fail. Idempotent.
+  void bye();
+
+  /// True once any call failed; the session is dead (the protocol has no
+  /// resync — reconnect instead).
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return last_error_;
+  }
+  /// Error code of the last server ERROR reply (kInternal when the
+  /// failure was local: connect, short read, parse).
+  [[nodiscard]] ErrCode last_code() const noexcept { return last_code_; }
+
+  /// One submit→ack wall-clock sample per acknowledged batch, in ns.
+  [[nodiscard]] const std::vector<std::uint64_t>& ack_latency_ns()
+      const noexcept {
+    return latency_ns_;
+  }
+  [[nodiscard]] std::uint64_t frames_acked() const noexcept {
+    return frames_acked_;
+  }
+  [[nodiscard]] std::uint64_t bytes_acked() const noexcept {
+    return bytes_acked_;
+  }
+
+  /// The raw socket fd — the fault-plan hooks (mid-stream disconnect,
+  /// garbage injection) reach around the protocol with it. -1 when closed.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Sends raw bytes outside the protocol (fault injection only).
+  [[nodiscard]] bool send_raw(std::span<const std::uint8_t> bytes);
+
+ private:
+  Client(Options options, int fd) : options_(std::move(options)), fd_(fd) {}
+
+  [[nodiscard]] bool send_all(std::span<const std::uint8_t> bytes);
+  /// Blocks until one complete message arrives (or timeout/EOF/parse
+  /// error, which fail the session).
+  [[nodiscard]] bool read_message(Message* out);
+  /// Handles one PUT_ACK: latency sample + window bookkeeping.
+  void note_ack(const PutAck& ack);
+  [[nodiscard]] bool fail(std::string why, ErrCode code = ErrCode::kInternal);
+  /// True when `msg` is a server ERROR; fails the session with its text.
+  [[nodiscard]] bool is_error(const Message& msg);
+
+  Options options_;
+  int fd_ = -1;
+  WireParser parser_;
+  Welcome welcome_;
+  bool failed_ = false;
+  std::string last_error_;
+  ErrCode last_code_ = ErrCode::kInternal;
+
+  std::uint64_t next_seq_ = 0;
+  struct Inflight {
+    std::uint64_t seq = 0;
+    std::uint64_t sent_ns = 0;  ///< steady_clock at send
+  };
+  std::vector<Inflight> inflight_;
+  std::vector<std::uint64_t> latency_ns_;
+  std::uint64_t frames_acked_ = 0;
+  std::uint64_t bytes_acked_ = 0;
+};
+
+/// tool::FrameSink over a Client ingest session: buffers submitted jobs
+/// and ships them as PUT_FRAMES batches when either bound fills. submit()
+/// cannot report errors (the seam is void); check ok() / call flush()
+/// before sealing.
+class NetFrameSink final : public tool::FrameSink {
+ public:
+  explicit NetFrameSink(Client* client, std::size_t max_batch_frames = 256,
+                        std::size_t max_batch_bytes = 1u << 20);
+
+  void submit(const runtime::StreamKey& key, tool::FrameJob job) override;
+
+  /// Ships the buffered partial batch, if any.
+  [[nodiscard]] bool flush();
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::uint64_t batches_sent() const noexcept {
+    return batches_sent_;
+  }
+
+ private:
+  Client* client_;
+  std::size_t max_batch_frames_;
+  std::size_t max_batch_bytes_;
+  std::vector<WireFrame> pending_;
+  std::size_t pending_bytes_ = 0;
+  std::uint64_t batches_sent_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace cdc::net

@@ -1,0 +1,915 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "store/compression_service.h"
+#include "store/container_store.h"
+#include "store/mpmc_queue.h"
+#include "store/quota.h"
+#include "tool/degraded.h"
+#include "tool/frame.h"
+#include "tool/frame_sink.h"
+#include "tool/pipeline_inspect.h"
+
+namespace cdc::net {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Record names become file names under the tenant directory, so the
+/// grammar is strict: no separators, no dotfiles, no traversal.
+bool valid_record_name(const std::string& name) {
+  if (name.empty() || name.size() > 128 || name[0] == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // --- session-worker → event-thread handoff -----------------------------
+
+  struct Completion {
+    enum class Kind { kAck, kSealed, kFailed };
+    Kind kind = Kind::kAck;
+    PutAck ack;
+    Sealed sealed;
+    ErrCode code = ErrCode::kInternal;
+    std::string text;
+  };
+
+  struct WorkItem {
+    bool seal = false;
+    FrameBatch batch;
+  };
+
+  /// One in-flight record upload: the bounded queue, the worker that
+  /// drains it into the storage stack, and the stack itself.
+  struct IngestSession {
+    std::string tenant;
+    std::string record;
+    std::string path;
+    compress::DeflateLevel level = compress::DeflateLevel::kDefault;
+    std::uint64_t raw_budget = 0;  ///< tenant bytes left at open
+
+    store::ContainerStore container;
+    store::QuotaStore quota;
+    std::unique_ptr<store::CompressionService> service;  ///< kService only
+    std::unique_ptr<tool::FrameSink> sink;
+    store::BoundedMpmcQueue<WorkItem> queue;
+
+    std::mutex done_mutex;
+    std::vector<Completion> done;
+
+    std::atomic<bool> failed{false};
+    bool sealed = false;        ///< event thread
+    bool seal_enqueued = false; ///< event thread
+    std::uint64_t frames = 0;   ///< worker thread until sealed
+    std::uint64_t raw_bytes = 0;
+
+    obs::Counter* tenant_frames = nullptr;
+    obs::Counter* tenant_bytes = nullptr;
+
+    std::thread worker;
+
+    IngestSession(std::string tenant_name, std::string record_name,
+                  std::string file_path, std::uint64_t budget,
+                  std::size_t queue_batches)
+        : tenant(std::move(tenant_name)),
+          record(std::move(record_name)),
+          path(std::move(file_path)),
+          raw_budget(budget),
+          container(path),
+          // Hard backstop at the store seam; the worker's raw-byte check
+          // below trips first in normal operation (raw >= stored).
+          quota(&container, budget + (budget >> 2) + 4096),
+          queue(queue_batches) {}
+  };
+
+  struct ReplaySession {
+    std::string path;
+    std::unique_ptr<store::ContainerReader> reader;
+  };
+
+  struct TenantState {
+    TenantConfig config;
+    std::set<std::string> active;  ///< records mid-ingest
+    std::set<std::string> sealed;
+    std::uint64_t used_raw_bytes = 0;
+  };
+
+  struct Conn {
+    int fd = -1;
+    WireParser parser;
+    std::deque<std::vector<std::uint8_t>> tx;
+    std::size_t tx_off = 0;
+    enum class Phase { kAwaitHello, kIngest, kReplay, kClosed } phase =
+        Phase::kAwaitHello;
+    TenantState* tenant = nullptr;
+    std::shared_ptr<IngestSession> ingest;
+    std::unique_ptr<ReplaySession> replay;
+    std::optional<WorkItem> parked;  ///< backpressure: read interest off
+    bool close_after_flush = false;
+
+    explicit Conn(int f, const Limits& limits) : fd(f), parser(limits) {}
+    [[nodiscard]] bool suspended() const noexcept {
+      return parked.has_value();
+    }
+  };
+
+  explicit Impl(ServerConfig cfg) : config(std::move(cfg)) {
+    for (const TenantConfig& t : config.tenants) {
+      TenantState state;
+      state.config = t;
+      tenants.emplace(t.token, std::move(state));
+    }
+  }
+
+  // --- lifecycle ---------------------------------------------------------
+
+  bool start(std::string* error) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) return fail_start(error, "socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1)
+      return fail_start(error, "inet_pton");
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0)
+      return fail_start(error, "bind");
+    if (::listen(listen_fd, config.listen_backlog) != 0)
+      return fail_start(error, "listen");
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0)
+      bound_port = ntohs(bound.sin_port);
+    if (!set_nonblocking(listen_fd)) return fail_start(error, "fcntl");
+    if (::pipe(wake_pipe) != 0) return fail_start(error, "pipe");
+    set_nonblocking(wake_pipe[0]);
+    set_nonblocking(wake_pipe[1]);
+    std::error_code ec;
+    fs::create_directories(config.root_dir, ec);
+    if (ec) return fail_start(error, "root_dir");
+    stop_requested.store(false, std::memory_order_relaxed);
+    event_thread = std::thread([this] { event_loop(); });
+    return true;
+  }
+
+  bool fail_start(std::string* error, const char* what) {
+    if (error != nullptr)
+      *error = std::string(what) + ": " + std::strerror(errno);
+    if (listen_fd >= 0) ::close(listen_fd);
+    listen_fd = -1;
+    return false;
+  }
+
+  void stop() {
+    if (event_thread.joinable()) {
+      stop_requested.store(true, std::memory_order_relaxed);
+      wake();
+      event_thread.join();
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    listen_fd = -1;
+    if (wake_pipe[0] >= 0) ::close(wake_pipe[0]);
+    if (wake_pipe[1] >= 0) ::close(wake_pipe[1]);
+    wake_pipe[0] = wake_pipe[1] = -1;
+  }
+
+  void wake() const {
+    if (wake_pipe[1] >= 0) {
+      const std::uint8_t byte = 1;
+      [[maybe_unused]] const auto n = ::write(wake_pipe[1], &byte, 1);
+    }
+  }
+
+  // --- event loop --------------------------------------------------------
+
+  void event_loop() {
+    static obs::Counter& bytes_in = obs::counter("net.bytes_in");
+    std::vector<pollfd> fds;
+    while (!stop_requested.load(std::memory_order_relaxed)) {
+      fds.clear();
+      fds.push_back({listen_fd, POLLIN, 0});
+      fds.push_back({wake_pipe[0], POLLIN, 0});
+      for (const auto& conn : conns) {
+        short events = 0;
+        if (!conn->suspended() && !conn->close_after_flush) events |= POLLIN;
+        if (!conn->tx.empty()) events |= POLLOUT;
+        fds.push_back({conn->fd, events, 0});
+      }
+      const int ready = ::poll(fds.data(), fds.size(), 100);
+      if (ready < 0 && errno != EINTR) break;
+
+      if ((fds[1].revents & POLLIN) != 0) {
+        std::uint8_t drain[256];
+        while (::read(wake_pipe[0], drain, sizeof drain) > 0) {
+        }
+      }
+
+      // Worker completions first: acks unblock client windows, and a
+      // drained queue is what lets parked batches resume below.
+      for (auto& conn : conns) drain_completions(*conn);
+      for (auto& conn : conns) retry_parked(*conn);
+
+      if ((fds[0].revents & POLLIN) != 0) accept_new();
+
+      // Only the connections that were polled this round: accept_new()
+      // may have grown `conns` past the pollfd array, and those fresh
+      // sockets have no revents yet (they are polled next round).
+      const std::size_t polled = fds.size() - 2;
+      for (std::size_t i = 0; i < polled; ++i) {
+        Conn& conn = *conns[i];
+        const pollfd& pfd = fds[2 + i];
+        if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+            (pfd.revents & POLLIN) == 0) {
+          conn.close_after_flush = true;
+          conn.tx.clear();
+          continue;
+        }
+        if ((pfd.revents & POLLIN) != 0) {
+          bool peer_closed = false;
+          std::uint8_t buf[65536];
+          while (true) {
+            const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+            if (n > 0) {
+              bytes_in.add(static_cast<std::uint64_t>(n));
+              conn.parser.feed({buf, static_cast<std::size_t>(n)});
+              if (n < static_cast<ssize_t>(sizeof buf)) break;
+              continue;
+            }
+            if (n == 0) {
+              peer_closed = true;
+            }
+            break;
+          }
+          dispatch(conn);
+          if (peer_closed) {
+            conn.close_after_flush = true;
+            conn.tx.clear();
+          }
+        }
+        if ((pfd.revents & POLLOUT) != 0) flush_tx(conn);
+      }
+
+      reap_closed();
+    }
+
+    // Shutdown: abort whatever is still in flight and close everything.
+    for (auto& conn : conns) teardown(*conn);
+    conns.clear();
+  }
+
+  void accept_new() {
+    static obs::Counter& accepted = obs::counter("net.conns.accepted");
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      conns.push_back(std::make_unique<Conn>(fd, config.limits));
+      accepted.add(1);
+      stat_connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // --- per-connection machinery ------------------------------------------
+
+  void send_msg(Conn& conn, std::vector<std::uint8_t> msg) {
+    obs::counter("net.msgs_out").add(1);
+    conn.tx.push_back(std::move(msg));
+    flush_tx(conn);
+  }
+
+  void send_error(Conn& conn, ErrCode code, const std::string& text) {
+    static obs::Counter& errors = obs::counter("net.errors_sent");
+    errors.add(1);
+    stat_errors_sent.fetch_add(1, std::memory_order_relaxed);
+    send_msg(conn, encode_error(code, text));
+    conn.close_after_flush = true;
+  }
+
+  void flush_tx(Conn& conn) {
+    static obs::Counter& bytes_out = obs::counter("net.bytes_out");
+    while (!conn.tx.empty()) {
+      const std::vector<std::uint8_t>& front = conn.tx.front();
+      const ssize_t n =
+          ::send(conn.fd, front.data() + conn.tx_off,
+                 front.size() - conn.tx_off, MSG_NOSIGNAL);
+      if (n <= 0) return;  // EAGAIN or error; POLLOUT/teardown handles it
+      bytes_out.add(static_cast<std::uint64_t>(n));
+      conn.tx_off += static_cast<std::size_t>(n);
+      if (conn.tx_off == front.size()) {
+        conn.tx.pop_front();
+        conn.tx_off = 0;
+      }
+    }
+  }
+
+  void dispatch(Conn& conn) {
+    static obs::Counter& msgs_in = obs::counter("net.msgs_in");
+    while (!conn.suspended() && !conn.close_after_flush) {
+      Message msg;
+      const WireParser::Status status = conn.parser.next(&msg);
+      if (status == WireParser::Status::kNeedMore) return;
+      if (status == WireParser::Status::kMalformed) {
+        send_error(conn, ErrCode::kBadMessage, conn.parser.error());
+        return;
+      }
+      msgs_in.add(1);
+      handle(conn, msg);
+    }
+  }
+
+  void handle(Conn& conn, const Message& msg) {
+    if (msg.type == MsgType::kBye) {
+      conn.close_after_flush = true;
+      return;
+    }
+    switch (conn.phase) {
+      case Conn::Phase::kAwaitHello:
+        handle_hello(conn, msg);
+        return;
+      case Conn::Phase::kIngest:
+        handle_ingest(conn, msg);
+        return;
+      case Conn::Phase::kReplay:
+        handle_replay(conn, msg);
+        return;
+      case Conn::Phase::kClosed:
+        return;
+    }
+  }
+
+  void handle_hello(Conn& conn, const Message& msg) {
+    Hello hello;
+    if (!decode_hello(msg, hello)) {
+      send_error(conn, ErrCode::kBadMessage, "expected HELLO");
+      return;
+    }
+    if (hello.version < kMinProtocolVersion ||
+        hello.version > kProtocolVersion) {
+      send_error(conn, ErrCode::kBadVersion,
+                 "unsupported protocol version " +
+                     std::to_string(hello.version));
+      return;
+    }
+    const auto it = tenants.find(hello.token);
+    if (it == tenants.end()) {
+      send_error(conn, ErrCode::kBadToken, "unknown token");
+      return;
+    }
+    TenantState& tenant = it->second;
+    if (!valid_record_name(hello.record)) {
+      send_error(conn, ErrCode::kBadRecord, "invalid record name");
+      return;
+    }
+    const fs::path dir = fs::path(config.root_dir) / tenant.config.name;
+    const std::string path = (dir / (hello.record + ".cdcc")).string();
+
+    Welcome welcome;
+    welcome.version = kProtocolVersion;
+    welcome.level = std::min(hello.level, config.max_level);
+    welcome.session_id = ++next_session_id;
+    welcome.limits = config.limits;
+
+    if (hello.intent == Intent::kIngest) {
+      if (tenant.active.size() + tenant.sealed.size() >=
+          tenant.config.max_records) {
+        send_error(conn, ErrCode::kQuota, "record quota exhausted");
+        return;
+      }
+      if (tenant.used_raw_bytes >= tenant.config.max_bytes) {
+        send_error(conn, ErrCode::kQuota, "byte quota exhausted");
+        return;
+      }
+      if (tenant.active.count(hello.record) != 0 ||
+          tenant.sealed.count(hello.record) != 0 || fs::exists(path)) {
+        send_error(conn, ErrCode::kBadRecord,
+                   "record '" + hello.record + "' already exists");
+        return;
+      }
+      std::error_code ec;
+      fs::create_directories(dir, ec);
+      if (ec) {
+        send_error(conn, ErrCode::kInternal, "cannot create tenant dir");
+        return;
+      }
+      conn.tenant = &tenant;
+      conn.ingest = open_ingest(tenant, hello.record, path, welcome.level);
+      if (conn.ingest == nullptr) {
+        send_error(conn, ErrCode::kInternal, "cannot open record");
+        return;
+      }
+      tenant.active.insert(hello.record);
+      conn.phase = Conn::Phase::kIngest;
+      obs::counter("net.sessions.opened").add(1);
+      stat_sessions_opened.fetch_add(1, std::memory_order_relaxed);
+      send_msg(conn, encode_welcome(welcome));
+      return;
+    }
+
+    // kReplay: the record must already be a sealed, verifiable container.
+    if (tenant.sealed.count(hello.record) == 0 && !fs::exists(path)) {
+      send_error(conn, ErrCode::kBadRecord,
+                 "record '" + hello.record + "' does not exist");
+      return;
+    }
+    std::string open_error;
+    auto reader = store::ContainerReader::open(path, &open_error);
+    if (reader == nullptr || !reader->index_ok()) {
+      send_error(conn, ErrCode::kBadRecord,
+                 "record not readable: " +
+                     (reader == nullptr ? open_error
+                                        : reader->index_error()));
+      return;
+    }
+    // Full sweep up front so the trusted read paths (read_stream_window
+    // aborts on CRC mismatch) can never be reached with damaged bytes.
+    if (!reader->verify().ok) {
+      send_error(conn, ErrCode::kBadRecord, "record fails verification");
+      return;
+    }
+    conn.tenant = &tenant;
+    conn.replay = std::make_unique<ReplaySession>();
+    conn.replay->path = path;
+    conn.replay->reader = std::move(reader);
+    conn.phase = Conn::Phase::kReplay;
+    send_msg(conn, encode_welcome(welcome));
+  }
+
+  std::shared_ptr<IngestSession> open_ingest(TenantState& tenant,
+                                             const std::string& record,
+                                             const std::string& path,
+                                             compress::DeflateLevel level) {
+    const std::uint64_t budget =
+        tenant.config.max_bytes - tenant.used_raw_bytes;
+    std::shared_ptr<IngestSession> session;
+    try {
+      session = std::make_shared<IngestSession>(
+          tenant.config.name, record, path, budget,
+          config.ingest_queue_batches);
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+    session->level = level;
+    switch (config.sink_mode) {
+      case SinkMode::kInline:
+        session->sink =
+            std::make_unique<tool::InlineFrameSink>(&session->quota);
+        break;
+      case SinkMode::kService: {
+        store::CompressionService::Config service_config;
+        service_config.workers = config.service_workers;
+        service_config.level = level;
+        session->service = std::make_unique<store::CompressionService>(
+            &session->quota, service_config);
+        session->sink =
+            std::make_unique<tool::AsyncFrameSink>(session->service.get());
+        break;
+      }
+      case SinkMode::kRetrying:
+        session->sink = std::make_unique<tool::RetryingFrameSink>(
+            &session->quota, store::RetryPolicy{}, path + ".cdcq");
+        break;
+    }
+    session->tenant_frames = &obs::counter(
+        "net.tenant." + tenant.config.name + ".frames");
+    session->tenant_bytes = &obs::counter(
+        "net.tenant." + tenant.config.name + ".raw_bytes");
+    IngestSession* raw = session.get();
+    session->worker = std::thread([this, raw] { ingest_loop(*raw); });
+    return session;
+  }
+
+  void handle_ingest(Conn& conn, const Message& msg) {
+    IngestSession& session = *conn.ingest;
+    if (msg.type == MsgType::kPutFrames) {
+      if (session.sealed || session.seal_enqueued) {
+        send_error(conn, ErrCode::kBadMessage, "PUT_FRAMES after SEAL");
+        return;
+      }
+      WorkItem item;
+      if (!decode_put_frames(msg, config.limits, item.batch)) {
+        send_error(conn, ErrCode::kOversized,
+                   "malformed or over-limit PUT_FRAMES batch");
+        return;
+      }
+      enqueue(conn, std::move(item));
+      return;
+    }
+    if (msg.type == MsgType::kSeal) {
+      if (session.sealed || session.seal_enqueued) {
+        send_error(conn, ErrCode::kBadMessage, "duplicate SEAL");
+        return;
+      }
+      session.seal_enqueued = true;
+      WorkItem item;
+      item.seal = true;
+      enqueue(conn, std::move(item));
+      return;
+    }
+    send_error(conn, ErrCode::kBadMessage, "unexpected message in ingest");
+  }
+
+  void enqueue(Conn& conn, WorkItem item) {
+    static obs::Counter& suspensions =
+        obs::counter("net.backpressure.suspensions");
+    static obs::Gauge& suspended = obs::gauge("net.backpressure.suspended");
+    if (conn.ingest->queue.try_push(std::move(item))) return;
+    // Queue full: park the batch and stop reading this socket until the
+    // worker drains — bounded buffering, TCP pushes back to the client.
+    conn.parked = std::move(item);
+    suspensions.add(1);
+    suspended.add(1);
+    stat_suspensions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void retry_parked(Conn& conn) {
+    static obs::Gauge& suspended = obs::gauge("net.backpressure.suspended");
+    if (!conn.parked.has_value() || conn.ingest == nullptr) return;
+    if (!conn.ingest->queue.try_push(std::move(*conn.parked))) return;
+    conn.parked.reset();
+    suspended.sub(1);
+    // Messages parsed before the suspension may still be buffered; resume
+    // dispatching them now that there is queue room again.
+    dispatch(conn);
+  }
+
+  void handle_replay(Conn& conn, const Message& msg) {
+    ReplaySession& session = *conn.replay;
+    if (msg.type == MsgType::kReplayWindow) {
+      ReplayWindowReq req;
+      if (!decode_replay_window(msg, req) || req.epoch_lo >= req.epoch_hi) {
+        send_error(conn, ErrCode::kBadMessage,
+                   "REPLAY_WINDOW needs LO < HI");
+        return;
+      }
+      obs::counter("net.replay.windows").add(1);
+      const auto keys = session.reader->keys();
+      bool all_seeked = true;
+      std::uint64_t streams = 0;
+      for (const runtime::StreamKey& key : keys) {
+        store::ContainerReader::WindowRead read =
+            session.reader->read_stream_window(key, req.epoch_lo,
+                                               req.epoch_hi);
+        if (read.bytes.size() + 64 > config.limits.max_message_body) {
+          send_error(conn, ErrCode::kOversized,
+                     "window exceeds message size limit");
+          return;
+        }
+        WindowStream ws;
+        ws.key = key;
+        ws.first_epoch = read.first_epoch;
+        ws.seeked = read.seeked;
+        ws.bytes = std::move(read.bytes);
+        all_seeked = all_seeked && ws.seeked;
+        ++streams;
+        obs::counter("net.replay.window_bytes").add(ws.bytes.size());
+        send_msg(conn, encode_window_stream(
+                           ws, compress::DeflateLevel::kStored));
+      }
+      WindowDone done;
+      done.streams = streams;
+      done.all_seeked = all_seeked;
+      send_msg(conn, encode_window_done(done));
+      return;
+    }
+    if (msg.type == MsgType::kInspect) {
+      InspectKind kind = InspectKind::kVerify;
+      if (!decode_inspect(msg, kind)) {
+        send_error(conn, ErrCode::kBadMessage, "malformed INSPECT");
+        return;
+      }
+      send_msg(conn, encode_report(inspect_json(session, kind)));
+      return;
+    }
+    send_error(conn, ErrCode::kBadMessage, "unexpected message in replay");
+  }
+
+  static std::string inspect_json(const ReplaySession& session,
+                                  InspectKind kind) {
+    switch (kind) {
+      case InspectKind::kVerify: {
+        const store::VerifyReport report = session.reader->verify();
+        obs::JsonWriter w;
+        w.begin_object();
+        w.field("ok", report.ok);
+        w.field("frames_checked", report.frames_checked);
+        w.field("payload_bytes", report.payload_bytes);
+        w.field("bad_frames", report.bad_frames.size());
+        w.key("container_errors").begin_array();
+        for (const std::string& e : report.container_errors) w.value(e);
+        w.end_array();
+        w.end_object();
+        return std::move(w).take();
+      }
+      case InspectKind::kPipeline: {
+        obs::PipelineReport report;
+        std::string error;
+        if (!tool::fill_container_section(session.path, report, &error))
+          return std::string("{\"error\":\"") + error + "\"}";
+        report.reconcile();
+        return report.to_json();
+      }
+      case InspectKind::kGaps:
+        return tool::inspect_gaps(session.path, session.path + ".cdcq")
+            .to_json();
+    }
+    return "{}";
+  }
+
+  // --- ingest worker ------------------------------------------------------
+
+  void ingest_loop(IngestSession& session) {
+    static obs::Counter& frames_total = obs::counter("net.ingest.frames");
+    static obs::Counter& bytes_total = obs::counter("net.ingest.raw_bytes");
+    static obs::Counter& batches_total = obs::counter("net.ingest.batches");
+    static obs::Histogram& batch_ns =
+        obs::histogram("net.ingest.batch_ns");
+    static obs::Histogram& batch_frames =
+        obs::histogram("net.ingest.batch_frames");
+    WorkItem item;
+    while (session.queue.pop(item)) {
+      if (session.failed.load(std::memory_order_relaxed)) continue;
+      if (item.seal) {
+        try {
+          if (session.service != nullptr) session.service->drain();
+          session.container.seal();
+          Completion done;
+          done.kind = Completion::Kind::kSealed;
+          std::error_code ec;
+          const auto size = fs::file_size(session.path, ec);
+          done.sealed.container_bytes = ec ? 0 : size;
+          done.sealed.streams = session.container.keys().size();
+          done.sealed.frames = session.frames;
+          complete(session, std::move(done));
+        } catch (const std::exception& e) {
+          fail_session(session, ErrCode::kInternal, e.what());
+        }
+        continue;
+      }
+      const obs::Stopwatch sw;
+      try {
+        std::uint64_t batch_bytes = 0;
+        for (const WireFrame& frame : item.batch.frames)
+          batch_bytes += frame.payload.size();
+        // Tenant quota on raw payload bytes, checked before any submit so
+        // the parallel service never sees a mid-batch quota trip.
+        if (session.raw_bytes + batch_bytes > session.raw_budget) {
+          fail_session(session, ErrCode::kQuota,
+                       "tenant byte quota exhausted");
+          continue;
+        }
+        for (WireFrame& frame : item.batch.frames) {
+          if (frame.pre_encoded) {
+            // Re-upload path: the payload must already be one valid tool
+            // frame; append it verbatim (no re-encode).
+            support::ByteReader reader(frame.payload);
+            const std::optional<tool::Frame> parsed =
+                tool::read_frame(reader);
+            if (!parsed.has_value() || !reader.exhausted()) {
+              fail_session(session, ErrCode::kBadMessage,
+                           "invalid pre-encoded frame");
+              break;
+            }
+            if (frame.epoch.has_value())
+              session.quota.append_epoch(frame.key, frame.payload,
+                                         *frame.epoch);
+            else
+              session.quota.append(frame.key, frame.payload);
+          } else {
+            tool::FrameJob job;
+            job.codec = frame.codec;
+            job.meta = frame.meta;
+            job.compress = frame.compress;
+            job.level = session.level;
+            job.epoch = frame.epoch;
+            job.payload = std::move(frame.payload);
+            session.sink->submit(frame.key, std::move(job));
+          }
+        }
+        if (session.failed.load(std::memory_order_relaxed)) continue;
+        session.frames += item.batch.frames.size();
+        session.raw_bytes += batch_bytes;
+        frames_total.add(item.batch.frames.size());
+        bytes_total.add(batch_bytes);
+        batches_total.add(1);
+        batch_frames.record(item.batch.frames.size());
+        session.tenant_frames->add(item.batch.frames.size());
+        session.tenant_bytes->add(batch_bytes);
+        stat_frames_ingested.fetch_add(item.batch.frames.size(),
+                                       std::memory_order_relaxed);
+        stat_bytes_ingested.fetch_add(batch_bytes,
+                                      std::memory_order_relaxed);
+        if (config.ingest_delay_us > 0)
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(config.ingest_delay_us));
+        Completion ack;
+        ack.kind = Completion::Kind::kAck;
+        ack.ack.seq = item.batch.seq;
+        ack.ack.frames_ingested = session.frames;
+        ack.ack.bytes_ingested = session.raw_bytes;
+        batch_ns.record(sw.ns());
+        complete(session, std::move(ack));
+      } catch (const store::QuotaExceeded& e) {
+        fail_session(session, ErrCode::kQuota, e.what());
+      } catch (const std::exception& e) {
+        fail_session(session, ErrCode::kInternal, e.what());
+      }
+    }
+  }
+
+  void fail_session(IngestSession& session, ErrCode code, std::string text) {
+    Completion failure;
+    failure.kind = Completion::Kind::kFailed;
+    failure.code = code;
+    failure.text = std::move(text);
+    session.failed.store(true, std::memory_order_relaxed);
+    complete(session, std::move(failure));
+  }
+
+  void complete(IngestSession& session, Completion completion) {
+    {
+      const std::lock_guard<std::mutex> lock(session.done_mutex);
+      session.done.push_back(std::move(completion));
+    }
+    wake();
+  }
+
+  void drain_completions(Conn& conn) {
+    if (conn.ingest == nullptr) return;
+    std::vector<Completion> done;
+    {
+      const std::lock_guard<std::mutex> lock(conn.ingest->done_mutex);
+      done.swap(conn.ingest->done);
+    }
+    for (Completion& completion : done) {
+      switch (completion.kind) {
+        case Completion::Kind::kAck:
+          send_msg(conn, encode_put_ack(completion.ack));
+          break;
+        case Completion::Kind::kSealed: {
+          conn.ingest->sealed = true;
+          TenantState& tenant = *conn.tenant;
+          tenant.active.erase(conn.ingest->record);
+          tenant.sealed.insert(conn.ingest->record);
+          tenant.used_raw_bytes += conn.ingest->raw_bytes;
+          obs::counter("net.sessions.sealed").add(1);
+          stat_sessions_sealed.fetch_add(1, std::memory_order_relaxed);
+          send_msg(conn, encode_sealed(completion.sealed));
+          break;
+        }
+        case Completion::Kind::kFailed:
+          send_error(conn, completion.code, completion.text);
+          break;
+      }
+    }
+  }
+
+  // --- teardown -----------------------------------------------------------
+
+  void teardown(Conn& conn) {
+    static obs::Counter& closed = obs::counter("net.conns.closed");
+    static obs::Gauge& suspended = obs::gauge("net.backpressure.suspended");
+    if (conn.phase == Conn::Phase::kClosed) return;
+    if (conn.parked.has_value()) {
+      conn.parked.reset();
+      suspended.sub(1);
+    }
+    if (conn.ingest != nullptr) {
+      IngestSession& session = *conn.ingest;
+      session.queue.close();
+      if (session.worker.joinable()) session.worker.join();
+      if (!session.sealed) {
+        // Partial upload: discard. Quiesce the sink stack first — the
+        // CompressionService destructor drains its backlog into the
+        // store, and those commits must land before the container is
+        // abandoned (append-after-abandon is a checked abort). Then the
+        // container is abandoned (no footer) and removed, the name
+        // freed — a retry re-uploads from scratch.
+        session.sink.reset();
+        session.service.reset();
+        session.container.abandon();
+        std::error_code ec;
+        fs::remove(session.path, ec);
+        fs::remove(session.path + ".cdcq", ec);
+        if (conn.tenant != nullptr) conn.tenant->active.erase(session.record);
+        obs::counter("net.sessions.aborted").add(1);
+        stat_sessions_aborted.fetch_add(1, std::memory_order_relaxed);
+      }
+      conn.ingest.reset();
+    }
+    conn.replay.reset();
+    ::close(conn.fd);
+    conn.phase = Conn::Phase::kClosed;
+    closed.add(1);
+    stat_connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void reap_closed() {
+    for (auto& conn : conns) {
+      const bool done =
+          conn->close_after_flush && conn->tx.empty();
+      if (done) teardown(*conn);
+    }
+    std::erase_if(conns, [](const std::unique_ptr<Conn>& conn) {
+      return conn->phase == Conn::Phase::kClosed;
+    });
+  }
+
+  // --- state --------------------------------------------------------------
+
+  ServerConfig config;
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> stop_requested{false};
+  std::thread event_thread;
+  std::map<std::string, TenantState> tenants;  ///< token → state
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::uint64_t next_session_id = 0;
+
+  std::atomic<std::uint64_t> stat_connections_accepted{0};
+  std::atomic<std::uint64_t> stat_connections_closed{0};
+  std::atomic<std::uint64_t> stat_sessions_opened{0};
+  std::atomic<std::uint64_t> stat_sessions_sealed{0};
+  std::atomic<std::uint64_t> stat_sessions_aborted{0};
+  std::atomic<std::uint64_t> stat_frames_ingested{0};
+  std::atomic<std::uint64_t> stat_bytes_ingested{0};
+  std::atomic<std::uint64_t> stat_errors_sent{0};
+  std::atomic<std::uint64_t> stat_suspensions{0};
+};
+
+Server::Server(ServerConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) { return impl_->start(error); }
+
+void Server::stop() { impl_->stop(); }
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+Server::Stats Server::stats() const {
+  Server::Stats stats;
+  stats.connections_accepted =
+      impl_->stat_connections_accepted.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      impl_->stat_connections_closed.load(std::memory_order_relaxed);
+  stats.sessions_opened =
+      impl_->stat_sessions_opened.load(std::memory_order_relaxed);
+  stats.sessions_sealed =
+      impl_->stat_sessions_sealed.load(std::memory_order_relaxed);
+  stats.sessions_aborted =
+      impl_->stat_sessions_aborted.load(std::memory_order_relaxed);
+  stats.frames_ingested =
+      impl_->stat_frames_ingested.load(std::memory_order_relaxed);
+  stats.bytes_ingested =
+      impl_->stat_bytes_ingested.load(std::memory_order_relaxed);
+  stats.errors_sent = impl_->stat_errors_sent.load(std::memory_order_relaxed);
+  stats.backpressure_suspensions =
+      impl_->stat_suspensions.load(std::memory_order_relaxed);
+  return stats;
+}
+
+const ServerConfig& Server::config() const noexcept { return impl_->config; }
+
+}  // namespace cdc::net

@@ -1,0 +1,112 @@
+// The multi-tenant record/replay service: `cdc_served`'s engine.
+//
+// One poll(2)-driven event thread owns every socket: it accepts
+// connections, feeds raw bytes through per-connection WireParsers, and
+// dispatches messages against a per-connection state machine
+// (HELLO → ingest | replay). Ingest work never runs on the event thread:
+// each ingest session owns a bounded MPMC queue and one worker thread that
+// drains batches into the existing storage stack — QuotaStore →
+// ContainerStore, fronted by the configured FrameSink (inline encode,
+// parallel CompressionService, or RetryingFrameSink with quarantine).
+//
+// Backpressure is structural, not advisory: when a session's queue is
+// full, the event thread parks the parsed batch, *stops polling the
+// connection for reads* (slow-reader suspension), and lets TCP flow
+// control push back to the client; nothing in the server buffers
+// unboundedly. The `net.backpressure.suspensions` counter observes it.
+//
+// Tenancy: HELLO authenticates by token against the configured tenant
+// table. Each tenant gets a byte budget (enforced per-session by a
+// QuotaStore at the store seam) and a record-count cap; records live under
+// `<root>/<tenant>/<record>.cdcc` as ordinary sealed containers, so every
+// existing tool (record_inspector, replay, corpus ingest) works on them
+// unchanged. A disconnect mid-ingest discards the partial record — the
+// client's retry re-uploads from scratch — so a record name either refers
+// to a sealed, verifiable container or to nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compress/deflate.h"
+#include "net/protocol.h"
+
+namespace cdc::net {
+
+struct TenantConfig {
+  std::string name;   ///< directory name under the server root
+  std::string token;  ///< bearer token presented in HELLO
+  std::uint64_t max_bytes = 256ull << 20;  ///< container bytes across records
+  std::uint32_t max_records = 256;         ///< sealed + in-flight records
+};
+
+/// Which sink stack ingest sessions route through (DESIGN.md §13).
+enum class SinkMode : std::uint8_t {
+  kInline = 0,    ///< encode on the session worker, append directly
+  kService = 1,   ///< parallel CompressionService per session
+  kRetrying = 2,  ///< RetryingFrameSink (bounded backoff + quarantine)
+};
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
+  std::string root_dir;    ///< record storage root (created if absent)
+  std::vector<TenantConfig> tenants;
+  SinkMode sink_mode = SinkMode::kInline;
+  std::size_t service_workers = 2;  ///< kService mode worker count
+  /// Ingest-queue bound, in batches, per session — the backpressure knob.
+  std::size_t ingest_queue_batches = 8;
+  Limits limits;
+  /// Highest DEFLATE level a client may negotiate (requests above it are
+  /// clamped, mirroring content-encoding negotiation).
+  compress::DeflateLevel max_level = compress::DeflateLevel::kBest;
+  /// Test/bench-only throttle: sleep this long per ingested batch on the
+  /// session worker, to force queue buildup and exercise backpressure.
+  std::uint32_t ingest_delay_us = 0;
+  int listen_backlog = 128;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event thread. False (with *error set)
+  /// on bind/listen failure.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// Stops accepting, aborts in-flight sessions (their partial records are
+  /// discarded), closes every connection, and joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// The bound port (after start()); useful with port = 0.
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_sealed = 0;
+    std::uint64_t sessions_aborted = 0;
+    std::uint64_t frames_ingested = 0;
+    std::uint64_t bytes_ingested = 0;  ///< raw payload bytes
+    std::uint64_t errors_sent = 0;
+    std::uint64_t backpressure_suspensions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const ServerConfig& config() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cdc::net

@@ -155,6 +155,39 @@ PipelineReport PipelineReport::from_snapshot(
   r.corpus_pool_hits = s.counter_or("corpus.pool.hits");
   r.corpus_pool_misses = s.counter_or("corpus.pool.misses");
   r.corpus_pool_recycled_bytes = s.counter_or("corpus.pool.recycled_bytes");
+
+  r.net_conns_accepted = s.counter_or("net.conns.accepted");
+  r.net_conns_closed = s.counter_or("net.conns.closed");
+  r.net_msgs_in = s.counter_or("net.msgs_in");
+  r.net_msgs_out = s.counter_or("net.msgs_out");
+  r.net_bytes_in = s.counter_or("net.bytes_in");
+  r.net_bytes_out = s.counter_or("net.bytes_out");
+  r.net_errors_sent = s.counter_or("net.errors_sent");
+  r.net_parse_errors = s.counter_or("net.wire.parse_errors");
+  r.net_suspensions = s.counter_or("net.backpressure.suspensions");
+  r.net_sessions_opened = s.counter_or("net.sessions.opened");
+  r.net_sessions_sealed = s.counter_or("net.sessions.sealed");
+  r.net_sessions_aborted = s.counter_or("net.sessions.aborted");
+  r.net_ingest_frames = s.counter_or("net.ingest.frames");
+  r.net_ingest_raw_bytes = s.counter_or("net.ingest.raw_bytes");
+  r.net_ingest_batches = s.counter_or("net.ingest.batches");
+  r.net_replay_windows = s.counter_or("net.replay.windows");
+  r.net_replay_window_bytes = s.counter_or("net.replay.window_bytes");
+  r.net_batch_ns = dist_or_empty(s, "net.ingest.batch_ns");
+  // Tenant rows: every net.tenant.<name>.<what> counter becomes one cell.
+  for (const CounterValue& c : s.counters) {
+    constexpr std::string_view kPrefix = "net.tenant.";
+    if (c.name.size() <= kPrefix.size() ||
+        c.name.compare(0, kPrefix.size(), kPrefix) != 0)
+      continue;
+    const std::size_t dot = c.name.rfind('.');
+    if (dot <= kPrefix.size()) continue;
+    const std::string tenant = c.name.substr(kPrefix.size(),
+                                             dot - kPrefix.size());
+    const std::string what = c.name.substr(dot + 1);
+    if (what == "frames") r.net_tenants[tenant].frames = c.value;
+    else if (what == "raw_bytes") r.net_tenants[tenant].raw_bytes = c.value;
+  }
   return r;
 }
 
@@ -294,6 +327,35 @@ std::string PipelineReport::to_json() const {
   w.end_object();
   w.end_object();
 
+  w.key("net").begin_object();
+  w.field("conns_accepted", net_conns_accepted);
+  w.field("conns_closed", net_conns_closed);
+  w.field("msgs_in", net_msgs_in);
+  w.field("msgs_out", net_msgs_out);
+  w.field("bytes_in", net_bytes_in);
+  w.field("bytes_out", net_bytes_out);
+  w.field("errors_sent", net_errors_sent);
+  w.field("parse_errors", net_parse_errors);
+  w.field("backpressure_suspensions", net_suspensions);
+  w.field("sessions_opened", net_sessions_opened);
+  w.field("sessions_sealed", net_sessions_sealed);
+  w.field("sessions_aborted", net_sessions_aborted);
+  w.field("ingest_frames", net_ingest_frames);
+  w.field("ingest_raw_bytes", net_ingest_raw_bytes);
+  w.field("ingest_batches", net_ingest_batches);
+  w.field("replay_windows", net_replay_windows);
+  w.field("replay_window_bytes", net_replay_window_bytes);
+  write_dist(w, "ingest_batch_ns", net_batch_ns);
+  w.key("tenants").begin_object();
+  for (const auto& [tenant, row] : net_tenants) {
+    w.key(tenant).begin_object();
+    w.field("frames", row.frames);
+    w.field("raw_bytes", row.raw_bytes);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
   w.key("container").begin_object();
   w.field("file_bytes", container_file_bytes);
   w.field("frames", container_frames);
@@ -416,6 +478,28 @@ void PipelineReport::print(std::FILE* out) const {
                  bytes(corpus_chunk_hit_bytes).c_str(),
                  100.0 * corpus_pool_hit_rate(),
                  bytes(corpus_pool_recycled_bytes).c_str());
+  }
+  if (net_conns_accepted > 0) {
+    std::fprintf(out,
+                 "net       : %" PRIu64 " conns, %" PRIu64 " msgs in / %"
+                 PRIu64 " out (%s / %s), %" PRIu64 " errors, %" PRIu64
+                 " suspensions\n",
+                 net_conns_accepted, net_msgs_in, net_msgs_out,
+                 bytes(net_bytes_in).c_str(), bytes(net_bytes_out).c_str(),
+                 net_errors_sent, net_suspensions);
+    std::fprintf(out,
+                 "  sessions: %" PRIu64 " opened, %" PRIu64 " sealed, %"
+                 PRIu64 " aborted; %" PRIu64 " frames (%s raw) in %" PRIu64
+                 " batches; %" PRIu64 " windows (%s) out\n",
+                 net_sessions_opened, net_sessions_sealed,
+                 net_sessions_aborted, net_ingest_frames,
+                 bytes(net_ingest_raw_bytes).c_str(), net_ingest_batches,
+                 net_replay_windows,
+                 bytes(net_replay_window_bytes).c_str());
+    for (const auto& [tenant, row] : net_tenants)
+      std::fprintf(out, "  tenant %-16s %8" PRIu64 " frames  %s\n",
+                   tenant.c_str(), row.frames,
+                   bytes(row.raw_bytes).c_str());
   }
   if (container_frames > 0) {
     std::fprintf(out,

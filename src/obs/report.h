@@ -118,6 +118,33 @@ struct PipelineReport {
   std::uint64_t corpus_pool_misses = 0;
   std::uint64_t corpus_pool_recycled_bytes = 0;
 
+  // --- net section (zero when no record service ran) ----------------------
+  std::uint64_t net_conns_accepted = 0;
+  std::uint64_t net_conns_closed = 0;
+  std::uint64_t net_msgs_in = 0;
+  std::uint64_t net_msgs_out = 0;
+  std::uint64_t net_bytes_in = 0;
+  std::uint64_t net_bytes_out = 0;
+  std::uint64_t net_errors_sent = 0;
+  std::uint64_t net_parse_errors = 0;
+  std::uint64_t net_suspensions = 0;  ///< backpressure read-suspensions
+  std::uint64_t net_sessions_opened = 0;
+  std::uint64_t net_sessions_sealed = 0;
+  std::uint64_t net_sessions_aborted = 0;
+  std::uint64_t net_ingest_frames = 0;
+  std::uint64_t net_ingest_raw_bytes = 0;
+  std::uint64_t net_ingest_batches = 0;
+  std::uint64_t net_replay_windows = 0;
+  std::uint64_t net_replay_window_bytes = 0;
+  DistReport net_batch_ns;  ///< per-batch ingest wall time
+  /// Per-tenant ingest totals, keyed by tenant name (the server registers
+  /// net.tenant.<name>.frames / .raw_bytes counters per tenant).
+  struct NetTenantRow {
+    std::uint64_t frames = 0;
+    std::uint64_t raw_bytes = 0;
+  };
+  std::map<std::string, NetTenantRow> net_tenants;
+
   // --- container section (zero without a container) ----------------------
   std::uint64_t container_file_bytes = 0;
   std::uint64_t container_frames = 0;

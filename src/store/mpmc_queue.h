@@ -30,13 +30,32 @@ class BoundedMpmcQueue {
   BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
 
   /// Blocks while the queue is full (bounded back-pressure, like the
-  /// paper's recording ring). Returns false if the queue was closed.
+  /// paper's recording ring). Returns false if the queue was closed —
+  /// including when close() lands while the push is blocked waiting for
+  /// space; the value is dropped, never half-enqueued.
   bool push(T value) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [this] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when the queue is full *or* closed, without
+  /// waiting. The event-loop seam — a poll-driven producer that must never
+  /// block uses try_push and treats false-on-full as back-pressure
+  /// (suspend the source, retry later) and false-on-closed as shutdown.
+  /// Takes the value by rvalue reference so a rejected item is left
+  /// intact in the caller's hands (parked for retry); it is moved from
+  /// only on success.
+  bool try_push(T&& value) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -53,12 +72,29 @@ class BoundedMpmcQueue {
     return true;
   }
 
-  /// After close(), push() fails and pop() drains the backlog then fails.
+  /// Closes the queue. The contract consumers and adversarial
+  /// disconnect paths rely on (tested in mpmc_queue_test.cc):
+  ///   * every push()/try_push() after close() is rejected (returns
+  ///     false) — nothing enqueues into a closed queue, so a producer
+  ///     racing a disconnect cannot resurrect a torn-down session;
+  ///   * the backlog stays poppable: pop() keeps returning true until the
+  ///     items enqueued before close() are drained (close is a seal, not
+  ///     a discard);
+  ///   * each popper blocked at close() time wakes exactly once — it
+  ///     either wins a backlog item (true) or observes closed-and-empty
+  ///     (false) and must not re-wait; a popper arriving after the drain
+  ///     returns false immediately.
+  /// Idempotent.
   void close() {
     const std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {

@@ -1,0 +1,443 @@
+// Loopback tests for the record/replay server: the full per-connection
+// state machine (auth, quotas, ingest, seal, replay, inspect) plus the
+// failure paths — bad tokens, bad versions, hostile record names, garbage
+// bytes, oversized frames, mid-stream disconnects — and the backpressure
+// seam (slow-reader suspension under a throttled session worker).
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "net/client.h"
+#include "net/load_gen.h"
+#include "store/container_reader.h"
+#include "support/binary.h"
+
+namespace cdc::net {
+namespace {
+
+constexpr const char* kToken = "test-token";
+constexpr const char* kTenant = "acme";
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Converts deterministic synth jobs to the wire representation.
+std::vector<WireFrame> wire_frames(const std::vector<SynthJob>& jobs) {
+  std::vector<WireFrame> frames;
+  frames.reserve(jobs.size());
+  for (const SynthJob& sj : jobs) {
+    WireFrame frame;
+    frame.key = sj.key;
+    frame.codec = sj.job.codec;
+    frame.meta = sj.job.meta;
+    frame.compress = sj.job.compress;
+    frame.epoch = sj.job.epoch;
+    frame.payload = sj.job.payload;
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+class ServerLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cdc_server_test." + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    server_.reset();
+    // Set CDC_TEST_KEEP_SCRATCH to inspect server-side containers after
+    // a failing run.
+    if (::getenv("CDC_TEST_KEEP_SCRATCH") == nullptr)
+      std::filesystem::remove_all(dir_);
+  }
+
+  /// Starts a server rooted in the scratch dir with one tenant.
+  void start_server(ServerConfig config = {}) {
+    config.root_dir = (dir_ / "root").string();
+    if (config.tenants.empty()) {
+      TenantConfig tenant;
+      tenant.name = kTenant;
+      tenant.token = kToken;
+      config.tenants.push_back(tenant);
+    }
+    server_ = std::make_unique<Server>(std::move(config));
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  std::unique_ptr<Client> dial(const std::string& record,
+                               Intent intent = Intent::kIngest,
+                               std::string* error_out = nullptr,
+                               const std::string& token = kToken) {
+    Client::Options options;
+    options.port = server_->port();
+    options.token = token;
+    options.record = record;
+    options.intent = intent;
+    options.level = compress::DeflateLevel::kFast;
+    std::string error;
+    auto client = Client::connect(options, &error);
+    if (error_out != nullptr) *error_out = error;
+    return client;
+  }
+
+  [[nodiscard]] std::string record_path(const std::string& record) const {
+    return (dir_ / "root" / kTenant / (record + ".cdcc")).string();
+  }
+
+  /// Uploads the deterministic synth workload and seals it.
+  void upload_record(const std::string& record, std::uint64_t seed,
+                     const SynthShape& shape) {
+    auto client = dial(record);
+    ASSERT_NE(client, nullptr);
+    const auto jobs =
+        synth_jobs(seed, shape, compress::DeflateLevel::kFast);
+    ASSERT_TRUE(client->put(wire_frames(jobs))) << client->last_error();
+    Sealed sealed;
+    ASSERT_TRUE(client->seal(&sealed)) << client->last_error();
+    EXPECT_GT(sealed.frames, 0u);
+    client->bye();
+  }
+
+  /// Polls server stats until `pred` holds or ~2s elapse.
+  template <typename Pred>
+  [[nodiscard]] bool wait_for(Pred pred) {
+    for (int i = 0; i < 200; ++i) {
+      if (pred(server_->stats())) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred(server_->stats());
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerLoopbackTest, IngestSealByteIdenticalAcrossSinkModes) {
+  // The oracle of the whole service: for every sink stack, the container
+  // the server seals equals byte-for-byte the container the same jobs
+  // write through a local InlineFrameSink.
+  SynthShape shape;
+  shape.batches = 4;
+  shape.frames_per_batch = 8;
+  for (const SinkMode mode :
+       {SinkMode::kInline, SinkMode::kService, SinkMode::kRetrying}) {
+    server_.reset();
+    ServerConfig config;
+    config.sink_mode = mode;
+    start_server(std::move(config));
+    const std::string record =
+        "rec-" + std::to_string(static_cast<int>(mode));
+    upload_record(record, 7, shape);
+
+    const auto jobs = synth_jobs(7, shape, compress::DeflateLevel::kFast);
+    const std::string local =
+        (dir_ / ("local-" + record + ".cdcc")).string();
+    std::string error;
+    ASSERT_TRUE(write_synth_container(local, jobs, &error)) << error;
+    const auto served = file_bytes(record_path(record));
+    ASSERT_FALSE(served.empty());
+    EXPECT_EQ(served, file_bytes(local))
+        << "sink mode " << static_cast<int>(mode);
+
+    const auto reader = store::ContainerReader::open(record_path(record));
+    ASSERT_NE(reader, nullptr);
+    EXPECT_TRUE(reader->index_ok());
+    EXPECT_TRUE(reader->verify().ok);
+  }
+}
+
+TEST_F(ServerLoopbackTest, BadTokenRejected) {
+  start_server();
+  std::string error;
+  auto client = dial("rec", Intent::kIngest, &error, "wrong-token");
+  EXPECT_EQ(client, nullptr);
+  EXPECT_NE(error.find("token"), std::string::npos) << error;
+  EXPECT_TRUE(wait_for(
+      [](const Server::Stats& s) { return s.errors_sent >= 1; }));
+}
+
+TEST_F(ServerLoopbackTest, BadVersionRejected) {
+  start_server();
+  // Handcraft a HELLO announcing protocol version 99 over a raw socket —
+  // the Client always speaks the current version, so go underneath it.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)), 0);
+
+  support::ByteWriter body;
+  body.sized_bytes({reinterpret_cast<const std::uint8_t*>(kToken),
+                    std::string_view(kToken).size()});
+  const std::string_view record = "rec";
+  body.sized_bytes({reinterpret_cast<const std::uint8_t*>(record.data()),
+                    record.size()});
+  body.u8(static_cast<std::uint8_t>(Intent::kIngest));
+  body.u8(static_cast<std::uint8_t>(compress::DeflateLevel::kFast));
+  const auto wire = encode_message(MsgType::kHello, /*meta=*/99,
+                                   body.view());
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+
+  WireParser parser;
+  Message msg;
+  bool got = false;
+  for (int i = 0; i < 100 && !got; ++i) {
+    std::uint8_t buf[512];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    parser.feed({buf, static_cast<std::size_t>(n)});
+    got = parser.next(&msg) == WireParser::Status::kMessage;
+  }
+  ::close(fd);
+  ASSERT_TRUE(got);
+  ASSERT_EQ(msg.type, MsgType::kError);
+  EXPECT_EQ(static_cast<ErrCode>(msg.meta), ErrCode::kBadVersion);
+}
+
+TEST_F(ServerLoopbackTest, HostileRecordNamesRejected) {
+  start_server();
+  for (const char* name :
+       {"", "../evil", "a/b", ".hidden", "bad name",
+        "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"
+        "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"
+        "xx"}) {
+    std::string error;
+    EXPECT_EQ(dial(name, Intent::kIngest, &error), nullptr) << name;
+  }
+  // Nothing escaped the tenant directory (or was created at all — the
+  // tenant dir itself only appears on the first accepted HELLO).
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "root" / "evil.cdcc"));
+  const auto tenant_dir = dir_ / "root" / kTenant;
+  EXPECT_TRUE(!std::filesystem::exists(tenant_dir) ||
+              std::filesystem::is_empty(tenant_dir));
+}
+
+TEST_F(ServerLoopbackTest, DuplicateRecordNameRejected) {
+  start_server();
+  SynthShape shape;
+  shape.batches = 1;
+  upload_record("dup", 3, shape);
+  std::string error;
+  EXPECT_EQ(dial("dup", Intent::kIngest, &error), nullptr);
+  EXPECT_NE(error.find("exists"), std::string::npos) << error;
+}
+
+TEST_F(ServerLoopbackTest, ByteQuotaExhaustionAbortsRecord) {
+  ServerConfig config;
+  TenantConfig tenant;
+  tenant.name = kTenant;
+  tenant.token = kToken;
+  tenant.max_bytes = 16 << 10;  // far below the workload's raw bytes
+  config.tenants.push_back(tenant);
+  start_server(std::move(config));
+
+  auto client = dial("big");
+  ASSERT_NE(client, nullptr);
+  SynthShape shape;
+  shape.batches = 8;
+  shape.frames_per_batch = 16;
+  shape.payload_bytes = 4096;
+  const auto jobs = synth_jobs(11, shape, compress::DeflateLevel::kFast);
+  // Either the put or the seal must surface the quota error.
+  bool failed = !client->put(wire_frames(jobs));
+  if (!failed) failed = !client->seal();
+  ASSERT_TRUE(failed);
+  EXPECT_EQ(client->last_code(), ErrCode::kQuota) << client->last_error();
+  client.reset();
+  // The partial record was discarded: quota failures don't leave debris.
+  EXPECT_TRUE(wait_for(
+      [](const Server::Stats& s) { return s.sessions_aborted >= 1; }));
+  EXPECT_FALSE(std::filesystem::exists(record_path("big")));
+}
+
+TEST_F(ServerLoopbackTest, RecordCountQuotaRejectsHello) {
+  ServerConfig config;
+  TenantConfig tenant;
+  tenant.name = kTenant;
+  tenant.token = kToken;
+  tenant.max_records = 1;
+  config.tenants.push_back(tenant);
+  start_server(std::move(config));
+  SynthShape shape;
+  shape.batches = 1;
+  upload_record("only", 5, shape);
+  std::string error;
+  EXPECT_EQ(dial("second", Intent::kIngest, &error), nullptr);
+  EXPECT_EQ(dial("second", Intent::kIngest, &error), nullptr);
+  EXPECT_NE(error.find("quota"), std::string::npos) << error;
+}
+
+TEST_F(ServerLoopbackTest, PutAfterSealRejected) {
+  start_server();
+  auto client = dial("sealed-rec");
+  ASSERT_NE(client, nullptr);
+  SynthShape shape;
+  shape.batches = 1;
+  const auto jobs = synth_jobs(9, shape, compress::DeflateLevel::kFast);
+  ASSERT_TRUE(client->put(wire_frames(jobs)));
+  ASSERT_TRUE(client->seal());
+  // The offending put may succeed locally (it rides inside the ack
+  // window); the server's ERROR surfaces on the next read.
+  if (client->put(wire_frames(jobs))) {
+    std::string json;
+    EXPECT_FALSE(client->inspect(InspectKind::kVerify, &json));
+  }
+  EXPECT_TRUE(client->failed());
+  EXPECT_NE(client->last_error().find("after SEAL"), std::string::npos)
+      << client->last_error();
+}
+
+TEST_F(ServerLoopbackTest, GarbageBytesGetErrorAndAbort) {
+  start_server();
+  auto client = dial("garbled");
+  ASSERT_NE(client, nullptr);
+  std::vector<std::uint8_t> noise(64, 0x00);  // 0x00 != frame magic
+  ASSERT_TRUE(client->send_raw(noise));
+  // The next protocol exchange surfaces the server's ERROR.
+  EXPECT_FALSE(client->seal());
+  client.reset();
+  EXPECT_TRUE(wait_for([](const Server::Stats& s) {
+    return s.errors_sent >= 1 && s.sessions_aborted >= 1;
+  }));
+  EXPECT_FALSE(std::filesystem::exists(record_path("garbled")));
+}
+
+TEST_F(ServerLoopbackTest, OversizedFrameRejected) {
+  ServerConfig config;
+  config.limits.max_frame_bytes = 1 << 10;
+  start_server(std::move(config));
+  auto client = dial("fat");
+  ASSERT_NE(client, nullptr);
+  WireFrame frame;
+  frame.key = runtime::StreamKey{0, 1};
+  frame.codec = 0x01;
+  frame.compress = false;
+  frame.payload.assign((1 << 10) + 1, 0xAB);
+  bool failed = !client->put({frame});
+  if (!failed) failed = !client->seal();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(client->last_code(), ErrCode::kOversized)
+      << client->last_error();
+  client.reset();
+  EXPECT_TRUE(wait_for(
+      [](const Server::Stats& s) { return s.sessions_aborted >= 1; }));
+  EXPECT_FALSE(std::filesystem::exists(record_path("fat")));
+}
+
+TEST_F(ServerLoopbackTest, DisconnectMidIngestDiscardsPartialRecord) {
+  start_server();
+  {
+    auto client = dial("vanishing");
+    ASSERT_NE(client, nullptr);
+    SynthShape shape;
+    shape.batches = 2;
+    const auto jobs = synth_jobs(13, shape, compress::DeflateLevel::kFast);
+    ASSERT_TRUE(client->put(wire_frames(jobs)));
+    // Drop the connection without sealing.
+  }
+  EXPECT_TRUE(wait_for(
+      [](const Server::Stats& s) { return s.sessions_aborted >= 1; }));
+  EXPECT_FALSE(std::filesystem::exists(record_path("vanishing")));
+  EXPECT_FALSE(
+      std::filesystem::exists(record_path("vanishing") + ".cdcq"));
+}
+
+TEST_F(ServerLoopbackTest, BackpressureSuspendsSlowConsumerSessions) {
+  // A one-batch queue plus a throttled session worker forces the event
+  // thread to park batches and stop reading the socket; the record must
+  // still arrive intact (and byte-identical) out the other side.
+  ServerConfig config;
+  config.ingest_queue_batches = 1;
+  config.ingest_delay_us = 2000;
+  start_server(std::move(config));
+
+  auto client = dial("pressured");
+  ASSERT_NE(client, nullptr);
+  SynthShape shape;
+  shape.batches = 1;
+  shape.frames_per_batch = 4;
+  shape.payload_bytes = 512;
+  const auto jobs = synth_jobs(17, shape, compress::DeflateLevel::kFast);
+  // Many small batches, pushed faster than the worker drains.
+  for (int i = 0; i < 32; ++i)
+    ASSERT_TRUE(client->put(wire_frames(jobs))) << client->last_error();
+  ASSERT_TRUE(client->seal()) << client->last_error();
+  client->bye();
+
+  const Server::Stats stats = server_->stats();
+  EXPECT_GT(stats.backpressure_suspensions, 0u);
+  EXPECT_EQ(stats.sessions_sealed, 1u);
+
+  // Oracle: the same 32× workload written locally.
+  std::vector<SynthJob> all;
+  for (int i = 0; i < 32; ++i)
+    all.insert(all.end(), jobs.begin(), jobs.end());
+  const std::string local = (dir_ / "local-pressured.cdcc").string();
+  std::string error;
+  ASSERT_TRUE(write_synth_container(local, all, &error)) << error;
+  EXPECT_EQ(file_bytes(record_path("pressured")), file_bytes(local));
+}
+
+TEST_F(ServerLoopbackTest, ReplayRequiresSealedRecord) {
+  start_server();
+  std::string error;
+  EXPECT_EQ(dial("missing", Intent::kReplay, &error), nullptr);
+  EXPECT_NE(error.find("record"), std::string::npos) << error;
+}
+
+TEST_F(ServerLoopbackTest, ReplayWindowValidatesRange) {
+  start_server();
+  SynthShape shape;
+  shape.batches = 2;
+  upload_record("windowed", 21, shape);
+  auto client = dial("windowed", Intent::kReplay);
+  ASSERT_NE(client, nullptr);
+  std::vector<WindowStream> streams;
+  WindowDone done;
+  // lo >= hi is an operator error, same contract as record_inspector.
+  EXPECT_FALSE(client->replay_window(6, 4, &streams, &done));
+  EXPECT_EQ(client->last_code(), ErrCode::kBadMessage);
+}
+
+TEST_F(ServerLoopbackTest, StatsAddUp) {
+  start_server();
+  SynthShape shape;
+  shape.batches = 2;
+  shape.frames_per_batch = 4;
+  upload_record("counted", 23, shape);
+  EXPECT_TRUE(wait_for([](const Server::Stats& s) {
+    return s.connections_closed >= 1;
+  }));
+  const Server::Stats stats = server_->stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.sessions_opened, 1u);
+  EXPECT_EQ(stats.sessions_sealed, 1u);
+  EXPECT_EQ(stats.sessions_aborted, 0u);
+  EXPECT_EQ(stats.frames_ingested, 8u);
+  EXPECT_EQ(stats.errors_sent, 0u);
+}
+
+}  // namespace
+}  // namespace cdc::net

@@ -53,6 +53,104 @@ TEST(BoundedMpmcQueue, FullQueueBlocksPushUntilPop) {
   EXPECT_TRUE(third_pushed.load());
 }
 
+TEST(BoundedMpmcQueue, TryPushFullAndClosed) {
+  BoundedMpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  // Full: rejected without blocking (the event-loop backpressure seam).
+  EXPECT_FALSE(queue.try_push(3));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_TRUE(queue.try_push(3));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(4));
+  EXPECT_TRUE(queue.closed());
+  // The backlog enqueued before close() stays poppable.
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(BoundedMpmcQueue, RejectedTryPushLeavesValueIntact) {
+  // The backpressure contract: a try_push refused on full (or closed)
+  // must leave the caller's item untouched so it can be parked and
+  // retried — a by-value signature would silently destroy it (the bug
+  // that lost parked ingest batches).
+  BoundedMpmcQueue<std::vector<int>> queue(1);
+  EXPECT_TRUE(queue.try_push({1, 2, 3}));
+  std::vector<int> parked{4, 5, 6};
+  EXPECT_FALSE(queue.try_push(std::move(parked)));
+  EXPECT_EQ(parked, (std::vector<int>{4, 5, 6}));
+  std::vector<int> out;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_TRUE(queue.try_push(std::move(parked)));  // retry succeeds
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, (std::vector<int>{4, 5, 6}));
+  queue.close();
+  std::vector<int> after{7};
+  EXPECT_FALSE(queue.try_push(std::move(after)));
+  EXPECT_EQ(after, (std::vector<int>{7}));
+}
+
+TEST(BoundedMpmcQueue, CloseIsIdempotentAndSticky) {
+  BoundedMpmcQueue<int> queue(4);
+  queue.close();
+  queue.close();
+  EXPECT_FALSE(queue.push(1));
+  EXPECT_FALSE(queue.try_push(1));
+  int out = 0;
+  // A popper arriving after the drain observes closed-and-empty at once.
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(BoundedMpmcQueue, BlockedPoppersWakeExactlyOnceOnClose) {
+  // N poppers block on an empty queue; close() must wake each exactly
+  // once — every popper either wins one of the backlog items pushed just
+  // before close, or observes closed-and-empty. No popper hangs, no item
+  // is delivered twice.
+  constexpr int kPoppers = 6;
+  constexpr int kBacklog = 3;  // fewer items than poppers
+  BoundedMpmcQueue<int> queue(8);
+  std::atomic<int> got_item{0};
+  std::atomic<int> got_closed{0};
+  std::vector<std::jthread> poppers;
+  for (int p = 0; p < kPoppers; ++p) {
+    poppers.emplace_back([&] {
+      int value = 0;
+      if (queue.pop(value))
+        got_item.fetch_add(1);
+      else
+        got_closed.fetch_add(1);
+    });
+  }
+  // Give the poppers time to block on the empty queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < kBacklog; ++i) EXPECT_TRUE(queue.push(i));
+  queue.close();
+  for (auto& t : poppers) t.join();  // a missed wake-up hangs here
+  EXPECT_EQ(got_item.load() + got_closed.load(), kPoppers);
+  EXPECT_EQ(got_item.load(), kBacklog);
+  EXPECT_EQ(got_closed.load(), kPoppers - kBacklog);
+}
+
+TEST(BoundedMpmcQueue, CloseWhileProducerBlockedOnFull) {
+  BoundedMpmcQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(1));
+  std::atomic<bool> push_result{true};
+  std::jthread pusher([&] { push_result.store(queue.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  pusher.join();
+  // The blocked push was rejected, not half-enqueued.
+  EXPECT_FALSE(push_result.load());
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(queue.pop(out));
+}
+
 TEST(BoundedMpmcQueue, ManyProducersManyConsumersLoseNothing) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 4;
