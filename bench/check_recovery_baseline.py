@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""CI recovery gate: compare BENCH_recovery.json against the committed
+recovery baseline.
+
+The fig24_recovery bench runs the DESIGN.md §14 kill sweep: a real
+cdc_served daemon is SIGKILLed at each armed protocol state (mid-batch,
+journaled-but-unacked, pre-seal, post-seal) plus SIGTERMed under load,
+restarted, and every resuming client's sealed record is byte-compared
+against a local rebuild from the client seed.
+
+Correctness is gated strictly — these fields are deterministic and any
+regression is a real bug:
+  * every expected kill point ran and passed;
+  * every client sealed and every sealed record byte-verified, at every
+    point;
+  * zero per-point errors;
+  * every SIGKILL point actually forced at least one reconnect (else the
+    kill fired too late to test anything).
+
+Timing is gated only against generous ceilings (absolute restart time is
+machine-dependent); the ceiling exists to catch pathological recovery
+stalls, not to benchmark CI hardware.
+
+Usage: check_recovery_baseline.py <BENCH_recovery.json> [baseline.json]
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    bench_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "recovery_baseline.json")
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+    clients = bench.get("clients", 0)
+    if clients < baseline.get("min_clients", 0):
+        failures.append(
+            f"ran {clients} clients, baseline requires "
+            f">= {baseline['min_clients']}")
+
+    points = {p.get("name"): p for p in bench.get("points", [])}
+    for name in baseline.get("expected_points", []):
+        if name not in points:
+            failures.append(f"kill point '{name}' missing from the sweep")
+
+    # --- strict correctness ------------------------------------------------
+    for name, p in points.items():
+        if not p.get("passed", False):
+            failures.append(f"{name}: point failed")
+        if p.get("sealed", 0) != clients:
+            failures.append(
+                f"{name}: sealed {p.get('sealed')} of {clients} records")
+        if p.get("verified", 0) != p.get("sealed", -1):
+            failures.append(
+                f"{name}: verified {p.get('verified')} of "
+                f"{p.get('sealed')} sealed records")
+        if p.get("errors", 1) != 0:
+            failures.append(f"{name}: {p.get('errors')} errors")
+        if (baseline.get("require_reconnects_on_kill_points", False)
+                and name != "sigterm-under-load"
+                and p.get("reconnects", 0) <= 0):
+            failures.append(
+                f"{name}: no client ever reconnected — the kill fired "
+                f"too late to exercise recovery")
+
+    if not bench.get("all_passed", False):
+        failures.append("sweep reported all_passed = false")
+
+    # --- generous timing ceilings ------------------------------------------
+    ceiling = baseline.get("max_restart_ms")
+    if ceiling is not None:
+        for name, p in points.items():
+            if p.get("restart_ms", 0.0) > ceiling:
+                failures.append(
+                    f"{name}: restart took {p.get('restart_ms'):.0f} ms, "
+                    f"above ceiling {ceiling:.0f} ms")
+    ceiling = baseline.get("max_point_wall_ms")
+    if ceiling is not None:
+        for name, p in points.items():
+            if p.get("wall_ms", 0.0) > ceiling:
+                failures.append(
+                    f"{name}: point took {p.get('wall_ms'):.0f} ms, "
+                    f"above ceiling {ceiling:.0f} ms")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+
+    total_resent = sum(p.get("resent_batches", 0) for p in points.values())
+    total_reconnects = sum(p.get("reconnects", 0) for p in points.values())
+    print(f"OK: {len(points)} kill points x {clients} clients — "
+          f"all sealed records byte-verified; {total_reconnects} "
+          f"reconnects, {total_resent} batches re-sent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,9 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --host H --port P --token T [--level L] COMMAND...\n"
+      "usage: %s --host H --port P --token T [--level L]\n"
+      "          [--timeout-ms N] [--connect-timeout-ms N]\n"
+      "          [--retries N] [--resume] [--protocol V] COMMAND...\n"
       "  put REC FILE.cdcc        upload a sealed container as record REC\n"
       "  window REC LO:HI         fetch epoch window [LO, HI)\n"
       "  inspect REC verify|pipeline|gaps\n"
@@ -188,6 +190,24 @@ bool parse_flags(int argc, char** argv, int& i,
                              : cdc::compress::deflate_level_from_name(v);
       if (!level.has_value()) return false;
       base.level = *level;
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      base.timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--connect-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      base.connect_timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      base.max_reconnects = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--resume") {
+      base.resumable = true;
+    } else if (arg == "--protocol") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      base.version = static_cast<std::uint32_t>(std::atoi(v));
     } else if (arg == "--clients") {
       const char* v = next();
       if (v == nullptr) return false;

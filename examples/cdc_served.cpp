@@ -9,11 +9,21 @@
 //              [--host H] [--port P] [--sink inline|service|retrying]
 //              [--workers N] [--queue-batches N] [--max-level LEVEL]
 //              [--ingest-delay-us N] [--duration-s N]
+//              [--drain-timeout-ms N]
+//              [--crash-sync-batch N] [--crash-ack-batch N]
+//              [--crash-before-seal] [--crash-after-seal]
 //
 // With --port 0 (the default) an ephemeral port is chosen and printed as
 // `LISTENING <port>` on stdout — the handshake the tests and the load
 // bench use to find the server. Runs until SIGINT/SIGTERM, or for
-// --duration-s seconds when given.
+// --duration-s seconds when given. Shutdown is graceful: stop accepting,
+// GOAWAY idle connections, finish journaling in-flight batches, park
+// resumable sessions, exit 0 — all within --drain-timeout-ms.
+//
+// The --crash-* flags arm the DESIGN.md §14 chaos hooks: the daemon
+// SIGKILLs itself at a precise protocol state so the kill-sweep harness
+// can verify that a restarted daemon + resuming clients reproduce a
+// byte-identical record.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -37,7 +47,10 @@ void usage(const char* argv0) {
       "usage: %s --root DIR --tenant NAME:TOKEN[:MAX_MB[:MAX_RECORDS]]...\n"
       "          [--host H] [--port P] [--sink inline|service|retrying]\n"
       "          [--workers N] [--queue-batches N] [--max-level LEVEL]\n"
-      "          [--ingest-delay-us N] [--duration-s N]\n",
+      "          [--ingest-delay-us N] [--duration-s N]\n"
+      "          [--drain-timeout-ms N] [--crash-sync-batch N]\n"
+      "          [--crash-ack-batch N] [--crash-before-seal]\n"
+      "          [--crash-after-seal]\n",
       argv0);
 }
 
@@ -72,6 +85,7 @@ bool parse_tenant(const std::string& spec, cdc::net::TenantConfig& out) {
 int main(int argc, char** argv) {
   cdc::net::ServerConfig config;
   long duration_s = -1;
+  std::uint32_t drain_timeout_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -132,6 +146,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { usage(argv[0]); return 2; }
       duration_s = std::atol(v);
+    } else if (arg == "--drain-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      drain_timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--crash-sync-batch") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      config.crash.kill_before_sync_batch =
+          static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--crash-ack-batch") {
+      const char* v = next();
+      if (v == nullptr) { usage(argv[0]); return 2; }
+      config.crash.kill_before_ack_batch =
+          static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--crash-before-seal") {
+      config.crash.kill_before_seal = true;
+    } else if (arg == "--crash-after-seal") {
+      config.crash.kill_after_seal = true;
     } else {
       usage(argv[0]);
       return 2;
@@ -142,6 +174,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Install the stop handlers before LISTENING is printed: a supervisor
+  // may SIGTERM the instant it parses that line, and a signal landing
+  // before the handler exists would kill the process with the default
+  // disposition instead of draining.
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
   cdc::net::Server server(std::move(config));
   std::string error;
   if (!server.start(&error)) {
@@ -150,9 +189,6 @@ int main(int argc, char** argv) {
   }
   std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
   std::fflush(stdout);
-
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
   const auto started = std::chrono::steady_clock::now();
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -161,17 +197,26 @@ int main(int argc, char** argv) {
             std::chrono::seconds(duration_s))
       break;
   }
-  server.stop();
+  // Graceful drain: in-flight batches finish (journaled + acked),
+  // resumable sessions are parked for the next daemon life, and the
+  // process exits 0 — SIGTERM is a normal way to stop this server.
+  const bool drained = server.drain(drain_timeout_ms);
   const cdc::net::Server::Stats stats = server.stats();
   std::printf(
       "cdc_served: %llu conns, %llu sealed, %llu aborted, %llu frames, "
-      "%llu bytes, %llu errors, %llu suspensions\n",
+      "%llu bytes, %llu errors, %llu suspensions, %llu resumed, "
+      "%llu recovered, %llu parked, %llu deduped, drained=%s\n",
       static_cast<unsigned long long>(stats.connections_accepted),
       static_cast<unsigned long long>(stats.sessions_sealed),
       static_cast<unsigned long long>(stats.sessions_aborted),
       static_cast<unsigned long long>(stats.frames_ingested),
       static_cast<unsigned long long>(stats.bytes_ingested),
       static_cast<unsigned long long>(stats.errors_sent),
-      static_cast<unsigned long long>(stats.backpressure_suspensions));
+      static_cast<unsigned long long>(stats.backpressure_suspensions),
+      static_cast<unsigned long long>(stats.sessions_resumed),
+      static_cast<unsigned long long>(stats.sessions_recovered),
+      static_cast<unsigned long long>(stats.sessions_parked),
+      static_cast<unsigned long long>(stats.batches_deduped),
+      drained ? "clean" : "deadline");
   return 0;
 }

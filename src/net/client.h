@@ -9,20 +9,37 @@
 // backpressure by more than the window — and records a submit→ack latency
 // sample per batch for the bench's percentile report.
 //
+// Deadlines are poll(2)-based, not SO_RCVTIMEO: connect() waits at most
+// `connect_timeout_ms` for the three-way handshake, and every read waits
+// at most `timeout_ms` for the next byte, so a server that accepts and
+// then goes silent cannot wedge the client.
+//
+// Crash survival (DESIGN.md §14): with `resumable` set the client keeps
+// every unacked PUT_FRAMES batch, encoded, in a resend buffer. When a call
+// fails retryably — connection refused/reset, EOF, read timeout, or a
+// server ERROR(kBusy) GOAWAY — and `max_reconnects` allows it, the client
+// redials with bounded jittered exponential backoff (options().backoff),
+// renegotiates HELLO(resumable), asks RESUME → RESUMED(last_durable_seq),
+// drops buffered batches the server already holds durably, re-sends the
+// rest in order, and picks the original call back up. Because frame
+// encoding is deterministic and the server deduplicates by sequence
+// number, the sealed record is byte-identical to an uninterrupted upload.
+//
 // NetFrameSink adapts the connection to the tool::FrameSink seam: the same
 // recorder/harness code that writes a local container through an
 // InlineFrameSink streams to the service instead, batch boundaries and
-// all. Since encode_frame() is deterministic for a given (job, level), a
-// record uploaded this way is byte-identical to the container the same
-// jobs would have produced locally — the integration suite's oracle.
+// all.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "net/protocol.h"
+#include "store/resilient.h"
+#include "support/rng.h"
 #include "tool/frame_sink.h"
 
 namespace cdc::net {
@@ -39,8 +56,31 @@ class Client {
     /// Unacked PUT_FRAMES batches allowed in flight before put() blocks.
     std::size_t max_inflight = 4;
     Limits limits;
-    /// recv/connect timeout; 0 = block forever.
+    /// Protocol version offered in HELLO. Lowering it to 1 yields a
+    /// pre-resume session (interop testing); the server answers in kind.
+    std::uint32_t version = kProtocolVersion;
+    /// Per-read deadline (poll before recv); 0 = block forever.
     std::uint32_t timeout_ms = 30000;
+    /// Deadline for the TCP connect itself; 0 = block forever.
+    std::uint32_t connect_timeout_ms = 10000;
+    /// Ask the server to journal this ingest session for crash-safe
+    /// resume, and arm the client-side resend buffer. Needs version >= 2.
+    bool resumable = false;
+    /// Reconnect+resume attempts after a retryable failure (0 = the
+    /// pre-resume behaviour: any failure kills the session).
+    std::uint32_t max_reconnects = 0;
+    /// Backoff between reconnect attempts. Only the delay shape is used
+    /// (max_retries is superseded by max_reconnects); really_sleep is on
+    /// by default because this is a wall-clock client.
+    store::RetryPolicy backoff{
+        .max_retries = 0,
+        .initial_backoff_ms = 10.0,
+        .backoff_multiplier = 2.0,
+        .max_backoff_ms = 1000.0,
+        .jitter_fraction = 0.25,
+        .jitter_seed = 1,
+        .really_sleep = true,
+    };
   };
 
   /// Dials, sends HELLO, and waits for WELCOME. Returns nullptr with
@@ -58,11 +98,20 @@ class Client {
 
   /// Sends one batch (seq assigned internally), first draining acks until
   /// the in-flight window has room. False on any session failure; see
-  /// last_error().
+  /// last_error(). With reconnects enabled, transparently recovers from
+  /// retryable failures before reporting one.
   [[nodiscard]] bool put(std::vector<WireFrame> frames);
 
   /// Drains every outstanding ack, sends SEAL, and waits for SEALED.
   [[nodiscard]] bool seal(Sealed* out = nullptr);
+
+  /// Explicit RESUME → RESUMED exchange (v2 ingest, before any put() on
+  /// this connection). Fills `out` with the server's durable high-water
+  /// mark. With `skip_acked` the next put() continues numbering after the
+  /// durable prefix — the "fresh process resumes an old upload" path;
+  /// without it the caller re-sends from seq 1 and relies on server-side
+  /// dedup (the oracle path).
+  [[nodiscard]] bool resume(Resumed* out, bool skip_acked = true);
 
   /// Requests epochs [lo, hi) of every stream. Fills `streams` (in server
   /// order) and `done`. Replay-intent sessions only.
@@ -98,6 +147,15 @@ class Client {
   [[nodiscard]] std::uint64_t bytes_acked() const noexcept {
     return bytes_acked_;
   }
+  /// Successful reconnect+resume cycles this session survived.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+  /// Batches re-sent across all recoveries (durably-held ones are dropped
+  /// before resend, so this counts genuine re-transmission).
+  [[nodiscard]] std::uint64_t batches_resent() const noexcept {
+    return batches_resent_;
+  }
 
   /// The raw socket fd — the fault-plan hooks (mid-stream disconnect,
   /// garbage injection) reach around the protocol with it. -1 when closed.
@@ -106,15 +164,30 @@ class Client {
   [[nodiscard]] bool send_raw(std::span<const std::uint8_t> bytes);
 
  private:
-  Client(Options options, int fd) : options_(std::move(options)), fd_(fd) {}
+  explicit Client(Options options)
+      : options_(std::move(options)),
+        jitter_(options_.backoff.jitter_seed ^ 0xc11e47ull) {}
+
+  /// Dials (with the connect deadline) and runs HELLO → WELCOME. On
+  /// success the connection is live and failed_ is clear.
+  [[nodiscard]] bool handshake();
+  /// The reconnect+resume loop; true restores an operating session with
+  /// the resend buffer reconciled against the server's durable state.
+  [[nodiscard]] bool recover();
+  /// Whether the current failure is worth a reconnect: local I/O (refused,
+  /// reset, EOF, timeout) or a server GOAWAY (kBusy) — never a semantic
+  /// rejection like kBadToken or kQuota.
+  [[nodiscard]] bool retryable() const noexcept;
+  void backoff_sleep(std::uint32_t attempt);
 
   [[nodiscard]] bool send_all(std::span<const std::uint8_t> bytes);
-  /// Blocks until one complete message arrives (or timeout/EOF/parse
+  /// Blocks until one complete message arrives (or deadline/EOF/parse
   /// error, which fail the session).
   [[nodiscard]] bool read_message(Message* out);
-  /// Handles one PUT_ACK: latency sample + window bookkeeping.
+  /// Handles one PUT_ACK: latency sample + resend-buffer bookkeeping.
   void note_ack(const PutAck& ack);
-  [[nodiscard]] bool fail(std::string why, ErrCode code = ErrCode::kInternal);
+  [[nodiscard]] bool fail(std::string why, ErrCode code = ErrCode::kInternal,
+                          bool local = false);
   /// True when `msg` is a server ERROR; fails the session with its text.
   [[nodiscard]] bool is_error(const Message& msg);
 
@@ -123,18 +196,29 @@ class Client {
   WireParser parser_;
   Welcome welcome_;
   bool failed_ = false;
+  bool local_fail_ = false;  ///< last failure was I/O, not a server verdict
   std::string last_error_;
   ErrCode last_code_ = ErrCode::kInternal;
 
   std::uint64_t next_seq_ = 0;
-  struct Inflight {
+  /// Unacked batches, encoded and ready to re-send after a reconnect.
+  /// Doubles as the in-flight window (acks arrive in sequence order).
+  struct PendingBatch {
     std::uint64_t seq = 0;
-    std::uint64_t sent_ns = 0;  ///< steady_clock at send
+    std::vector<std::uint8_t> bytes;  ///< encoded PUT_FRAMES message
+    std::uint64_t sent_ns = 0;        ///< steady_clock at (first) send
   };
-  std::vector<Inflight> inflight_;
+  std::deque<PendingBatch> pending_;
+  bool seal_sent_ = false;
+  /// Set when a reconnect discovers the record already sealed server-side
+  /// (the crash ate only the SEALED reply); seal() then reports success.
+  bool sealed_remote_ = false;
   std::vector<std::uint64_t> latency_ns_;
   std::uint64_t frames_acked_ = 0;
   std::uint64_t bytes_acked_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t batches_resent_ = 0;
+  support::Xoshiro256 jitter_;
 };
 
 /// tool::FrameSink over a Client ingest session: buffers submitted jobs

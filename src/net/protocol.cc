@@ -81,6 +81,9 @@ std::vector<std::uint8_t> encode_hello(const Hello& hello) {
   write_string(body, hello.record);
   body.u8(static_cast<std::uint8_t>(hello.intent));
   body.u8(level_byte(hello.level));
+  // The flags byte exists only from version 2 on; a v1 body must stay
+  // byte-identical to what v1 servers expect.
+  if (hello.version >= 2) body.u8(hello.resumable ? 1u : 0u);
   // HELLO itself always rides at the fast level: the session level it
   // *requests* is not negotiated yet.
   return encode_message(MsgType::kHello, hello.version, body.view(),
@@ -94,8 +97,15 @@ bool decode_hello(const Message& msg, Hello& out) {
   std::uint8_t intent = 0;
   std::uint8_t level = 0;
   if (!read_string(in, out.token) || !read_string(in, out.record) ||
-      !in.try_u8(intent) || !in.try_u8(level) || !in.exhausted())
+      !in.try_u8(intent) || !in.try_u8(level))
     return false;
+  out.resumable = false;
+  if (out.version >= 2) {
+    std::uint8_t flags = 0;
+    if (!in.try_u8(flags) || (flags & ~1u) != 0) return false;
+    out.resumable = (flags & 1u) != 0;
+  }
+  if (!in.exhausted()) return false;
   if (intent > static_cast<std::uint8_t>(Intent::kReplay)) return false;
   out.intent = static_cast<Intent>(intent);
   return level_from_byte(level, out.level);
@@ -194,6 +204,22 @@ std::vector<std::uint8_t> encode_put_ack(const PutAck& ack) {
 bool decode_put_ack(const Message& msg, PutAck& out) {
   if (msg.type != MsgType::kPutAck) return false;
   out.seq = msg.meta;
+  support::ByteReader in(msg.body);
+  return in.try_varint(out.frames_ingested) &&
+         in.try_varint(out.bytes_ingested) && in.exhausted();
+}
+
+std::vector<std::uint8_t> encode_resumed(const Resumed& r) {
+  support::ByteWriter body;
+  body.varint(r.frames_ingested);
+  body.varint(r.bytes_ingested);
+  return encode_message(MsgType::kResumed, r.last_seq, body.view(),
+                        compress::DeflateLevel::kStored);
+}
+
+bool decode_resumed(const Message& msg, Resumed& out) {
+  if (msg.type != MsgType::kResumed) return false;
+  out.last_seq = msg.meta;
   support::ByteReader in(msg.body);
   return in.try_varint(out.frames_ingested) &&
          in.try_varint(out.bytes_ingested) && in.exhausted();

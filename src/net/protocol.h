@@ -22,11 +22,21 @@
 //
 // Conversation shape (client → server unless noted):
 //   HELLO(token, record, intent, level)  → WELCOME | ERROR
-//   intent = kIngest:  PUT_FRAMES* → PUT_ACK (per batch, ← server)
+//   intent = kIngest:  [RESUME → RESUMED(last_durable_seq)]   (v2 only)
+//                      PUT_FRAMES* → PUT_ACK (per batch, ← server)
 //                      SEAL → SEALED
 //   intent = kReplay:  REPLAY_WINDOW(lo, hi) → WINDOW_STREAM* WINDOW_DONE
 //                      INSPECT(kind) → REPORT
 //   BYE ends any session gracefully.
+//
+// Version 2 adds crash-safe resumable ingest. A v2 HELLO carries a flags
+// byte (bit 0 = resumable); when set, the server journals per-batch
+// durability next to the container and a reconnecting client may reopen
+// the same record, ask RESUME, and learn from RESUMED which batch prefix
+// is already fsync-durable — batches at or below that sequence are
+// deduplicated server-side, so re-sending from last_durable_seq+1 yields
+// a byte-identical sealed container. v1 clients are unchanged: HELLO
+// version 1 has no flags byte and the server never requires RESUME.
 //
 // Parsing is incremental and hostile-input-safe: WireParser consumes raw
 // socket bytes and yields complete, CRC-verified messages, `kNeedMore`
@@ -45,7 +55,7 @@
 
 namespace cdc::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 /// Oldest client version the server still speaks.
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
 
@@ -64,6 +74,8 @@ enum class MsgType : std::uint8_t {
   kReport = 11,
   kError = 12,
   kBye = 13,
+  kResume = 14,   ///< v2: client asks for the durable high-water mark
+  kResumed = 15,  ///< v2: server replies with last_durable_seq + totals
 };
 
 /// ERROR message codes (the meta varint of a kError message).
@@ -114,6 +126,10 @@ struct Hello {
   std::string record;
   Intent intent = Intent::kIngest;
   compress::DeflateLevel level = compress::DeflateLevel::kDefault;
+  /// v2 flags bit 0: journal this ingest session so it survives a crash
+  /// or disconnect and can be reopened by a later resumable HELLO. Never
+  /// encoded for version 1 (v1 bodies have no flags byte).
+  bool resumable = false;
 };
 
 struct Welcome {
@@ -153,6 +169,16 @@ struct Sealed {
   std::uint64_t frames = 0;
 };
 
+/// RESUMED: the server's durable high-water mark for a reopened session.
+/// Batches with seq <= last_seq are already fsync-durable (and journaled);
+/// the client re-sends from last_seq + 1. The totals mirror what the
+/// PUT_ACK for batch last_seq reported.
+struct Resumed {
+  std::uint64_t last_seq = 0;  ///< rides in the meta varint
+  std::uint64_t frames_ingested = 0;
+  std::uint64_t bytes_ingested = 0;
+};
+
 struct ReplayWindowReq {
   std::uint64_t epoch_lo = 0;
   std::uint64_t epoch_hi = 0;
@@ -190,6 +216,7 @@ enum class InspectKind : std::uint8_t {
 [[nodiscard]] std::vector<std::uint8_t> encode_put_frames(
     const FrameBatch& batch, compress::DeflateLevel level);
 [[nodiscard]] std::vector<std::uint8_t> encode_put_ack(const PutAck& ack);
+[[nodiscard]] std::vector<std::uint8_t> encode_resumed(const Resumed& r);
 [[nodiscard]] std::vector<std::uint8_t> encode_sealed(const Sealed& sealed);
 [[nodiscard]] std::vector<std::uint8_t> encode_replay_window(
     const ReplayWindowReq& req);
@@ -210,6 +237,7 @@ enum class InspectKind : std::uint8_t {
 [[nodiscard]] bool decode_put_frames(const Message& msg, const Limits& limits,
                                      FrameBatch& out);
 [[nodiscard]] bool decode_put_ack(const Message& msg, PutAck& out);
+[[nodiscard]] bool decode_resumed(const Message& msg, Resumed& out);
 [[nodiscard]] bool decode_sealed(const Message& msg, Sealed& out);
 [[nodiscard]] bool decode_replay_window(const Message& msg,
                                         ReplayWindowReq& out);

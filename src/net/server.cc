@@ -11,9 +11,11 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -26,6 +28,7 @@
 #include "store/container_store.h"
 #include "store/mpmc_queue.h"
 #include "store/quota.h"
+#include "store/session_journal.h"
 #include "tool/degraded.h"
 #include "tool/frame.h"
 #include "tool/frame_sink.h"
@@ -53,6 +56,25 @@ bool valid_record_name(const std::string& name) {
     if (!ok) return false;
   }
   return true;
+}
+
+/// The container header: magic + version + 3 reserved bytes. A journaled
+/// session with zero durable batches has exactly this prefix on disk.
+constexpr std::uint64_t kContainerHeaderBytes =
+    sizeof(store::kContainerMagic) + 4;
+
+/// Cheap sealed-ness probe for the startup scan: a sealed container ends
+/// in the 8-byte stream-index footer magic. No full open/parse needed.
+bool container_sealed_on_disk(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) return false;
+  const auto size = static_cast<std::int64_t>(in.tellg());
+  if (size < 8) return false;
+  in.seekg(size - 8);
+  std::uint8_t tail[8] = {};
+  in.read(reinterpret_cast<char*>(tail), 8);
+  return in.gcount() == 8 &&
+         std::memcmp(tail, store::kFooterMagic, sizeof tail) == 0;
 }
 
 }  // namespace
@@ -83,8 +105,10 @@ struct Server::Impl {
     compress::DeflateLevel level = compress::DeflateLevel::kDefault;
     std::uint64_t raw_budget = 0;  ///< tenant bytes left at open
 
-    store::ContainerStore container;
+    std::unique_ptr<store::ContainerStore> container;
     store::QuotaStore quota;
+    std::unique_ptr<runtime::RecordStore> wrapped;  ///< store_wrapper seam
+    runtime::RecordStore* target = nullptr;  ///< what the sink stack writes
     std::unique_ptr<store::CompressionService> service;  ///< kService only
     std::unique_ptr<tool::FrameSink> sink;
     store::BoundedMpmcQueue<WorkItem> queue;
@@ -95,8 +119,20 @@ struct Server::Impl {
     std::atomic<bool> failed{false};
     bool sealed = false;        ///< event thread
     bool seal_enqueued = false; ///< event thread
+    std::uint64_t outstanding = 0;  ///< event thread: enqueued − completed
     std::uint64_t frames = 0;   ///< worker thread until sealed
     std::uint64_t raw_bytes = 0;
+
+    // Crash-safe resume state. committed_seq is the durable high-water
+    // mark: the worker advances it after flush + journal fsync, and the
+    // event thread reads it only while the worker is provably idle (a
+    // RESUME before any PUT on the connection).
+    bool resumable = false;
+    std::unique_ptr<store::SessionJournal> journal;  ///< worker after start
+    std::atomic<std::uint64_t> committed_seq{0};
+    /// Worker sets this after the footer is durable; lets teardown tell a
+    /// sealed-but-unreplied session from a genuine partial.
+    std::atomic<bool> sealed_on_disk{false};
 
     obs::Counter* tenant_frames = nullptr;
     obs::Counter* tenant_bytes = nullptr;
@@ -105,15 +141,16 @@ struct Server::Impl {
 
     IngestSession(std::string tenant_name, std::string record_name,
                   std::string file_path, std::uint64_t budget,
-                  std::size_t queue_batches)
+                  std::uint64_t quota_budget, std::size_t queue_batches,
+                  std::unique_ptr<store::ContainerStore> store)
         : tenant(std::move(tenant_name)),
           record(std::move(record_name)),
           path(std::move(file_path)),
           raw_budget(budget),
-          container(path),
+          container(std::move(store)),
           // Hard backstop at the store seam; the worker's raw-byte check
           // below trips first in normal operation (raw >= stored).
-          quota(&container, budget + (budget >> 2) + 4096),
+          quota(container.get(), quota_budget),
           queue(queue_batches) {}
   };
 
@@ -126,6 +163,10 @@ struct Server::Impl {
     TenantConfig config;
     std::set<std::string> active;  ///< records mid-ingest
     std::set<std::string> sealed;
+    /// Journaled partials awaiting a resumable HELLO (parked on disconnect
+    /// or rebuilt by the startup scan). The journal file is the source of
+    /// truth; this set only reserves the names.
+    std::set<std::string> resumable;
     std::uint64_t used_raw_bytes = 0;
   };
 
@@ -141,6 +182,8 @@ struct Server::Impl {
     std::unique_ptr<ReplaySession> replay;
     std::optional<WorkItem> parked;  ///< backpressure: read interest off
     bool close_after_flush = false;
+    bool puts_seen = false;   ///< RESUME is only legal before the first PUT
+    bool goaway_sent = false; ///< drain(): GOAWAY ERROR already queued
 
     explicit Conn(int f, const Limits& limits) : fd(f), parser(limits) {}
     [[nodiscard]] bool suspended() const noexcept {
@@ -185,9 +228,63 @@ struct Server::Impl {
     std::error_code ec;
     fs::create_directories(config.root_dir, ec);
     if (ec) return fail_start(error, "root_dir");
+    recover_sessions();
     stop_requested.store(false, std::memory_order_relaxed);
+    drain_requested.store(false, std::memory_order_relaxed);
     event_thread = std::thread([this] { event_loop(); });
     return true;
+  }
+
+  /// Startup scan over the store root: every `<record>.cdcc.cdcj` sidecar
+  /// is either a finished seal whose journal outlived it (drop the
+  /// journal), a valid resumable partial (reserve the name in the resume
+  /// table — the heavy container reopen is deferred to the resuming
+  /// HELLO), or garbage (drop both files). Unsealed containers with no
+  /// journal are pre-resume leftovers and are discarded, restoring the
+  /// "a record name means a sealed container or nothing" invariant for
+  /// non-resumable uploads.
+  void recover_sessions() {
+    static obs::Counter& recovered = obs::counter("net.server.resume.recovered");
+    static obs::Counter& discarded = obs::counter("net.server.resume.discarded");
+    for (auto& [token, tenant] : tenants) {
+      const fs::path dir = fs::path(config.root_dir) / tenant.config.name;
+      std::error_code ec;
+      if (!fs::is_directory(dir, ec)) continue;
+      for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        constexpr const char* kSuffix = ".cdcc";
+        constexpr std::size_t kSuffixLen = 5;
+        if (name.size() <= kSuffixLen ||
+            name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) != 0)
+          continue;
+        const std::string record = name.substr(0, name.size() - kSuffixLen);
+        const std::string path = entry.path().string();
+        const std::string journal_path = store::session_journal_path(path);
+        if (container_sealed_on_disk(entry.path())) {
+          // Crash between seal() and journal removal: the record is whole.
+          fs::remove(journal_path, ec);
+          continue;
+        }
+        const std::optional<store::JournalState> state =
+            fs::exists(journal_path, ec)
+                ? store::read_session_journal(journal_path)
+                : std::nullopt;
+        if (state.has_value() && state->record == record &&
+            state->tenant == tenant.config.name) {
+          tenant.resumable.insert(record);
+          recovered.add(1);
+          stat_sessions_recovered.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // No (valid) journal: an unresumable partial. Discard it with its
+        // sidecars so the name frees up.
+        fs::remove(path, ec);
+        fs::remove(journal_path, ec);
+        fs::remove(path + ".cdcq", ec);
+        discarded.add(1);
+        stat_partials_discarded.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
   bool fail_start(std::string* error, const char* what) {
@@ -204,6 +301,23 @@ struct Server::Impl {
       wake();
       event_thread.join();
     }
+    close_fds();
+  }
+
+  bool drain(std::uint32_t timeout_ms) {
+    if (!event_thread.joinable()) return true;
+    // The deadline is published before the flag: the event thread reads it
+    // only after its acquire-load of drain_requested sees the store.
+    drain_deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(timeout_ms);
+    drain_requested.store(true, std::memory_order_release);
+    wake();
+    event_thread.join();
+    close_fds();
+    return drained_clean.load(std::memory_order_relaxed);
+  }
+
+  void close_fds() {
     if (listen_fd >= 0) ::close(listen_fd);
     listen_fd = -1;
     if (wake_pipe[0] >= 0) ::close(wake_pipe[0]);
@@ -224,12 +338,16 @@ struct Server::Impl {
     static obs::Counter& bytes_in = obs::counter("net.bytes_in");
     std::vector<pollfd> fds;
     while (!stop_requested.load(std::memory_order_relaxed)) {
+      const bool draining = drain_requested.load(std::memory_order_acquire);
       fds.clear();
-      fds.push_back({listen_fd, POLLIN, 0});
+      // Draining: stop accepting (poll ignores fd −1) and stop reading
+      // every connection — in-flight batches finish, nothing new lands.
+      fds.push_back({draining ? -1 : listen_fd, POLLIN, 0});
       fds.push_back({wake_pipe[0], POLLIN, 0});
       for (const auto& conn : conns) {
         short events = 0;
-        if (!conn->suspended() && !conn->close_after_flush) events |= POLLIN;
+        if (!draining && !conn->suspended() && !conn->close_after_flush)
+          events |= POLLIN;
         if (!conn->tx.empty()) events |= POLLOUT;
         fds.push_back({conn->fd, events, 0});
       }
@@ -246,6 +364,15 @@ struct Server::Impl {
       // drained queue is what lets parked batches resume below.
       for (auto& conn : conns) drain_completions(*conn);
       for (auto& conn : conns) retry_parked(*conn);
+
+      if (draining) {
+        goaway_pass();
+        if (conns.empty()) {
+          drained_clean.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= drain_deadline) break;
+      }
 
       if ((fds[0].revents & POLLIN) != 0) accept_new();
 
@@ -293,6 +420,24 @@ struct Server::Impl {
     // Shutdown: abort whatever is still in flight and close everything.
     for (auto& conn : conns) teardown(*conn);
     conns.clear();
+  }
+
+  /// One drain-mode sweep: tell every connection that can hear it to go
+  /// away. Idle connections get the ERROR immediately; ingest connections
+  /// only once their enqueued batches are fully completed (acked/journaled)
+  /// — the ERROR then lands *after* the final PUT_ACK in the tx queue, so
+  /// a resumable client knows exactly what survived.
+  void goaway_pass() {
+    for (auto& conn : conns) {
+      if (conn->goaway_sent || conn->close_after_flush ||
+          conn->phase == Conn::Phase::kClosed)
+        continue;
+      if (conn->ingest != nullptr &&
+          (conn->ingest->outstanding > 0 || conn->parked.has_value()))
+        continue;
+      conn->goaway_sent = true;
+      send_error(*conn, ErrCode::kBusy, "server draining; resume later");
+    }
   }
 
   void accept_new() {
@@ -378,16 +523,20 @@ struct Server::Impl {
   }
 
   void handle_hello(Conn& conn, const Message& msg) {
+    // The version gate precedes body decode: the version rides in the
+    // frame meta, and a future version's HELLO body may legitimately
+    // have a shape this server cannot parse — "too new" must win over
+    // "malformed".
+    if (msg.type == MsgType::kHello &&
+        (msg.meta < kMinProtocolVersion || msg.meta > kProtocolVersion)) {
+      send_error(conn, ErrCode::kBadVersion,
+                 "unsupported protocol version " +
+                     std::to_string(msg.meta));
+      return;
+    }
     Hello hello;
     if (!decode_hello(msg, hello)) {
       send_error(conn, ErrCode::kBadMessage, "expected HELLO");
-      return;
-    }
-    if (hello.version < kMinProtocolVersion ||
-        hello.version > kProtocolVersion) {
-      send_error(conn, ErrCode::kBadVersion,
-                 "unsupported protocol version " +
-                     std::to_string(hello.version));
       return;
     }
     const auto it = tenants.find(hello.token);
@@ -404,13 +553,50 @@ struct Server::Impl {
     const std::string path = (dir / (hello.record + ".cdcc")).string();
 
     Welcome welcome;
-    welcome.version = kProtocolVersion;
+    // Speak the client's dialect: a v1 client gets a v1 WELCOME and never
+    // sees the resume machinery.
+    welcome.version = std::min(hello.version, kProtocolVersion);
     welcome.level = std::min(hello.level, config.max_level);
     welcome.session_id = ++next_session_id;
     welcome.limits = config.limits;
+    const bool wants_resume = hello.version >= 2 && hello.resumable;
 
     if (hello.intent == Intent::kIngest) {
-      if (tenant.active.size() + tenant.sealed.size() >=
+      if (wants_resume && tenant.resumable.count(hello.record) != 0) {
+        // Reopen the journaled partial at its durable prefix. The name
+        // moves resumable → active; record/byte quota was already charged
+        // against this upload when it first opened.
+        conn.ingest =
+            open_resumed_ingest(tenant, hello.record, path, &welcome.level);
+        if (conn.ingest == nullptr) {
+          // The journal or container failed validation: the durable state
+          // is unrecoverable, so free the name rather than wedge it. The
+          // client cannot transparently re-send (its acked prefix is
+          // gone); it must hear the truth and start over.
+          tenant.resumable.erase(hello.record);
+          std::error_code ec;
+          fs::remove(path, ec);
+          fs::remove(store::session_journal_path(path), ec);
+          fs::remove(path + ".cdcq", ec);
+          stat_partials_discarded.fetch_add(1, std::memory_order_relaxed);
+          obs::counter("net.server.resume.discarded").add(1);
+          send_error(conn, ErrCode::kInternal,
+                     "record '" + hello.record + "' cannot be resumed");
+          return;
+        }
+        tenant.resumable.erase(hello.record);
+        tenant.active.insert(hello.record);
+        conn.tenant = &tenant;
+        conn.phase = Conn::Phase::kIngest;
+        obs::counter("net.sessions.opened").add(1);
+        obs::counter("net.server.resume.sessions").add(1);
+        stat_sessions_opened.fetch_add(1, std::memory_order_relaxed);
+        stat_sessions_resumed.fetch_add(1, std::memory_order_relaxed);
+        send_msg(conn, encode_welcome(welcome));
+        return;
+      }
+      if (tenant.active.size() + tenant.sealed.size() +
+              tenant.resumable.size() >=
           tenant.config.max_records) {
         send_error(conn, ErrCode::kQuota, "record quota exhausted");
         return;
@@ -432,7 +618,8 @@ struct Server::Impl {
         return;
       }
       conn.tenant = &tenant;
-      conn.ingest = open_ingest(tenant, hello.record, path, welcome.level);
+      conn.ingest = open_ingest(tenant, hello.record, path, welcome.level,
+                                wants_resume);
       if (conn.ingest == nullptr) {
         send_error(conn, ErrCode::kInternal, "cannot open record");
         return;
@@ -477,49 +664,138 @@ struct Server::Impl {
   std::shared_ptr<IngestSession> open_ingest(TenantState& tenant,
                                              const std::string& record,
                                              const std::string& path,
-                                             compress::DeflateLevel level) {
+                                             compress::DeflateLevel level,
+                                             bool resumable) {
     const std::uint64_t budget =
         tenant.config.max_bytes - tenant.used_raw_bytes;
     std::shared_ptr<IngestSession> session;
     try {
       session = std::make_shared<IngestSession>(
           tenant.config.name, record, path, budget,
-          config.ingest_queue_batches);
+          budget + (budget >> 2) + 4096, config.ingest_queue_batches,
+          std::make_unique<store::ContainerStore>(path));
     } catch (const std::exception&) {
       return nullptr;
     }
     session->level = level;
+    if (resumable) {
+      session->resumable = true;
+      session->journal = store::SessionJournal::create(
+          store::session_journal_path(path), tenant.config.name, record,
+          static_cast<std::uint8_t>(level));
+      if (session->journal == nullptr) {
+        session->container->abandon();
+        std::error_code ec;
+        fs::remove(path, ec);
+        return nullptr;
+      }
+    }
+    attach_sink_and_worker(tenant, *session);
+    return session;
+  }
+
+  /// Reopens a journaled partial: validates the journal, resumes the
+  /// container at the journal's durable prefix (truncating any torn tail),
+  /// and restores the session counters to exactly what the last durable
+  /// PUT_ACK promised. Nullptr when either sidecar fails validation.
+  std::shared_ptr<IngestSession> open_resumed_ingest(
+      TenantState& tenant, const std::string& record, const std::string& path,
+      compress::DeflateLevel* level_out) {
+    const std::optional<store::JournalState> js =
+        store::read_session_journal(store::session_journal_path(path));
+    if (!js.has_value() || js->record != record ||
+        js->tenant != tenant.config.name)
+      return nullptr;
+    if (js->level > static_cast<std::uint8_t>(compress::DeflateLevel::kBest))
+      return nullptr;
+    // An empty journal proves only the 8-byte container header; a populated
+    // one proves exactly container_bytes.
+    const std::uint64_t durable =
+        js->entries == 0 ? kContainerHeaderBytes : js->container_bytes;
+    std::string error;
+    auto container =
+        store::ContainerStore::resume(path, durable, js->metas, &error);
+    if (container == nullptr) return nullptr;
+    const std::uint64_t budget =
+        tenant.config.max_bytes - tenant.used_raw_bytes;
+    // The quota backstop budget accounts for the bytes already stored in
+    // the resumed prefix (QuotaStore's own meter restarts at zero).
+    const std::uint64_t backstop = budget + (budget >> 2) + 4096;
+    std::shared_ptr<IngestSession> session;
+    try {
+      session = std::make_shared<IngestSession>(
+          tenant.config.name, record, path, budget,
+          backstop > durable ? backstop - durable : 1,
+          config.ingest_queue_batches, std::move(container));
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+    // The session resumes at the level it was journaled with — byte
+    // identity requires every frame of the record to share one encoder
+    // setting, whatever the reconnecting HELLO asked for.
+    session->level = static_cast<compress::DeflateLevel>(js->level);
+    *level_out = session->level;
+    session->resumable = true;
+    session->committed_seq.store(js->last_seq, std::memory_order_relaxed);
+    session->frames = js->frames_total;
+    session->raw_bytes = js->raw_bytes_total;
+    session->journal =
+        store::SessionJournal::open_append(store::session_journal_path(path));
+    if (session->journal == nullptr) return nullptr;
+    attach_sink_and_worker(tenant, *session);
+    return session;
+  }
+
+  void attach_sink_and_worker(TenantState& tenant, IngestSession& session) {
+    session.target = &session.quota;
+    if (config.store_wrapper) {
+      session.wrapped = config.store_wrapper(&session.quota);
+      if (session.wrapped != nullptr) session.target = session.wrapped.get();
+    }
     switch (config.sink_mode) {
       case SinkMode::kInline:
-        session->sink =
-            std::make_unique<tool::InlineFrameSink>(&session->quota);
+        session.sink = std::make_unique<tool::InlineFrameSink>(session.target);
         break;
       case SinkMode::kService: {
         store::CompressionService::Config service_config;
         service_config.workers = config.service_workers;
-        service_config.level = level;
-        session->service = std::make_unique<store::CompressionService>(
-            &session->quota, service_config);
-        session->sink =
-            std::make_unique<tool::AsyncFrameSink>(session->service.get());
+        service_config.level = session.level;
+        session.service = std::make_unique<store::CompressionService>(
+            session.target, service_config);
+        session.sink =
+            std::make_unique<tool::AsyncFrameSink>(session.service.get());
         break;
       }
       case SinkMode::kRetrying:
-        session->sink = std::make_unique<tool::RetryingFrameSink>(
-            &session->quota, store::RetryPolicy{}, path + ".cdcq");
+        session.sink = std::make_unique<tool::RetryingFrameSink>(
+            session.target, store::RetryPolicy{}, session.path + ".cdcq");
         break;
     }
-    session->tenant_frames = &obs::counter(
-        "net.tenant." + tenant.config.name + ".frames");
-    session->tenant_bytes = &obs::counter(
-        "net.tenant." + tenant.config.name + ".raw_bytes");
-    IngestSession* raw = session.get();
-    session->worker = std::thread([this, raw] { ingest_loop(*raw); });
-    return session;
+    session.tenant_frames =
+        &obs::counter("net.tenant." + tenant.config.name + ".frames");
+    session.tenant_bytes =
+        &obs::counter("net.tenant." + tenant.config.name + ".raw_bytes");
+    IngestSession* raw = &session;
+    session.worker = std::thread([this, raw] { ingest_loop(*raw); });
   }
 
   void handle_ingest(Conn& conn, const Message& msg) {
     IngestSession& session = *conn.ingest;
+    if (msg.type == MsgType::kResume) {
+      // Only legal before any PUT on this connection: the worker is then
+      // provably idle, so the event thread can read the durable totals
+      // without racing the journal writes.
+      if (conn.puts_seen || session.seal_enqueued) {
+        send_error(conn, ErrCode::kBadMessage, "RESUME after PUT_FRAMES");
+        return;
+      }
+      Resumed resumed;
+      resumed.last_seq = session.committed_seq.load(std::memory_order_relaxed);
+      resumed.frames_ingested = session.frames;
+      resumed.bytes_ingested = session.raw_bytes;
+      send_msg(conn, encode_resumed(resumed));
+      return;
+    }
     if (msg.type == MsgType::kPutFrames) {
       if (session.sealed || session.seal_enqueued) {
         send_error(conn, ErrCode::kBadMessage, "PUT_FRAMES after SEAL");
@@ -531,6 +807,7 @@ struct Server::Impl {
                    "malformed or over-limit PUT_FRAMES batch");
         return;
       }
+      conn.puts_seen = true;
       enqueue(conn, std::move(item));
       return;
     }
@@ -552,7 +829,10 @@ struct Server::Impl {
     static obs::Counter& suspensions =
         obs::counter("net.backpressure.suspensions");
     static obs::Gauge& suspended = obs::gauge("net.backpressure.suspended");
-    if (conn.ingest->queue.try_push(std::move(item))) return;
+    if (conn.ingest->queue.try_push(std::move(item))) {
+      ++conn.ingest->outstanding;
+      return;
+    }
     // Queue full: park the batch and stop reading this socket until the
     // worker drains — bounded buffering, TCP pushes back to the client.
     conn.parked = std::move(item);
@@ -565,6 +845,7 @@ struct Server::Impl {
     static obs::Gauge& suspended = obs::gauge("net.backpressure.suspended");
     if (!conn.parked.has_value() || conn.ingest == nullptr) return;
     if (!conn.ingest->queue.try_push(std::move(*conn.parked))) return;
+    ++conn.ingest->outstanding;
     conn.parked.reset();
     suspended.sub(1);
     // Messages parsed before the suspension may still be buffered; resume
@@ -657,10 +938,25 @@ struct Server::Impl {
 
   // --- ingest worker ------------------------------------------------------
 
+  /// Chaos hook: SIGKILL the process when `counter` reaches `target`
+  /// (server-global Nth trigger; 0 = disabled). Out-of-process only — the
+  /// kill-sweep harness runs cdc_served as a child it can reap.
+  static void maybe_crash_at(std::uint32_t target,
+                             std::atomic<std::uint32_t>& counter) {
+    if (target != 0 &&
+        counter.fetch_add(1, std::memory_order_relaxed) + 1 == target)
+      ::raise(SIGKILL);
+  }
+
+  static void maybe_crash_if(bool flag) {
+    if (flag) ::raise(SIGKILL);
+  }
+
   void ingest_loop(IngestSession& session) {
     static obs::Counter& frames_total = obs::counter("net.ingest.frames");
     static obs::Counter& bytes_total = obs::counter("net.ingest.raw_bytes");
     static obs::Counter& batches_total = obs::counter("net.ingest.batches");
+    static obs::Counter& deduped = obs::counter("net.server.resume.deduped");
     static obs::Histogram& batch_ns =
         obs::histogram("net.ingest.batch_ns");
     static obs::Histogram& batch_frames =
@@ -671,13 +967,24 @@ struct Server::Impl {
       if (item.seal) {
         try {
           if (session.service != nullptr) session.service->drain();
-          session.container.seal();
+          maybe_crash_if(config.crash.kill_before_seal);
+          session.container->seal();
+          // The footer is durable: the journal has served its purpose and
+          // must go before SEALED, so a later crash + startup scan sees a
+          // finished record, not a resumable partial.
+          if (session.journal != nullptr) {
+            session.journal.reset();
+            std::error_code ec;
+            fs::remove(store::session_journal_path(session.path), ec);
+          }
+          session.sealed_on_disk.store(true, std::memory_order_release);
+          maybe_crash_if(config.crash.kill_after_seal);
           Completion done;
           done.kind = Completion::Kind::kSealed;
           std::error_code ec;
           const auto size = fs::file_size(session.path, ec);
           done.sealed.container_bytes = ec ? 0 : size;
-          done.sealed.streams = session.container.keys().size();
+          done.sealed.streams = session.container->keys().size();
           done.sealed.frames = session.frames;
           complete(session, std::move(done));
         } catch (const std::exception& e) {
@@ -687,6 +994,27 @@ struct Server::Impl {
       }
       const obs::Stopwatch sw;
       try {
+        // Resume dedup: anything at or below the durable high-water mark
+        // was flushed + journaled in a previous life (or a previous send);
+        // re-ack with the durable totals and drop the bytes.
+        const std::uint64_t committed =
+            session.committed_seq.load(std::memory_order_relaxed);
+        if (item.batch.seq <= committed) {
+          deduped.add(1);
+          stat_batches_deduped.fetch_add(1, std::memory_order_relaxed);
+          Completion ack;
+          ack.kind = Completion::Kind::kAck;
+          ack.ack.seq = item.batch.seq;
+          ack.ack.frames_ingested = session.frames;
+          ack.ack.bytes_ingested = session.raw_bytes;
+          complete(session, std::move(ack));
+          continue;
+        }
+        if (item.batch.seq != committed + 1) {
+          fail_session(session, ErrCode::kBadMessage,
+                       "out-of-order batch sequence");
+          continue;
+        }
         std::uint64_t batch_bytes = 0;
         for (const WireFrame& frame : item.batch.frames)
           batch_bytes += frame.payload.size();
@@ -696,6 +1024,19 @@ struct Server::Impl {
           fail_session(session, ErrCode::kQuota,
                        "tenant byte quota exhausted");
           continue;
+        }
+        // Journal entries describe container frames in file order, so the
+        // epoch flags must be captured per wire frame before the payloads
+        // are moved into the sink.
+        std::vector<store::ResumeFrameMeta> metas;
+        if (session.journal != nullptr) {
+          metas.reserve(item.batch.frames.size());
+          for (const WireFrame& frame : item.batch.frames) {
+            store::ResumeFrameMeta meta;
+            meta.has_epoch = frame.epoch.has_value();
+            if (frame.epoch.has_value()) meta.epoch = *frame.epoch;
+            metas.push_back(meta);
+          }
         }
         for (WireFrame& frame : item.batch.frames) {
           if (frame.pre_encoded) {
@@ -710,10 +1051,10 @@ struct Server::Impl {
               break;
             }
             if (frame.epoch.has_value())
-              session.quota.append_epoch(frame.key, frame.payload,
-                                         *frame.epoch);
+              session.target->append_epoch(frame.key, frame.payload,
+                                           *frame.epoch);
             else
-              session.quota.append(frame.key, frame.payload);
+              session.target->append(frame.key, frame.payload);
           } else {
             tool::FrameJob job;
             job.codec = frame.codec;
@@ -726,8 +1067,28 @@ struct Server::Impl {
           }
         }
         if (session.failed.load(std::memory_order_relaxed)) continue;
+        // Durability before acknowledgement (DESIGN.md §14): drain the
+        // parallel service so every frame of this batch is in the
+        // container, flush the container, fsync the journal entry, and
+        // only then advance committed_seq and emit the PUT_ACK. The crash
+        // hooks bracket each ordering edge the kill sweep exercises.
+        maybe_crash_at(config.crash.kill_before_sync_batch, crash_sync_count);
+        if (session.service != nullptr) session.service->drain();
+        session.target->sync();
         session.frames += item.batch.frames.size();
         session.raw_bytes += batch_bytes;
+        if (session.journal != nullptr) {
+          if (!session.journal->append_batch(
+                  item.batch.seq, metas, session.frames, session.raw_bytes,
+                  session.container->writer_file_bytes())) {
+            fail_session(session, ErrCode::kInternal,
+                         "session journal write failed");
+            continue;
+          }
+        }
+        session.committed_seq.store(item.batch.seq,
+                                    std::memory_order_release);
+        maybe_crash_at(config.crash.kill_before_ack_batch, crash_ack_count);
         frames_total.add(item.batch.frames.size());
         bytes_total.add(batch_bytes);
         batches_total.add(1);
@@ -781,6 +1142,7 @@ struct Server::Impl {
       done.swap(conn.ingest->done);
     }
     for (Completion& completion : done) {
+      if (conn.ingest->outstanding > 0) --conn.ingest->outstanding;
       switch (completion.kind) {
         case Completion::Kind::kAck:
           send_msg(conn, encode_put_ack(completion.ack));
@@ -818,21 +1180,48 @@ struct Server::Impl {
       session.queue.close();
       if (session.worker.joinable()) session.worker.join();
       if (!session.sealed) {
-        // Partial upload: discard. Quiesce the sink stack first — the
-        // CompressionService destructor drains its backlog into the
-        // store, and those commits must land before the container is
-        // abandoned (append-after-abandon is a checked abort). Then the
-        // container is abandoned (no footer) and removed, the name
-        // freed — a retry re-uploads from scratch.
+        // Quiesce the sink stack first — the CompressionService
+        // destructor drains its backlog into the store, and those commits
+        // must land before the container is abandoned or parked
+        // (append-after-abandon is a checked abort).
         session.sink.reset();
         session.service.reset();
-        session.container.abandon();
-        std::error_code ec;
-        fs::remove(session.path, ec);
-        fs::remove(session.path + ".cdcq", ec);
-        if (conn.tenant != nullptr) conn.tenant->active.erase(session.record);
-        obs::counter("net.sessions.aborted").add(1);
-        stat_sessions_aborted.fetch_add(1, std::memory_order_relaxed);
+        if (session.sealed_on_disk.load(std::memory_order_acquire)) {
+          // The worker sealed but the SEALED reply never drained: the
+          // record on disk is whole, so register it — deleting it here
+          // would destroy a finished record.
+          if (conn.tenant != nullptr) {
+            conn.tenant->active.erase(session.record);
+            conn.tenant->sealed.insert(session.record);
+            conn.tenant->used_raw_bytes += session.raw_bytes;
+          }
+          obs::counter("net.sessions.sealed").add(1);
+          stat_sessions_sealed.fetch_add(1, std::memory_order_relaxed);
+        } else if (session.resumable) {
+          // Park the partial: journal + container stay on disk, the name
+          // moves active → resumable, and a reconnecting HELLO picks the
+          // upload back up at the durable prefix.
+          session.journal.reset();
+          session.container->abandon();
+          if (conn.tenant != nullptr) {
+            conn.tenant->active.erase(session.record);
+            conn.tenant->resumable.insert(session.record);
+          }
+          obs::counter("net.server.resume.parked").add(1);
+          stat_sessions_parked.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Non-resumable partial: discard. The container is abandoned
+          // (no footer) and removed, the name freed — a retry re-uploads
+          // from scratch.
+          session.container->abandon();
+          std::error_code ec;
+          fs::remove(session.path, ec);
+          fs::remove(session.path + ".cdcq", ec);
+          if (conn.tenant != nullptr)
+            conn.tenant->active.erase(session.record);
+          obs::counter("net.sessions.aborted").add(1);
+          stat_sessions_aborted.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       conn.ingest.reset();
     }
@@ -861,6 +1250,11 @@ struct Server::Impl {
   int wake_pipe[2] = {-1, -1};
   std::uint16_t bound_port = 0;
   std::atomic<bool> stop_requested{false};
+  std::atomic<bool> drain_requested{false};
+  std::atomic<bool> drained_clean{false};
+  std::chrono::steady_clock::time_point drain_deadline;
+  std::atomic<std::uint32_t> crash_sync_count{0};
+  std::atomic<std::uint32_t> crash_ack_count{0};
   std::thread event_thread;
   std::map<std::string, TenantState> tenants;  ///< token → state
   std::vector<std::unique_ptr<Conn>> conns;
@@ -875,6 +1269,11 @@ struct Server::Impl {
   std::atomic<std::uint64_t> stat_bytes_ingested{0};
   std::atomic<std::uint64_t> stat_errors_sent{0};
   std::atomic<std::uint64_t> stat_suspensions{0};
+  std::atomic<std::uint64_t> stat_sessions_resumed{0};
+  std::atomic<std::uint64_t> stat_sessions_recovered{0};
+  std::atomic<std::uint64_t> stat_sessions_parked{0};
+  std::atomic<std::uint64_t> stat_batches_deduped{0};
+  std::atomic<std::uint64_t> stat_partials_discarded{0};
 };
 
 Server::Server(ServerConfig config)
@@ -885,6 +1284,10 @@ Server::~Server() { stop(); }
 bool Server::start(std::string* error) { return impl_->start(error); }
 
 void Server::stop() { impl_->stop(); }
+
+bool Server::drain(std::uint32_t timeout_ms) {
+  return impl_->drain(timeout_ms);
+}
 
 std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
 
@@ -907,6 +1310,16 @@ Server::Stats Server::stats() const {
   stats.errors_sent = impl_->stat_errors_sent.load(std::memory_order_relaxed);
   stats.backpressure_suspensions =
       impl_->stat_suspensions.load(std::memory_order_relaxed);
+  stats.sessions_resumed =
+      impl_->stat_sessions_resumed.load(std::memory_order_relaxed);
+  stats.sessions_recovered =
+      impl_->stat_sessions_recovered.load(std::memory_order_relaxed);
+  stats.sessions_parked =
+      impl_->stat_sessions_parked.load(std::memory_order_relaxed);
+  stats.batches_deduped =
+      impl_->stat_batches_deduped.load(std::memory_order_relaxed);
+  stats.partials_discarded =
+      impl_->stat_partials_discarded.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -23,9 +23,25 @@
 // unchanged. A disconnect mid-ingest discards the partial record — the
 // client's retry re-uploads from scratch — so a record name either refers
 // to a sealed, verifiable container or to nothing.
+//
+// Crash safety (DESIGN.md §14): a v2 client may mark its session
+// *resumable* in HELLO. The server then journals per-batch durability in a
+// CRC'd sidecar (store/session_journal.h) — container bytes are flushed
+// and the journal entry fsync'd BEFORE the PUT_ACK goes out — and a
+// disconnect parks the partial instead of discarding it. A reconnecting
+// resumable HELLO reopens the container at its durable prefix
+// (ContainerStore::resume), answers RESUME with the durable high-water
+// mark, and deduplicates re-sent batches by sequence number, so the sealed
+// result is byte-identical to an uninterrupted upload. On start() the
+// store root is scanned: journaled partials are rebuilt into the resume
+// table, un-journaled partials are discarded. drain() is the graceful
+// SIGTERM path: stop accepting, GOAWAY idle connections, let in-flight
+// batches finish, journal-and-park resumable sessions, all under a
+// deadline.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -33,6 +49,7 @@
 
 #include "compress/deflate.h"
 #include "net/protocol.h"
+#include "runtime/storage.h"
 
 namespace cdc::net {
 
@@ -67,6 +84,28 @@ struct ServerConfig {
   /// session worker, to force queue buildup and exercise backpressure.
   std::uint32_t ingest_delay_us = 0;
   int listen_backlog = 128;
+  /// Test seam: wraps the store each ingest session's sink stack (and its
+  /// durability sync()) writes through — e.g. a store::IoFaultStore to
+  /// exercise the fsync-before-ack ordering. The wrapped store must
+  /// delegate to the passed inner store; null return means "no wrap".
+  std::function<std::unique_ptr<runtime::RecordStore>(runtime::RecordStore*)>
+      store_wrapper;
+  /// Chaos knobs (cdc_served --crash-*): raise SIGKILL at a precise
+  /// protocol state, for the kill-sweep harness. Batch counters are
+  /// server-global (Nth batch across all sessions); 0 / false = off.
+  struct CrashPlan {
+    /// SIGKILL while ingesting the Nth batch: frames appended, container
+    /// NOT yet flushed, journal NOT yet written — the mid-batch tear.
+    std::uint32_t kill_before_sync_batch = 0;
+    /// SIGKILL after the Nth batch is flushed + journaled but before its
+    /// PUT_ACK — the client must survive an ack it never saw.
+    std::uint32_t kill_before_ack_batch = 0;
+    /// SIGKILL on SEAL after the backlog drains, before the footer.
+    bool kill_before_seal = false;
+    /// SIGKILL after the footer is durable, before the SEALED reply.
+    bool kill_after_seal = false;
+  };
+  CrashPlan crash;
 };
 
 class Server {
@@ -81,10 +120,20 @@ class Server {
   /// on bind/listen failure.
   [[nodiscard]] bool start(std::string* error = nullptr);
 
-  /// Stops accepting, aborts in-flight sessions (their partial records are
-  /// discarded), closes every connection, and joins all threads.
-  /// Idempotent.
+  /// Stops accepting, aborts in-flight sessions (non-resumable partial
+  /// records are discarded; resumable ones are parked for a later resume),
+  /// closes every connection, and joins all threads. Idempotent.
   void stop();
+
+  /// Graceful shutdown: stops accepting, sends a GOAWAY-style ERROR(kBusy)
+  /// to idle connections, lets every enqueued batch finish (journaled and
+  /// acked), then closes ingest connections — resumable sessions are
+  /// parked with their journals intact, so clients can reconnect and
+  /// resume after a restart. Returns true when every connection closed
+  /// before `timeout_ms`; false means the deadline forced the exit (the
+  /// surviving state is still consistent — journals never over-promise).
+  /// Joins all threads either way; call instead of stop().
+  [[nodiscard]] bool drain(std::uint32_t timeout_ms);
 
   /// The bound port (after start()); useful with port = 0.
   [[nodiscard]] std::uint16_t port() const noexcept;
@@ -99,6 +148,11 @@ class Server {
     std::uint64_t bytes_ingested = 0;  ///< raw payload bytes
     std::uint64_t errors_sent = 0;
     std::uint64_t backpressure_suspensions = 0;
+    std::uint64_t sessions_resumed = 0;    ///< reopened via resumable HELLO
+    std::uint64_t sessions_recovered = 0;  ///< journaled partials found at start()
+    std::uint64_t sessions_parked = 0;     ///< resumable partials kept on close
+    std::uint64_t batches_deduped = 0;     ///< re-sent batches dropped by seq
+    std::uint64_t partials_discarded = 0;  ///< unresumable leftovers removed
   };
   [[nodiscard]] Stats stats() const;
 

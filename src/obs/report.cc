@@ -173,6 +173,15 @@ PipelineReport PipelineReport::from_snapshot(
   r.net_ingest_batches = s.counter_or("net.ingest.batches");
   r.net_replay_windows = s.counter_or("net.replay.windows");
   r.net_replay_window_bytes = s.counter_or("net.replay.window_bytes");
+  r.net_resume_sessions = s.counter_or("net.server.resume.sessions");
+  r.net_resume_recovered = s.counter_or("net.server.resume.recovered");
+  r.net_resume_parked = s.counter_or("net.server.resume.parked");
+  r.net_resume_deduped = s.counter_or("net.server.resume.deduped");
+  r.net_resume_discarded = s.counter_or("net.server.resume.discarded");
+  r.net_client_reconnects = s.counter_or("net.client.retry.reconnects");
+  r.net_client_resumes = s.counter_or("net.client.retry.resumes");
+  r.net_client_resent_batches = s.counter_or("net.client.retry.resent_batches");
+  r.net_client_resent_bytes = s.counter_or("net.client.retry.resent_bytes");
   r.net_batch_ns = dist_or_empty(s, "net.ingest.batch_ns");
   // Tenant rows: every net.tenant.<name>.<what> counter becomes one cell.
   for (const CounterValue& c : s.counters) {
@@ -345,6 +354,19 @@ std::string PipelineReport::to_json() const {
   w.field("ingest_batches", net_ingest_batches);
   w.field("replay_windows", net_replay_windows);
   w.field("replay_window_bytes", net_replay_window_bytes);
+  w.key("resume").begin_object();
+  w.field("sessions", net_resume_sessions);
+  w.field("recovered", net_resume_recovered);
+  w.field("parked", net_resume_parked);
+  w.field("deduped", net_resume_deduped);
+  w.field("discarded", net_resume_discarded);
+  w.end_object();
+  w.key("client_retry").begin_object();
+  w.field("reconnects", net_client_reconnects);
+  w.field("resumes", net_client_resumes);
+  w.field("resent_batches", net_client_resent_batches);
+  w.field("resent_bytes", net_client_resent_bytes);
+  w.end_object();
   write_dist(w, "ingest_batch_ns", net_batch_ns);
   w.key("tenants").begin_object();
   for (const auto& [tenant, row] : net_tenants) {
@@ -496,6 +518,19 @@ void PipelineReport::print(std::FILE* out) const {
                  bytes(net_ingest_raw_bytes).c_str(), net_ingest_batches,
                  net_replay_windows,
                  bytes(net_replay_window_bytes).c_str());
+    if (net_resume_sessions > 0 || net_resume_recovered > 0 ||
+        net_resume_parked > 0 || net_client_reconnects > 0) {
+      std::fprintf(out,
+                   "  resume  : %" PRIu64 " sessions, %" PRIu64
+                   " recovered, %" PRIu64 " parked, %" PRIu64
+                   " deduped, %" PRIu64 " discarded; clients %" PRIu64
+                   " reconnects, %" PRIu64 " batches re-sent (%s)\n",
+                   net_resume_sessions, net_resume_recovered,
+                   net_resume_parked, net_resume_deduped,
+                   net_resume_discarded, net_client_reconnects,
+                   net_client_resent_batches,
+                   bytes(net_client_resent_bytes).c_str());
+    }
     for (const auto& [tenant, row] : net_tenants)
       std::fprintf(out, "  tenant %-16s %8" PRIu64 " frames  %s\n",
                    tenant.c_str(), row.frames,

@@ -136,6 +136,17 @@ struct PipelineReport {
   std::uint64_t net_ingest_batches = 0;
   std::uint64_t net_replay_windows = 0;
   std::uint64_t net_replay_window_bytes = 0;
+  // Crash-safe resume (DESIGN.md §14): server-side session lifecycle
+  // and client-side retry activity.
+  std::uint64_t net_resume_sessions = 0;    ///< resumed via v2 HELLO
+  std::uint64_t net_resume_recovered = 0;   ///< journaled partials at start
+  std::uint64_t net_resume_parked = 0;      ///< partials kept on disconnect
+  std::uint64_t net_resume_deduped = 0;     ///< re-sent batches dropped
+  std::uint64_t net_resume_discarded = 0;   ///< unresumable partials removed
+  std::uint64_t net_client_reconnects = 0;
+  std::uint64_t net_client_resumes = 0;
+  std::uint64_t net_client_resent_batches = 0;
+  std::uint64_t net_client_resent_bytes = 0;
   DistReport net_batch_ns;  ///< per-batch ingest wall time
   /// Per-tenant ingest totals, keyed by tenant name (the server registers
   /// net.tenant.<name>.frames / .raw_bytes counters per tenant).

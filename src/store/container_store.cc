@@ -34,6 +34,24 @@ std::unique_ptr<ContainerStore> ContainerStore::open(
   return store;
 }
 
+std::unique_ptr<ContainerStore> ContainerStore::resume(
+    const std::string& path, std::uint64_t durable_bytes,
+    std::span<const ResumeFrameMeta> metas, std::string* error,
+    std::size_t shard_count) {
+  auto writer = ContainerWriter::resume(path, durable_bytes, metas, error);
+  if (writer == nullptr) return nullptr;
+  auto store = std::unique_ptr<ContainerStore>(
+      new ContainerStore(path, shard_count, /*read_only=*/true));
+  store->writer_ = std::move(writer);
+  // The file now holds exactly the durable prefix; a fresh scan yields the
+  // surviving frames in file order, which is per-stream sequence order.
+  auto reader = ContainerReader::open(path, error);
+  if (reader == nullptr) return nullptr;
+  for (const ContainerReader::GoodFrame& frame : reader->scan_good_frames())
+    store->memory_.append(frame.key, frame.payload);
+  return store;
+}
+
 void ContainerStore::append(const runtime::StreamKey& key,
                             std::span<const std::uint8_t> bytes) {
   CDC_CHECK_MSG(writer_ != nullptr,
@@ -72,6 +90,10 @@ std::uint64_t ContainerStore::total_bytes() const {
 
 std::uint64_t ContainerStore::rank_bytes(minimpi::Rank rank) const {
   return memory_.rank_bytes(rank);
+}
+
+std::uint64_t ContainerStore::writer_file_bytes() const {
+  return writer_ != nullptr ? writer_->stats().file_bytes : 0;
 }
 
 void ContainerStore::sync() {

@@ -37,6 +37,17 @@ class ContainerStore final : public runtime::RecordStore {
       const std::string& path,
       std::size_t shard_count = ShardedStore::kDefaultShards);
 
+  /// Recording mode over an unsealed container left behind by a crash:
+  /// validates + reopens the durable prefix via ContainerWriter::resume
+  /// (truncating any torn tail) and reloads the surviving payloads into
+  /// the memory shards, so reads, appends, and a later seal() behave as if
+  /// the store had lived through a single life. Returns nullptr (and sets
+  /// *error) when the prefix does not validate against `metas`.
+  [[nodiscard]] static std::unique_ptr<ContainerStore> resume(
+      const std::string& path, std::uint64_t durable_bytes,
+      std::span<const ResumeFrameMeta> metas, std::string* error,
+      std::size_t shard_count = ShardedStore::kDefaultShards);
+
   void append(const runtime::StreamKey& key,
               std::span<const std::uint8_t> bytes) override;
   /// append() plus the chunk's epoch metadata, persisted in the
@@ -73,6 +84,11 @@ class ContainerStore final : public runtime::RecordStore {
   void abandon();
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Bytes written to the container file so far (header + whole frames;
+  /// recording mode only — 0 in replay mode). After sync() this is the
+  /// durable prefix length a resume journal records.
+  [[nodiscard]] std::uint64_t writer_file_bytes() const;
 
   /// The underlying container reader — non-null only in replay mode. The
   /// seam for windowed replay: epoch index lookups and

@@ -1,8 +1,10 @@
 #include "store/container_writer.h"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "compress/crc32.h"
+#include "store/container_reader.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/binary.h"
@@ -28,6 +30,78 @@ ContainerWriter::ContainerWriter(std::string path)
 }
 
 ContainerWriter::~ContainerWriter() { seal(); }
+
+std::unique_ptr<ContainerWriter> ContainerWriter::resume(
+    const std::string& path, std::uint64_t durable_bytes,
+    std::span<const ResumeFrameMeta> metas, std::string* error) {
+  const auto fail = [&](std::string why) -> std::unique_ptr<ContainerWriter> {
+    if (error != nullptr) *error = std::move(why);
+    return nullptr;
+  };
+  const auto reader = ContainerReader::open(path, error);
+  if (reader == nullptr) return nullptr;
+  if (!reader->header_ok())
+    return fail("resume: " + reader->header_error());
+  constexpr std::uint64_t kHeaderBytes = sizeof(kContainerMagic) + 4;
+  if (durable_bytes < kHeaderBytes || reader->file_bytes() < durable_bytes)
+    return fail("resume: durable size beyond the file");
+
+  auto writer = std::unique_ptr<ContainerWriter>(
+      new ContainerWriter(ResumeTag{}, path));
+  writer->offset_ = kHeaderBytes;
+  std::size_t used = 0;
+  for (const ContainerReader::GoodFrame& frame : reader->scan_good_frames()) {
+    if (frame.offset >= durable_bytes) break;
+    // The durable prefix must be gapless: every byte below durable_bytes
+    // was flushed before it was journaled, so a hole means the journal and
+    // the container disagree — refuse rather than resurrect wrong bytes.
+    if (frame.offset != writer->offset_)
+      return fail("resume: damaged frame inside the durable prefix");
+    if (used >= metas.size())
+      return fail("resume: more durable frames than journal entries");
+    IndexEntry& entry = writer->index_[frame.key];
+    if (frame.seq != entry.offsets.size())
+      return fail("resume: per-stream sequence mismatch");
+    const ResumeFrameMeta& meta = metas[used];
+    // Mirror append_frame_locked's epoch bookkeeping exactly, so seal()
+    // after a resume emits the same epoch index a single-life writer would.
+    if (!meta.has_epoch) {
+      entry.epochs_complete = false;
+      entry.epochs.clear();
+    } else if (entry.epochs_complete) {
+      entry.epochs.push_back(EpochRecord{frame.offset, meta.epoch.matched,
+                                         meta.epoch.unmatched});
+    }
+    support::ByteWriter head;
+    head.svarint(frame.key.rank);
+    head.varint(frame.key.callsite);
+    head.varint(frame.seq);
+    head.varint(frame.payload.size());
+    const std::uint64_t frame_size = 1 + head.size() + frame.payload.size() + 4;
+    entry.offsets.push_back(frame.offset);
+    entry.payload_bytes += frame.payload.size();
+    writer->offset_ += frame_size;
+    ++writer->frames_;
+    writer->payload_bytes_ += frame.payload.size();
+    ++used;
+  }
+  if (writer->offset_ != durable_bytes)
+    return fail("resume: durable size is not a frame boundary");
+  if (used != metas.size())
+    return fail("resume: journal entries beyond the durable prefix");
+
+  // Drop the torn tail, then reopen for appends at the durable boundary.
+  // std::ios::in keeps the open from truncating what we just validated.
+  std::error_code ec;
+  std::filesystem::resize_file(path, durable_bytes, ec);
+  if (ec) return fail("resume: truncate failed: " + ec.message());
+  writer->out_.open(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!writer->out_.good()) return fail("resume: cannot reopen container");
+  writer->out_.seekp(static_cast<std::streamoff>(durable_bytes));
+  if (!writer->out_.good()) return fail("resume: seek failed");
+  obs::counter("store.container.resumes").add(1);
+  return writer;
+}
 
 void ContainerWriter::append_frame(const runtime::StreamKey& key,
                                    std::span<const std::uint8_t> payload) {

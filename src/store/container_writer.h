@@ -9,19 +9,45 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "store/container.h"
 
 namespace cdc::store {
+
+/// Per-frame epoch metadata needed to rebuild a writer's in-memory index
+/// when resuming an unsealed container: the frame bytes on disk do not
+/// carry matched/unmatched counts (those live only in the seal-time epoch
+/// index), so a resume journal must persist them per appended frame.
+struct ResumeFrameMeta {
+  bool has_epoch = false;
+  runtime::EpochMeta epoch;
+};
 
 class ContainerWriter {
  public:
   /// Creates (truncating) `path` and writes the container header. Aborts
   /// with a CDC_CHECK error if the file cannot be created.
   explicit ContainerWriter(std::string path);
+
+  /// Reopens an unsealed container for further appends — the crash-recovery
+  /// path. The first `durable_bytes` of the file must be an intact header
+  /// plus whole frames (anything beyond is a torn tail and is truncated
+  /// away); `metas` supplies the epoch metadata of those frames in append
+  /// order, exactly as a journal recorded them. Returns nullptr (and sets
+  /// *error) when the prefix does not validate — a failed resume leaves the
+  /// file truncated only if validation already passed, so callers can still
+  /// salvage. On success the writer's index, counters, and append offset
+  /// are byte-for-byte what the original writer held after its last
+  /// durable frame: continuing the append stream and sealing yields a
+  /// container identical to one written in a single life.
+  [[nodiscard]] static std::unique_ptr<ContainerWriter> resume(
+      const std::string& path, std::uint64_t durable_bytes,
+      std::span<const ResumeFrameMeta> metas, std::string* error);
 
   /// Seals the container if the caller has not already done so.
   ~ContainerWriter();
@@ -73,6 +99,10 @@ class ContainerWriter {
     std::vector<EpochRecord> epochs;  ///< one per frame, when complete
     bool epochs_complete = true;      ///< every frame carried EpochMeta
   };
+
+  struct ResumeTag {};
+  /// Shell for resume(): records the path, opens nothing.
+  ContainerWriter(ResumeTag, std::string path) : path_(std::move(path)) {}
 
   void append_frame_locked(const runtime::StreamKey& key,
                            std::span<const std::uint8_t> payload,

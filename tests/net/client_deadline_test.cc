@@ -1,0 +1,132 @@
+// The client's poll(2)-based deadlines: a server that accepts and then
+// never replies must not wedge connect() past `timeout_ms`, and a dial
+// into a saturated accept queue must not wedge past
+// `connect_timeout_ms`. Both failures are *local* and therefore
+// retryable — the reconnect loop classifies them as such.
+#include "net/client.h"
+
+#include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace cdc::net {
+namespace {
+
+/// A listening socket that never accept()s (and therefore never replies).
+class SilentListener {
+ public:
+  SilentListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(fd_, 1);
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~SilentListener() {
+    for (const int fd : clogged_) ::close(fd);
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Fills the accept queue with raw connections so later SYNs are
+  /// dropped and a new connect() hangs in SYN_SENT.
+  void clog() {
+    for (int i = 0; i < 8; ++i) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) break;
+      timeval tv{};
+      tv.tv_usec = 200 * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port_);
+      (void)::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      clogged_.push_back(fd);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<int> clogged_;
+};
+
+TEST(ClientDeadlineTest, SilentServerBoundsTheHandshake) {
+  // The kernel completes the TCP handshake from the backlog, so the
+  // HELLO goes out — but no WELCOME ever comes back. The read deadline
+  // must fire instead of blocking forever.
+  SilentListener listener;
+  Client::Options options;
+  options.port = listener.port();
+  options.token = "tok";
+  options.record = "rec";
+  options.timeout_ms = 300;
+  options.connect_timeout_ms = 2000;
+  std::string error;
+  const auto started = std::chrono::steady_clock::now();
+  auto client = Client::connect(options, &error);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+  EXPECT_EQ(client, nullptr);
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  // Generous ceiling: the point is "bounded", not "exactly 300 ms".
+  EXPECT_LT(elapsed, 10000) << error;
+}
+
+TEST(ClientDeadlineTest, SaturatedAcceptQueueBoundsTheDial) {
+  // With the accept queue full the kernel drops our SYN and the connect
+  // sits in SYN_SENT; the poll(POLLOUT) deadline must cut it off.
+  SilentListener listener;
+  listener.clog();
+  Client::Options options;
+  options.port = listener.port();
+  options.token = "tok";
+  options.record = "rec";
+  options.timeout_ms = 300;
+  options.connect_timeout_ms = 300;
+  std::string error;
+  const auto started = std::chrono::steady_clock::now();
+  auto client = Client::connect(options, &error);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+  EXPECT_EQ(client, nullptr);
+  // Either deadline may fire first (a lucky SYN can still land in the
+  // queue and then starve at the read); both must stay bounded.
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  EXPECT_LT(elapsed, 10000) << error;
+}
+
+TEST(ClientDeadlineTest, ZeroRetriesMeansNoReconnect) {
+  // Deadline failures are retryable only when a reconnect budget exists;
+  // the default budget of zero keeps the old fail-fast contract.
+  SilentListener listener;
+  Client::Options options;
+  options.port = listener.port();
+  options.token = "tok";
+  options.record = "rec";
+  options.timeout_ms = 200;
+  options.resumable = true;  // resumable alone must not imply retries
+  std::string error;
+  auto client = Client::connect(options, &error);
+  EXPECT_EQ(client, nullptr);
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace cdc::net
