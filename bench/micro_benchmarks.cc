@@ -7,12 +7,14 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <queue>
 #include <string_view>
 #include <vector>
 
 #include "compress/crc32.h"
 #include "compress/deflate.h"
 #include "compress/lz77.h"
+#include "minimpi/event_heap.h"
 #include "record/baseline.h"
 #include "store/compression_service.h"
 #include "store/mpmc_queue.h"
@@ -346,6 +348,87 @@ void BM_SpscQueueThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpscQueueThroughput);
+
+// --- src/minimpi/ event queue -------------------------------------------------
+
+/// The key shape of the simulator's events: (time, seq) with a strict
+/// total order, pushed and popped in the discrete-event hot loop.
+struct QueueEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+};
+struct QueueEventBefore {
+  bool operator()(const QueueEvent& a, const QueueEvent& b) const noexcept {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+};
+
+/// Steady-state churn at a backlog of `hold` pending events: pop the
+/// minimum, schedule a successor — the simulator's per-event cost.
+/// EventHeap is the reserve-ahead binary heap the simulator uses
+/// (minimpi/event_heap.h); BM_EventQueuePriorityQueue is the
+/// std::priority_queue it replaced.
+void BM_EventQueue(benchmark::State& state) {
+  const auto hold = static_cast<std::size_t>(state.range(0));
+  minimpi::EventHeap<QueueEvent, QueueEventBefore> heap;
+  heap.reserve(hold);
+  support::Xoshiro256 rng(7);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < hold; ++i) heap.push({rng.uniform(), seq++});
+  for (auto _ : state) {
+    QueueEvent ev = heap.pop();
+    ev.time += rng.uniform() * 0.01;
+    ev.seq = seq++;
+    heap.push(ev);
+    benchmark::DoNotOptimize(heap.top());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueue)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_EventQueuePriorityQueue(benchmark::State& state) {
+  const auto hold = static_cast<std::size_t>(state.range(0));
+  // Min-queue: std::priority_queue pops the Compare-largest element.
+  const auto after = [](const QueueEvent& a, const QueueEvent& b) {
+    return QueueEventBefore{}(b, a);
+  };
+  std::priority_queue<QueueEvent, std::vector<QueueEvent>, decltype(after)>
+      queue(after);
+  support::Xoshiro256 rng(7);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < hold; ++i) queue.push({rng.uniform(), seq++});
+  for (auto _ : state) {
+    QueueEvent ev = queue.top();
+    queue.pop();
+    ev.time += rng.uniform() * 0.01;
+    ev.seq = seq++;
+    queue.push(ev);
+    benchmark::DoNotOptimize(queue.top());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePriorityQueue)->Arg(64)->Arg(4096)->Arg(65536);
+
+/// One simulated run's fill-then-drain, queue reused across runs: the
+/// reserve-ahead heap keeps its backing vector (clear() holds capacity),
+/// so iterations after the first are allocation-free.
+void BM_EventQueueFillDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  minimpi::EventHeap<QueueEvent, QueueEventBefore> heap;
+  heap.reserve(n);
+  support::Xoshiro256 rng(11);
+  for (auto _ : state) {
+    heap.clear();
+    for (std::size_t i = 0; i < n; ++i) heap.push({rng.uniform(), i});
+    double last = 0.0;
+    while (!heap.empty()) last = heap.pop().time;
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueFillDrain)->Arg(4096)->Arg(65536);
+
+// --- §4.2 record queue rates --------------------------------------------------
 
 void BM_AsyncRecorderDrain(benchmark::State& state) {
   // End-to-end: application thread enqueues, the dedicated CDC thread

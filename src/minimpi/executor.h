@@ -1,0 +1,56 @@
+// Event-loop drivers for the MiniMPI simulator.
+//
+// One interface, two engines. The SequentialExecutor is the original
+// single-threaded (time, seq)-ordered loop — bit-identical to every
+// earlier release, and the reference semantics the record/replay tests
+// were built against. The ParallelExecutor runs rank coroutines on a
+// worker-thread pool under conservative time-window synchronization
+// (DESIGN.md §15): all workers apply events with `time < horizon`, meet at
+// an epoch barrier where cross-rank deliveries and collective completions
+// are resolved, then the horizon advances by the lookahead (the minimum
+// cross-rank message latency, Config::base_latency — fault-plan delays
+// only ever add to it). Every event carries a (time, origin_seq,
+// origin_rank) key assigned during its origin rank's own deterministic
+// execution, so per-rank application order — and therefore every recorded
+// schedule — is identical for every worker count.
+//
+// Simulator::run() picks the engine from Config::workers; instantiate an
+// Executor directly only to drive one simulator with a pre-built engine.
+#pragma once
+
+#include <memory>
+
+#include "minimpi/simulator.h"
+
+namespace cdc::minimpi {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Drives `sim` to completion and returns its final stats. Same
+  /// contract as Simulator::run(): aborts with a diagnostic on deadlock.
+  virtual Simulator::Stats run(Simulator& sim) = 0;
+
+  /// The engine Config::workers selects: 0 → sequential, ≥ 1 → parallel
+  /// with that many workers.
+  [[nodiscard]] static std::unique_ptr<Executor> make(int workers);
+};
+
+class SequentialExecutor final : public Executor {
+ public:
+  Simulator::Stats run(Simulator& sim) override;
+};
+
+class ParallelExecutor final : public Executor {
+ public:
+  /// `workers` ≥ 1; capped at the simulator's rank count per run.
+  explicit ParallelExecutor(int workers);
+
+  Simulator::Stats run(Simulator& sim) override;
+
+ private:
+  int requested_workers_;
+};
+
+}  // namespace cdc::minimpi

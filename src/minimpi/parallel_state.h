@@ -1,0 +1,158 @@
+// Per-rank shard state of the parallel executor (DESIGN.md §15).
+//
+// Everything the sequential loop keeps globally that would make a
+// schedule depend on global event order — RNG streams, sequence counters,
+// channel bookkeeping, the event queue itself — lives here per rank.
+// A shard is touched only by the worker currently running its rank (one
+// ready-task per rank per window keeps that owner-serialized) or by the
+// coordinator while every worker is quiesced at the window barrier, so no
+// shard field needs a lock. Internal header: included by simulator.cc and
+// parallel_executor.cc only.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "minimpi/event_heap.h"
+#include "minimpi/simulator.h"
+#include "support/rng.h"
+
+namespace cdc::minimpi {
+
+struct Simulator::ParallelState {
+  /// One parallel event. `oseq` is drawn from the *origin* rank's shard
+  /// counter while that rank executes deterministically, so the
+  /// (time, oseq, orank) key is unique and worker-count-invariant — heap
+  /// pop order never depends on which worker inserted what when.
+  struct PEvent {
+    double time = 0.0;
+    std::uint64_t oseq = 0;
+    Rank orank = -1;
+    EventType type = EventType::kResume;
+    Rank rank = -1;                  ///< destination rank
+    std::coroutine_handle<> handle;  ///< kResume only
+    std::uint64_t payload = 0;       ///< kTimeout: the armed mf_epoch
+    std::unique_ptr<Message> msg;    ///< kDeliver only (no global in-flight map)
+  };
+
+  /// Strict total order over unique keys: the tie-break total order of the
+  /// window protocol.
+  struct PEventBefore {
+    bool operator()(const PEvent& a, const PEvent& b) const noexcept {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.oseq != b.oseq) return a.oseq < b.oseq;
+      return a.orank < b.orank;
+    }
+  };
+
+  struct Shard {
+    EventHeap<PEvent, PEventBefore> heap;
+    /// Deterministic per-rank streams: draws depend only on this rank's
+    /// own execution order, never on cross-rank interleaving.
+    support::Xoshiro256 noise{1};
+    support::Xoshiro256 fault_rng{1};
+    std::uint32_t burst_remaining = 0;
+    std::uint64_t next_seq = 0;        ///< event + arrival sequence counter
+    std::uint64_t next_match_seq = 1;  ///< candidate surfacing order
+    double now = 0.0;                  ///< time of the event being applied
+    // Sender-side channel state, keyed by destination rank (all traffic on
+    // a (src, dst) channel originates here).
+    std::unordered_map<Rank, double> channel_last_arrival;
+    std::unordered_map<Rank, std::uint64_t> channel_send_seq;
+    // Receiver-side transport dedup, keyed by source rank.
+    std::unordered_map<Rank, std::uint64_t> channel_delivered_seq;
+    /// Satellite-exact accounting: per-shard tallies merged once at run
+    /// end — no atomics anywhere on the hot path.
+    Stats stats;
+    FaultStats fault_stats;
+    std::uint64_t max_heap_depth = 0;
+  };
+
+  /// Per-worker scratch, cache-line padded against false sharing.
+  struct alignas(64) Worker {
+    /// Cross-rank deliveries produced this window; the coordinator drains
+    /// them into destination heaps at the barrier. Capacity is retained
+    /// across windows (allocation-free steady state).
+    std::vector<PEvent> outbox;
+    std::uint64_t window_events = 0;
+    std::uint64_t total_events = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t idle_windows = 0;
+    std::size_t slice_begin = 0;  ///< into `ready`
+    std::size_t slice_size = 0;
+  };
+
+  /// Work-stealing cursor of one worker's ready slice; owner and thieves
+  /// both claim ranks by fetch_add.
+  struct alignas(64) Cursor {
+    std::atomic<std::size_t> next{0};
+  };
+
+  int workers = 1;
+  double lookahead = 0.0;
+  double horizon = 0.0;
+  std::vector<Shard> shards;
+  std::vector<std::unique_ptr<Worker>> worker_state;
+  std::unique_ptr<Cursor[]> cursors;
+  /// Ranks with at least one event below the horizon, rebuilt per window.
+  std::vector<Rank> ready;
+
+  // Cross-rank effects are staged through these and resolved only at the
+  // window barrier, where the coordinator re-runs collective completion
+  // deterministically (rank-order iteration, quiesced workers).
+  std::atomic<int> barrier_waiting{0};
+  std::atomic<int> allreduce_waiting{0};
+  std::atomic<int> failed_count{0};
+  std::atomic<bool> collective_dirty{false};
+
+  void push_delivery(Worker& producer, double arrival, Shard& origin,
+                     Rank origin_rank, Rank dst, Message&& msg) {
+    PEvent ev;
+    ev.time = arrival;
+    ev.oseq = origin.next_seq++;
+    ev.orank = origin_rank;
+    ev.type = EventType::kDeliver;
+    ev.rank = dst;
+    ev.msg = std::make_unique<Message>(std::move(msg));
+    producer.outbox.push_back(std::move(ev));
+  }
+
+  // --- Engine driver (parallel_executor.cc) -------------------------------
+
+  /// The worker currently executing on this thread; par_post_isend routes
+  /// outgoing deliveries to its outbox. The main thread doubles as worker
+  /// 0 (and as the coordinator).
+  static thread_local Worker* tls_worker;
+
+  std::barrier<>* sync = nullptr;
+  std::atomic<bool> stop{false};
+  /// A worker stashed `error` (application exception surfaced through a
+  /// rank coroutine); the coordinator turns it into a stop, and drive()
+  /// rethrows after joining.
+  std::atomic<bool> worker_failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;  ///< guarded by error_mu
+
+  std::uint64_t windows = 0;
+  std::uint64_t last_progress = ~std::uint64_t{0};
+  bool first_window = true;
+
+  Simulator::Stats drive(Simulator& sim);
+  void worker_loop(Simulator& sim, int wid);
+  /// Coordinator serial section: merge outboxes, resolve cross-rank
+  /// effects, then either lay out the next window or stop the engine.
+  void coordinate(Simulator& sim);
+  void merge_and_resolve(Simulator& sim);
+  void process_window(Simulator& sim, int wid);
+  void run_rank(Simulator& sim, Worker& me, Rank rank);
+  [[nodiscard]] double global_now() const noexcept;
+};
+
+}  // namespace cdc::minimpi

@@ -39,12 +39,28 @@ std::uint64_t mix(std::uint64_t x) noexcept {
 
 minimpi::Simulator::Config sim_config(int num_ranks,
                                       std::uint64_t noise_seed,
-                                      const minimpi::FaultPlan& faults) {
+                                      const minimpi::FaultPlan& faults,
+                                      int workers = 0) {
   minimpi::Simulator::Config config;
   config.num_ranks = num_ranks;
   config.noise_seed = noise_seed;
   config.faults = faults;
+  config.workers = workers;
   return config;
+}
+
+/// Seed-cycled executor axis for record runs: rotate through the
+/// sequential engine and 1/2/4-worker parallel engines so every fuzz
+/// class continuously proves that a parallel-recorded container replays
+/// (on the sequential engine) exactly like a sequentially recorded one.
+/// Replay runs stay sequential — replay fidelity is the property under
+/// test, not a second parallelism axis. The recorder-crash class also
+/// stays sequential: its CrashingStore throws from whichever thread
+/// flushes, and the crash point is defined in terms of the sequential
+/// flush sequence.
+int workers_for(std::uint64_t seed) noexcept {
+  static constexpr std::array<int, 4> kWorkerAxis = {0, 1, 2, 4};
+  return kWorkerAxis[seed % kWorkerAxis.size()];
 }
 
 std::uint64_t fired_faults(const minimpi::FaultStats& stats) noexcept {
@@ -187,7 +203,7 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_transport_case(
   support::OrderProbe record_probe(&recorder);
   minimpi::Simulator record_sim(
       sim_config(workload_.num_ranks, mix(seed * 4 + 1),
-                 plan_for(cls, mix(seed * 4 + 2))),
+                 plan_for(cls, mix(seed * 4 + 2)), workers_for(seed)),
       &record_probe);
   const double recorded_value = workload_.run(record_sim);
   recorder.finalize();
@@ -320,8 +336,10 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_kill_case(std::uint64_t seed,
   // or after the last.
   double probe_end = 0.0;
   {
+    // Same engine as the record run below, so the span estimate matches.
     minimpi::Simulator probe(
-        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {}));
+        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {},
+                   workers_for(seed)));
     workload_.run(probe);
     probe_end = probe.stats().end_time;
   }
@@ -349,7 +367,8 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_kill_case(std::uint64_t seed,
                             tool_options(options_.chunk_target));
     support::OrderProbe record_probe(&recorder);
     minimpi::Simulator record_sim(
-        sim_config(workload_.num_ranks, mix(seed * 4 + 1), plan),
+        sim_config(workload_.num_ranks, mix(seed * 4 + 1), plan,
+                   workers_for(seed)),
         &record_probe);
     workload_.run(record_sim);
     recorder.finalize();
@@ -431,7 +450,9 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_io_fault_case(
                             tool_options(options_.chunk_target));
     support::OrderProbe probe(&recorder);
     minimpi::Simulator sim(
-        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {}), &probe);
+        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {},
+                   workers_for(seed)),
+        &probe);
     recorded_value = workload_.run(sim);
     recorder.finalize();
     recorded_trace = probe.trace();
@@ -459,7 +480,9 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_io_fault_case(
                             tool_options(options_.chunk_target), &sink);
     support::OrderProbe probe(&recorder);
     minimpi::Simulator sim(
-        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {}), &probe);
+        sim_config(workload_.num_ranks, mix(seed * 4 + 1), {},
+                   workers_for(seed)),
+        &probe);
     workload_.run(sim);
     recorder.finalize();
     checkpoint_failures = recorder.checkpoint_failures();
@@ -547,7 +570,8 @@ std::optional<FuzzFailure> ScheduleFuzzer::run_window_case(
     support::OrderProbe record_probe(&recorder);
     minimpi::Simulator record_sim(
         sim_config(workload_.num_ranks, mix(seed * 8 + 1),
-                   plan_for(transport, mix(seed * 8 + 2))),
+                   plan_for(transport, mix(seed * 8 + 2)),
+                   workers_for(seed)),
         &record_probe);
     workload_.run(record_sim);
     recorder.finalize();

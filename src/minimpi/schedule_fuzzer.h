@@ -12,8 +12,14 @@
 // truncates a sealed container at every frame boundary and proves each
 // salvaged prefix CRC-verifies and replays faithfully.
 //
+// The simulator's executor is a seed-cycled fuzz axis: record runs rotate
+// through the sequential engine and 1/2/4-worker parallel engines
+// (workers = {0,1,2,4}[seed % 4]), so every class also exercises the
+// conservative-window parallel executor; replay runs stay sequential.
+//
 // Every failure carries (workload, fault class, seed) — the complete
-// reproduction key: two runs with the same triple are bit-identical.
+// reproduction key: two runs with the same triple are bit-identical
+// (the worker count is derived from the seed).
 #pragma once
 
 #include <array>

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "minimpi/executor.h"
+#include "minimpi/parallel_state.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,7 +21,7 @@ void ComputeAwaiter::await_suspend(std::coroutine_handle<> handle) {
 void MFAwaiter::await_suspend(std::coroutine_handle<> handle) {
   auto& ctx = sim->ranks_[static_cast<std::size_t>(rank)];
   CDC_CHECK_MSG(!ctx.mf_active, "rank issued a second MF call while pending");
-  ++sim->stats_.mf_calls;
+  ++sim->rank_stats(rank).mf_calls;
 
   // Send-only MF calls complete immediately (buffered-send model) and do
   // not pass through the tool: the paper records receives only.
@@ -75,6 +77,13 @@ void BarrierAwaiter::await_suspend(std::coroutine_handle<> handle) {
   CDC_CHECK(!ctx.in_barrier && ctx.allreduce == nullptr);
   ctx.in_barrier = true;
   ctx.collective_continuation = handle;
+  if (sim->par_ != nullptr) {
+    // Entry is rank-local; completion is a cross-rank effect and is
+    // resolved only by the coordinator at the window barrier.
+    sim->par_->barrier_waiting.fetch_add(1, std::memory_order_relaxed);
+    sim->par_->collective_dirty.store(true, std::memory_order_release);
+    return;
+  }
   ++sim->barrier_waiting_;
   sim->complete_barrier_if_ready();
 }
@@ -86,6 +95,11 @@ void AllreduceAwaiter::await_suspend(std::coroutine_handle<> handle) {
   ctx.collective_continuation = handle;
   sim->allreduce_inputs_[static_cast<std::size_t>(rank)] =
       std::move(contribution);
+  if (sim->par_ != nullptr) {
+    sim->par_->allreduce_waiting.fetch_add(1, std::memory_order_relaxed);
+    sim->par_->collective_dirty.store(true, std::memory_order_release);
+    return;
+  }
   ++sim->allreduce_waiting_;
   sim->complete_allreduce_if_ready();
 }
@@ -181,6 +195,42 @@ void Simulator::set_program(Rank rank, const Program& program) {
   CDC_CHECK(ctx.task.valid());
 }
 
+// --- Mode-aware indirections (DESIGN.md §15) ------------------------------
+
+double Simulator::cur_now(Rank rank) const noexcept {
+  return par_ != nullptr ? par_->shards[static_cast<std::size_t>(rank)].now
+                         : now_;
+}
+
+std::uint64_t Simulator::alloc_seq(Rank rank) {
+  return par_ != nullptr
+             ? par_->shards[static_cast<std::size_t>(rank)].next_seq++
+             : next_seq_++;
+}
+
+std::uint64_t Simulator::alloc_match_seq(Rank rank) {
+  return par_ != nullptr
+             ? par_->shards[static_cast<std::size_t>(rank)].next_match_seq++
+             : next_match_seq_++;
+}
+
+Simulator::Stats& Simulator::rank_stats(Rank rank) {
+  return par_ != nullptr ? par_->shards[static_cast<std::size_t>(rank)].stats
+                         : stats_;
+}
+
+FaultStats& Simulator::rank_fault_stats(Rank rank) {
+  return par_ != nullptr
+             ? par_->shards[static_cast<std::size_t>(rank)].fault_stats
+             : fault_stats_;
+}
+
+support::Xoshiro256& Simulator::fault_rng_for(Rank rank) {
+  return par_ != nullptr
+             ? par_->shards[static_cast<std::size_t>(rank)].fault_rng
+             : fault_rng_;
+}
+
 void Simulator::schedule(double time, EventType type, Rank rank,
                          std::coroutine_handle<> handle,
                          std::uint64_t message_index) {
@@ -188,41 +238,72 @@ void Simulator::schedule(double time, EventType type, Rank rank,
   // and never the fault-plan timers (kills, MF timeouts).
   if (type == EventType::kResume || type == EventType::kPoll)
     time = maybe_stall(time, rank);
+  if (par_ != nullptr) {
+    // Parallel deliveries travel through worker outboxes (par_post_isend),
+    // never through here, so every event schedule() sees targets the rank
+    // whose context is executing — its own shard, owner-serialized (or
+    // coordinator-serialized at the window barrier). The key is drawn from
+    // that shard's counter, so it never depends on worker interleaving.
+    CDC_CHECK(type != EventType::kDeliver);
+    auto& shard = par_->shards[static_cast<std::size_t>(rank)];
+    ParallelState::PEvent ev;
+    ev.time = time;
+    ev.oseq = shard.next_seq++;
+    ev.orank = rank;
+    ev.type = type;
+    ev.rank = rank;
+    ev.handle = handle;
+    ev.payload = message_index;
+    shard.heap.push(std::move(ev));
+    shard.max_heap_depth =
+        std::max<std::uint64_t>(shard.max_heap_depth, shard.heap.size());
+    return;
+  }
   events_.push(Event{time, next_seq_++, type, rank, handle, message_index});
+  stats_.max_queue_depth =
+      std::max<std::uint64_t>(stats_.max_queue_depth, events_.size());
 }
 
 double Simulator::maybe_stall(double time, Rank rank) {
   const FaultPlan& plan = config_.faults;
   if (plan.stall_probability <= 0.0 || rank < 0) return time;
-  if (fault_rng_.uniform() >= plan.stall_probability) return time;
-  const double stall = plan.stall_mean * (0.5 + fault_rng_.uniform());
-  ++fault_stats_.stalls;
-  fault_stats_.stall_seconds += stall;
+  support::Xoshiro256& rng = fault_rng_for(rank);
+  if (rng.uniform() >= plan.stall_probability) return time;
+  const double stall = plan.stall_mean * (0.5 + rng.uniform());
+  FaultStats& tallies = rank_fault_stats(rank);
+  ++tallies.stalls;
+  tallies.stall_seconds += stall;
   obs::trace_instant("fault.stall", rank);
   hooks_->on_fault(FaultKind::kRankStall, rank);
   return time + stall;
 }
 
-double Simulator::apply_message_faults(double latency, Rank dst) {
+double Simulator::apply_message_faults(double latency, Rank src, Rank dst) {
   const FaultPlan& plan = config_.faults;
   const double scale = config_.base_latency + config_.jitter_mean;
+  support::Xoshiro256& rng = fault_rng_for(src);
+  FaultStats& tallies = rank_fault_stats(src);
+  std::uint32_t& burst_remaining =
+      par_ != nullptr
+          ? par_->shards[static_cast<std::size_t>(src)].burst_remaining
+          : burst_remaining_;
   if (plan.delay_spike_probability > 0.0 &&
-      fault_rng_.uniform() < plan.delay_spike_probability) {
-    latency += plan.delay_spike_factor * scale * (0.5 + fault_rng_.uniform());
-    ++fault_stats_.delay_spikes;
+      rng.uniform() < plan.delay_spike_probability) {
+    latency += plan.delay_spike_factor * scale * (0.5 + rng.uniform());
+    ++tallies.delay_spikes;
     obs::trace_instant("fault.delay_spike", dst);
     hooks_->on_fault(FaultKind::kDelaySpike, dst);
   }
   if (plan.reorder_burst_probability > 0.0) {
-    if (burst_remaining_ == 0 &&
-        fault_rng_.uniform() < plan.reorder_burst_probability) {
-      burst_remaining_ = plan.reorder_burst_length;
-      ++fault_stats_.reorder_bursts;
+    if (burst_remaining == 0 &&
+        rng.uniform() < plan.reorder_burst_probability) {
+      burst_remaining = plan.reorder_burst_length;
+      ++tallies.reorder_bursts;
     }
-    if (burst_remaining_ > 0) {
-      --burst_remaining_;
-      latency += fault_rng_.uniform() * plan.reorder_burst_spread * scale;
-      ++fault_stats_.burst_messages;
+    if (burst_remaining > 0) {
+      --burst_remaining;
+      latency += rng.uniform() * plan.reorder_burst_spread * scale;
+      ++tallies.burst_messages;
       obs::trace_instant("fault.reorder_burst", dst);
       hooks_->on_fault(FaultKind::kReorderBurst, dst);
     }
@@ -256,6 +337,7 @@ void Simulator::maybe_duplicate(const Message& msg, double arrival,
 
 Request Simulator::post_isend(Rank src, Rank dst, int tag,
                               std::span<const std::uint8_t> data) {
+  if (par_ != nullptr) return par_post_isend(src, dst, tag, data);
   CDC_CHECK(dst >= 0 && dst < size());
   CDC_CHECK(tag >= 0);
   auto& ctx = ranks_[static_cast<std::size_t>(src)];
@@ -272,7 +354,8 @@ Request Simulator::post_isend(Rank src, Rank dst, int tag,
   // arrival order is forced non-overtaking (MPI ordering guarantee).
   double latency =
       config_.base_latency + noise_.exponential(config_.jitter_mean);
-  if (config_.faults.enabled()) latency = apply_message_faults(latency, dst);
+  if (config_.faults.enabled())
+    latency = apply_message_faults(latency, src, dst);
   const std::uint64_t channel =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
       static_cast<std::uint32_t>(dst);
@@ -318,7 +401,7 @@ Request Simulator::post_irecv(Rank rank, Rank source, int tag) {
         posted.tag_spec == kAnyTag || posted.tag_spec == it->tag;
     if (src_ok && tag_ok) {
       posted.matched = true;
-      posted.match_seq = next_match_seq_++;
+      posted.match_seq = alloc_match_seq(rank);
       posted.message = std::move(*it);
       ctx.unexpected.erase(it);
       return Request{id};
@@ -348,7 +431,7 @@ void Simulator::insert_unexpected(RankCtx& ctx, Message&& message) {
   ctx.unexpected.insert(it, std::move(message));
 }
 
-void Simulator::rematch_unexpected(RankCtx& ctx) {
+void Simulator::rematch_unexpected(Rank rank, RankCtx& ctx) {
   // Re-run eager matching after a replay-tool rebinding disturbed the
   // request/message association: process arrivals in order against posted
   // receives in post order — the same rule the original arrivals followed.
@@ -360,7 +443,7 @@ void Simulator::rematch_unexpected(RankCtx& ctx) {
       auto& req = ctx.requests[*req_it];
       if (envelope_matches(req.source_spec, req.tag_spec, msg_it->source, msg_it->tag)) {
         req.matched = true;
-        req.match_seq = next_match_seq_++;
+        req.match_seq = alloc_match_seq(rank);
         req.message = std::move(*msg_it);
         ctx.posted_recvs.erase(req_it);
         msg_it = ctx.unexpected.erase(msg_it);
@@ -374,13 +457,13 @@ void Simulator::rematch_unexpected(RankCtx& ctx) {
 
 void Simulator::try_match_arrival(Rank rank, Message&& message) {
   auto& ctx = ranks_[static_cast<std::size_t>(rank)];
-  message.arrival_seq = next_seq_++;
+  message.arrival_seq = alloc_seq(rank);
   for (auto it = ctx.posted_recvs.begin(); it != ctx.posted_recvs.end();
        ++it) {
     auto& req = ctx.requests[*it];
     if (envelope_matches(req.source_spec, req.tag_spec, message.source, message.tag)) {
       req.matched = true;
-      req.match_seq = next_match_seq_++;
+      req.match_seq = alloc_match_seq(rank);
       const std::uint64_t id = *it;
       req.message = std::move(message);
       ctx.posted_recvs.erase(it);
@@ -389,7 +472,7 @@ void Simulator::try_match_arrival(Rank rank, Message&& message) {
         const auto& ids = ctx.mf->request_ids;
         if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
           ctx.mf_poll_scheduled = true;
-          schedule(now_, EventType::kPoll, rank);
+          schedule(cur_now(rank), EventType::kPoll, rank);
         }
       }
       return;
@@ -404,7 +487,7 @@ void Simulator::try_match_arrival(Rank rank, Message&& message) {
       if (!req.delivered &&
           envelope_matches(req.source_spec, req.tag_spec, message.source, message.tag)) {
         ctx.mf_poll_scheduled = true;
-        schedule(now_, EventType::kPoll, rank);
+        schedule(cur_now(rank), EventType::kPoll, rank);
         break;
       }
     }
@@ -416,7 +499,7 @@ void Simulator::poll_mf(Rank rank) {
   auto& ctx = ranks_[static_cast<std::size_t>(rank)];
   ctx.mf_poll_scheduled = false;
   if (!ctx.mf_active) return;
-  ctx.time = std::max(ctx.time, now_);
+  ctx.time = std::max(ctx.time, cur_now(rank));
   MFAwaiter& mf = *ctx.mf;
 
   std::vector<Candidate> candidates;
@@ -476,7 +559,7 @@ void Simulator::poll_mf(Rank rank) {
       CDC_CHECK_MSG(!blocking, "Wait-family call cannot report no-match");
       mf.result.flag = false;
       hooks_->on_unmatched_test(rank, mf.callsite);
-      ++stats_.unmatched_tests;
+      ++rank_stats(rank).unmatched_tests;
       break;
     }
     case SelectResult::Action::kDeliver: {
@@ -559,7 +642,7 @@ void Simulator::poll_mf(Rank rank) {
         completion.piggyback = msg.piggyback;
         completion.payload = std::move(msg.payload);
         mf.result.completions.push_back(std::move(completion));
-        ++stats_.receive_events_delivered;
+        ++rank_stats(rank).receive_events_delivered;
         obs::trace_instant("recv.deliver", rank, "source",
                            static_cast<std::uint64_t>(
                                static_cast<std::uint32_t>(msg.source)));
@@ -578,7 +661,7 @@ void Simulator::poll_mf(Rank rank) {
               ctx.posted_recvs.insert(it, id);
           }
         }
-        rematch_unexpected(ctx);
+        rematch_unexpected(rank, ctx);
       }
       if (hooks_ != &default_hooks_)
         ctx.time += config_.tool_event_cost *
@@ -614,9 +697,19 @@ void Simulator::check_rank_done(Rank rank) {
 
 void Simulator::complete_barrier_if_ready() {
   // Collectives complete over the survivors (ULFM shrink semantics):
-  // failed ranks neither participate nor are waited for.
-  if (live_count() == 0 || barrier_waiting_ != live_count()) return;
-  barrier_waiting_ = 0;
+  // failed ranks neither participate nor are waited for. Under the
+  // parallel executor this runs only on the coordinator with every worker
+  // quiesced at the window barrier, so the atomic entry counters are
+  // stable and the rank-order iteration below is deterministic.
+  const int waiting =
+      par_ != nullptr
+          ? par_->barrier_waiting.load(std::memory_order_acquire)
+          : barrier_waiting_;
+  if (live_count() == 0 || waiting != live_count()) return;
+  if (par_ != nullptr)
+    par_->barrier_waiting.store(0, std::memory_order_relaxed);
+  else
+    barrier_waiting_ = 0;
   const double hops = std::ceil(std::log2(std::max(2, live_count())));
   double release = 0.0;
   for (const auto& ctx : ranks_)
@@ -635,8 +728,15 @@ void Simulator::complete_barrier_if_ready() {
 }
 
 void Simulator::complete_allreduce_if_ready() {
-  if (live_count() == 0 || allreduce_waiting_ != live_count()) return;
-  allreduce_waiting_ = 0;
+  const int waiting =
+      par_ != nullptr
+          ? par_->allreduce_waiting.load(std::memory_order_acquire)
+          : allreduce_waiting_;
+  if (live_count() == 0 || waiting != live_count()) return;
+  if (par_ != nullptr)
+    par_->allreduce_waiting.store(0, std::memory_order_relaxed);
+  else
+    allreduce_waiting_ = 0;
 
   // Elementwise sum in strict rank order: bit-reproducible regardless of
   // arrival timing. Failed ranks' contributions are excluded — the
@@ -679,9 +779,12 @@ void Simulator::kill_rank(Rank rank) {
   auto& ctx = ranks_[static_cast<std::size_t>(rank)];
   if (ctx.failed || ctx.finished) return;  // nothing left to kill
   ctx.failed = true;
-  ++failed_count_;
-  ++fault_stats_.rank_kills;
-  ++stats_.ranks_failed;
+  if (par_ != nullptr)
+    par_->failed_count.fetch_add(1, std::memory_order_relaxed);
+  else
+    ++failed_count_;
+  ++rank_fault_stats(rank).rank_kills;
+  ++rank_stats(rank).ranks_failed;
   obs::trace_instant("fault.rank_kill", rank);
   hooks_->on_fault(FaultKind::kRankKill, rank);
 
@@ -695,13 +798,26 @@ void Simulator::kill_rank(Rank rank) {
   if (ctx.in_barrier) {
     ctx.in_barrier = false;
     ctx.collective_continuation = nullptr;
-    --barrier_waiting_;
+    if (par_ != nullptr)
+      par_->barrier_waiting.fetch_sub(1, std::memory_order_relaxed);
+    else
+      --barrier_waiting_;
   }
   if (ctx.allreduce != nullptr) {
     ctx.allreduce = nullptr;
     ctx.collective_continuation = nullptr;
     allreduce_inputs_[static_cast<std::size_t>(rank)].clear();
-    --allreduce_waiting_;
+    if (par_ != nullptr)
+      par_->allreduce_waiting.fetch_sub(1, std::memory_order_relaxed);
+    else
+      --allreduce_waiting_;
+  }
+  if (par_ != nullptr) {
+    // Dropping a participant may complete a collective over survivors, but
+    // that's a cross-rank effect: the coordinator resolves it at the next
+    // window barrier.
+    par_->collective_dirty.store(true, std::memory_order_release);
+    return;
   }
   // Dropping a participant may make a collective complete over survivors.
   complete_barrier_if_ready();
@@ -720,7 +836,7 @@ void Simulator::fail_mf(Rank rank, bool timed_out,
   mf.result.failed = true;
   mf.result.timed_out = timed_out;
   mf.result.failed_ranks = std::move(failed_ranks);
-  ++stats_.mf_failures;
+  ++rank_stats(rank).mf_failures;
   obs::trace_instant(timed_out ? "mf.timeout" : "mf.proc_failed", rank);
 
   ctx.mf_active = false;
@@ -819,6 +935,10 @@ void Simulator::describe_stuck_ranks() const {
 }
 
 Simulator::Stats Simulator::run() {
+  return Executor::make(config_.workers)->run(*this);
+}
+
+Simulator::Stats Simulator::run_sequential() {
   CDC_CHECK_MSG(!running_, "run() is not reentrant");
   running_ = true;
   for (int r = 0; r < size(); ++r) {
@@ -843,8 +963,7 @@ Simulator::Stats Simulator::run() {
   std::uint64_t last_progress = std::numeric_limits<std::uint64_t>::max();
   for (;;) {
     while (!events_.empty()) {
-      const Event ev = events_.top();
-      events_.pop();
+      const Event ev = events_.pop();
       CDC_CHECK(ev.time + 1e-15 >= now_);
       now_ = std::max(now_, ev.time);
       obs::publish_virtual_now(now_);
@@ -955,25 +1074,30 @@ Simulator::Stats Simulator::run() {
   }
   running_ = false;
 
+  emit_obs_stats();
+  return stats_;
+}
+
+void Simulator::emit_obs_stats() {
   // Mirror the per-run tallies into the obs registry so the pipeline
   // report sees them without holding a Stats copy.
-  if (obs::enabled()) {
-    obs::counter("sim.messages_sent").add(stats_.messages_sent);
-    obs::counter("sim.mf_calls").add(stats_.mf_calls);
-    obs::counter("sim.receive_events").add(stats_.receive_events_delivered);
-    obs::counter("sim.unmatched_tests").add(stats_.unmatched_tests);
-    obs::counter("sim.faults")
-        .add(fault_stats_.stalls + fault_stats_.delay_spikes +
-             fault_stats_.burst_messages + fault_stats_.duplicates_injected +
-             fault_stats_.rank_kills);
-    obs::counter("sim.ranks_failed").add(stats_.ranks_failed);
-    obs::counter("sim.mf_failures").add(stats_.mf_failures);
-    obs::counter("sim.mf_timeouts").add(stats_.mf_timeouts);
-    obs::gauge("sim.virtual_time_us")
-        .add(static_cast<std::int64_t>(stats_.end_time * 1e6));
-    obs::publish_virtual_now(stats_.end_time);
-  }
-  return stats_;
+  if (!obs::enabled()) return;
+  obs::counter("sim.messages_sent").add(stats_.messages_sent);
+  obs::counter("sim.mf_calls").add(stats_.mf_calls);
+  obs::counter("sim.receive_events").add(stats_.receive_events_delivered);
+  obs::counter("sim.unmatched_tests").add(stats_.unmatched_tests);
+  obs::counter("sim.faults")
+      .add(fault_stats_.stalls + fault_stats_.delay_spikes +
+           fault_stats_.burst_messages + fault_stats_.duplicates_injected +
+           fault_stats_.rank_kills);
+  obs::counter("sim.ranks_failed").add(stats_.ranks_failed);
+  obs::counter("sim.mf_failures").add(stats_.mf_failures);
+  obs::counter("sim.mf_timeouts").add(stats_.mf_timeouts);
+  obs::gauge("sim.max_queue_depth")
+      .add(static_cast<std::int64_t>(stats_.max_queue_depth));
+  obs::gauge("sim.virtual_time_us")
+      .add(static_cast<std::int64_t>(stats_.end_time * 1e6));
+  obs::publish_virtual_now(stats_.end_time);
 }
 
 }  // namespace cdc::minimpi

@@ -20,13 +20,13 @@
 #include <limits>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <span>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "minimpi/event_heap.h"
 #include "minimpi/fault.h"
 #include "minimpi/hooks.h"
 #include "minimpi/task.h"
@@ -150,6 +150,14 @@ class Simulator {
  public:
   struct Config {
     int num_ranks = 1;
+    /// Executor selection. 0 (the default) runs the original sequential
+    /// event loop, byte-for-byte identical to every earlier release. Any
+    /// value >= 1 runs the conservative time-window parallel executor with
+    /// that many worker threads (capped at num_ranks); its schedules are
+    /// deterministic in the seed and *identical for every worker count*,
+    /// but differ from the sequential executor's (per-rank RNG streams —
+    /// see DESIGN.md §15).
+    int workers = 0;
     std::uint64_t noise_seed = 1;      ///< permutes message arrival orders
     double base_latency = 1.0e-6;      ///< seconds, per message
     double jitter_mean = 5.0e-7;       ///< mean of exponential noise term
@@ -192,6 +200,10 @@ class Simulator {
     std::uint64_t mf_failures = 0;  ///< MF calls failed (ULFM-style)
     std::uint64_t mf_timeouts = 0;  ///< subset of mf_failures: timer expiry
     std::uint64_t ranks_failed = 0;  ///< ranks killed by the fault plan
+    /// High-water mark of the event queue (sequential) or the deepest
+    /// per-rank heap (parallel) — the backlog gauge the single-threaded
+    /// path never reported.
+    std::uint64_t max_queue_depth = 0;
     double end_time = 0.0;  ///< virtual seconds when the last rank finished
   };
 
@@ -235,6 +247,14 @@ class Simulator {
   friend struct MFAwaiter;
   friend struct BarrierAwaiter;
   friend struct AllreduceAwaiter;
+  friend class SequentialExecutor;
+  friend class ParallelExecutor;
+
+  /// Per-rank execution shards of the parallel executor (defined in
+  /// parallel_state.h; owned by ParallelExecutor for the duration of one
+  /// run). Non-null exactly while the parallel executor is driving this
+  /// simulator — every mode-aware helper below keys off it.
+  struct ParallelState;
 
   struct Message {
     Rank source = -1;
@@ -280,10 +300,12 @@ class Simulator {
     std::uint64_t message_index = 0;
   };
 
-  struct EventLater {
+  /// Strict total order (seq is unique), so the heap's pop sequence — and
+  /// therefore the schedule — is independent of its internal layout.
+  struct EventBefore {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
     }
   };
 
@@ -322,8 +344,8 @@ class Simulator {
                 std::coroutine_handle<> handle = nullptr,
                 std::uint64_t message_index = 0);
   /// Adds fault-plan extra latency (delay spikes, reorder bursts) for one
-  /// outgoing message; returns the adjusted latency.
-  double apply_message_faults(double latency, Rank dst);
+  /// outgoing message from `src`; returns the adjusted latency.
+  double apply_message_faults(double latency, Rank src, Rank dst);
   /// Schedules a transport duplicate of `msg` if the plan rolls one.
   void maybe_duplicate(const Message& msg, double arrival,
                        std::uint64_t channel);
@@ -331,7 +353,7 @@ class Simulator {
   double maybe_stall(double time, Rank rank);
   void try_match_arrival(Rank rank, Message&& message);
   void insert_unexpected(RankCtx& ctx, Message&& message);
-  void rematch_unexpected(RankCtx& ctx);
+  void rematch_unexpected(Rank rank, RankCtx& ctx);
   void poll_mf(Rank rank);
   void resume_rank(Rank rank, std::coroutine_handle<> handle, double time);
   void check_rank_done(Rank rank);
@@ -359,6 +381,34 @@ class Simulator {
                      std::span<const std::uint8_t> data);
   Request post_irecv(Rank rank, Rank source, int tag);
 
+  // --- Mode-aware indirections (DESIGN.md §15). The sequential executor
+  // uses the global counters and RNG streams below; under the parallel
+  // executor (par_ != nullptr) each routes to the owning rank's shard so
+  // every allocation order — and every key derived from one — depends only
+  // on that rank's own deterministic execution, never on cross-worker
+  // interleaving.
+  /// The virtual time of the event currently being applied for `rank`.
+  [[nodiscard]] double cur_now(Rank rank) const noexcept;
+  /// Next event/arrival sequence number (one counter serves both, as in
+  /// the sequential path).
+  std::uint64_t alloc_seq(Rank rank);
+  /// Next match sequence number (candidate surfacing order).
+  std::uint64_t alloc_match_seq(Rank rank);
+  /// Stats/fault tallies: the global structs, or the rank's shard.
+  [[nodiscard]] Stats& rank_stats(Rank rank);
+  [[nodiscard]] FaultStats& rank_fault_stats(Rank rank);
+  /// The fault RNG that serves `rank` (sender-side draws).
+  [[nodiscard]] support::Xoshiro256& fault_rng_for(Rank rank);
+
+  /// The original single-threaded event loop (workers == 0).
+  Stats run_sequential();
+  /// Parallel-mode send: per-shard RNG/channel state, delivery via the
+  /// current worker's outbox (defined in parallel_executor.cc).
+  Request par_post_isend(Rank src, Rank dst, int tag,
+                         std::span<const std::uint8_t> data);
+  /// Mirrors the per-run tallies into the obs registry (both executors).
+  void emit_obs_stats();
+
   Config config_;
   ToolHooks* hooks_;
   ToolHooks default_hooks_;
@@ -369,7 +419,7 @@ class Simulator {
   std::uint32_t burst_remaining_ = 0;
   FaultStats fault_stats_;
   std::vector<RankCtx> ranks_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  EventHeap<Event, EventBefore> events_;
   std::unordered_map<std::uint64_t, Message> in_flight_;
   std::unordered_map<std::uint64_t, double> channel_last_arrival_;
   std::unordered_map<std::uint64_t, std::uint64_t> channel_send_seq_;
@@ -384,6 +434,7 @@ class Simulator {
   std::vector<std::vector<double>> allreduce_inputs_;
   Stats stats_;
   bool running_ = false;
+  ParallelState* par_ = nullptr;
 };
 
 // --- Typed payload helpers ------------------------------------------------

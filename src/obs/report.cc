@@ -130,6 +130,14 @@ PipelineReport PipelineReport::from_snapshot(
   r.sim_faults = s.counter_or("sim.faults");
   if (const GaugeValue* vt = s.find_gauge("sim.virtual_time_us"))
     r.sim_virtual_seconds = static_cast<double>(vt->value) * 1e-6;
+  if (const GaugeValue* qd = s.find_gauge("sim.max_queue_depth"))
+    r.sim_max_queue_depth = static_cast<std::uint64_t>(qd->value);
+  if (const GaugeValue* workers = s.find_gauge("sim.exec.workers"))
+    r.exec_workers = static_cast<std::uint64_t>(workers->value);
+  r.exec_windows = s.counter_or("sim.exec.horizon_advances");
+  r.exec_steals = s.counter_or("sim.exec.steals");
+  r.exec_barrier_waits = s.counter_or("sim.exec.barrier_waits");
+  r.exec_worker_events = dist_or_empty(s, "sim.exec.worker_events");
 
   r.writer_frames = s.counter_or("store.container.frames");
   r.writer_payload_bytes = s.counter_or("store.container.payload_bytes");
@@ -317,6 +325,14 @@ std::string PipelineReport::to_json() const {
   w.field("mf_calls", sim_mf_calls);
   w.field("faults", sim_faults);
   w.field("virtual_seconds", sim_virtual_seconds);
+  w.field("max_queue_depth", sim_max_queue_depth);
+  w.key("executor").begin_object();
+  w.field("workers", exec_workers);
+  w.field("windows", exec_windows);
+  w.field("steals", exec_steals);
+  w.field("barrier_waits", exec_barrier_waits);
+  write_dist(w, "worker_events", exec_worker_events);
+  w.end_object();
   w.end_object();
 
   w.key("corpus").begin_object();
@@ -415,6 +431,14 @@ void PipelineReport::print(std::FILE* out) const {
                  " faults, %.6f virtual s\n",
                  sim_events, sim_messages, sim_mf_calls, sim_faults,
                  sim_virtual_seconds);
+  if (exec_workers > 0)
+    std::fprintf(out,
+                 "executor  : %" PRIu64 " workers, %" PRIu64
+                 " windows, %" PRIu64 " steals, %" PRIu64
+                 " idle worker-windows; events/worker p50 %.0f max %" PRIu64
+                 "\n",
+                 exec_workers, exec_windows, exec_steals, exec_barrier_waits,
+                 exec_worker_events.p50, exec_worker_events.max);
   if (events_matched > 0) {
     std::fprintf(out,
                  "record    : %" PRIu64 " matched + %" PRIu64

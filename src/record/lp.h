@@ -19,12 +19,17 @@
 namespace cdc::record {
 
 /// eₙ = xₙ − 2xₙ₋₁ + xₙ₋₂ with out-of-range terms zero.
+///
+/// The arithmetic is done in uint64 so adversarial inputs (fuzzed chunk
+/// bytes decode to arbitrary int64 values) wrap mod 2⁶⁴ instead of hitting
+/// signed overflow; encode/decode stay exact inverses under wraparound.
 inline std::vector<std::int64_t> lp_encode(std::span<const std::int64_t> xs) {
   std::vector<std::int64_t> es(xs.size());
   for (std::size_t n = 0; n < xs.size(); ++n) {
-    const std::int64_t x1 = n >= 1 ? xs[n - 1] : 0;
-    const std::int64_t x2 = n >= 2 ? xs[n - 2] : 0;
-    es[n] = xs[n] - 2 * x1 + x2;
+    const auto x1 = static_cast<std::uint64_t>(n >= 1 ? xs[n - 1] : 0);
+    const auto x2 = static_cast<std::uint64_t>(n >= 2 ? xs[n - 2] : 0);
+    es[n] = static_cast<std::int64_t>(static_cast<std::uint64_t>(xs[n]) -
+                                      2 * x1 + x2);
   }
   return es;
 }
@@ -33,9 +38,10 @@ inline std::vector<std::int64_t> lp_encode(std::span<const std::int64_t> xs) {
 inline std::vector<std::int64_t> lp_decode(std::span<const std::int64_t> es) {
   std::vector<std::int64_t> xs(es.size());
   for (std::size_t n = 0; n < es.size(); ++n) {
-    const std::int64_t x1 = n >= 1 ? xs[n - 1] : 0;
-    const std::int64_t x2 = n >= 2 ? xs[n - 2] : 0;
-    xs[n] = es[n] + 2 * x1 - x2;
+    const auto x1 = static_cast<std::uint64_t>(n >= 1 ? xs[n - 1] : 0);
+    const auto x2 = static_cast<std::uint64_t>(n >= 2 ? xs[n - 2] : 0);
+    xs[n] = static_cast<std::int64_t>(static_cast<std::uint64_t>(es[n]) +
+                                      2 * x1 - x2);
   }
   return xs;
 }

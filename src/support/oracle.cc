@@ -1,6 +1,7 @@
 #include "support/oracle.h"
 
 #include <cstdio>
+#include <mutex>
 
 #include "compress/crc32.h"
 
@@ -118,23 +119,29 @@ void OrderProbe::on_unmatched_test(minimpi::Rank rank,
                                    minimpi::CallsiteId callsite) {
   ObservedEvent event;
   event.matched = false;
-  trace_[runtime::StreamKey{rank, callsite}].push_back(event);
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_[runtime::StreamKey{rank, callsite}].push_back(event);
+  }
   if (inner_ != nullptr) inner_->on_unmatched_test(rank, callsite);
 }
 
 void OrderProbe::on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
                             minimpi::MFKind kind,
                             std::span<const minimpi::Completion> events) {
-  auto& stream = trace_[runtime::StreamKey{rank, callsite}];
-  for (const minimpi::Completion& c : events) {
-    ObservedEvent event;
-    event.matched = true;
-    event.source = c.source;
-    event.tag = c.tag;
-    event.piggyback = c.piggyback;
-    event.payload_crc = compress::crc32(c.payload);
-    event.payload_size = c.payload.size();
-    stream.push_back(event);
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    auto& stream = trace_[runtime::StreamKey{rank, callsite}];
+    for (const minimpi::Completion& c : events) {
+      ObservedEvent event;
+      event.matched = true;
+      event.source = c.source;
+      event.tag = c.tag;
+      event.piggyback = c.piggyback;
+      event.payload_crc = compress::crc32(c.payload);
+      event.payload_size = c.payload.size();
+      stream.push_back(event);
+    }
   }
   if (inner_ != nullptr) inner_->on_deliver(rank, callsite, kind, events);
 }
@@ -150,8 +157,18 @@ bool OrderProbe::on_stall() {
 }
 
 void OrderProbe::on_fault(minimpi::FaultKind kind, minimpi::Rank rank) {
-  ++fault_counts_[static_cast<std::size_t>(kind)];
+  fault_counts_[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
   if (inner_ != nullptr) inner_->on_fault(kind, rank);
+}
+
+void OrderProbe::on_parallel_start(int workers) {
+  // Forwarded so a probed Recorder still enters staged-flush mode.
+  if (inner_ != nullptr) inner_->on_parallel_start(workers);
+}
+
+void OrderProbe::on_window(double horizon) {
+  if (inner_ != nullptr) inner_->on_window(horizon);
 }
 
 std::uint64_t OrderProbe::total_events() const noexcept {

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -65,17 +67,26 @@ class OrderProbe : public minimpi::ToolHooks {
   void on_deadlock() override;
   bool on_stall() override;
   void on_fault(minimpi::FaultKind kind, minimpi::Rank rank) override;
+  void on_parallel_start(int workers) override;
+  void on_window(double horizon) override;
 
+  /// Do not read while a parallel run is in flight (valid after run()).
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
   [[nodiscard]] std::uint64_t total_events() const noexcept;
   [[nodiscard]] std::uint64_t fault_count(minimpi::FaultKind kind) const {
-    return fault_counts_[static_cast<std::size_t>(kind)];
+    return fault_counts_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
   }
 
  private:
   minimpi::ToolHooks* inner_;
+  /// Guards the trace map under the parallel executor. Test-machinery
+  /// only — the probed product path never takes this lock — so the
+  /// contention is an accepted cost of observing a parallel run.
+  std::mutex trace_mu_;
   Trace trace_;
-  std::array<std::uint64_t, minimpi::kFaultKindCount> fault_counts_{};
+  std::array<std::atomic<std::uint64_t>, minimpi::kFaultKindCount>
+      fault_counts_{};
 };
 
 /// Outcome of one oracle comparison. `mismatches` holds human-readable

@@ -81,6 +81,18 @@ class HookChain : public minimpi::ToolHooks {
       observer->on_fault(kind, rank);
   }
 
+  void on_parallel_start(int workers) override {
+    if (primary_ != nullptr) primary_->on_parallel_start(workers);
+    for (minimpi::ToolHooks* observer : observers_)
+      observer->on_parallel_start(workers);
+  }
+
+  void on_window(double horizon) override {
+    if (primary_ != nullptr) primary_->on_window(horizon);
+    for (minimpi::ToolHooks* observer : observers_)
+      observer->on_window(horizon);
+  }
+
  private:
   minimpi::ToolHooks* primary_;
   std::vector<minimpi::ToolHooks*> observers_;

@@ -40,6 +40,11 @@ StreamRecorder& Recorder::stream(minimpi::Rank rank,
                                  minimpi::CallsiteId callsite) {
   const runtime::StreamKey key{
       rank, options_.identify_callsites ? callsite : 0};
+  // Workers of the parallel executor race only on the map shape (each
+  // stream is touched by its owning rank's worker alone); node-based map
+  // iterators and the unique_ptr targets stay valid across rehash-free
+  // inserts, so the lock covers exactly the lookup/insert.
+  std::lock_guard<std::mutex> lock(streams_mu_);
   auto it = streams_.find(key);
   if (it == streams_.end()) {
     it = streams_
@@ -94,10 +99,28 @@ void Recorder::on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
     if (rank == options_.clock_trace_rank)
       clock_trace_.push_back(e.piggyback);
   }
+  if (staged_) return;  // deferred to on_window (coordinator, quiesced)
   const std::uint64_t chunks_before = rec.stats().chunks;
   rec.flush_if_due(*sink_);
   if (options_.checkpoint_interval > 0)
     checkpoint(rec.stats().chunks - chunks_before);
+}
+
+void Recorder::on_parallel_start(int /*workers*/) { staged_ = true; }
+
+void Recorder::on_window(double /*horizon*/) {
+  if (!staged_) return;
+  // Every worker is quiesced at the window barrier: flush due chunks for
+  // all streams in canonical key order. Window boundaries are worker-
+  // count-invariant, so the chunk sequence — and the sealed container —
+  // is too.
+  std::uint64_t new_chunks = 0;
+  for (auto& [key, rec] : streams_) {
+    const std::uint64_t chunks_before = rec->stats().chunks;
+    rec->flush_if_due(*sink_);
+    new_chunks += rec->stats().chunks - chunks_before;
+  }
+  if (options_.checkpoint_interval > 0) checkpoint(new_chunks);
 }
 
 void Recorder::checkpoint(std::uint64_t new_chunks) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "clock/lamport.h"
@@ -42,6 +43,18 @@ class Recorder : public minimpi::ToolHooks {
   void on_deliver(minimpi::Rank rank, minimpi::CallsiteId callsite,
                   minimpi::MFKind kind,
                   std::span<const minimpi::Completion> events) override;
+  /// Parallel executor attached: switch to staged flushing. Per-rank state
+  /// (clocks, digests, stream recorders) is owner-serialized by the
+  /// executor's one-task-per-rank-per-window rule; the stream map itself
+  /// takes a mutex on first-touch; and chunk flush/checkpoint I/O moves
+  /// from on_deliver to on_window so it happens single-threaded, in
+  /// canonical key order — which also makes the sealed container
+  /// byte-identical for every worker count. Record byte-identity relies on
+  /// the inline sink: do not pair a parallel record run with AsyncFrameSink
+  /// when comparing container bytes.
+  void on_parallel_start(int workers) override;
+  /// Window quiesce point: flush every stream's due chunks in key order.
+  void on_window(double horizon) override;
 
   /// Flushes every stream; call once after Simulator::run() returns.
   void finalize();
@@ -89,7 +102,11 @@ class Recorder : public minimpi::ToolHooks {
   runtime::RecordStore* store_;
   InlineFrameSink inline_sink_;
   FrameSink* sink_;  ///< &inline_sink_ unless the caller provided one
+  /// True between on_parallel_start and finalize: flushes are deferred to
+  /// on_window.
+  bool staged_ = false;
   std::vector<clock::LamportClock> clocks_;
+  std::mutex streams_mu_;  ///< guards the map shape only, not the streams
   std::map<runtime::StreamKey, std::unique_ptr<StreamRecorder>> streams_;
   std::vector<std::uint64_t> clock_trace_;
   std::vector<std::uint64_t> digests_;
